@@ -1,0 +1,59 @@
+//! **Figure 13** — 1/estimated-cost of the four fixed tree plans for
+//! Query 6 in the Figure 12 regimes: the cost model must rank the plans the
+//! way Figure 12 measures them (left-deep/bushy lead regime 1, inner leads
+//! regime 2 with bushy last, right-deep leads regime 3).
+
+use zstream_bench::*;
+use zstream_core::{spec_with_shape, NegStrategy, PlanShape, Statistics};
+use zstream_events::Schema;
+use zstream_lang::{analyze, Query, SchemaMap};
+
+const QUERY6: &str = "PATTERN IBM; Sun; Oracle; Google \
+     WHERE Oracle.price > 25 * Sun.price AND Oracle.price > 25 * Google.price \
+     WITHIN 100";
+
+fn main() {
+    header(
+        "Figure 13: 1/estimated-cost of fixed plans for Query 6 (x1e-5)",
+        "Cost model (Table 2) under the Figure 12 regimes",
+    );
+    // (label, per-class rate fractions, sel1, sel2).
+    let regimes: Vec<(&str, [f64; 4], f64, f64)> = vec![
+        (
+            "rate 1:100:100:100",
+            [1.0 / 301.0, 100.0 / 301.0, 100.0 / 301.0, 100.0 / 301.0],
+            1.0,
+            1.0,
+        ),
+        ("sel1 = 1/50", [0.25; 4], 1.0 / 50.0, 1.0),
+        ("sel2 = 1/50", [0.25; 4], 1.0, 1.0 / 50.0),
+    ];
+    let cols: Vec<String> = regimes.iter().map(|(l, ..)| l.to_string()).collect();
+    row_header("plan \\ regime ->", &cols);
+
+    let aq = analyze(
+        &Query::parse(QUERY6).unwrap(),
+        &SchemaMap::uniform(Schema::stocks()),
+    )
+    .unwrap();
+    let plans = [
+        ("left-deep", PlanShape::left_deep(4)),
+        ("right-deep", PlanShape::right_deep(4)),
+        ("bushy", PlanShape::bushy(4)),
+        ("inner", PlanShape::inner4()),
+    ];
+    for (label, shape) in plans {
+        let mut series = Vec::new();
+        for (_, rates, sel1, sel2) in &regimes {
+            let stats = Statistics::uniform(4, 2, 100)
+                .with_rates(rates)
+                .with_pred_sel(0, *sel1)
+                .with_pred_sel(1, *sel2);
+            let spec =
+                spec_with_shape(&aq, &stats, shape.clone(), NegStrategy::PushdownPreferred)
+                    .unwrap();
+            series.push(1e5 / spec.est_cost);
+        }
+        row(label, &series);
+    }
+}

@@ -1,0 +1,95 @@
+//! **Operator microbenchmarks** (criterion) — per-event costs of the hot
+//! paths: intake routing, a full SEQ assembly round, the hash probe path,
+//! and the NSEQ backward scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use zstream_core::{EngineBuilder, EngineConfig, PlanConfig, PlanShape};
+use zstream_events::EventRef;
+use zstream_workload::{StockConfig, StockGenerator};
+
+fn stream(len: usize, seed: u64) -> Vec<EventRef> {
+    StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], len, seed))
+}
+
+fn bench_seq_round(c: &mut Criterion) {
+    let events = stream(4096, 10);
+    let mut group = c.benchmark_group("seq_pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("scan_join", |b| {
+        b.iter(|| {
+            let mut engine = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 100")
+                .unwrap()
+                .stock_routing()
+                .shape(PlanShape::left_deep(3))
+                .config(EngineConfig { batch_size: 256, ..Default::default() })
+                .build()
+                .unwrap();
+            let mut n = 0usize;
+            for chunk in events.chunks(256) {
+                n += engine.push_batch(black_box(chunk)).len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash_vs_scan(c: &mut Criterion) {
+    // Aliases over 16 names: equality predicate with selectivity 1/16.
+    let names: Vec<String> = (0..16).map(|i| format!("S{i}")).collect();
+    let rates: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 1.0)).collect();
+    let events = StockGenerator::generate(StockConfig::with_rates(&rates, 4096, 11));
+    let src = "PATTERN T1; T2 WHERE T1.name = T2.name WITHIN 64";
+    let mut group = c.benchmark_group("equality_join");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for (label, use_hash) in [("hash", true), ("scan", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut engine = EngineBuilder::parse(src)
+                    .unwrap()
+                    .config(EngineConfig {
+                        batch_size: 256,
+                        plan: PlanConfig { use_hash, ..Default::default() },
+                    })
+                    .build()
+                    .unwrap();
+                let mut n = 0usize;
+                for chunk in events.chunks(256) {
+                    n += engine.push_batch(black_box(chunk)).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nseq(c: &mut Criterion) {
+    let events = stream(4096, 12);
+    let mut group = c.benchmark_group("negation");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("nseq_pushdown", |b| {
+        b.iter(|| {
+            let mut engine = EngineBuilder::parse("PATTERN IBM; !Sun; Oracle WITHIN 100")
+                .unwrap()
+                .stock_routing()
+                .config(EngineConfig { batch_size: 256, ..Default::default() })
+                .build()
+                .unwrap();
+            let mut n = 0usize;
+            for chunk in events.chunks(256) {
+                n += engine.push_batch(black_box(chunk)).len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_round, bench_hash_vs_scan, bench_nseq);
+criterion_main!(benches);

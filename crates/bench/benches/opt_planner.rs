@@ -1,0 +1,55 @@
+//! **Planner microbenchmark** (criterion) — §5.2.3 claims Algorithm 5 needs
+//! "less than 10 ms to search for an optimal plan with pattern length 20";
+//! this measures the dynamic program for pattern lengths 4–20 (bushy space
+//! included) and the full compile pipeline (parse + rewrite + analyze +
+//! plan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use zstream_core::{search_optimal, CompiledQuery, Statistics};
+use zstream_events::Schema;
+use zstream_lang::{analyze, Query, SchemaMap};
+
+fn pattern_of_len(n: usize) -> String {
+    let names: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
+    format!("PATTERN {} WITHIN 100", names.join("; "))
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm5_search");
+    group.sample_size(20);
+    for n in [4usize, 8, 12, 16, 20] {
+        let aq = analyze(
+            &Query::parse(&pattern_of_len(n)).unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        // Non-uniform rates so the search space is not degenerate.
+        let rates: Vec<f64> = (0..n).map(|i| 0.1 + (i as f64 * 0.37) % 1.0).collect();
+        let stats = Statistics::uniform(n, 0, 100).with_rates(&rates);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| search_optimal(black_box(&aq), black_box(&stats)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let src = "PATTERN T1; T2; T3 \
+               WHERE T1.name = T3.name AND T2.name = 'Google' \
+                 AND T1.price > (1 + 5%) * T2.price \
+                 AND T3.price < (1 - 5%) * T2.price \
+               WITHIN 10 secs \
+               RETURN T1, T2, T3";
+    let schemas = SchemaMap::uniform(Schema::stocks());
+    c.bench_function("compile_query1_end_to_end", |b| {
+        b.iter(|| {
+            let q = Query::parse(black_box(src)).unwrap();
+            CompiledQuery::optimize(&q, &schemas, None).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_planner, bench_compile_pipeline);
+criterion_main!(benches);

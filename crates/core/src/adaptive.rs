@@ -1,0 +1,250 @@
+//! Plan adaptation (§5.3).
+//!
+//! Input rates and selectivities drift, so an initially optimal plan may
+//! stop being optimal. The adaptive engine maintains running estimates of
+//! the Table 1 statistics with windowed averages:
+//!
+//! * per-class **rates** and single-class **selectivities** from the
+//!   engine's intake counters,
+//! * **multi-class predicate selectivities** by sampling event pairs from
+//!   the live leaf buffers and evaluating the predicates on them,
+//!
+//! and every `check_interval` rounds compares them against the statistics
+//! the current plan was built with. When any statistic moved by more than
+//! the error threshold `t`, Algorithm 5 re-runs; the new plan is installed
+//! only when the predicted improvement exceeds the performance threshold
+//! `c`. Switching happens on a round boundary: intermediate state is
+//! discarded and rebuilt from the retained leaf buffers, trigger-class
+//! cursors are preserved, so no duplicates or losses occur (§5.3's two-step
+//! switch protocol).
+
+use zstream_events::{EventRef, Record, Ts};
+use zstream_lang::EventBinding;
+
+use crate::cost::dp::{plan_cost, search_optimal, PlanSpec};
+use crate::cost::stats::Statistics;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::physical::plan::PhysicalPlan;
+
+/// Adaptive controller configuration.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Re-estimate statistics every this many assembly rounds.
+    pub check_interval: u64,
+    /// Error threshold `t`: re-plan when any statistic's relative change
+    /// exceeds this.
+    pub error_threshold: f64,
+    /// Performance threshold `c`: install a new plan only when
+    /// `cost(current)/cost(new)` exceeds this ratio.
+    pub improvement_threshold: f64,
+    /// Event pairs sampled per multi-class predicate when estimating its
+    /// selectivity.
+    pub sample_pairs: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            check_interval: 8,
+            error_threshold: 0.25,
+            improvement_threshold: 1.10,
+            sample_pairs: 64,
+        }
+    }
+}
+
+/// Snapshot of intake counters for windowed rate estimation.
+#[derive(Debug, Clone, Default)]
+struct CounterSnapshot {
+    offered: Vec<u64>,
+    admitted: Vec<u64>,
+    watermark: Ts,
+}
+
+/// An [`Engine`] wrapped with the §5.3 adaptive controller.
+#[derive(Debug)]
+pub struct AdaptiveEngine {
+    engine: Engine,
+    config: AdaptiveConfig,
+    /// Statistics the current plan was chosen under.
+    current_stats: Statistics,
+    /// The spec of the currently installed plan (re-priced under measured
+    /// statistics to decide switches).
+    current_spec: Option<PlanSpec>,
+    last_snapshot: CounterSnapshot,
+    rounds_since_check: u64,
+}
+
+impl AdaptiveEngine {
+    /// Wraps an engine whose plan was built from `initial_spec` under
+    /// `initial_stats`.
+    pub fn new(
+        engine: Engine,
+        initial_spec: Option<PlanSpec>,
+        initial_stats: Statistics,
+        config: AdaptiveConfig,
+    ) -> AdaptiveEngine {
+        let (offered, admitted) = engine.class_counters();
+        let last_snapshot = CounterSnapshot {
+            offered: offered.to_vec(),
+            admitted: admitted.to_vec(),
+            watermark: engine.watermark(),
+        };
+        AdaptiveEngine {
+            engine,
+            config,
+            current_stats: initial_stats,
+            current_spec: initial_spec,
+            last_snapshot,
+            rounds_since_check: 0,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Statistics the current plan was built under.
+    pub fn current_stats(&self) -> &Statistics {
+        &self.current_stats
+    }
+
+    /// Pushes a batch, running the adaptation check on round boundaries.
+    pub fn push_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
+        let out = self.engine.push_batch(events);
+        self.rounds_since_check += 1;
+        if self.rounds_since_check >= self.config.check_interval {
+            self.rounds_since_check = 0;
+            // Adaptation failures (e.g. degenerate statistics) must never
+            // break query processing; skip the check instead.
+            let _ = self.maybe_adapt();
+        }
+        out
+    }
+
+    /// Flushes buffered events.
+    pub fn flush(&mut self) -> Vec<Record> {
+        self.engine.flush()
+    }
+
+    /// Measures statistics, re-plans if they drifted, installs the new plan
+    /// if it is predicted to be sufficiently better. Returns whether a
+    /// switch happened.
+    pub fn maybe_adapt(&mut self) -> Result<bool, CoreError> {
+        let Some(measured) = self.measure() else {
+            return Ok(false);
+        };
+        let drift = self.current_stats.max_relative_change(&measured);
+        if drift <= self.config.error_threshold {
+            return Ok(false);
+        }
+        self.engine.metrics_mut().replans += 1;
+        let aq = self.engine.analyzed().clone();
+        let new_spec = search_optimal(&aq, &measured)?;
+        // Compare both plans under the *measured* statistics.
+        let current_spec_cost = match &self.current_spec {
+            Some(spec) => plan_cost(&aq, &measured, spec),
+            None => f64::INFINITY,
+        };
+        if current_spec_cost / new_spec.est_cost < self.config.improvement_threshold {
+            self.current_stats = measured;
+            return Ok(false);
+        }
+        let plan = PhysicalPlan::from_spec(&aq, &new_spec, self.engine.plan().config.clone())?;
+        self.engine.install_plan(plan);
+        self.current_spec = Some(new_spec);
+        self.current_stats = measured;
+        Ok(true)
+    }
+
+    /// Windowed statistics measurement: rates and single-class
+    /// selectivities from intake counter deltas, multi-class predicate
+    /// selectivities from sampled leaf-buffer event pairs.
+    fn measure(&mut self) -> Option<Statistics> {
+        let aq = self.engine.analyzed().clone();
+        let n = aq.num_classes();
+        let (offered, admitted) = {
+            let (o, a) = self.engine.class_counters();
+            (o.to_vec(), a.to_vec())
+        };
+        let watermark = self.engine.watermark();
+        let dt = watermark.saturating_sub(self.last_snapshot.watermark);
+        if dt == 0 {
+            return None;
+        }
+        let mut stats = Statistics::uniform(n, aq.multi_preds.len(), aq.window);
+        for c in 0..n {
+            let d_off = offered[c] - self.last_snapshot.offered.get(c).copied().unwrap_or(0);
+            let d_adm = admitted[c] - self.last_snapshot.admitted.get(c).copied().unwrap_or(0);
+            // The engine counts offered per class; the raw class rate after
+            // admission over the window:
+            stats = stats
+                .with_rate(c, d_off as f64 / dt as f64)
+                .with_single_sel(c, if d_off == 0 { 1.0 } else { d_adm as f64 / d_off as f64 });
+        }
+        for (i, p) in aq.multi_preds.iter().enumerate() {
+            if let Some(sel) = self.sample_pred_selectivity(p.mask, &p.expr) {
+                stats = stats.with_pred_sel(i, sel);
+            }
+        }
+        self.last_snapshot = CounterSnapshot { offered, admitted, watermark };
+        Some(stats)
+    }
+
+    /// Estimates one predicate's selectivity by evaluating it on sampled
+    /// event combinations from the referenced classes' leaf buffers.
+    fn sample_pred_selectivity(&self, mask: u64, expr: &zstream_lang::TypedExpr) -> Option<f64> {
+        let classes: Vec<usize> = (0..64).filter(|c| mask & (1u64 << c) != 0).collect();
+        if classes.is_empty() || classes.len() > 2 {
+            return None;
+        }
+        let plan = self.engine.plan();
+        let bufs: Vec<&crate::physical::buffer::Buffer> = classes
+            .iter()
+            .map(|c| &plan.nodes[plan.leaf_of_class[*c]].buf)
+            .collect();
+        if bufs.iter().any(|b| b.is_empty()) {
+            return None;
+        }
+        struct SampleBinding<'a> {
+            classes: &'a [usize],
+            events: Vec<&'a EventRef>,
+        }
+        impl EventBinding for SampleBinding<'_> {
+            fn event(&self, class: usize) -> Option<&EventRef> {
+                self.classes.iter().position(|c| *c == class).map(|i| self.events[i])
+            }
+            fn closure(&self, class: usize) -> &[EventRef] {
+                match self.event(class) {
+                    Some(e) => std::slice::from_ref(e),
+                    None => &[],
+                }
+            }
+        }
+        let mut tried = 0usize;
+        let mut passed = 0usize;
+        // Deterministic stride sampling over the cross product.
+        let k = self.config.sample_pairs;
+        for s in 0..k {
+            let events: Vec<&EventRef> = bufs
+                .iter()
+                .enumerate()
+                .filter_map(|(bi, b)| {
+                    let idx = (s * (bi * 7 + 3)) % b.len();
+                    b.get(idx).slot(0).as_one()
+                })
+                .collect();
+            if events.len() != bufs.len() {
+                continue;
+            }
+            let binding = SampleBinding { classes: &classes, events };
+            tried += 1;
+            if matches!(expr.eval(&binding), Ok(zstream_events::Value::Bool(true))) {
+                passed += 1;
+            }
+        }
+        (tried > 0).then(|| (passed as f64 / tried as f64).clamp(0.001, 1.0))
+    }
+}

@@ -1,0 +1,319 @@
+//! High-level query compilation: text → AST → rewrites → analysis → plan →
+//! engine.
+
+use std::sync::Arc;
+
+use zstream_events::{Schema, Value};
+use zstream_lang::{analyze, AnalyzedQuery, BinOp, Query, SchemaMap, TypedExpr};
+
+use crate::cost::dp::{search_optimal, spec_with_shape, NegStrategy, PlanSpec};
+use crate::cost::shape::PlanShape;
+use crate::cost::stats::Statistics;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::logical::rewrite_query;
+use crate::physical::plan::{PhysicalPlan, PlanConfig};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Events per batch for the batch-iterator model (§4.3).
+    pub batch_size: usize,
+    /// Physical plan toggles (hashing, EAT pruning).
+    pub plan: PlanConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { batch_size: 128, plan: PlanConfig::default() }
+    }
+}
+
+/// A compiled query: rewritten, analyzed, and (for flat sequential patterns)
+/// planned.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The analyzed query.
+    pub aq: Arc<AnalyzedQuery>,
+    /// Statistics the plan was chosen under.
+    pub stats: Statistics,
+    /// The plan specification (`None` for syntax-directed conj/disj plans).
+    pub spec: Option<PlanSpec>,
+    /// Number of §5.2.1 rewrites applied.
+    pub rewrites: usize,
+}
+
+impl CompiledQuery {
+    /// Compiles a query with the optimizer choosing the plan.
+    pub fn optimize(
+        query: &Query,
+        schemas: &SchemaMap,
+        stats: Option<Statistics>,
+    ) -> Result<CompiledQuery, CoreError> {
+        Self::compile_inner(query, schemas, stats, None, NegStrategy::PushdownPreferred)
+    }
+
+    /// Compiles with a forced shape (the paper's fixed left-deep/right-deep/
+    /// bushy/inner comparison plans) and negation strategy.
+    pub fn with_shape(
+        query: &Query,
+        schemas: &SchemaMap,
+        stats: Option<Statistics>,
+        shape: PlanShape,
+        neg: NegStrategy,
+    ) -> Result<CompiledQuery, CoreError> {
+        Self::compile_inner(query, schemas, stats, Some(shape), neg)
+    }
+
+    fn compile_inner(
+        query: &Query,
+        schemas: &SchemaMap,
+        stats: Option<Statistics>,
+        shape: Option<PlanShape>,
+        neg: NegStrategy,
+    ) -> Result<CompiledQuery, CoreError> {
+        let (rewritten, rewrites) = rewrite_query(query);
+        let aq = Arc::new(analyze(&rewritten, schemas)?);
+        let stats = stats.unwrap_or_else(|| {
+            Statistics::uniform(aq.num_classes(), aq.multi_preds.len(), aq.window)
+        });
+        stats.validate(aq.num_classes(), aq.multi_preds.len())?;
+        let spec = if aq.is_flat_sequence() {
+            Some(match shape {
+                Some(sh) => spec_with_shape(&aq, &stats, sh, neg)?,
+                None => search_optimal(&aq, &stats)?,
+            })
+        } else {
+            if shape.is_some() {
+                return Err(CoreError::UnsupportedPattern(
+                    "forced shapes apply to flat sequential patterns only".into(),
+                ));
+            }
+            None
+        };
+        Ok(CompiledQuery { aq, stats, spec, rewrites })
+    }
+
+    /// Builds the physical plan.
+    pub fn physical_plan(&self, config: PlanConfig) -> Result<PhysicalPlan, CoreError> {
+        match &self.spec {
+            Some(spec) => PhysicalPlan::from_spec(&self.aq, spec, config),
+            None => PhysicalPlan::from_pattern(&self.aq, config),
+        }
+    }
+}
+
+/// Fluent construction of an [`Engine`] from a query.
+#[derive(Debug)]
+pub struct EngineBuilder {
+    query: Query,
+    schemas: SchemaMap,
+    stats: Option<Statistics>,
+    shape: Option<PlanShape>,
+    neg: NegStrategy,
+    route_field: Option<String>,
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Starts from a parsed query. Classes default to the stock schema.
+    pub fn new(query: Query) -> EngineBuilder {
+        EngineBuilder {
+            query,
+            schemas: SchemaMap::uniform(Schema::stocks()),
+            stats: None,
+            shape: None,
+            neg: NegStrategy::PushdownPreferred,
+            route_field: None,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Parses and starts from query text.
+    pub fn parse(src: &str) -> Result<EngineBuilder, CoreError> {
+        Ok(EngineBuilder::new(Query::parse(src)?))
+    }
+
+    /// Sets the class-to-schema bindings.
+    pub fn schemas(mut self, schemas: SchemaMap) -> Self {
+        self.schemas = schemas;
+        self
+    }
+
+    /// Stock-market convention used throughout the paper's experiments:
+    /// every class reads the stock stream, and a pattern class named `IBM`
+    /// means `name = 'IBM'` (an implicit single-class predicate pushed to
+    /// the leaf).
+    pub fn stock_routing(mut self) -> Self {
+        self.schemas = SchemaMap::uniform(Schema::stocks());
+        self.route_field = Some("name".to_string());
+        self
+    }
+
+    /// Adds an implicit `class.field = '<class name>'` intake predicate for
+    /// every class.
+    pub fn route_by_field(mut self, field: impl Into<String>) -> Self {
+        self.route_field = Some(field.into());
+        self
+    }
+
+    /// Declares input statistics for the optimizer.
+    pub fn statistics(mut self, stats: Statistics) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Forces a physical tree shape instead of running the optimizer.
+    pub fn shape(mut self, shape: PlanShape) -> Self {
+        self.shape = Some(shape);
+        self
+    }
+
+    /// Chooses the negation strategy.
+    pub fn neg_strategy(mut self, neg: NegStrategy) -> Self {
+        self.neg = neg;
+        self
+    }
+
+    /// Sets engine configuration (batch size, hashing, pruning).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Compiles and builds the engine.
+    pub fn build(self) -> Result<Engine, CoreError> {
+        let compiled = match self.shape {
+            Some(sh) => {
+                CompiledQuery::with_shape(&self.query, &self.schemas, self.stats, sh, self.neg)?
+            }
+            None => CompiledQuery::optimize(&self.query, &self.schemas, self.stats)?,
+        };
+        let plan = compiled.physical_plan(self.config.plan.clone())?;
+        let intake = build_intake(&compiled.aq, self.route_field.as_deref())?;
+        Ok(Engine::new(compiled.aq, plan, intake, self.config.batch_size))
+    }
+}
+
+/// Per-class intake predicates: analyzed single-class predicates plus the
+/// optional route-by-field equality.
+pub fn build_intake(
+    aq: &AnalyzedQuery,
+    route_field: Option<&str>,
+) -> Result<Vec<Vec<TypedExpr>>, CoreError> {
+    let mut intake: Vec<Vec<TypedExpr>> = aq.single_preds.clone();
+    if let Some(field) = route_field {
+        for (c, info) in aq.classes.iter().enumerate() {
+            let fi = info.schema.field_index(field).map_err(zstream_lang::LangError::from)?;
+            let ty = info.schema.fields()[fi].ty;
+            intake[c].push(TypedExpr::Binary(
+                BinOp::Eq,
+                Box::new(TypedExpr::Attr { class: c, field: fi, ty }),
+                Box::new(TypedExpr::Lit(Value::str(&info.name))),
+            ));
+        }
+    }
+    Ok(intake)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_events::stock;
+
+    #[test]
+    fn quickstart_sequence_end_to_end() {
+        let mut engine = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 200")
+            .unwrap()
+            .stock_routing()
+            .config(EngineConfig { batch_size: 1, ..Default::default() })
+            .build()
+            .unwrap();
+        let mut matches = Vec::new();
+        for (i, name) in ["IBM", "Sun", "Oracle", "IBM", "Oracle"].iter().enumerate() {
+            let out = engine.push(stock(i as u64 + 1, i as i64, name, 10.0, 1));
+            matches.extend(out);
+        }
+        // IBM@1;Sun@2;Oracle@3 and IBM@1;Sun@2;Oracle@5.
+        assert_eq!(matches.len(), 2);
+        assert_eq!(engine.metrics().matches_out, 2);
+        assert_eq!(engine.metrics().events_in, 5);
+    }
+
+    #[test]
+    fn where_predicates_filter_matches() {
+        let mut engine = EngineBuilder::parse(
+            "PATTERN IBM; Sun WHERE IBM.price > Sun.price WITHIN 100",
+        )
+        .unwrap()
+        .stock_routing()
+        .config(EngineConfig { batch_size: 1, ..Default::default() })
+        .build()
+        .unwrap();
+        let mut matches = Vec::new();
+        matches.extend(engine.push(stock(1, 0, "IBM", 50.0, 1)));
+        matches.extend(engine.push(stock(2, 1, "Sun", 80.0, 1))); // fails pred
+        matches.extend(engine.push(stock(3, 2, "Sun", 20.0, 1))); // passes
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].end_ts(), 3);
+    }
+
+    #[test]
+    fn window_bounds_matches() {
+        let mut engine = EngineBuilder::parse("PATTERN IBM; Sun WITHIN 10")
+            .unwrap()
+            .stock_routing()
+            .config(EngineConfig { batch_size: 1, ..Default::default() })
+            .build()
+            .unwrap();
+        let mut matches = Vec::new();
+        matches.extend(engine.push(stock(1, 0, "IBM", 1.0, 1)));
+        matches.extend(engine.push(stock(100, 1, "Sun", 1.0, 1))); // out of window
+        matches.extend(engine.push(stock(105, 2, "IBM", 1.0, 1)));
+        matches.extend(engine.push(stock(110, 3, "Sun", 1.0, 1))); // in window
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].start_ts(), 105);
+    }
+
+    #[test]
+    fn flush_forces_round() {
+        let mut engine = EngineBuilder::parse("PATTERN IBM; Sun WITHIN 100")
+            .unwrap()
+            .stock_routing()
+            .config(EngineConfig { batch_size: 1000, ..Default::default() })
+            .build()
+            .unwrap();
+        assert!(engine.push(stock(1, 0, "IBM", 1.0, 1)).is_empty());
+        assert!(engine.push(stock(2, 1, "Sun", 1.0, 1)).is_empty());
+        let out = engine.flush();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let events: Vec<_> = (0..60)
+            .map(|i| {
+                let name = ["IBM", "Sun", "Oracle"][i % 3];
+                stock(i as u64 + 1, i as i64, name, i as f64, 1)
+            })
+            .collect();
+        let mut counts = Vec::new();
+        for bs in [1, 7, 64] {
+            let mut engine = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 30")
+                .unwrap()
+                .stock_routing()
+                .config(EngineConfig { batch_size: bs, ..Default::default() })
+                .build()
+                .unwrap();
+            let mut n = 0;
+            for e in &events {
+                n += engine.push(Arc::clone(e)).len();
+            }
+            n += engine.flush().len();
+            counts.push(n);
+        }
+        assert!(counts[0] > 0);
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[1], counts[2]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Cost model and plan optimization (§5 of the paper).
+//!
+//! * [`stats`] — the Table 1 statistics: per-class rates, single-class
+//!   selectivities, time-predicate selectivities `Pt` and multi-class
+//!   predicate selectivities,
+//! * [`model`] — the Table 2 per-operator input/output cost formulas and the
+//!   total-cost combination `C = Ci + (nk)·Ci + p·Co` with `k = 0.25`,
+//!   `p = 1`,
+//! * [`shape`] — physical tree shapes (left-deep, right-deep, bushy, …),
+//! * [`dp`] — Algorithm 5: the O(n³) dynamic program over contiguous
+//!   sub-patterns that finds the optimal (possibly bushy) operator order.
+
+pub mod dp;
+pub mod model;
+pub mod shape;
+pub mod stats;

@@ -1,0 +1,196 @@
+//! Physical tree shapes.
+//!
+//! A given logical sequence pattern has many equivalent physical trees
+//! (§5.2.3): left-deep, right-deep, bushy, and everything in between. A
+//! [`PlanShape`] is a binary tree whose leaves are *unit indexes* — positions
+//! in the pattern's positive unit list — and whose in-order traversal must be
+//! `0, 1, …, n-1` (operators combine adjacent sub-patterns; reordering is in
+//! the *evaluation order*, not the pattern order).
+
+use std::fmt;
+
+use crate::error::CoreError;
+
+/// A binary evaluation-order tree over pattern units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanShape {
+    /// A single pattern unit.
+    Leaf(usize),
+    /// Combine two adjacent sub-shapes.
+    Join(Box<PlanShape>, Box<PlanShape>),
+}
+
+impl PlanShape {
+    /// Joins two shapes.
+    pub fn join(left: PlanShape, right: PlanShape) -> PlanShape {
+        PlanShape::Join(Box::new(left), Box::new(right))
+    }
+
+    /// The left-deep shape `[[[0,1],2],…]` over `n` units.
+    pub fn left_deep(n: usize) -> PlanShape {
+        assert!(n >= 1);
+        let mut s = PlanShape::Leaf(0);
+        for i in 1..n {
+            s = PlanShape::join(s, PlanShape::Leaf(i));
+        }
+        s
+    }
+
+    /// The right-deep shape `[0,[1,[2,…]]]` over `n` units.
+    pub fn right_deep(n: usize) -> PlanShape {
+        assert!(n >= 1);
+        let mut s = PlanShape::Leaf(n - 1);
+        for i in (0..n - 1).rev() {
+            s = PlanShape::join(PlanShape::Leaf(i), s);
+        }
+        s
+    }
+
+    /// The balanced bushy shape, e.g. `[[0,1],[2,3]]` for `n = 4`.
+    pub fn bushy(n: usize) -> PlanShape {
+        assert!(n >= 1);
+        fn build(lo: usize, hi: usize) -> PlanShape {
+            if hi - lo == 1 {
+                return PlanShape::Leaf(lo);
+            }
+            let mid = lo + (hi - lo) / 2;
+            PlanShape::join(build(lo, mid), build(mid, hi))
+        }
+        build(0, n)
+    }
+
+    /// The "inner" shape of the paper's Query 6 experiment for `n = 4`:
+    /// `[0, [[1, 2], 3]]` — evaluate the middle pair first.
+    pub fn inner4() -> PlanShape {
+        PlanShape::join(
+            PlanShape::Leaf(0),
+            PlanShape::join(
+                PlanShape::join(PlanShape::Leaf(1), PlanShape::Leaf(2)),
+                PlanShape::Leaf(3),
+            ),
+        )
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            PlanShape::Leaf(_) => 1,
+            PlanShape::Join(l, r) => l.num_leaves() + r.num_leaves(),
+        }
+    }
+
+    /// Leaf indexes in in-order traversal.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            PlanShape::Leaf(i) => out.push(*i),
+            PlanShape::Join(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// The contiguous unit range `[lo, hi)` covered by this shape, assuming
+    /// it is validated.
+    pub fn range(&self) -> (usize, usize) {
+        match self {
+            PlanShape::Leaf(i) => (*i, i + 1),
+            PlanShape::Join(l, r) => (l.range().0, r.range().1),
+        }
+    }
+
+    /// Validates that the shape covers exactly units `0..n` in order.
+    pub fn validate(&self, n: usize) -> Result<(), CoreError> {
+        let leaves = self.leaves();
+        if leaves.len() != n {
+            return Err(CoreError::ShapeMismatch { expected: n, found: leaves.len() });
+        }
+        if leaves.iter().enumerate().any(|(i, l)| *l != i) {
+            return Err(CoreError::UnsupportedPattern(format!(
+                "plan shape must traverse units in pattern order, got {leaves:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Enumerates every shape over `n` units (Catalan-many; for tests and
+    /// exhaustive-optimality checks on small `n`).
+    pub fn enumerate_all(n: usize) -> Vec<PlanShape> {
+        fn build(lo: usize, hi: usize) -> Vec<PlanShape> {
+            if hi - lo == 1 {
+                return vec![PlanShape::Leaf(lo)];
+            }
+            let mut out = Vec::new();
+            for cut in lo + 1..hi {
+                for l in build(lo, cut) {
+                    for r in build(cut, hi) {
+                        out.push(PlanShape::join(l.clone(), r));
+                    }
+                }
+            }
+            out
+        }
+        assert!(n >= 1);
+        build(0, n)
+    }
+}
+
+impl fmt::Display for PlanShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanShape::Leaf(i) => write!(f, "{i}"),
+            PlanShape::Join(l, r) => write!(f, "[{l}, {r}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_shapes_cover_units_in_order() {
+        for n in 1..=6 {
+            for s in [PlanShape::left_deep(n), PlanShape::right_deep(n), PlanShape::bushy(n)] {
+                s.validate(n).unwrap();
+                assert_eq!(s.num_leaves(), n);
+                assert_eq!(s.range(), (0, n));
+            }
+        }
+        PlanShape::inner4().validate(4).unwrap();
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(PlanShape::left_deep(4).to_string(), "[[[0, 1], 2], 3]");
+        assert_eq!(PlanShape::right_deep(4).to_string(), "[0, [1, [2, 3]]]");
+        assert_eq!(PlanShape::bushy(4).to_string(), "[[0, 1], [2, 3]]");
+        assert_eq!(PlanShape::inner4().to_string(), "[0, [[1, 2], 3]]");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_order_or_count() {
+        let bad = PlanShape::join(PlanShape::Leaf(1), PlanShape::Leaf(0));
+        assert!(bad.validate(2).is_err());
+        assert!(PlanShape::left_deep(3).validate(4).is_err());
+    }
+
+    #[test]
+    fn enumerate_counts_catalan() {
+        // C_1=1, C_2=1, C_3=2, C_4=5, C_5=14 shapes over n leaves.
+        assert_eq!(PlanShape::enumerate_all(1).len(), 1);
+        assert_eq!(PlanShape::enumerate_all(2).len(), 1);
+        assert_eq!(PlanShape::enumerate_all(3).len(), 2);
+        assert_eq!(PlanShape::enumerate_all(4).len(), 5);
+        assert_eq!(PlanShape::enumerate_all(5).len(), 14);
+        for s in PlanShape::enumerate_all(5) {
+            s.validate(5).unwrap();
+        }
+    }
+}

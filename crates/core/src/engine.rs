@@ -1,0 +1,280 @@
+//! The batch-iterator evaluation engine (§4.3).
+//!
+//! The engine accumulates primitive events into leaf buffers during **idle
+//! rounds** and runs **assembly rounds** only when the pattern's trigger
+//! (final) event class has at least one unconsumed instance:
+//!
+//! 1. a batch of primitive events is routed into leaf buffers (single-class
+//!    predicates applied at intake — the §4.1 push-down),
+//! 2. if no trigger-class instance is waiting, keep accumulating,
+//! 3. otherwise compute the **earliest allowed timestamp** (EAT): the
+//!    earliest unconsumed end-timestamp among trigger buffers minus the
+//!    window, and push it down to every buffer,
+//! 4. assemble events bottom-up, materializing intermediate results in node
+//!    buffers and emitting complete composites at the root.
+
+use std::sync::Arc;
+
+use zstream_events::{EventRef, Record, Ts};
+use zstream_lang::{AnalyzedQuery, ClassId, EventBinding, TypedExpr};
+
+use crate::metrics::EngineMetrics;
+use crate::physical::plan::PhysicalPlan;
+
+/// Binding of a single event to a single class (intake predicates).
+struct OneClassBinding<'a> {
+    class: ClassId,
+    event: &'a EventRef,
+}
+
+impl EventBinding for OneClassBinding<'_> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        (class == self.class).then_some(self.event)
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        if class == self.class {
+            std::slice::from_ref(self.event)
+        } else {
+            &[]
+        }
+    }
+}
+
+/// A running query: a physical plan plus routing and round bookkeeping.
+#[derive(Debug)]
+pub struct Engine {
+    aq: Arc<AnalyzedQuery>,
+    plan: PhysicalPlan,
+    /// Per-class intake predicates: analyzed single-class predicates plus
+    /// any route-by-field equality added by the builder.
+    intake: Vec<Vec<TypedExpr>>,
+    /// Events buffered until a full batch is formed (push-one API).
+    pending: Vec<EventRef>,
+    batch_size: usize,
+    watermark: Ts,
+    metrics: EngineMetrics,
+    /// Per-class counters for the adaptive statistics sampler (§5.3).
+    offered: Vec<u64>,
+    admitted: Vec<u64>,
+}
+
+impl Engine {
+    /// Creates an engine over an analyzed query, plan, per-class intake
+    /// predicates and batch size.
+    pub fn new(
+        aq: Arc<AnalyzedQuery>,
+        plan: PhysicalPlan,
+        intake: Vec<Vec<TypedExpr>>,
+        batch_size: usize,
+    ) -> Engine {
+        assert!(batch_size >= 1);
+        let n = aq.num_classes();
+        Engine {
+            aq,
+            plan,
+            intake,
+            pending: Vec::with_capacity(batch_size),
+            batch_size,
+            watermark: 0,
+            metrics: EngineMetrics::default(),
+            offered: vec![0; n],
+            admitted: vec![0; n],
+        }
+    }
+
+    /// The analyzed query.
+    pub fn analyzed(&self) -> &Arc<AnalyzedQuery> {
+        &self.aq
+    }
+
+    /// The current physical plan.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.metrics
+    }
+
+    /// Mutable access to metrics (the adaptive controller records replans).
+    pub fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    /// Latest event timestamp seen.
+    pub fn watermark(&self) -> Ts {
+        self.watermark
+    }
+
+    /// Per-class (offered, admitted) intake counters since engine start.
+    pub fn class_counters(&self) -> (&[u64], &[u64]) {
+        (&self.offered, &self.admitted)
+    }
+
+    /// Pushes a single event; runs a round when a full batch accumulated.
+    /// Returns any matches produced.
+    pub fn push(&mut self, event: EventRef) -> Vec<Record> {
+        self.pending.push(event);
+        if self.pending.len() >= self.batch_size {
+            let batch = std::mem::take(&mut self.pending);
+            self.process_batch(&batch)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Routes a whole batch and runs one round.
+    pub fn push_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
+        if !self.pending.is_empty() {
+            let mut batch = std::mem::take(&mut self.pending);
+            batch.extend_from_slice(events);
+            self.process_batch(&batch)
+        } else {
+            self.process_batch(events)
+        }
+    }
+
+    /// Flushes any buffered events and forces a final assembly round.
+    pub fn flush(&mut self) -> Vec<Record> {
+        let batch = std::mem::take(&mut self.pending);
+        self.process_batch(&batch)
+    }
+
+    fn process_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
+        for e in events {
+            self.route(e);
+        }
+        self.round()
+    }
+
+    /// Routes one event to every class whose schema matches and whose
+    /// intake predicates accept it (§4.1: single-class predicates prevent
+    /// irrelevant events from entering leaf buffers).
+    fn route(&mut self, event: &EventRef) {
+        self.metrics.events_in += 1;
+        debug_assert!(event.ts() >= self.watermark, "input must be time-ordered");
+        self.watermark = self.watermark.max(event.ts());
+        let mut admitted_any = false;
+        for c in 0..self.aq.num_classes() {
+            if self.aq.classes[c].schema.name() != event.schema().name() {
+                continue;
+            }
+            self.offered[c] += 1;
+            let binding = OneClassBinding { class: c, event };
+            if self.intake[c].iter().all(|p| {
+                matches!(p.eval(&binding), Ok(zstream_events::Value::Bool(true)))
+            }) {
+                self.admitted[c] += 1;
+                admitted_any = true;
+                let leaf = self.plan.leaf_of_class[c];
+                self.plan.nodes[leaf].buf.push(Record::primitive(Arc::clone(event)));
+            }
+        }
+        if admitted_any {
+            self.metrics.events_admitted += 1;
+        }
+    }
+
+    /// One round: idle if no trigger instance is waiting, otherwise compute
+    /// the EAT and assemble.
+    fn round(&mut self) -> Vec<Record> {
+        let Some(earliest) = self.earliest_trigger_end() else {
+            self.metrics.idle_rounds += 1;
+            return Vec::new();
+        };
+        let eat = earliest.saturating_sub(self.plan.window);
+        self.metrics.assembly_rounds += 1;
+        let out = self.plan.assemble(eat);
+        self.metrics.matches_out += out.len() as u64;
+        self.metrics.sample_memory(self.plan.total_bytes());
+        out
+    }
+
+    /// Earliest unconsumed end timestamp across trigger-class leaf buffers
+    /// (the EAT base of §4.3).
+    fn earliest_trigger_end(&self) -> Option<Ts> {
+        self.plan
+            .trigger_classes
+            .iter()
+            .filter_map(|c| {
+                self.plan.nodes[self.plan.leaf_of_class[*c]].buf.earliest_unconsumed_end()
+            })
+            .min()
+    }
+
+    /// Canonical signature of an output record for result comparison: per
+    /// pattern class, the identities (Arc pointers) of the bound events.
+    /// Unbound classes yield empty lists; negated classes are always empty
+    /// (NSEQ carries the negating event in its slot for guard evaluation,
+    /// but it is bookkeeping, not part of the match — RETURN excludes it).
+    pub fn record_signature(&self, rec: &Record) -> Vec<Vec<usize>> {
+        let root = &self.plan.nodes[self.plan.root];
+        let mut out = vec![Vec::new(); self.aq.num_classes()];
+        for (slot_idx, class) in root.classes.iter().enumerate() {
+            if self.aq.classes[*class].negated {
+                continue;
+            }
+            out[*class] = rec
+                .slot(slot_idx)
+                .events()
+                .iter()
+                .map(|e| Arc::as_ptr(e) as usize)
+                .collect();
+        }
+        out
+    }
+
+    /// Formats an output record according to the query's RETURN clause.
+    pub fn format_match(&self, rec: &Record) -> String {
+        use std::fmt::Write;
+        use zstream_lang::TypedReturn;
+        let root = &self.plan.nodes[self.plan.root];
+        let binding =
+            crate::physical::binding::RecordBinding { rec, map: &root.map };
+        let mut s = format!("[{}..{}]", rec.start_ts(), rec.end_ts());
+        for r in &self.aq.returns {
+            match r {
+                TypedReturn::Class(c) => {
+                    let ev = root
+                        .map
+                        .slot_of(*c)
+                        .map(|p| rec.slot(p))
+                        .map(|slot| match slot.events() {
+                            [] => "—".to_string(),
+                            [e] => e.to_string(),
+                            group => format!("{} events", group.len()),
+                        })
+                        .unwrap_or_else(|| "—".to_string());
+                    let _ = write!(s, " {}={}", self.aq.classes[*c].name, ev);
+                }
+                TypedReturn::Agg(func, c, field) => {
+                    let expr = TypedExpr::Agg { func: *func, class: *c, field: *field };
+                    let v = expr
+                        .eval(&binding)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|_| "?".to_string());
+                    let _ = write!(s, " {func}({})={v}", self.aq.classes[*c].name);
+                }
+            }
+        }
+        s
+    }
+
+    /// Replaces the physical plan, transplanting leaf buffers. Trigger-class
+    /// cursors are preserved (already-consumed final events must not emit
+    /// again); every other leaf is rewound so the new plan rebuilds its
+    /// intermediate state from retained history — the §5.3 switch protocol.
+    pub fn install_plan(&mut self, mut new_plan: PhysicalPlan) {
+        let mut leaves = self.plan.take_leaf_buffers();
+        for (class, buf) in &mut leaves {
+            if !self.plan.trigger_classes.contains(class) {
+                buf.rewind();
+            }
+        }
+        new_plan.reset_for_switch(leaves);
+        self.plan = new_plan;
+        self.metrics.plan_switches += 1;
+    }
+}

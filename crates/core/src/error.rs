@@ -1,0 +1,50 @@
+//! Core errors: plan construction and execution.
+
+use std::fmt;
+
+use zstream_lang::LangError;
+
+/// Errors raised while planning or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A language-level error (parsing or analysis).
+    Lang(LangError),
+    /// The pattern shape is not supported by the requested plan strategy.
+    UnsupportedPattern(String),
+    /// A plan shape does not match the pattern's unit count.
+    ShapeMismatch {
+        /// Units in the pattern.
+        expected: usize,
+        /// Leaves in the provided shape.
+        found: usize,
+    },
+    /// A negation was placed where no evaluation strategy exists.
+    UnsupportedNegation(String),
+    /// A Kleene closure was placed where no evaluation strategy exists.
+    UnsupportedClosure(String),
+    /// Statistics vector length does not match the class count.
+    BadStatistics(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lang(e) => write!(f, "{e}"),
+            CoreError::UnsupportedPattern(s) => write!(f, "unsupported pattern: {s}"),
+            CoreError::ShapeMismatch { expected, found } => {
+                write!(f, "plan shape has {found} leaves but the pattern has {expected} units")
+            }
+            CoreError::UnsupportedNegation(s) => write!(f, "unsupported negation: {s}"),
+            CoreError::UnsupportedClosure(s) => write!(f, "unsupported closure: {s}"),
+            CoreError::BadStatistics(s) => write!(f, "bad statistics: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<LangError> for CoreError {
+    fn from(e: LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}

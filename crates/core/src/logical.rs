@@ -1,0 +1,234 @@
+//! Rule-based pattern transformations (§5.2.1).
+//!
+//! As in relational systems, a pattern has many algebraically equivalent
+//! expressions with very different evaluation costs. The paper's acceptance
+//! criterion: take a rewrite only when the target expression
+//!
+//! 1. has **fewer operators**, or
+//! 2. has the same number of operators but **cheaper** ones, with the
+//!    operator cost order `C_DIS < C_SEQ < C_CON` (NSEQ and KSEQ are not
+//!    substitutable).
+//!
+//! The rules implemented here (the paper omits its full list for space; this
+//! set covers its worked example and the standard algebraic identities):
+//!
+//! * **De Morgan for negation groups**: `(!B & !C)` → `!(B | C)` — the
+//!   paper's Expression1 → Expression2 example: one fewer operator and
+//!   disjunction is cheaper than conjunction,
+//! * **flattening** of nested n-ary connectives: `(A;B);C` → `A;B;C`,
+//! * **idempotence**: `A | A` → `A`, `A & A` → `A`,
+//! * **singleton collapse**: unary `Seq`/`Conj`/`Disj` nodes disappear.
+//!
+//! Rewrites run on the *untyped* AST so that inputs like Expression1 (which
+//! the strict analyzer would reject — mixed positive/negative conjunctions
+//! are only meaningful when rewritable) normalize before analysis.
+
+use zstream_lang::{PatternExpr, Query};
+
+/// Applies all rewrite rules to a fixpoint and returns the simplified
+/// pattern together with the number of rewrites applied.
+pub fn rewrite_pattern(p: &PatternExpr) -> (PatternExpr, usize) {
+    let mut cur = p.clone();
+    let mut total = 0;
+    loop {
+        let (next, n) = rewrite_once(&cur);
+        total += n;
+        if n == 0 {
+            return (cur, total);
+        }
+        cur = next;
+    }
+}
+
+/// Rewrites a whole query in place (only the pattern is affected).
+pub fn rewrite_query(q: &Query) -> (Query, usize) {
+    let (pattern, n) = rewrite_pattern(&q.pattern);
+    (Query { pattern, ..q.clone() }, n)
+}
+
+fn rewrite_once(p: &PatternExpr) -> (PatternExpr, usize) {
+    let before = p.operator_count();
+    let mut changed = 0;
+    let next = walk(p, &mut changed);
+    // The acceptance criterion of §5.2.1 is monotone by construction: every
+    // individual rule either removes operators or swaps CON for DIS. Assert
+    // it anyway — a rewrite must never grow the expression.
+    debug_assert!(
+        next.operator_count() <= before,
+        "rewrite grew the pattern: {p} -> {next}"
+    );
+    (next, changed)
+}
+
+fn walk(p: &PatternExpr, changed: &mut usize) -> PatternExpr {
+    match p {
+        PatternExpr::Class(_) => p.clone(),
+        PatternExpr::Neg(inner) => PatternExpr::Neg(Box::new(walk(inner, changed))),
+        PatternExpr::Kleene(inner, k) => {
+            PatternExpr::Kleene(Box::new(walk(inner, changed)), *k)
+        }
+        PatternExpr::Seq(xs) => rebuild_nary(xs, changed, NaryKind::Seq),
+        PatternExpr::Conj(xs) => {
+            let rebuilt = rebuild_nary(xs, changed, NaryKind::Conj);
+            // De Morgan: a conjunction of only negated operands becomes a
+            // negated disjunction (fewer operators, cheaper operator).
+            if let PatternExpr::Conj(ys) = &rebuilt {
+                if ys.len() >= 2 && ys.iter().all(|y| matches!(y, PatternExpr::Neg(_))) {
+                    let inner: Vec<PatternExpr> = ys
+                        .iter()
+                        .map(|y| match y {
+                            PatternExpr::Neg(i) => (**i).clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    *changed += 1;
+                    return PatternExpr::Neg(Box::new(PatternExpr::Disj(inner)));
+                }
+            }
+            rebuilt
+        }
+        PatternExpr::Disj(xs) => rebuild_nary(xs, changed, NaryKind::Disj),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum NaryKind {
+    Seq,
+    Conj,
+    Disj,
+}
+
+fn rebuild_nary(xs: &[PatternExpr], changed: &mut usize, kind: NaryKind) -> PatternExpr {
+    let mut out: Vec<PatternExpr> = Vec::with_capacity(xs.len());
+    for x in xs {
+        let y = walk(x, changed);
+        // Flatten same-kind nesting.
+        match (kind, y) {
+            (NaryKind::Seq, PatternExpr::Seq(inner)) => {
+                *changed += 1;
+                out.extend(inner);
+            }
+            (NaryKind::Conj, PatternExpr::Conj(inner)) => {
+                *changed += 1;
+                out.extend(inner);
+            }
+            (NaryKind::Disj, PatternExpr::Disj(inner)) => {
+                *changed += 1;
+                out.extend(inner);
+            }
+            (_, y) => out.push(y),
+        }
+    }
+    // Idempotence for Conj/Disj: drop exact duplicates (classes only —
+    // sequences may legitimately repeat structure via distinct classes, and
+    // analysis enforces unique class names anyway).
+    if matches!(kind, NaryKind::Conj | NaryKind::Disj) {
+        let mut deduped: Vec<PatternExpr> = Vec::with_capacity(out.len());
+        for y in out {
+            if deduped.contains(&y) {
+                *changed += 1;
+            } else {
+                deduped.push(y);
+            }
+        }
+        out = deduped;
+    }
+    if out.len() == 1 {
+        return out.into_iter().next().expect("len checked");
+    }
+    match kind {
+        NaryKind::Seq => PatternExpr::Seq(out),
+        NaryKind::Conj => PatternExpr::Conj(out),
+        NaryKind::Disj => PatternExpr::Disj(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(src: &str) -> PatternExpr {
+        Query::parse(&format!("PATTERN {src} WITHIN 10")).unwrap().pattern
+    }
+
+    #[test]
+    fn paper_expression1_becomes_expression2() {
+        // "A; (!B & !C); D"  ->  "A; !(B | C); D"
+        let e1 = pat("A; (!B & !C); D");
+        let (e2, n) = rewrite_pattern(&e1);
+        assert!(n >= 1);
+        assert_eq!(e2, pat("A; !(B | C); D"));
+        assert!(e2.operator_count() < e1.operator_count());
+    }
+
+    #[test]
+    fn three_way_negated_conjunction() {
+        let e = pat("A; (!B & !C & !D); E");
+        let (r, _) = rewrite_pattern(&e);
+        assert_eq!(r, pat("A; !(B | C | D); E"));
+    }
+
+    #[test]
+    fn flattens_nested_sequences() {
+        // The parser flattens textual nesting itself, so build the nested
+        // tree directly.
+        let e = PatternExpr::Seq(vec![pat("A; B"), pat("C; D")]);
+        let (r, n) = rewrite_pattern(&e);
+        assert_eq!(r, pat("A; B; C; D"));
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn dedupes_disjunction() {
+        let e = PatternExpr::Disj(vec![
+            PatternExpr::Class("A".into()),
+            PatternExpr::Class("A".into()),
+            PatternExpr::Class("B".into()),
+        ]);
+        let (r, n) = rewrite_pattern(&e);
+        assert_eq!(r, pat("A | B"));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn collapses_singletons() {
+        let e = PatternExpr::Disj(vec![
+            PatternExpr::Class("A".into()),
+            PatternExpr::Class("A".into()),
+        ]);
+        let (r, _) = rewrite_pattern(&e);
+        assert_eq!(r, PatternExpr::Class("A".into()));
+    }
+
+    #[test]
+    fn fixpoint_reached_and_stable() {
+        let e = pat("A; (!B & !C); D");
+        let (r1, _) = rewrite_pattern(&e);
+        let (r2, n2) = rewrite_pattern(&r1);
+        assert_eq!(r1, r2);
+        assert_eq!(n2, 0);
+    }
+
+    #[test]
+    fn positive_patterns_untouched() {
+        for src in ["A; B; C", "A & B", "A | (B & C)", "A; B*; C"] {
+            let e = pat(src);
+            let (r, n) = rewrite_pattern(&e);
+            assert_eq!(r, e, "{src} should be stable");
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn rewrite_query_keeps_other_clauses() {
+        let q = Query::parse(
+            "PATTERN A; (!B & !C); D WHERE A.price > D.price WITHIN 10 RETURN A, D",
+        )
+        .unwrap();
+        let (r, n) = rewrite_query(&q);
+        assert!(n >= 1);
+        assert_eq!(r.within, q.within);
+        assert_eq!(r.where_clause, q.where_clause);
+        assert_eq!(r.returns, q.returns);
+    }
+}

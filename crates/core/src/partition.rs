@@ -1,0 +1,356 @@
+//! Stream hash partitioning (§4.1, Figures 3 and 4).
+//!
+//! When every class of a pattern is connected by equality predicates on one
+//! attribute (Query 2: `T1.name = T2.name = T3.name`; Query 8: same IP),
+//! ZStream hash-partitions the incoming stream on that attribute and
+//! evaluates the pattern independently per partition: *"Hash Partitioning
+//! is performed on the incoming stock stream to apply the equality
+//! predicates on stock.name."*
+//!
+//! [`PartitionedEngine`] wraps one [`Engine`] per observed key, routing
+//! events by their partition attribute. [`can_partition_by`] verifies the
+//! soundness condition: the query's equality predicates must connect **all**
+//! classes (including negated and closure classes) on the partition field,
+//! so that no cross-partition match can exist.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zstream_events::{EventRef, HashableValue, Record};
+use zstream_lang::{AnalyzedQuery, TypedExpr};
+
+use crate::builder::CompiledQuery;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::metrics::EngineMetrics;
+use crate::physical::plan::PlanConfig;
+
+/// True when partitioning the stream on `field` preserves the query's
+/// semantics. Two conditions must hold:
+///
+/// 1. every pair of **non-negated** classes is linked (transitively) by
+///    equality predicates on `field` *between non-negated classes* — a chain
+///    routed through a negated class does not constrain a match when no
+///    negation instance occurs, so it cannot justify partitioning,
+/// 2. every **negated** class has a direct equality on `field` to some
+///    non-negated class — otherwise an event in another partition could
+///    legitimately negate a match and per-partition evaluation would miss
+///    it.
+pub fn can_partition_by(aq: &AnalyzedQuery, field: &str) -> bool {
+    let n = aq.num_classes();
+    if n == 0 {
+        return false;
+    }
+    // Resolve the field index per class; every class must have the field.
+    let field_idx: Vec<Option<usize>> = aq
+        .classes
+        .iter()
+        .map(|c| c.schema.field_index(field).ok())
+        .collect();
+    if field_idx.iter().any(Option::is_none) {
+        return false;
+    }
+    let negated: Vec<bool> = aq.classes.iter().map(|c| c.negated).collect();
+    // Union-find over non-negated classes joined on the partition field.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut neg_anchored = vec![false; n];
+    for eq in &aq.equalities {
+        let ((c1, f1), (c2, f2)) = (eq.left, eq.right);
+        if field_idx[c1] != Some(f1) || field_idx[c2] != Some(f2) {
+            continue;
+        }
+        match (negated[c1], negated[c2]) {
+            (false, false) => {
+                let (r1, r2) = (find(&mut parent, c1), find(&mut parent, c2));
+                parent[r1] = r2;
+            }
+            (true, false) => neg_anchored[c1] = true,
+            (false, true) => neg_anchored[c2] = true,
+            (true, true) => {}
+        }
+    }
+    let positives: Vec<usize> = (0..n).filter(|c| !negated[*c]).collect();
+    let Some(&first) = positives.first() else { return false };
+    let root = find(&mut parent, first);
+    positives.iter().all(|c| find(&mut parent, *c) == root)
+        && (0..n).filter(|c| negated[*c]).all(|c| neg_anchored[c])
+}
+
+/// A pattern engine evaluated independently per partition key.
+#[derive(Debug)]
+pub struct PartitionedEngine {
+    compiled: CompiledQuery,
+    plan_config: PlanConfig,
+    intake: Vec<Vec<TypedExpr>>,
+    batch_size: usize,
+    /// Field index of the partition attribute per class schema — all class
+    /// schemas must agree on the field name; events are keyed through the
+    /// first class's schema (events that match no schema are dropped).
+    field: String,
+    partitions: HashMap<HashableValue, Engine>,
+    events_in: u64,
+    dropped: u64,
+}
+
+impl PartitionedEngine {
+    /// Creates a partitioned engine. Fails when partitioning on `field` is
+    /// not sound for this query (see [`can_partition_by`]).
+    pub fn new(
+        compiled: CompiledQuery,
+        plan_config: PlanConfig,
+        intake: Vec<Vec<TypedExpr>>,
+        batch_size: usize,
+        field: impl Into<String>,
+    ) -> Result<PartitionedEngine, CoreError> {
+        let field = field.into();
+        if !can_partition_by(&compiled.aq, &field) {
+            return Err(CoreError::UnsupportedPattern(format!(
+                "cannot partition on '{field}': equality predicates do not connect \
+                 all classes on that field"
+            )));
+        }
+        Ok(PartitionedEngine {
+            compiled,
+            plan_config,
+            intake,
+            batch_size,
+            field,
+            partitions: HashMap::new(),
+            events_in: 0,
+            dropped: 0,
+        })
+    }
+
+    /// The analyzed query.
+    pub fn analyzed(&self) -> &Arc<AnalyzedQuery> {
+        &self.compiled.aq
+    }
+
+    /// Number of partitions materialized so far.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Pushes one event into its partition; returns completed matches.
+    pub fn push(&mut self, event: EventRef) -> Vec<Record> {
+        self.events_in += 1;
+        let Ok(value) = event.value_by_name(&self.field) else {
+            self.dropped += 1;
+            return Vec::new();
+        };
+        let key = value.hash_key();
+        if !self.partitions.contains_key(&key) {
+            let plan = self
+                .compiled
+                .physical_plan(self.plan_config.clone())
+                .expect("template plan was validated at construction");
+            let engine = Engine::new(
+                self.compiled.aq.clone(),
+                plan,
+                self.intake.clone(),
+                self.batch_size,
+            );
+            self.partitions.insert(key.clone(), engine);
+        }
+        self.partitions
+            .get_mut(&key)
+            .expect("inserted above")
+            .push(event)
+    }
+
+    /// Flushes every partition.
+    pub fn flush(&mut self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for engine in self.partitions.values_mut() {
+            out.extend(engine.flush());
+        }
+        // Global end-ts order across partitions for deterministic output.
+        out.sort_by_key(Record::end_ts);
+        out
+    }
+
+    /// Aggregated metrics: sums of per-partition counters; `peak_bytes` is
+    /// the sum of per-partition peaks (an upper bound on the true
+    /// simultaneous peak).
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut m = EngineMetrics { events_in: self.events_in, ..Default::default() };
+        for e in self.partitions.values() {
+            let pm = e.metrics();
+            m.events_admitted += pm.events_admitted;
+            m.matches_out += pm.matches_out;
+            m.assembly_rounds += pm.assembly_rounds;
+            m.idle_rounds += pm.idle_rounds;
+            m.peak_bytes += pm.peak_bytes;
+        }
+        m
+    }
+
+    /// Signature of a record (delegates to any partition's engine — the
+    /// plan layout is identical across partitions).
+    pub fn record_signature(&self, rec: &Record) -> Vec<Vec<usize>> {
+        self.partitions
+            .values()
+            .next()
+            .map(|e| e.record_signature(rec))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_intake, CompiledQuery};
+    use zstream_events::{stock, Schema};
+    use zstream_lang::{analyze, Query, SchemaMap};
+
+    fn compiled(src: &str) -> CompiledQuery {
+        CompiledQuery::optimize(
+            &Query::parse(src).unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitionable_when_equalities_connect_all_classes() {
+        let aq = analyze(
+            &Query::parse("PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 10").unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        assert!(can_partition_by(&aq, "name"));
+        assert!(!can_partition_by(&aq, "price"), "no equalities on price");
+        assert!(!can_partition_by(&aq, "missing"), "unknown field");
+    }
+
+    #[test]
+    fn not_partitionable_with_disconnected_classes() {
+        let aq = analyze(
+            &Query::parse("PATTERN A; B; C WHERE A.name = B.name WITHIN 10").unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        assert!(!can_partition_by(&aq, "name"), "C is not connected");
+    }
+
+    #[test]
+    fn construction_rejects_unsound_partitioning() {
+        let c = compiled("PATTERN A; B WITHIN 10");
+        let intake = build_intake(&c.aq, None).unwrap();
+        assert!(matches!(
+            PartitionedEngine::new(c, PlanConfig::default(), intake, 4, "name"),
+            Err(CoreError::UnsupportedPattern(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_matches_only_within_keys() {
+        let c = compiled("PATTERN A; B WHERE A.name = B.name WITHIN 100");
+        let intake = build_intake(&c.aq, None).unwrap();
+        let mut pe =
+            PartitionedEngine::new(c, PlanConfig::default(), intake, 1, "name").unwrap();
+        let mut matches = Vec::new();
+        matches.extend(pe.push(stock(1, 1, "IBM", 1.0, 1)));
+        matches.extend(pe.push(stock(2, 2, "Sun", 1.0, 1)));
+        matches.extend(pe.push(stock(3, 3, "Sun", 2.0, 1))); // Sun;Sun ✓
+        matches.extend(pe.push(stock(4, 4, "IBM", 2.0, 1))); // IBM;IBM ✓
+        matches.extend(pe.flush());
+        assert_eq!(matches.len(), 2);
+        assert_eq!(pe.num_partitions(), 2);
+        assert_eq!(pe.metrics().matches_out, 2);
+    }
+
+    #[test]
+    fn partitioned_equals_unpartitioned() {
+        use std::sync::Arc;
+        let src = "PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 50";
+        // Small alphabet so partitions receive several events each.
+        let names = ["IBM", "Sun", "Oracle"];
+        let events: Vec<EventRef> = (0..120u64)
+            .map(|i| stock(i + 1, i as i64, names[(i as usize * 7) % 3], i as f64, 1))
+            .collect();
+
+        let c = compiled(src);
+        let intake = build_intake(&c.aq, None).unwrap();
+        let mut pe = PartitionedEngine::new(
+            c.clone(),
+            PlanConfig::default(),
+            intake.clone(),
+            4,
+            "name",
+        )
+        .unwrap();
+        let mut part_out = Vec::new();
+        for e in &events {
+            part_out.extend(pe.push(Arc::clone(e)));
+        }
+        part_out.extend(pe.flush());
+        let mut part_sigs: Vec<_> =
+            part_out.iter().map(|r| pe.record_signature(r)).collect();
+        part_sigs.sort();
+
+        let plan = c.physical_plan(PlanConfig::default()).unwrap();
+        let mut engine = Engine::new(c.aq.clone(), plan, intake, 4);
+        let mut flat_out = Vec::new();
+        for e in &events {
+            flat_out.extend(engine.push(Arc::clone(e)));
+        }
+        flat_out.extend(engine.flush());
+        let mut flat_sigs: Vec<_> =
+            flat_out.iter().map(|r| engine.record_signature(r)).collect();
+        flat_sigs.sort();
+
+        assert!(!flat_sigs.is_empty());
+        assert_eq!(part_sigs, flat_sigs);
+    }
+
+    #[test]
+    fn negation_chain_does_not_transfer_connectivity() {
+        // `T1.name = T2.name = T3.name` with T2 negated: when no T2 occurs,
+        // nothing forces T1.name == T3.name, so partitioning is unsound.
+        let aq = analyze(
+            &Query::parse(
+                "PATTERN T1; !T2; T3 WHERE T1.name = T2.name = T3.name WITHIN 10",
+            )
+            .unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        assert!(!can_partition_by(&aq, "name"));
+    }
+
+    #[test]
+    fn negated_class_anchored_directly_is_partitionable() {
+        // Query 2 written with a direct T1-T3 equality plus a direct anchor
+        // for the negated class: sound to partition.
+        let aq = analyze(
+            &Query::parse(
+                "PATTERN T1; !T2; T3 \
+                 WHERE T1.name = T3.name AND T2.name = T1.name WITHIN 10",
+            )
+            .unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        assert!(can_partition_by(&aq, "name"));
+    }
+
+    #[test]
+    fn unanchored_negated_class_blocks_partitioning() {
+        // T1 and T3 are connected, but a T2 from any partition could negate.
+        let aq = analyze(
+            &Query::parse("PATTERN T1; !T2; T3 WHERE T1.name = T3.name WITHIN 10").unwrap(),
+            &SchemaMap::uniform(Schema::stocks()),
+        )
+        .unwrap();
+        assert!(!can_partition_by(&aq, "name"));
+    }
+}

@@ -1,0 +1,701 @@
+//! Operator evaluation (§4.4).
+//!
+//! Each assembly round evaluates every internal node bottom-up (the node
+//! arena is built children-first, so ascending index order is correct).
+//! Every operator consumes its children in end-timestamp order and emits in
+//! end-timestamp order, maintaining the buffer invariant of §4.2:
+//!
+//! * **SEQ** — Algorithm 1: outer loop over the right child's *new* records,
+//!   inner loop over the left child's end-before prefix (or a hash probe,
+//!   §5.2.2), then the right input is cleared/consumed,
+//! * **NSEQ** — Algorithm 2: for each new right record, scan the negation
+//!   buffers backward for the latest qualifying negation instance; emit
+//!   `(b, Rr)` or `(NULL, Rr)`,
+//! * **CONJ** — Algorithm 3: a sort-merge over both children's cursors,
+//!   combining each newly consumed record with all earlier records of the
+//!   other side,
+//! * **DISJ** — an end-ordered merge of both children, padding slots,
+//! * **KSEQ** — Algorithm 4: trinary start/closure/end grouping,
+//! * **NEG** — the on-top filter: drop composites with a qualifying
+//!   negation instance interleaved between `prev` and `next`.
+
+use zstream_events::{EventRef, Record, Slot, Ts};
+use zstream_lang::{ClassId, EventBinding, KleeneKind, TypedExpr};
+
+use crate::physical::binding::{pred_passes, ClassMap, PairBinding, RecordBinding, WithEventBinding};
+use crate::physical::hash::HashIndex;
+use crate::physical::plan::{Node, NodeKind, PhysicalPlan};
+
+/// Per-round evaluation context.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx {
+    /// The query time window.
+    pub window: Ts,
+    /// Earliest allowed timestamp this round (§4.3).
+    pub eat: Ts,
+    /// Classes that may be legitimately unbound (disjunction branches).
+    pub optional_mask: u64,
+}
+
+impl PhysicalPlan {
+    /// Runs one assembly round: prunes every buffer against `eat`, evaluates
+    /// all internal nodes bottom-up, and drains the root's output.
+    pub fn assemble(&mut self, eat: Ts) -> Vec<Record> {
+        let ctx = EvalCtx { window: self.window, eat, optional_mask: self.optional_mask };
+        if self.config.eat_pruning {
+            self.prune_all(eat);
+        }
+        for k in 0..self.nodes.len() {
+            if !self.nodes[k].is_leaf() {
+                eval_node(&mut self.nodes, k, &ctx);
+            }
+        }
+        let root = self.root;
+        if self.nodes[root].is_leaf() {
+            // Degenerate single-class pattern: emit unconsumed leaf records.
+            let buf = &mut self.nodes[root].buf;
+            let out: Vec<Record> = buf.iter_unconsumed().cloned().collect();
+            buf.consume_all();
+            out
+        } else {
+            self.nodes[root].buf.take_all()
+        }
+    }
+
+    /// Prunes every buffer and rebuilds hash indexes whose build-side buffer
+    /// shifted.
+    fn prune_all(&mut self, eat: Ts) {
+        let pruned: Vec<bool> =
+            self.nodes.iter_mut().map(|n| n.buf.prune(eat) > 0).collect();
+        for k in 0..self.nodes.len() {
+            let Some(spec) = self.nodes[k].hash.clone() else { continue };
+            let (left, right) = match self.nodes[k].kind {
+                NodeKind::Seq { left, right } | NodeKind::Conj { left, right } => (left, right),
+                _ => continue,
+            };
+            let (before, rest) = self.nodes.split_at_mut(k);
+            let node = &mut rest[0];
+            if pruned[left] {
+                node.hash_left.rebuild(&before[left].buf, &before[left].map, &spec.left);
+            }
+            if pruned[right] && matches!(node.kind, NodeKind::Conj { .. }) {
+                node.hash_right.rebuild(&before[right].buf, &before[right].map, &spec.right);
+            }
+        }
+    }
+
+    /// Total logical footprint of all buffers and hash indexes (peak-memory
+    /// accounting for Tables 3 and 5).
+    pub fn total_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.buf.bytes() + n.hash_left.bytes() + n.hash_right.bytes())
+            .sum()
+    }
+
+    /// Resets all dynamic state: internal buffers cleared, leaf buffers
+    /// rewound for replay, except classes in `keep_consumed` (the trigger
+    /// classes) whose cursor is preserved — the adaptive plan-switch
+    /// protocol of §5.3.
+    pub fn reset_for_switch(&mut self, leaf_snapshots: Vec<(ClassId, crate::physical::buffer::Buffer)>) {
+        for (class, buf) in leaf_snapshots {
+            let li = self.leaf_of_class[class];
+            self.nodes[li].buf = buf;
+        }
+    }
+
+    /// Extracts the leaf buffers (with their cursors) for transplanting into
+    /// a new plan.
+    pub fn take_leaf_buffers(&mut self) -> Vec<(ClassId, crate::physical::buffer::Buffer)> {
+        let mut out = Vec::new();
+        for c in 0..self.num_classes {
+            let li = self.leaf_of_class[c];
+            out.push((c, std::mem::take(&mut self.nodes[li].buf)));
+        }
+        out
+    }
+}
+
+fn eval_node(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
+    match nodes[k].kind {
+        NodeKind::Leaf { .. } => {}
+        NodeKind::Seq { left, right } => eval_seq(nodes, k, left, right, ctx),
+        NodeKind::Conj { left, right } => eval_conj(nodes, k, left, right, ctx),
+        NodeKind::Disj { left, right } => eval_disj(nodes, k, left, right),
+        NodeKind::Nseq { .. } => eval_nseq(nodes, k, ctx),
+        NodeKind::Kseq { .. } => eval_kseq(nodes, k, ctx),
+        NodeKind::NegTop { .. } => eval_negtop(nodes, k, ctx),
+    }
+}
+
+/// Consumes a child after its new records were processed: internal buffers
+/// in drain roles are cleared (Algorithm 1 step 7), everything else keeps
+/// records behind the cursor.
+fn finish_consume(nodes: &mut [Node], child: usize) {
+    if nodes[child].drain {
+        nodes[child].buf.clear();
+    } else {
+        nodes[child].buf.consume_all();
+    }
+}
+
+/// Checks the NSEQ guards of a SEQ node: every bound negation slot in the
+/// right record caps the left record from below (`left.end >= b.ts`,
+/// Figure 5's `A.end-ts >= B.timestamp`).
+fn guards_pass(node: &Node, rmap: &ClassMap, lr: &Record, rr: &Record) -> bool {
+    node.guards.iter().all(|g| {
+        g.neg_classes.iter().all(|nc| match rmap.slot_of(*nc).map(|p| rr.slot(p)) {
+            Some(Slot::One(b)) => lr.end_ts() >= b.ts(),
+            _ => true,
+        })
+    })
+}
+
+fn eval_seq(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &EvalCtx) {
+    // Sync the build-side hash index with the left child's buffer.
+    if let Some(spec) = nodes[k].hash.clone() {
+        let (before, rest) = nodes.split_at_mut(k);
+        rest[0].hash_left.sync(&before[left].buf, &before[left].map, &spec.left);
+    }
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let lnode = &before[left];
+    let rnode = &before[right];
+    let mut candidates: Vec<u32> = Vec::new();
+
+    for ri in rnode.buf.consumed()..rnode.buf.len() {
+        let rr = rnode.buf.get(ri);
+        // Candidate left records: hash probe or the end-before prefix.
+        candidates.clear();
+        let mut hash_used = false;
+        if let Some(spec) = &node.hash {
+            if let Some(key) = HashIndex::key_of(rr, &rnode.map, &spec.right) {
+                candidates.extend_from_slice(node.hash_left.probe(&key));
+                candidates.extend_from_slice(node.hash_left.unkeyed());
+                hash_used = true;
+            }
+        }
+        if !hash_used {
+            candidates.extend(0..lnode.buf.prefix_end_before(rr.start_ts()) as u32);
+        }
+        for &li in &candidates {
+            let lr = lnode.buf.get(li as usize);
+            if lr.end_ts() >= rr.start_ts() {
+                // Hash candidates are unordered in time; the scan path's
+                // prefix bound makes this check vacuous there.
+                continue;
+            }
+            if rr.end_ts() - lr.start_ts() > ctx.window {
+                continue;
+            }
+            if !guards_pass(node, &rnode.map, lr, rr) {
+                continue;
+            }
+            let binding = PairBinding {
+                left: RecordBinding { rec: lr, map: &lnode.map },
+                right: RecordBinding { rec: rr, map: &rnode.map },
+            };
+            let covered: &[usize] = if hash_used {
+                node.hash.as_ref().map_or(&[], |s| &s.covered_preds)
+            } else {
+                &[]
+            };
+            if !preds_pass(&node.preds, covered, &binding, ctx.optional_mask) {
+                continue;
+            }
+            node.buf.push(Record::combine(lr, rr));
+        }
+    }
+    finish_consume(nodes, right);
+}
+
+fn preds_pass(
+    preds: &[TypedExpr],
+    skip: &[usize],
+    binding: &impl EventBinding,
+    optional_mask: u64,
+) -> bool {
+    preds
+        .iter()
+        .enumerate()
+        .all(|(i, p)| skip.contains(&i) || pred_passes(p, binding, optional_mask))
+}
+
+fn eval_conj(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &EvalCtx) {
+    if let Some(spec) = nodes[k].hash.clone() {
+        let (before, rest) = nodes.split_at_mut(k);
+        rest[0].hash_left.sync(&before[left].buf, &before[left].map, &spec.left);
+        rest[0].hash_right.sync(&before[right].buf, &before[right].map, &spec.right);
+    }
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let lnode = &before[left];
+    let rnode = &before[right];
+
+    let mut lc = lnode.buf.consumed();
+    let mut rc = rnode.buf.consumed();
+    let mut candidates: Vec<u32> = Vec::new();
+
+    while lc < lnode.buf.len() || rc < rnode.buf.len() {
+        // Algorithm 3 line 5: advance the side with the earlier end
+        // timestamp (ties advance the left).
+        let take_left = match (lc < lnode.buf.len(), rc < rnode.buf.len()) {
+            (true, true) => lnode.buf.get(lc).end_ts() <= rnode.buf.get(rc).end_ts(),
+            (l, _) => l,
+        };
+        let (pr, pr_map, other, other_map, bound, probe_right) = if take_left {
+            let pr = lnode.buf.get(lc);
+            lc += 1;
+            (pr, &lnode.map, rnode, &rnode.map, rc, true)
+        } else {
+            let pr = rnode.buf.get(rc);
+            rc += 1;
+            (pr, &rnode.map, lnode, &lnode.map, lc, false)
+        };
+        // Candidates: records of the other side already consumed.
+        candidates.clear();
+        let mut hash_used = false;
+        if let Some(spec) = &node.hash {
+            let parts = if probe_right { &spec.left } else { &spec.right };
+            if let Some(key) = HashIndex::key_of(pr, pr_map, parts) {
+                let idx = if probe_right { &node.hash_right } else { &node.hash_left };
+                candidates.extend(idx.probe(&key).iter().copied().filter(|&i| (i as usize) < bound));
+                candidates
+                    .extend(idx.unkeyed().iter().copied().filter(|&i| (i as usize) < bound));
+                hash_used = true;
+            }
+        }
+        if !hash_used {
+            candidates.extend(0..bound as u32);
+        }
+        for &bi in &candidates {
+            let br = other.buf.get(bi as usize);
+            let span_start = pr.start_ts().min(br.start_ts());
+            let span_end = pr.end_ts().max(br.end_ts());
+            if span_end - span_start > ctx.window {
+                continue;
+            }
+            // Positional slots: left-child classes first.
+            let (lrec, rrec, lmap2, rmap2) = if take_left {
+                (pr, br, pr_map, other_map)
+            } else {
+                (br, pr, other_map, pr_map)
+            };
+            let binding = PairBinding {
+                left: RecordBinding { rec: lrec, map: lmap2 },
+                right: RecordBinding { rec: rrec, map: rmap2 },
+            };
+            let covered: &[usize] = if hash_used {
+                node.hash.as_ref().map_or(&[], |s| &s.covered_preds)
+            } else {
+                &[]
+            };
+            if !preds_pass(&node.preds, covered, &binding, ctx.optional_mask) {
+                continue;
+            }
+            node.buf.push(Record::combine(lrec, rrec));
+        }
+    }
+    before[left].buf.set_consumed(lc);
+    before[right].buf.set_consumed(rc);
+}
+
+fn eval_disj(nodes: &mut [Node], k: usize, left: usize, right: usize) {
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let lnode = &before[left];
+    let rnode = &before[right];
+    let lwidth = lnode.classes.len();
+    let rwidth = rnode.classes.len();
+
+    let mut lc = lnode.buf.consumed();
+    let mut rc = rnode.buf.consumed();
+    while lc < lnode.buf.len() || rc < rnode.buf.len() {
+        let take_left = match (lc < lnode.buf.len(), rc < rnode.buf.len()) {
+            (true, true) => lnode.buf.get(lc).end_ts() <= rnode.buf.get(rc).end_ts(),
+            (l, _) => l,
+        };
+        let rec = if take_left {
+            let r = lnode.buf.get(lc);
+            lc += 1;
+            let mut slots: Vec<Slot> = r.slots().to_vec();
+            slots.extend(std::iter::repeat_with(|| Slot::None).take(rwidth));
+            Record::from_slots_with_span(slots, r.start_ts(), r.end_ts())
+        } else {
+            let r = rnode.buf.get(rc);
+            rc += 1;
+            let mut slots: Vec<Slot> =
+                std::iter::repeat_with(|| Slot::None).take(lwidth).collect();
+            slots.extend(r.slots().iter().cloned());
+            Record::from_slots_with_span(slots, r.start_ts(), r.end_ts())
+        };
+        node.buf.push(rec);
+    }
+    finish_consume(nodes, left);
+    finish_consume(nodes, right);
+}
+
+fn eval_nseq(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
+    let NodeKind::Nseq { ref negs, right } = nodes[k].kind else { unreachable!() };
+    let negs = negs.clone();
+    let neg_mask: u64 = negs.iter().map(|ni| nodes[*ni].mask()).fold(0, |a, b| a | b);
+    let neg_classes: Vec<ClassId> = negs.iter().map(|ni| nodes[*ni].classes[0]).collect();
+
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let rnode = &before[right];
+
+    for ri in rnode.buf.consumed()..rnode.buf.len() {
+        let rr = rnode.buf.get(ri);
+        // Algorithm 2: scan each negation buffer backward for the latest
+        // instance before rr that satisfies the value constraints.
+        let mut best: Option<(Ts, ClassId, EventRef)> = None;
+        for (gi, &ni) in negs.iter().enumerate() {
+            let nb = &before[ni];
+            let nclass = neg_classes[gi];
+            let hi = nb.buf.prefix_end_before(rr.start_ts());
+            for j in (0..hi).rev() {
+                let b = nb.buf.get(j);
+                let bts = b.end_ts();
+                if best.as_ref().is_some_and(|(bt, _, _)| bts <= *bt) {
+                    break; // cannot beat the best found so far
+                }
+                let Some(ev) = b.slot(0).as_one() else { continue };
+                let binding = WithEventBinding {
+                    base: RecordBinding { rec: rr, map: &rnode.map },
+                    class: nclass,
+                    event: ev,
+                };
+                // Other negation classes stay legitimately unbound while
+                // this candidate is tested.
+                let optional = ctx.optional_mask | (neg_mask & !(1u64 << nclass));
+                if preds_pass(&node.preds, &[], &binding, optional) {
+                    best = Some((bts, nclass, ev.clone()));
+                    break;
+                }
+            }
+        }
+        // Emit (b, Rr) or (NULL, Rr); the span excludes the negation event.
+        let mut slots: Vec<Slot> = neg_classes
+            .iter()
+            .map(|nc| match &best {
+                Some((_, c, ev)) if c == nc => Slot::One(ev.clone()),
+                _ => Slot::None,
+            })
+            .collect();
+        slots.extend(rr.slots().iter().cloned());
+        node.buf.push(Record::from_slots_with_span(slots, rr.start_ts(), rr.end_ts()));
+    }
+    finish_consume(nodes, right);
+}
+
+/// Binding used by KSEQ: optional start and end records plus (optionally) a
+/// candidate middle event or a full closure group.
+struct KseqBinding<'a> {
+    start: Option<RecordBinding<'a>>,
+    end: Option<RecordBinding<'a>>,
+    closure_class: ClassId,
+    mid_event: Option<&'a EventRef>,
+    mid_group: &'a [EventRef],
+}
+
+impl EventBinding for KseqBinding<'_> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        if class == self.closure_class {
+            return self.mid_event;
+        }
+        self.start
+            .as_ref()
+            .and_then(|b| b.event(class))
+            .or_else(|| self.end.as_ref().and_then(|b| b.event(class)))
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        if class == self.closure_class {
+            if let Some(e) = self.mid_event {
+                return std::slice::from_ref(e);
+            }
+            return self.mid_group;
+        }
+        &[]
+    }
+}
+
+fn eval_kseq(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
+    let NodeKind::Kseq { start, closure, kind, end } = nodes[k].kind else { unreachable!() };
+    let closure_class = nodes[closure].classes[0];
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let mbuf = &before[closure].buf;
+
+    match end {
+        Some(e) => {
+            // Algorithm 4: the end buffer drives (outer loop), start inner.
+            let enode = &before[e];
+            for ei in enode.buf.consumed()..enode.buf.len() {
+                let er = enode.buf.get(ei);
+                let starts: Vec<Option<usize>> = match start {
+                    Some(s) => (0..before[s].buf.prefix_end_before(er.start_ts()))
+                        .map(Some)
+                        .collect(),
+                    None => vec![None],
+                };
+                for si in starts {
+                    let sr = si.map(|i| before[start.expect("si bound")].buf.get(i));
+                    emit_kseq_groups(
+                        node,
+                        start.map(|s| &before[s]),
+                        sr,
+                        mbuf,
+                        closure_class,
+                        kind,
+                        Some((&before[e], er)),
+                        ctx,
+                    );
+                }
+            }
+            finish_consume(nodes, e);
+        }
+        None => {
+            // Counted closure ends the pattern: each new middle event can
+            // complete a group of exactly `cc` qualifying events.
+            let KleeneKind::Count(_) = kind else {
+                unreachable!("unbounded trailing closures are rejected at plan time")
+            };
+            for mi in mbuf.consumed()..mbuf.len() {
+                let m_end = mbuf.get(mi).end_ts();
+                let starts: Vec<Option<usize>> = match start {
+                    Some(s) => {
+                        (0..before[s].buf.prefix_end_before(m_end)).map(Some).collect()
+                    }
+                    None => vec![None],
+                };
+                for si in starts {
+                    let sr = si.map(|i| before[start.expect("si bound")].buf.get(i));
+                    emit_trailing_group(
+                        node,
+                        start.map(|s| &before[s]),
+                        sr,
+                        mbuf,
+                        mi,
+                        closure_class,
+                        kind,
+                        ctx,
+                    );
+                }
+            }
+            finish_consume(nodes, closure);
+        }
+    }
+}
+
+/// Collects qualifying middle events strictly between `sr.end` and
+/// `er.start` and emits the group(s) per the closure kind.
+#[allow(clippy::too_many_arguments)]
+fn emit_kseq_groups(
+    node: &mut Node,
+    snode: Option<&Node>,
+    sr: Option<&Record>,
+    mbuf: &crate::physical::buffer::Buffer,
+    closure_class: ClassId,
+    kind: KleeneKind,
+    er: Option<(&Node, &Record)>,
+    ctx: &EvalCtx,
+) {
+    let lo_sr = match sr {
+        Some(s) => mbuf.first_end_at_or_after(s.end_ts() + 1),
+        None => 0,
+    };
+    // Closure events must fit in the window ending at the end anchor; this
+    // bounds the "maximal group" of unanchored closures explicitly (rather
+    // than implicitly through EAT pruning, which may be disabled).
+    let lo_window = match er {
+        Some((_, e)) => mbuf.first_end_at_or_after(e.end_ts().saturating_sub(ctx.window)),
+        None => 0,
+    };
+    let lo = lo_sr.max(lo_window);
+    let hi = match er {
+        Some((_, e)) => mbuf.prefix_end_before(e.start_ts()),
+        None => mbuf.len(),
+    };
+    let mut qualifying: Vec<EventRef> = Vec::new();
+    for j in lo..hi {
+        let m = mbuf.get(j);
+        let Some(ev) = m.slot(0).as_one() else { continue };
+        let binding = KseqBinding {
+            start: sr.map(|r| RecordBinding { rec: r, map: &snode.expect("sr bound").map }),
+            end: er.map(|(en, r)| RecordBinding { rec: r, map: &en.map }),
+            closure_class,
+            mid_event: Some(ev),
+            mid_group: &[],
+        };
+        if node.event_preds.iter().all(|p| pred_passes(p, &binding, ctx.optional_mask)) {
+            qualifying.push(ev.clone());
+        }
+    }
+    match kind {
+        KleeneKind::Star => {
+            emit_group(node, snode, sr, &qualifying, closure_class, er, ctx);
+        }
+        KleeneKind::Plus => {
+            if !qualifying.is_empty() {
+                emit_group(node, snode, sr, &qualifying, closure_class, er, ctx);
+            }
+        }
+        KleeneKind::Count(cc) => {
+            let cc = cc as usize;
+            if qualifying.len() >= cc {
+                for w in 0..=qualifying.len() - cc {
+                    emit_group(node, snode, sr, &qualifying[w..w + cc], closure_class, er, ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Emits the group of exactly `cc` qualifying events ending at middle-buffer
+/// index `mi` (trailing-closure mode).
+#[allow(clippy::too_many_arguments)]
+fn emit_trailing_group(
+    node: &mut Node,
+    snode: Option<&Node>,
+    sr: Option<&Record>,
+    mbuf: &crate::physical::buffer::Buffer,
+    mi: usize,
+    closure_class: ClassId,
+    kind: KleeneKind,
+    ctx: &EvalCtx,
+) {
+    let KleeneKind::Count(cc) = kind else { unreachable!() };
+    let cc = cc as usize;
+    let lo = match sr {
+        Some(s) => mbuf.first_end_at_or_after(s.end_ts() + 1),
+        None => 0,
+    };
+    // Walk backward from mi collecting qualifying events.
+    let mut group_rev: Vec<EventRef> = Vec::with_capacity(cc);
+    let mut j = mi + 1;
+    while j > lo && group_rev.len() < cc {
+        j -= 1;
+        let m = mbuf.get(j);
+        let Some(ev) = m.slot(0).as_one() else { continue };
+        let binding = KseqBinding {
+            start: sr.map(|r| RecordBinding { rec: r, map: &snode.expect("sr bound").map }),
+            end: None,
+            closure_class,
+            mid_event: Some(ev),
+            mid_group: &[],
+        };
+        if node.event_preds.iter().all(|p| pred_passes(p, &binding, ctx.optional_mask)) {
+            group_rev.push(ev.clone());
+        } else if j == mi {
+            return; // the completing event itself must qualify
+        }
+    }
+    if group_rev.len() < cc {
+        return;
+    }
+    group_rev.reverse();
+    emit_group(node, snode, sr, &group_rev, closure_class, None, ctx);
+}
+
+fn emit_group(
+    node: &mut Node,
+    snode: Option<&Node>,
+    sr: Option<&Record>,
+    group: &[EventRef],
+    closure_class: ClassId,
+    er: Option<(&Node, &Record)>,
+    ctx: &EvalCtx,
+) {
+    let _ = closure_class;
+    let mut slots: Vec<Slot> = Vec::new();
+    if let Some(s) = sr {
+        slots.extend(s.slots().iter().cloned());
+    }
+    slots.push(Slot::Many(group.to_vec().into()));
+    if let Some((_, e)) = er {
+        slots.extend(e.slots().iter().cloned());
+    }
+    let rec = Record::from_slots(slots);
+    if rec.end_ts() - rec.start_ts() > ctx.window {
+        return;
+    }
+    // Group-level predicates (aggregates and start/end predicates).
+    let binding = RecordBinding { rec: &rec, map: &node.map };
+    let _ = (snode, er);
+    if !node.preds.iter().all(|p| pred_passes(p, &binding, ctx.optional_mask)) {
+        return;
+    }
+    node.buf.push(rec);
+}
+
+fn eval_negtop(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
+    let NodeKind::NegTop { input, ref negs, prev, next } = nodes[k].kind else { unreachable!() };
+    let negs = negs.clone();
+    let neg_mask: u64 = negs.iter().map(|ni| nodes[*ni].mask()).fold(0, |a, b| a | b);
+    let neg_classes: Vec<ClassId> = negs.iter().map(|ni| nodes[*ni].classes[0]).collect();
+
+    let (before, rest) = nodes.split_at_mut(k);
+    let node = &mut rest[0];
+    let inode = &before[input];
+
+    // Record-level predicates (no negation classes) vs. candidate
+    // predicates (touch a negation class).
+    let (cand_preds, rec_preds): (Vec<&TypedExpr>, Vec<&TypedExpr>) =
+        node.preds.iter().partition(|p| p.class_mask() & neg_mask != 0);
+
+    for ri in inode.buf.consumed()..inode.buf.len() {
+        let rr = inode.buf.get(ri);
+        let base = RecordBinding { rec: rr, map: &inode.map };
+        if !rec_preds.iter().all(|p| pred_passes(p, &base, ctx.optional_mask)) {
+            continue;
+        }
+        let prev_ts = node
+            .map
+            .slot_of(prev)
+            .and_then(|p| rr.slot(p).as_one())
+            .map(|e| e.ts());
+        let next_ts = node
+            .map
+            .slot_of(next)
+            .and_then(|p| rr.slot(p).as_one())
+            .map(|e| e.ts());
+        let (Some(prev_ts), Some(next_ts)) = (prev_ts, next_ts) else {
+            // Defensive: anchors should always be bound for flat sequences.
+            node.buf.push(rr.clone());
+            continue;
+        };
+        // A negation instance b interleaves when prev.ts < b.ts < next.ts
+        // and its predicates hold.
+        let mut negated = false;
+        'outer: for (gi, &ni) in negs.iter().enumerate() {
+            let nb = &before[ni];
+            let nclass = neg_classes[gi];
+            let lo = nb.buf.first_end_at_or_after(prev_ts + 1);
+            let hi = nb.buf.prefix_end_before(next_ts);
+            for j in lo..hi {
+                let Some(ev) = nb.buf.get(j).slot(0).as_one() else { continue };
+                let binding = WithEventBinding {
+                    base: RecordBinding { rec: rr, map: &inode.map },
+                    class: nclass,
+                    event: ev,
+                };
+                let optional = ctx.optional_mask | (neg_mask & !(1u64 << nclass));
+                let relevant: Vec<&TypedExpr> = cand_preds
+                    .iter()
+                    .copied()
+                    .filter(|p| p.class_mask() & (1u64 << nclass) != 0)
+                    .collect();
+                if relevant.iter().all(|p| pred_passes(p, &binding, optional)) {
+                    negated = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !negated {
+            node.buf.push(rr.clone());
+        }
+    }
+    finish_consume(nodes, input);
+}

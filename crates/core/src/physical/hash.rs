@@ -1,0 +1,181 @@
+//! Hash evaluation of equality predicates (§5.2.2).
+//!
+//! When a node's predicates include equalities `A.f = B.f` between its two
+//! sides, ZStream builds a hash table keyed on the left side's attribute(s)
+//! and probes it with each right record instead of scanning the whole left
+//! buffer. Multiple equality predicates at one node form a composite key —
+//! the paper's "primary and secondary hash tables" collapse into one
+//! composite-keyed table with identical semantics.
+
+use std::collections::HashMap;
+
+use zstream_events::{HashableValue, Record};
+use zstream_lang::ClassId;
+
+use crate::physical::binding::ClassMap;
+use crate::physical::buffer::Buffer;
+
+/// One key component: read `field` of the event bound to `class`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPart {
+    /// Class whose event supplies the key.
+    pub class: ClassId,
+    /// Field index within that class's schema.
+    pub field: usize,
+}
+
+/// Specification of a hash join at one node.
+#[derive(Debug, Clone)]
+pub struct HashSpec {
+    /// Key extractors on the left (build) side.
+    pub left: Vec<KeyPart>,
+    /// Key extractors on the right (probe) side, aligned with `left`.
+    pub right: Vec<KeyPart>,
+    /// Indexes (into the node's predicate list) covered by this hash join;
+    /// they are skipped during per-pair predicate evaluation.
+    pub covered_preds: Vec<usize>,
+}
+
+/// A hash index over a build-side buffer: composite key → record indexes in
+/// buffer order. Maintained incrementally; rebuilt when the buffer prunes.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: HashMap<Vec<HashableValue>, Vec<u32>>,
+    /// Records whose key could not be extracted (an equality attribute's
+    /// class left unbound by a disjunction): they match every probe
+    /// vacuously and are appended to every candidate list.
+    unkeyed: Vec<u32>,
+    indexed: usize,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// An empty index.
+    pub fn new() -> HashIndex {
+        HashIndex::default()
+    }
+
+    /// Extracts the composite key of `rec` using `parts`; `None` when any
+    /// part's class is unbound (such records can never satisfy the equality).
+    pub fn key_of(rec: &Record, map: &ClassMap, parts: &[KeyPart]) -> Option<Vec<HashableValue>> {
+        parts
+            .iter()
+            .map(|p| {
+                let slot = map.slot_of(p.class)?;
+                rec.slot(slot).as_one().map(|e| e.value(p.field).hash_key())
+            })
+            .collect()
+    }
+
+    /// Brings the index up to date with `buffer` (indexes new records).
+    pub fn sync(&mut self, buffer: &Buffer, map: &ClassMap, parts: &[KeyPart]) {
+        while self.indexed < buffer.len() {
+            let idx = self.indexed;
+            match Self::key_of(buffer.get(idx), map, parts) {
+                Some(key) => {
+                    self.map.entry(key).or_default().push(idx as u32);
+                    self.entries += 1;
+                }
+                None => self.unkeyed.push(idx as u32),
+            }
+            self.indexed += 1;
+        }
+    }
+
+    /// Rebuilds from scratch (after the underlying buffer pruned records and
+    /// indexes shifted).
+    pub fn rebuild(&mut self, buffer: &Buffer, map: &ClassMap, parts: &[KeyPart]) {
+        self.map.clear();
+        self.unkeyed.clear();
+        self.indexed = 0;
+        self.entries = 0;
+        self.sync(buffer, map, parts);
+    }
+
+    /// Build-side record indexes matching `key`, in buffer order.
+    pub fn probe(&self, key: &[HashableValue]) -> &[u32] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Records with no extractable key (they match any probe vacuously).
+    pub fn unkeyed(&self) -> &[u32] {
+        &self.unkeyed
+    }
+
+    /// Number of indexed entries (for memory accounting).
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Approximate footprint in bytes for the logical memory accounting.
+    pub fn bytes(&self) -> usize {
+        self.entries * (std::mem::size_of::<HashableValue>() + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_events::stock;
+
+    fn buf_with(names: &[(&str, u64)]) -> (Buffer, ClassMap) {
+        let mut b = Buffer::new();
+        for (name, ts) in names {
+            b.push(Record::primitive(stock(*ts, *ts as i64, name, 1.0, 1)));
+        }
+        (b, ClassMap::new(1, &[0]))
+    }
+
+    fn name_key() -> Vec<KeyPart> {
+        vec![KeyPart { class: 0, field: 1 }]
+    }
+
+    #[test]
+    fn probe_returns_matching_indexes_in_order() {
+        let (b, map) = buf_with(&[("IBM", 1), ("Sun", 2), ("IBM", 3)]);
+        let mut idx = HashIndex::new();
+        idx.sync(&b, &map, &name_key());
+        let key = HashIndex::key_of(b.get(0), &map, &name_key()).unwrap();
+        assert_eq!(idx.probe(&key), &[0, 2]);
+        assert_eq!(idx.entries(), 3);
+    }
+
+    #[test]
+    fn sync_is_incremental() {
+        let (mut b, map) = buf_with(&[("IBM", 1)]);
+        let mut idx = HashIndex::new();
+        idx.sync(&b, &map, &name_key());
+        b.push(Record::primitive(stock(5, 5, "IBM", 1.0, 1)));
+        idx.sync(&b, &map, &name_key());
+        let key = HashIndex::key_of(b.get(0), &map, &name_key()).unwrap();
+        assert_eq!(idx.probe(&key), &[0, 1]);
+    }
+
+    #[test]
+    fn rebuild_after_prune_fixes_indexes() {
+        let (mut b, map) = buf_with(&[("IBM", 1), ("IBM", 2), ("IBM", 3)]);
+        let mut idx = HashIndex::new();
+        idx.sync(&b, &map, &name_key());
+        b.prune(3);
+        idx.rebuild(&b, &map, &name_key());
+        let key = HashIndex::key_of(b.get(0), &map, &name_key()).unwrap();
+        assert_eq!(idx.probe(&key), &[0]);
+        assert_eq!(b.get(0).end_ts(), 3);
+    }
+
+    #[test]
+    fn composite_keys_distinguish_pairs() {
+        // Key on (name, volume).
+        let mut b = Buffer::new();
+        b.push(Record::primitive(stock(1, 1, "IBM", 1.0, 10)));
+        b.push(Record::primitive(stock(2, 2, "IBM", 1.0, 20)));
+        let map = ClassMap::new(1, &[0]);
+        let parts = vec![KeyPart { class: 0, field: 1 }, KeyPart { class: 0, field: 3 }];
+        let mut idx = HashIndex::new();
+        idx.sync(&b, &map, &parts);
+        let k0 = HashIndex::key_of(b.get(0), &map, &parts).unwrap();
+        let k1 = HashIndex::key_of(b.get(1), &map, &parts).unwrap();
+        assert_ne!(k0, k1);
+        assert_eq!(idx.probe(&k0), &[0]);
+    }
+}

@@ -1,0 +1,596 @@
+//! Brute-force reference matcher (test oracle).
+//!
+//! Enumerates *every* valid match of a pattern over a finite event vector by
+//! exhaustive combination — exponential, but run only on small test streams.
+//! The property-based test suite compares the engine's output (under every
+//! plan shape, hash on/off, every batch size, and after adaptive plan
+//! switches) and the NFA baseline against this oracle.
+//!
+//! Matches are compared through canonical **signatures**: for each pattern
+//! class, the identities (`Arc` pointers) of the events bound to it, with
+//! negated and unbound classes empty.
+
+use std::sync::Arc;
+
+use zstream_events::{EventRef, Ts};
+use zstream_lang::{
+    AnalyzedQuery, ClassId, EvalError, EventBinding, KleeneKind, TypedExpr, TypedPattern,
+};
+
+/// A match signature: per class, the `Arc` pointer identities of its bound
+/// events (empty for unbound/negated classes).
+pub type Signature = Vec<Vec<usize>>;
+
+/// Computes the sorted, deduplicated signatures of all matches of `aq` over
+/// `events` (time-ordered), with `intake` single-class predicates applied
+/// per class.
+pub fn reference_signatures(
+    aq: &AnalyzedQuery,
+    intake: &[Vec<TypedExpr>],
+    events: &[EventRef],
+) -> Vec<Signature> {
+    let matcher = Matcher::new(aq, intake, events);
+    let mut sigs: Vec<Signature> = matcher.all_matches().iter().map(|m| m.signature()).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+/// One (partial) match: per-class bound events plus the bound span.
+#[derive(Debug, Clone)]
+pub struct PartialMatch {
+    /// Per-class bound events. A closure class may bind several (or zero)
+    /// events; other classes bind at most one.
+    pub bind: Vec<Vec<EventRef>>,
+    span: Option<(Ts, Ts)>,
+}
+
+impl PartialMatch {
+    fn empty(n: usize) -> PartialMatch {
+        PartialMatch { bind: vec![Vec::new(); n], span: None }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.span.is_none()
+    }
+
+    fn start(&self) -> Ts {
+        self.span.expect("non-empty").0
+    }
+
+    fn end(&self) -> Ts {
+        self.span.expect("non-empty").1
+    }
+
+    fn with_event(&self, class: ClassId, e: &EventRef) -> PartialMatch {
+        let mut pm = self.clone();
+        pm.bind[class].push(Arc::clone(e));
+        let ts = e.ts();
+        pm.span = Some(match pm.span {
+            None => (ts, ts),
+            Some((s, t)) => (s.min(ts), t.max(ts)),
+        });
+        pm
+    }
+
+    fn with_group(&self, class: ClassId, group: &[EventRef]) -> PartialMatch {
+        let mut pm = self.clone();
+        pm.bind[class] = group.to_vec();
+        if let (Some(first), Some(last)) = (group.first(), group.last()) {
+            let (s, t) = pm.span.unwrap_or((first.ts(), last.ts()));
+            pm.span = Some((s.min(first.ts()), t.max(last.ts())));
+        }
+        pm
+    }
+
+    fn merge(&self, other: &PartialMatch) -> PartialMatch {
+        let mut pm = self.clone();
+        for (c, evs) in other.bind.iter().enumerate() {
+            if !evs.is_empty() {
+                debug_assert!(pm.bind[c].is_empty(), "class {c} bound twice");
+                pm.bind[c] = evs.clone();
+            }
+        }
+        pm.span = match (pm.span, other.span) {
+            (None, s) | (s, None) => s,
+            (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+        };
+        pm
+    }
+
+    /// Canonical signature for comparison with engine output.
+    pub fn signature(&self) -> Signature {
+        self.bind
+            .iter()
+            .map(|evs| evs.iter().map(|e| Arc::as_ptr(e) as usize).collect())
+            .collect()
+    }
+}
+
+/// Binding over a full/partial match: closure classes expose groups, other
+/// classes their single event.
+struct MatchBinding<'a> {
+    pm: &'a PartialMatch,
+    kleene: &'a [bool],
+}
+
+impl EventBinding for MatchBinding<'_> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        if self.kleene.get(class).copied().unwrap_or(false) {
+            return None;
+        }
+        match self.pm.bind[class].as_slice() {
+            [e] => Some(e),
+            _ => None,
+        }
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        &self.pm.bind[class]
+    }
+}
+
+struct OverrideBinding<'a, B> {
+    base: B,
+    class: ClassId,
+    event: &'a EventRef,
+}
+
+impl<B: EventBinding> EventBinding for OverrideBinding<'_, B> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        if class == self.class {
+            Some(self.event)
+        } else {
+            self.base.event(class)
+        }
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        if class == self.class {
+            std::slice::from_ref(self.event)
+        } else {
+            self.base.closure(class)
+        }
+    }
+}
+
+struct Matcher<'a> {
+    aq: &'a AnalyzedQuery,
+    /// Per-class admitted events, time order.
+    admitted: Vec<Vec<EventRef>>,
+    kleene: Vec<bool>,
+    neg_mask: u64,
+    optional_mask: u64,
+    /// Per closure class: (event-level predicate indexes, anchor mask).
+    event_pred_idx: Vec<usize>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(aq: &'a AnalyzedQuery, intake: &[Vec<TypedExpr>], events: &[EventRef]) -> Matcher<'a> {
+        let n = aq.num_classes();
+        let mut admitted: Vec<Vec<EventRef>> = vec![Vec::new(); n];
+        for e in events {
+            for c in 0..n {
+                if aq.classes[c].schema.name() != e.schema().name() {
+                    continue;
+                }
+                struct One<'x>(ClassId, &'x EventRef);
+                impl EventBinding for One<'_> {
+                    fn event(&self, c: ClassId) -> Option<&EventRef> {
+                        (c == self.0).then_some(self.1)
+                    }
+                    fn closure(&self, c: ClassId) -> &[EventRef] {
+                        if c == self.0 {
+                            std::slice::from_ref(self.1)
+                        } else {
+                            &[]
+                        }
+                    }
+                }
+                let b = One(c, e);
+                if intake[c]
+                    .iter()
+                    .all(|p| matches!(p.eval(&b), Ok(zstream_events::Value::Bool(true))))
+                {
+                    admitted[c].push(Arc::clone(e));
+                }
+            }
+        }
+        let kleene: Vec<bool> = aq.classes.iter().map(|ci| ci.kleene.is_some()).collect();
+        let neg_mask = aq
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, ci)| ci.negated)
+            .fold(0u64, |m, (c, _)| m | (1 << c));
+        let optional_mask = crate::physical::plan::optional_mask(&aq.pattern, false);
+        // Event-level predicates: reference the closure class, no aggregate,
+        // and span only the closure and its pattern-adjacent anchors —
+        // mirrors the engine's KSEQ event_preds split.
+        let anchor_masks = closure_anchor_masks(aq);
+        let event_pred_idx: Vec<usize> = aq
+            .multi_preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                (0..n).any(|c| {
+                    kleene[c]
+                        && p.mask & (1u64 << c) != 0
+                        && !has_agg(&p.expr)
+                        && p.mask & !anchor_masks[c] == 0
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        Matcher { aq, admitted, kleene, neg_mask, optional_mask, event_pred_idx }
+    }
+
+    fn all_matches(&self) -> Vec<PartialMatch> {
+        let candidates = self.enumerate(&self.aq.pattern);
+        candidates
+            .into_iter()
+            .filter(|pm| !pm.is_empty())
+            .filter(|pm| pm.end() - pm.start() <= self.aq.window)
+            .filter(|pm| self.final_preds_pass(pm))
+            .collect()
+    }
+
+    fn final_preds_pass(&self, pm: &PartialMatch) -> bool {
+        let binding = MatchBinding { pm, kleene: &self.kleene };
+        self.aq.multi_preds.iter().enumerate().all(|(i, p)| {
+            if self.event_pred_idx.contains(&i) || p.mask & self.neg_mask != 0 {
+                return true; // applied during grouping / negation checks
+            }
+            self.pred(&p.expr, &binding, self.optional_mask)
+        })
+    }
+
+    fn pred(&self, expr: &TypedExpr, binding: &impl EventBinding, optional: u64) -> bool {
+        match expr.eval(binding) {
+            Ok(zstream_events::Value::Bool(b)) => b,
+            Err(EvalError::Unbound(c)) => optional & (1u64 << c) != 0,
+            _ => false,
+        }
+    }
+
+    fn enumerate(&self, p: &TypedPattern) -> Vec<PartialMatch> {
+        let n = self.aq.num_classes();
+        match p {
+            TypedPattern::Class(c) => self.admitted[*c]
+                .iter()
+                .map(|e| PartialMatch::empty(n).with_event(*c, e))
+                .collect(),
+            TypedPattern::Seq(xs) => self.enumerate_seq(xs),
+            TypedPattern::Kleene(_, _) => self.enumerate_seq(std::slice::from_ref(p)),
+            TypedPattern::Conj(xs) => {
+                let mut acc = vec![PartialMatch::empty(n)];
+                for x in xs {
+                    let rights = self.enumerate(x);
+                    let mut next = Vec::new();
+                    for l in &acc {
+                        for r in &rights {
+                            next.push(l.merge(r));
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            TypedPattern::Disj(xs) => xs.iter().flat_map(|x| self.enumerate(x)).collect(),
+            TypedPattern::Neg(_) => vec![],
+        }
+    }
+
+    fn enumerate_seq(&self, elems: &[TypedPattern]) -> Vec<PartialMatch> {
+        let n = self.aq.num_classes();
+        let mut acc = vec![PartialMatch::empty(n)];
+        let mut pending_neg: Vec<ClassId> = Vec::new();
+        let mut pending_closure: Option<(ClassId, KleeneKind)> = None;
+
+        for elem in elems {
+            match elem {
+                TypedPattern::Neg(inner) => {
+                    collect_classes(inner, &mut pending_neg);
+                }
+                TypedPattern::Kleene(c, k) => {
+                    assert!(
+                        pending_neg.is_empty(),
+                        "negation adjacent to closure is unsupported"
+                    );
+                    pending_closure = Some((*c, *k));
+                }
+                pos => {
+                    let rights = self.enumerate(pos);
+                    let mut next = Vec::new();
+                    for l in &acc {
+                        for r in &rights {
+                            if !l.is_empty() && l.end() >= r.start() {
+                                continue;
+                            }
+                            let variants: Vec<PartialMatch> = match pending_closure {
+                                Some((c, k)) => self.expand_closure(l, r, c, k),
+                                None => vec![l.merge(r)],
+                            };
+                            for m in variants {
+                                if !pending_neg.is_empty()
+                                    && !l.is_empty()
+                                    && self.negated_between(l.end(), r.start(), &pending_neg, &m)
+                                {
+                                    continue;
+                                }
+                                next.push(m);
+                            }
+                        }
+                    }
+                    acc = next;
+                    pending_neg.clear();
+                    pending_closure = None;
+                }
+            }
+        }
+        // Trailing counted closure (`A; B^cc`).
+        if let Some((c, KleeneKind::Count(cc))) = pending_closure {
+            let mut next = Vec::new();
+            for l in &acc {
+                let lo = if l.is_empty() { 0 } else { l.end() + 1 };
+                let qualifying = self.qualifying(c, lo, Ts::MAX, l, None);
+                let cc = cc as usize;
+                if qualifying.len() >= cc {
+                    for w in 0..=qualifying.len() - cc {
+                        next.push(l.with_group(c, &qualifying[w..w + cc]));
+                    }
+                }
+            }
+            acc = next;
+        } else {
+            assert!(pending_closure.is_none(), "unbounded trailing closure unsupported");
+        }
+        acc
+    }
+
+    /// Events of closure class `c` with `lo <= ts < hi` passing event-level
+    /// predicates against the merged anchors.
+    fn qualifying(
+        &self,
+        c: ClassId,
+        lo: Ts,
+        hi: Ts,
+        left: &PartialMatch,
+        right: Option<&PartialMatch>,
+    ) -> Vec<EventRef> {
+        let merged = right.map(|r| left.merge(r));
+        let anchors = merged.as_ref().unwrap_or(left);
+        self.admitted[c]
+            .iter()
+            .filter(|e| e.ts() >= lo && e.ts() < hi)
+            .filter(|e| {
+                let base = MatchBinding { pm: anchors, kleene: &self.kleene };
+                let b = OverrideBinding { base, class: c, event: e };
+                self.event_pred_idx
+                    .iter()
+                    .filter(|i| self.aq.multi_preds[**i].mask & (1u64 << c) != 0)
+                    .all(|i| self.pred(&self.aq.multi_preds[*i].expr, &b, self.optional_mask))
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn expand_closure(
+        &self,
+        l: &PartialMatch,
+        r: &PartialMatch,
+        c: ClassId,
+        k: KleeneKind,
+    ) -> Vec<PartialMatch> {
+        let lo_anchor = if l.is_empty() { 0 } else { l.end() + 1 };
+        // Mirror the engine: closure events must fit in the window ending at
+        // the end anchor (defines the maximal group of unanchored closures).
+        let lo = lo_anchor.max(r.end().saturating_sub(self.aq.window));
+        let hi = r.start();
+        let qualifying = self.qualifying(c, lo, hi, l, Some(r));
+        let base = l.merge(r);
+        match k {
+            KleeneKind::Star => vec![base.with_group(c, &qualifying)],
+            KleeneKind::Plus => {
+                if qualifying.is_empty() {
+                    vec![]
+                } else {
+                    vec![base.with_group(c, &qualifying)]
+                }
+            }
+            KleeneKind::Count(cc) => {
+                let cc = cc as usize;
+                if qualifying.len() < cc {
+                    vec![]
+                } else {
+                    (0..=qualifying.len() - cc)
+                        .map(|w| base.with_group(c, &qualifying[w..w + cc]))
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// True when some admitted negation event strictly between `lo` and
+    /// `hi` qualifies against `pm` — invalidating the candidate match.
+    fn negated_between(&self, lo: Ts, hi: Ts, negs: &[ClassId], pm: &PartialMatch) -> bool {
+        negs.iter().any(|nc| {
+            self.admitted[*nc].iter().any(|b| {
+                if !(b.ts() > lo && b.ts() < hi) {
+                    return false;
+                }
+                let base = MatchBinding { pm, kleene: &self.kleene };
+                let binding = OverrideBinding { base, class: *nc, event: b };
+                let optional = self.optional_mask | (self.neg_mask & !(1u64 << nc));
+                self.aq
+                    .multi_preds
+                    .iter()
+                    .filter(|p| p.mask & (1u64 << nc) != 0)
+                    .all(|p| self.pred(&p.expr, &binding, optional))
+            })
+        })
+    }
+}
+
+fn collect_classes(p: &TypedPattern, out: &mut Vec<ClassId>) {
+    match p {
+        TypedPattern::Class(c) | TypedPattern::Kleene(c, _) => out.push(*c),
+        TypedPattern::Seq(xs) | TypedPattern::Conj(xs) | TypedPattern::Disj(xs) => {
+            for x in xs {
+                collect_classes(x, out);
+            }
+        }
+        TypedPattern::Neg(x) => collect_classes(x, out),
+    }
+}
+
+fn has_agg(e: &TypedExpr) -> bool {
+    match e {
+        TypedExpr::Agg { .. } => true,
+        TypedExpr::Attr { .. } | TypedExpr::Lit(_) => false,
+        TypedExpr::Unary(_, x) => has_agg(x),
+        TypedExpr::Binary(_, l, r) => has_agg(l) || has_agg(r),
+    }
+}
+
+/// Per closure class: the mask of classes its event-level predicates may
+/// reference (the closure itself plus its pattern-adjacent anchors).
+fn closure_anchor_masks(aq: &AnalyzedQuery) -> Vec<u64> {
+    let n = aq.num_classes();
+    let mut masks = vec![0u64; n];
+    let order: Vec<ClassId> = aq.pattern.class_ids();
+    for (i, c) in order.iter().enumerate() {
+        if aq.classes[*c].kleene.is_some() {
+            let mut m = 1u64 << c;
+            if i > 0 {
+                m |= 1u64 << order[i - 1];
+            }
+            if i + 1 < order.len() {
+                m |= 1u64 << order[i + 1];
+            }
+            masks[*c] = m;
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_intake;
+    use zstream_events::{stock, Schema};
+    use zstream_lang::{analyze, Query, SchemaMap};
+
+    fn aq(src: &str) -> AnalyzedQuery {
+        analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap()
+    }
+
+    fn sigs(aq: &AnalyzedQuery, events: &[EventRef]) -> Vec<Signature> {
+        let intake = build_intake(aq, Some("name")).unwrap();
+        reference_signatures(aq, &intake, events)
+    }
+
+    #[test]
+    fn simple_sequence_counts() {
+        let q = aq("PATTERN IBM; Sun WITHIN 100");
+        let events = vec![
+            stock(1, 0, "IBM", 1.0, 1),
+            stock(2, 1, "Sun", 1.0, 1),
+            stock(3, 2, "IBM", 1.0, 1),
+            stock(4, 3, "Sun", 1.0, 1),
+        ];
+        // (1,2), (1,4), (3,4).
+        assert_eq!(sigs(&q, &events).len(), 3);
+    }
+
+    #[test]
+    fn window_excludes_long_spans() {
+        let q = aq("PATTERN IBM; Sun WITHIN 5");
+        let events = vec![stock(1, 0, "IBM", 1.0, 1), stock(10, 1, "Sun", 1.0, 1)];
+        assert!(sigs(&q, &events).is_empty());
+    }
+
+    #[test]
+    fn negation_blocks_interleaved() {
+        let q = aq("PATTERN IBM; !Sun; Oracle WITHIN 100");
+        let events = vec![
+            stock(1, 0, "IBM", 1.0, 1),
+            stock(2, 1, "Sun", 1.0, 1),
+            stock(3, 2, "Oracle", 1.0, 1),
+            stock(4, 3, "IBM", 1.0, 1),
+            stock(5, 4, "Oracle", 1.0, 1),
+        ];
+        // (1,3) negated by Sun@2; (1,5) negated; (4,5) clean; (4,3) invalid order.
+        let s = sigs(&q, &events);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn negation_with_predicate_only_blocks_qualifying() {
+        // Sun only negates when its price is below 10.
+        let q = aq("PATTERN IBM; !Sun; Oracle WHERE Sun.price < 10 WITHIN 100");
+        let events = vec![
+            stock(1, 0, "IBM", 1.0, 1),
+            stock(2, 1, "Sun", 50.0, 1), // does not qualify
+            stock(3, 2, "Oracle", 1.0, 1),
+        ];
+        assert_eq!(sigs(&q, &events).len(), 1);
+    }
+
+    #[test]
+    fn conjunction_is_order_free() {
+        let q = aq("PATTERN IBM & Sun WITHIN 100");
+        let events = vec![stock(1, 0, "Sun", 1.0, 1), stock(2, 1, "IBM", 1.0, 1)];
+        assert_eq!(sigs(&q, &events).len(), 1);
+    }
+
+    #[test]
+    fn disjunction_unions() {
+        let q = aq("PATTERN IBM | Sun WITHIN 100");
+        let events = vec![
+            stock(1, 0, "Sun", 1.0, 1),
+            stock(2, 1, "IBM", 1.0, 1),
+            stock(3, 2, "Oracle", 1.0, 1),
+        ];
+        assert_eq!(sigs(&q, &events).len(), 2);
+    }
+
+    #[test]
+    fn counted_closure_windows() {
+        let q = aq("PATTERN IBM; Sun^2; Oracle WITHIN 100");
+        let events = vec![
+            stock(1, 0, "IBM", 1.0, 1),
+            stock(2, 1, "Sun", 1.0, 1),
+            stock(3, 2, "Sun", 1.0, 1),
+            stock(4, 3, "Sun", 1.0, 1),
+            stock(5, 4, "Oracle", 1.0, 1),
+        ];
+        // Groups (2,3) and (3,4) — Figure 6 of the paper.
+        assert_eq!(sigs(&q, &events).len(), 2);
+    }
+
+    #[test]
+    fn star_closure_allows_empty_group() {
+        let q = aq("PATTERN IBM; Sun*; Oracle WITHIN 100");
+        let events = vec![stock(1, 0, "IBM", 1.0, 1), stock(2, 1, "Oracle", 1.0, 1)];
+        assert_eq!(sigs(&q, &events).len(), 1);
+        let q = aq("PATTERN IBM; Sun+; Oracle WITHIN 100");
+        assert!(sigs(&q, &events).is_empty());
+    }
+
+    #[test]
+    fn kleene_aggregate_filters_groups() {
+        let q = aq(
+            "PATTERN IBM; Sun^2; Oracle WHERE sum(Sun.volume) > 25 WITHIN 100",
+        );
+        let events = vec![
+            stock(1, 0, "IBM", 1.0, 1),
+            stock(2, 1, "Sun", 1.0, 10),
+            stock(3, 2, "Sun", 1.0, 10),
+            stock(4, 3, "Sun", 1.0, 20),
+            stock(5, 4, "Oracle", 1.0, 1),
+        ];
+        // Groups: (10,10)=20 fails; (10,20)=30 passes.
+        assert_eq!(sigs(&q, &events).len(), 1);
+    }
+}

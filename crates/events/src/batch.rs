@@ -1,0 +1,99 @@
+//! Batching of time-ordered event streams.
+//!
+//! §4.3: *"A batch of primitive events is read into leaf buffers with the
+//! predefined batch size."* The engine consumes events batch-by-batch;
+//! [`Batcher`] slices a pre-recorded, time-ordered event vector into batches
+//! and verifies the time-order assumption as it goes.
+
+use crate::time::Ts;
+use crate::EventRef;
+
+/// Iterator adapter yielding fixed-size batches from a time-ordered stream.
+///
+/// The paper assumes primitive events stream into leaf buffers in time order;
+/// `Batcher` debug-asserts this and exposes the high-water mark it has seen.
+#[derive(Debug)]
+pub struct Batcher {
+    events: Vec<EventRef>,
+    pos: usize,
+    batch_size: usize,
+    last_ts: Option<Ts>,
+}
+
+impl Batcher {
+    /// Creates a batcher over `events` with the given batch size (≥ 1).
+    pub fn new(events: Vec<EventRef>, batch_size: usize) -> Batcher {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        Batcher { events, pos: 0, batch_size, last_ts: None }
+    }
+
+    /// Number of events not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.pos
+    }
+
+    /// Latest timestamp yielded so far.
+    pub fn high_water_mark(&self) -> Option<Ts> {
+        self.last_ts
+    }
+
+    /// Yields the next batch as a slice, or `None` when exhausted.
+    pub fn next_batch(&mut self) -> Option<&[EventRef]> {
+        if self.pos >= self.events.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.events.len());
+        let batch = &self.events[self.pos..end];
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].ts() <= w[1].ts())
+                && self.last_ts.is_none_or(|t| t <= batch[0].ts()),
+            "input stream must be time-ordered"
+        );
+        self.last_ts = Some(batch[batch.len() - 1].ts());
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::stock;
+
+    fn ordered(n: u64) -> Vec<EventRef> {
+        (0..n).map(|t| stock(t, t as i64, "IBM", 1.0, 1)).collect()
+    }
+
+    #[test]
+    fn yields_fixed_batches_then_remainder() {
+        let mut b = Batcher::new(ordered(7), 3);
+        assert_eq!(b.next_batch().unwrap().len(), 3);
+        assert_eq!(b.next_batch().unwrap().len(), 3);
+        assert_eq!(b.next_batch().unwrap().len(), 1);
+        assert!(b.next_batch().is_none());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn tracks_high_water_mark() {
+        let mut b = Batcher::new(ordered(5), 2);
+        assert_eq!(b.high_water_mark(), None);
+        b.next_batch();
+        assert_eq!(b.high_water_mark(), Some(1));
+        b.next_batch();
+        b.next_batch();
+        assert_eq!(b.high_water_mark(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn rejects_zero_batch() {
+        Batcher::new(vec![], 0);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let mut b = Batcher::new(vec![], 4);
+        assert!(b.next_batch().is_none());
+    }
+}

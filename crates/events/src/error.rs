@@ -1,0 +1,86 @@
+//! Errors produced by the event model.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// Errors raised by value coercion, schema construction and event assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventError {
+    /// A value of one type was used where another was required.
+    TypeMismatch {
+        /// The type required by the operation.
+        expected: ValueType,
+        /// The type actually found.
+        found: ValueType,
+    },
+    /// Two values of types that cannot be ordered were compared.
+    Incomparable {
+        /// Left operand type.
+        left: ValueType,
+        /// Right operand type.
+        right: ValueType,
+    },
+    /// Integer division by zero.
+    DivisionByZero,
+    /// A field name was not found in a schema.
+    UnknownField(String),
+    /// A schema declared the same field name twice.
+    DuplicateField(String),
+    /// An event was built with the wrong number of values for its schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values provided.
+        found: usize,
+    },
+    /// An event value did not match the schema's declared field type.
+    FieldTypeMismatch {
+        /// Field name.
+        field: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Provided type.
+        found: ValueType,
+    },
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            EventError::Incomparable { left, right } => {
+                write!(f, "cannot compare {left} with {right}")
+            }
+            EventError::DivisionByZero => write!(f, "integer division by zero"),
+            EventError::UnknownField(name) => write!(f, "unknown field '{name}'"),
+            EventError::DuplicateField(name) => write!(f, "duplicate field '{name}'"),
+            EventError::ArityMismatch { expected, found } => {
+                write!(f, "schema has {expected} fields but {found} values were given")
+            }
+            EventError::FieldTypeMismatch { field, expected, found } => {
+                write!(f, "field '{field}' expects {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EventError::FieldTypeMismatch {
+            field: "price".into(),
+            expected: ValueType::Float,
+            found: ValueType::Str,
+        };
+        let s = e.to_string();
+        assert!(s.contains("price") && s.contains("float") && s.contains("string"));
+    }
+}

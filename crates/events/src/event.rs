@@ -1,0 +1,192 @@
+//! Primitive events.
+//!
+//! A primitive event is a single occurrence of interest that cannot be split
+//! into smaller events (§3). It carries one timestamp (start == end) and a
+//! row of attribute values conforming to a [`Schema`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::EventError;
+use crate::schema::Schema;
+use crate::time::Ts;
+use crate::value::Value;
+use crate::EventRef;
+
+/// An immutable primitive event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    schema: Arc<Schema>,
+    ts: Ts,
+    values: Box<[Value]>,
+}
+
+impl Event {
+    /// Builds an event, validating arity and field types against the schema.
+    pub fn new(schema: Arc<Schema>, ts: Ts, values: Vec<Value>) -> Result<Event, EventError> {
+        if values.len() != schema.arity() {
+            return Err(EventError::ArityMismatch {
+                expected: schema.arity(),
+                found: values.len(),
+            });
+        }
+        for (field, value) in schema.fields().iter().zip(&values) {
+            if field.ty != value.value_type() {
+                return Err(EventError::FieldTypeMismatch {
+                    field: field.name.clone(),
+                    expected: field.ty,
+                    found: value.value_type(),
+                });
+            }
+        }
+        Ok(Event { schema, ts, values: values.into_boxed_slice() })
+    }
+
+    /// Starts a builder for ergonomic construction in tests and generators.
+    pub fn builder(schema: Arc<Schema>, ts: Ts) -> EventBuilder {
+        EventBuilder { schema, ts, values: Vec::new() }
+    }
+
+    /// The event's timestamp (start and end coincide for primitive events).
+    #[inline]
+    pub fn ts(&self) -> Ts {
+        self.ts
+    }
+
+    /// The schema this event conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Value of the field at `index` (panics if out of bounds; indexes come
+    /// from compiled predicates which are validated at plan build time).
+    #[inline]
+    pub fn value(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// Value of the named field.
+    pub fn value_by_name(&self, name: &str) -> Result<&Value, EventError> {
+        Ok(&self.values[self.schema.field_index(name)?])
+    }
+
+    /// All values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the logical memory
+    /// accounting that reproduces Tables 3 and 5.
+    pub fn footprint(&self) -> usize {
+        std::mem::size_of::<Event>()
+            + self.values.len() * std::mem::size_of::<Value>()
+            + self
+                .values
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}[", self.schema.name(), self.ts)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Incremental [`Event`] constructor; values are appended in schema order.
+#[derive(Debug)]
+pub struct EventBuilder {
+    schema: Arc<Schema>,
+    ts: Ts,
+    values: Vec<Value>,
+}
+
+impl EventBuilder {
+    /// Appends the next field value.
+    pub fn value(mut self, v: impl Into<Value>) -> Self {
+        self.values.push(v.into());
+        self
+    }
+
+    /// Finishes and validates the event.
+    pub fn build(self) -> Result<Event, EventError> {
+        Event::new(self.schema, self.ts, self.values)
+    }
+
+    /// Finishes, validates, and wraps the event in an [`Arc`].
+    pub fn build_ref(self) -> Result<EventRef, EventError> {
+        self.build().map(Arc::new)
+    }
+}
+
+/// Convenience constructor for stock-trade events used across tests,
+/// examples and benchmarks: `(id, name, price, volume)` at time `ts`.
+pub fn stock(ts: Ts, id: i64, name: &str, price: f64, volume: i64) -> EventRef {
+    Event::builder(Schema::stocks(), ts)
+        .value(id)
+        .value(name)
+        .value(price)
+        .value(volume)
+        .build_ref()
+        .expect("stock schema constructor is well-typed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    #[test]
+    fn builds_valid_event() {
+        let e = stock(5, 1, "IBM", 101.5, 300);
+        assert_eq!(e.ts(), 5);
+        assert_eq!(e.value_by_name("name").unwrap().as_str().unwrap(), "IBM");
+        assert_eq!(e.value(2).as_f64().unwrap(), 101.5);
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = Event::new(Schema::stocks(), 0, vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, EventError::ArityMismatch { expected: 4, found: 1 }));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let err = Event::builder(Schema::stocks(), 0)
+            .value(1i64)
+            .value("IBM")
+            .value("not-a-price")
+            .value(10i64)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EventError::FieldTypeMismatch { expected: ValueType::Float, .. }
+        ));
+    }
+
+    #[test]
+    fn footprint_counts_strings() {
+        let short = stock(0, 1, "A", 1.0, 1);
+        let long = stock(0, 1, "A-very-long-stock-name", 1.0, 1);
+        assert!(long.footprint() > short.footprint());
+    }
+
+    #[test]
+    fn display_contains_schema_and_ts() {
+        let e = stock(7, 2, "Sun", 9.0, 50);
+        let s = e.to_string();
+        assert!(s.starts_with("Stocks@7[") && s.contains("'Sun'"));
+    }
+}

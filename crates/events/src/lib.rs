@@ -1,0 +1,42 @@
+//! Event model for ZStream.
+//!
+//! This crate provides the substrate data types of the ZStream composite event
+//! processing system (Mei & Madden, SIGMOD 2009):
+//!
+//! * [`Ts`] — logical timestamps; every event carries a start and an end
+//!   timestamp (equal for primitive events, §3 of the paper),
+//! * [`Value`] / [`ValueType`] — dynamically typed attribute values,
+//! * [`Schema`] — named, typed attribute layouts for primitive events,
+//! * [`Event`] — a primitive event: one timestamp plus a row of values,
+//! * [`Record`] / [`Slot`] — the buffer record of §4.2: a vector of event
+//!   pointers plus a start time and an end time. Composite events produced by
+//!   operators are `Record`s; `Slot::Many` holds Kleene-closure groups and
+//!   `Slot::None` represents the `(NULL, Rr)` rows emitted by NSEQ,
+//! * [`Batcher`] — splits an ordered event stream into fixed-size batches for
+//!   the batch-iterator model of §4.3.
+
+mod batch;
+mod error;
+mod event;
+mod record;
+mod reorder;
+mod schema;
+mod time;
+mod value;
+
+pub use batch::Batcher;
+pub use error::EventError;
+pub use event::{stock, Event, EventBuilder};
+pub use record::{Record, Slot};
+pub use reorder::{ReorderBuffer, ReorderOutcome};
+pub use schema::{Field, Schema, SchemaBuilder};
+pub use time::{span_within, Ts};
+pub use value::{HashableValue, Value, ValueType};
+
+use std::sync::Arc;
+
+/// Shared pointer to an immutable primitive event.
+///
+/// Events are produced once by a source and then referenced from many buffer
+/// records, so they are always handled through an [`Arc`].
+pub type EventRef = Arc<Event>;

@@ -1,0 +1,160 @@
+//! Reordering of slightly-disordered streams.
+//!
+//! §4.1 of the paper: *"ZStream assumes that primitive events from data
+//! sources continuously stream into leaf buffers in time order. If disorder
+//! is a problem, a reordering operator may be placed just after the leaf
+//! buffer."* [`ReorderBuffer`] is that operator: it holds back events inside
+//! a bounded *slack* window and releases them in timestamp order. An event
+//! arriving more than `slack` time units behind the stream's high-water mark
+//! cannot be ordered anymore and is reported as late.
+
+use std::collections::BTreeMap;
+
+use crate::time::Ts;
+use crate::EventRef;
+
+/// Outcome of offering one event to the reorder buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReorderOutcome {
+    /// The event was accepted; zero or more events became releasable.
+    Accepted,
+    /// The event arrived beyond the slack window and was rejected; the
+    /// caller decides whether to drop it or fail.
+    TooLate,
+}
+
+/// Buffers out-of-order events and emits them in timestamp order, tolerating
+/// disorder up to a fixed slack.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    slack: Ts,
+    /// Pending events keyed by (ts, arrival tiebreak) so equal timestamps
+    /// release in arrival order.
+    pending: BTreeMap<(Ts, u64), EventRef>,
+    arrivals: u64,
+    high_water: Ts,
+    late: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer tolerating disorder up to `slack` time units.
+    pub fn new(slack: Ts) -> ReorderBuffer {
+        ReorderBuffer { slack, pending: BTreeMap::new(), arrivals: 0, high_water: 0, late: 0 }
+    }
+
+    /// Offers one event; releasable events (timestamp at or below the new
+    /// high-water mark minus slack) are appended to `out` in order.
+    pub fn offer(&mut self, event: EventRef, out: &mut Vec<EventRef>) -> ReorderOutcome {
+        let ts = event.ts();
+        if ts + self.slack < self.high_water {
+            self.late += 1;
+            return ReorderOutcome::TooLate;
+        }
+        self.high_water = self.high_water.max(ts);
+        self.arrivals += 1;
+        self.pending.insert((ts, self.arrivals), event);
+        let release_upto = self.high_water.saturating_sub(self.slack);
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.key().0 <= release_upto {
+                out.push(entry.remove());
+            } else {
+                break;
+            }
+        }
+        ReorderOutcome::Accepted
+    }
+
+    /// Releases everything still pending, in order (end of stream).
+    pub fn flush(&mut self, out: &mut Vec<EventRef>) {
+        while let Some(entry) = self.pending.first_entry() {
+            out.push(entry.remove());
+        }
+    }
+
+    /// Events currently held back.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Events rejected as too late so far.
+    pub fn late_count(&self) -> u64 {
+        self.late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::stock;
+
+    fn drain(rb: &mut ReorderBuffer, events: Vec<EventRef>) -> (Vec<EventRef>, u64) {
+        let mut out = Vec::new();
+        for e in events {
+            rb.offer(e, &mut out);
+        }
+        rb.flush(&mut out);
+        (out, rb.late_count())
+    }
+
+    #[test]
+    fn reorders_within_slack() {
+        let mut rb = ReorderBuffer::new(5);
+        let events = vec![
+            stock(3, 0, "A", 1.0, 1),
+            stock(1, 1, "A", 1.0, 1), // 2 behind: within slack
+            stock(7, 2, "A", 1.0, 1),
+            stock(5, 3, "A", 1.0, 1),
+            stock(12, 4, "A", 1.0, 1),
+        ];
+        let (out, late) = drain(&mut rb, events);
+        let ts: Vec<_> = out.iter().map(|e| e.ts()).collect();
+        assert_eq!(ts, vec![1, 3, 5, 7, 12]);
+        assert_eq!(late, 0);
+    }
+
+    #[test]
+    fn rejects_events_beyond_slack() {
+        let mut rb = ReorderBuffer::new(3);
+        let mut out = Vec::new();
+        rb.offer(stock(10, 0, "A", 1.0, 1), &mut out);
+        assert_eq!(rb.offer(stock(2, 1, "A", 1.0, 1), &mut out), ReorderOutcome::TooLate);
+        assert_eq!(rb.late_count(), 1);
+        // An event exactly at the slack boundary is still accepted.
+        assert_eq!(rb.offer(stock(7, 2, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+    }
+
+    #[test]
+    fn releases_eagerly_as_watermark_advances() {
+        let mut rb = ReorderBuffer::new(2);
+        let mut out = Vec::new();
+        rb.offer(stock(1, 0, "A", 1.0, 1), &mut out);
+        rb.offer(stock(2, 1, "A", 1.0, 1), &mut out);
+        assert!(out.is_empty(), "nothing releasable before watermark advances");
+        rb.offer(stock(6, 2, "A", 1.0, 1), &mut out);
+        let ts: Vec<_> = out.iter().map(|e| e.ts()).collect();
+        assert_eq!(ts, vec![1, 2], "events at or below 6-2=4 release");
+        assert_eq!(rb.pending_len(), 1);
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        let mut rb = ReorderBuffer::new(1);
+        let a = stock(5, 10, "A", 1.0, 1);
+        let b = stock(5, 20, "A", 2.0, 1);
+        let mut out = Vec::new();
+        rb.offer(a, &mut out);
+        rb.offer(b, &mut out);
+        rb.flush(&mut out);
+        assert_eq!(out[0].value(0).as_i64().unwrap(), 10);
+        assert_eq!(out[1].value(0).as_i64().unwrap(), 20);
+    }
+
+    #[test]
+    fn zero_slack_passes_ordered_streams_through() {
+        let mut rb = ReorderBuffer::new(0);
+        let events: Vec<_> = (1..6).map(|t| stock(t, t as i64, "A", 1.0, 1)).collect();
+        let (out, late) = drain(&mut rb, events);
+        assert_eq!(out.len(), 5);
+        assert_eq!(late, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Logical time.
+//!
+//! ZStream reasons about time through per-event timestamps and a per-query
+//! time window (`WITHIN`). All benchmarks in the paper use abstract "units"
+//! or seconds over synthetic data, so a logical `u64` clock is sufficient and
+//! keeps arithmetic exact.
+
+/// A logical timestamp. Primitive events have `start == end == ts`; composite
+/// events span `[start, end]` where `start`/`end` are the timestamps of the
+/// earliest and latest constituent primitive events (§3).
+pub type Ts = u64;
+
+/// Returns true when a composite event spanning `[start, end]` fits inside a
+/// time window of length `window`.
+///
+/// The paper requires the *total duration* of a composite event to be less
+/// than or equal to the `WITHIN` bound (§3: "composite events have a total
+/// duration less than the time bound"), i.e. `end - start <= window`.
+#[inline]
+pub fn span_within(start: Ts, end: Ts, window: Ts) -> bool {
+    debug_assert!(start <= end, "event span must be ordered: {start} > {end}");
+    end - start <= window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_within_is_inclusive() {
+        assert!(span_within(0, 10, 10));
+        assert!(span_within(5, 5, 0));
+        assert!(!span_within(0, 11, 10));
+    }
+
+    #[test]
+    fn span_within_handles_large_values() {
+        assert!(span_within(u64::MAX - 1, u64::MAX, 1));
+        assert!(!span_within(u64::MAX - 2, u64::MAX, 1));
+    }
+}

@@ -1,0 +1,318 @@
+//! Dynamically typed attribute values.
+//!
+//! Predicates in the query language compare and combine attributes of
+//! different events (`T1.price > (1 + x%) * T2.price`), so values support
+//! numeric coercion between integers and floats, ordered comparison, and a
+//! hashable form used by the equality-predicate hash tables of §5.2.2.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::EventError;
+
+/// The type of a [`Value`]. Schemas declare one per field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Immutable shared string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "int"),
+            ValueType::Float => write!(f, "float"),
+            ValueType::Str => write!(f, "string"),
+            ValueType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A dynamically typed attribute value carried by an [`crate::Event`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Immutable shared string (cheap to clone).
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Creates a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// Numeric view of the value, coercing integers to floats.
+    pub fn as_f64(&self) -> Result<f64, EventError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(EventError::TypeMismatch {
+                expected: ValueType::Float,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Integer view of the value.
+    pub fn as_i64(&self) -> Result<i64, EventError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(EventError::TypeMismatch {
+                expected: ValueType::Int,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Boolean view of the value.
+    pub fn as_bool(&self) -> Result<bool, EventError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EventError::TypeMismatch {
+                expected: ValueType::Bool,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Result<&str, EventError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(EventError::TypeMismatch {
+                expected: ValueType::Str,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Ordered comparison with numeric coercion (int vs float compares
+    /// numerically; floats use IEEE total order so NaN is well defined).
+    /// Returns an error for incomparable types (e.g. string vs int).
+    pub fn compare(&self, other: &Value) -> Result<Ordering, EventError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Ok(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Ok((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Ok(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Ok(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            (a, b) => Err(EventError::Incomparable {
+                left: a.value_type(),
+                right: b.value_type(),
+            }),
+        }
+    }
+
+    /// Equality as used by query predicates: numeric coercion, otherwise
+    /// same-type equality. Incomparable types are simply unequal.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        matches!(self.compare(other), Ok(Ordering::Equal))
+    }
+
+    /// Arithmetic addition with numeric coercion.
+    pub fn add(&self, other: &Value) -> Result<Value, EventError> {
+        numeric_binop(self, other, |a, b| a.wrapping_add(b), |a, b| a + b)
+    }
+
+    /// Arithmetic subtraction with numeric coercion.
+    pub fn sub(&self, other: &Value) -> Result<Value, EventError> {
+        numeric_binop(self, other, |a, b| a.wrapping_sub(b), |a, b| a - b)
+    }
+
+    /// Arithmetic multiplication with numeric coercion.
+    pub fn mul(&self, other: &Value) -> Result<Value, EventError> {
+        numeric_binop(self, other, |a, b| a.wrapping_mul(b), |a, b| a * b)
+    }
+
+    /// Arithmetic division; integer division by zero is an error, float
+    /// division follows IEEE semantics.
+    pub fn div(&self, other: &Value) -> Result<Value, EventError> {
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => Err(EventError::DivisionByZero),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(*b))),
+            _ => Ok(Value::Float(self.as_f64()? / other.as_f64()?)),
+        }
+    }
+
+    /// A hashable key form of this value, used for hash partitioning and the
+    /// equality-predicate hash tables of §5.2.2. Integers and floats with the
+    /// same numeric value map to the same key.
+    pub fn hash_key(&self) -> HashableValue {
+        match self {
+            Value::Int(i) => HashableValue::Num((*i as f64).to_bits()),
+            Value::Float(f) => HashableValue::Num(f.to_bits()),
+            Value::Str(s) => HashableValue::Str(Arc::clone(s)),
+            Value::Bool(b) => HashableValue::Bool(*b),
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    int_op: fn(i64, i64) -> i64,
+    float_op: fn(f64, f64) -> f64,
+) -> Result<Value, EventError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(int_op(*x, *y))),
+        _ => Ok(Value::Float(float_op(a.as_f64()?, b.as_f64()?))),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.loose_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Hashable, totally equatable form of a [`Value`], suitable as a `HashMap`
+/// key. Floats are keyed by bit pattern of their `f64` form (after coercing
+/// integers), so `Int(2)` and `Float(2.0)` collide as intended for equality
+/// predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HashableValue {
+    /// Numeric key: the IEEE-754 bit pattern of the value as `f64`.
+    Num(u64),
+    /// String key.
+    Str(Arc<str>),
+    /// Boolean key.
+    Bool(bool),
+}
+
+impl HashableValue {
+    /// A stable 64-bit digest used by tests and partitioners.
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert_eq!(Value::Int(3).compare(&Value::Float(3.0)).unwrap(), Ordering::Equal);
+        assert_eq!(Value::Float(2.5).compare(&Value::Int(3)).unwrap(), Ordering::Less);
+        assert_eq!(Value::Int(4).compare(&Value::Float(3.5)).unwrap(), Ordering::Greater);
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(Value::str("IBM").compare(&Value::str("Sun")).unwrap(), Ordering::Less);
+        assert!(Value::str("IBM").loose_eq(&Value::str("IBM")));
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        assert!(Value::Int(1).compare(&Value::str("x")).is_err());
+        assert!(!Value::Int(1).loose_eq(&Value::str("x")));
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn integer_division_by_zero_errors() {
+        assert!(matches!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(EventError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn float_division_by_zero_is_ieee() {
+        let v = Value::Float(1.0).div(&Value::Float(0.0)).unwrap();
+        assert!(matches!(v, Value::Float(f) if f.is_infinite()));
+    }
+
+    #[test]
+    fn hash_keys_coerce_numerics() {
+        assert_eq!(Value::Int(2).hash_key(), Value::Float(2.0).hash_key());
+        assert_ne!(Value::Int(2).hash_key(), Value::Int(3).hash_key());
+        assert_eq!(Value::str("a").hash_key(), Value::str("a").hash_key());
+    }
+
+    #[test]
+    fn value_type_reporting() {
+        assert_eq!(Value::Int(1).value_type(), ValueType::Int);
+        assert_eq!(Value::str("s").value_type(), ValueType::Str);
+        assert_eq!(Value::Bool(true).value_type(), ValueType::Bool);
+        assert_eq!(Value::Float(0.0).value_type(), ValueType::Float);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(7).as_i64().unwrap(), 7);
+        assert!(Value::str("x").as_i64().is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert_eq!(Value::str("x").as_str().unwrap(), "x");
+        assert_eq!(Value::Int(7).as_f64().unwrap(), 7.0);
+    }
+}

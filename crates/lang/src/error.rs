@@ -1,0 +1,89 @@
+//! Language errors: lexing, parsing and semantic analysis.
+
+use std::fmt;
+
+use zstream_events::{EventError, ValueType};
+
+/// Errors raised by the query front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// An unexpected character in the input.
+    UnexpectedChar { ch: char, pos: usize },
+    /// A string literal without a closing quote.
+    UnterminatedString { pos: usize },
+    /// A malformed numeric literal.
+    BadNumber { text: String, pos: usize },
+    /// The parser expected something else here.
+    Expected { what: String, found: String, pos: usize },
+    /// Trailing input after a complete query.
+    TrailingInput { pos: usize },
+    /// A pattern with no event classes.
+    EmptyPattern,
+    /// The same class name was bound twice in one pattern.
+    DuplicateClass(String),
+    /// A WHERE/RETURN clause referenced a class not in the pattern.
+    UnknownClass(String),
+    /// Negation used in an unsupported position (alone, under closure or
+    /// disjunction — §4.4.2 of the paper).
+    InvalidNegation(String),
+    /// Kleene closure used in an unsupported position.
+    InvalidKleene(String),
+    /// An aggregate over a class that is not a Kleene closure.
+    AggregateOverNonClosure(String),
+    /// A type error in a predicate expression.
+    TypeError { context: String, expected: ValueType, found: ValueType },
+    /// Two incomparable types compared in a predicate.
+    IncomparableTypes { left: ValueType, right: ValueType },
+    /// An error bubbled up from the event model (unknown field etc.).
+    Event(EventError),
+    /// A zero closure count (`T^0`) which can never match.
+    ZeroClosureCount,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character '{ch}' at offset {pos}")
+            }
+            LangError::UnterminatedString { pos } => {
+                write!(f, "unterminated string literal starting at offset {pos}")
+            }
+            LangError::BadNumber { text, pos } => {
+                write!(f, "malformed number '{text}' at offset {pos}")
+            }
+            LangError::Expected { what, found, pos } => {
+                write!(f, "expected {what} but found {found} at offset {pos}")
+            }
+            LangError::TrailingInput { pos } => {
+                write!(f, "unexpected trailing input at offset {pos}")
+            }
+            LangError::EmptyPattern => write!(f, "pattern contains no event classes"),
+            LangError::DuplicateClass(c) => {
+                write!(f, "class '{c}' is bound more than once in the pattern")
+            }
+            LangError::UnknownClass(c) => write!(f, "unknown event class '{c}'"),
+            LangError::InvalidNegation(why) => write!(f, "invalid negation: {why}"),
+            LangError::InvalidKleene(why) => write!(f, "invalid Kleene closure: {why}"),
+            LangError::AggregateOverNonClosure(c) => {
+                write!(f, "aggregate over '{c}' which is not a Kleene closure class")
+            }
+            LangError::TypeError { context, expected, found } => {
+                write!(f, "type error in {context}: expected {expected}, found {found}")
+            }
+            LangError::IncomparableTypes { left, right } => {
+                write!(f, "cannot compare {left} with {right}")
+            }
+            LangError::Event(e) => write!(f, "{e}"),
+            LangError::ZeroClosureCount => write!(f, "closure count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<EventError> for LangError {
+    fn from(e: EventError) -> Self {
+        LangError::Event(e)
+    }
+}

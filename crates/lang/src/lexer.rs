@@ -1,0 +1,333 @@
+//! Hand-written lexer for the query language.
+
+use crate::error::LangError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `PATTERN`
+    Pattern,
+    /// `WHERE`
+    Where,
+    /// `WITHIN`
+    Within,
+    /// `RETURN`
+    Return,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// Identifier (class names, field names, time units, aggregate names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single-quoted).
+    Str(String),
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `*`
+    StarTok,
+    /// `+`
+    PlusTok,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Float(x) => format!("number {x}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("'{other:?}'"),
+        }
+    }
+}
+
+/// Lexes `src` into a token vector terminated by [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            ';' => push1(&mut tokens, TokenKind::Semi, &mut i, pos),
+            ',' => push1(&mut tokens, TokenKind::Comma, &mut i, pos),
+            '.' => push1(&mut tokens, TokenKind::Dot, &mut i, pos),
+            '(' => push1(&mut tokens, TokenKind::LParen, &mut i, pos),
+            ')' => push1(&mut tokens, TokenKind::RParen, &mut i, pos),
+            '&' => push1(&mut tokens, TokenKind::Amp, &mut i, pos),
+            '|' => push1(&mut tokens, TokenKind::Pipe, &mut i, pos),
+            '*' => push1(&mut tokens, TokenKind::StarTok, &mut i, pos),
+            '+' => push1(&mut tokens, TokenKind::PlusTok, &mut i, pos),
+            '-' => push1(&mut tokens, TokenKind::Minus, &mut i, pos),
+            '/' => push1(&mut tokens, TokenKind::Slash, &mut i, pos),
+            '^' => push1(&mut tokens, TokenKind::Caret, &mut i, pos),
+            '%' => push1(&mut tokens, TokenKind::Percent, &mut i, pos),
+            '=' => push1(&mut tokens, TokenKind::Eq, &mut i, pos),
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    push1(&mut tokens, TokenKind::Bang, &mut i, pos);
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                }
+                _ => push1(&mut tokens, TokenKind::Lt, &mut i, pos),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    push1(&mut tokens, TokenKind::Gt, &mut i, pos);
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LangError::UnterminatedString { pos });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(src[start..j].to_string()),
+                    pos,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                // A '.' is part of the number only if followed by a digit, so
+                // `1.price` never arises (field access is on identifiers only).
+                if j + 1 < bytes.len()
+                    && bytes[j] == b'.'
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &src[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LangError::BadNumber {
+                        text: text.to_string(),
+                        pos,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LangError::BadNumber {
+                        text: text.to_string(),
+                        pos,
+                    })?)
+                };
+                tokens.push(Token { kind, pos });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let c = bytes[j] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..j];
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "PATTERN" => TokenKind::Pattern,
+                    "WHERE" => TokenKind::Where,
+                    "WITHIN" => TokenKind::Within,
+                    "RETURN" => TokenKind::Return,
+                    "AND" => TokenKind::And,
+                    "OR" => TokenKind::Or,
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, pos });
+                i = j;
+            }
+            other => return Err(LangError::UnexpectedChar { ch: other, pos }),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: src.len() });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize, pos: usize) {
+    tokens.push(Token { kind, pos });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_pattern_clause() {
+        assert_eq!(
+            kinds("PATTERN T1; !T2 & T3"),
+            vec![
+                TokenKind::Pattern,
+                TokenKind::Ident("T1".into()),
+                TokenKind::Semi,
+                TokenKind::Bang,
+                TokenKind::Ident("T2".into()),
+                TokenKind::Amp,
+                TokenKind::Ident("T3".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("pattern Where wIthIn")[..3], [
+            TokenKind::Pattern,
+            TokenKind::Where,
+            TokenKind::Within
+        ]);
+    }
+
+    #[test]
+    fn lexes_numbers_and_percent() {
+        assert_eq!(
+            kinds("1.05 20% 7"),
+            vec![
+                TokenKind::Float(1.05),
+                TokenKind::Int(20),
+                TokenKind::Percent,
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings() {
+        assert_eq!(
+            kinds("'Google'"),
+            vec![TokenKind::Str("Google".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(LangError::UnterminatedString { pos: 0 })));
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(matches!(lex("a @ b"), Err(LangError::UnexpectedChar { ch: '@', .. })));
+    }
+
+    #[test]
+    fn dot_only_joins_digits() {
+        // `T2.volume` stays ident-dot-ident.
+        assert_eq!(
+            kinds("T2.volume"),
+            vec![
+                TokenKind::Ident("T2".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("volume".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,590 @@
+//! Recursive-descent parser.
+//!
+//! Pattern grammar (loosest to tightest binding):
+//!
+//! ```text
+//! pattern := disj (';' disj)*           -- sequence
+//! disj    := conj ('|' conj)*
+//! conj    := unary ('&' unary)*
+//! unary   := '!' unary | postfix
+//! postfix := primary ('*' | '+' | '^' INT)?
+//! primary := IDENT | '(' pattern ')'
+//! ```
+//!
+//! Predicate grammar is conventional; chained comparisons such as
+//! `T1.name = T2.name = T3.name` (Query 2 of the paper) desugar into a
+//! conjunction of pairwise comparisons.
+
+use zstream_events::Value;
+
+use crate::ast::{AggFunc, BinOp, Expr, KleeneKind, PatternExpr, Query, ReturnItem, UnaryOp};
+use crate::error::LangError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a complete query string.
+pub fn parse_query(src: &str) -> Result<Query, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect(&TokenKind::Pattern, "PATTERN")?;
+    let pattern = p.parse_pattern()?;
+    let where_clause = if p.eat(&TokenKind::Where) {
+        Some(p.parse_expr()?)
+    } else {
+        None
+    };
+    p.expect(&TokenKind::Within, "WITHIN")?;
+    let within = p.parse_duration()?;
+    let returns = if p.eat(&TokenKind::Return) {
+        p.parse_returns()?
+    } else {
+        Vec::new()
+    };
+    if !matches!(p.peek().kind, TokenKind::Eof) {
+        return Err(LangError::TrailingInput { pos: p.peek().pos });
+    }
+    Ok(Query { pattern, where_clause, within, returns })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err_expected(what))
+        }
+    }
+
+    fn err_expected(&self, what: &str) -> LangError {
+        LangError::Expected {
+            what: what.to_string(),
+            found: self.peek().kind.describe(),
+            pos: self.peek().pos,
+        }
+    }
+
+    // ---- pattern clause -------------------------------------------------
+
+    fn parse_pattern(&mut self) -> Result<PatternExpr, LangError> {
+        let mut parts = vec![self.parse_disj()?];
+        while self.eat(&TokenKind::Semi) {
+            parts.push(self.parse_disj()?);
+        }
+        Ok(flatten(parts, Connective::Seq))
+    }
+
+    fn parse_disj(&mut self) -> Result<PatternExpr, LangError> {
+        let mut parts = vec![self.parse_conj()?];
+        while self.eat(&TokenKind::Pipe) {
+            parts.push(self.parse_conj()?);
+        }
+        Ok(flatten(parts, Connective::Disj))
+    }
+
+    fn parse_conj(&mut self) -> Result<PatternExpr, LangError> {
+        let mut parts = vec![self.parse_unary_pattern()?];
+        while self.eat(&TokenKind::Amp) {
+            parts.push(self.parse_unary_pattern()?);
+        }
+        Ok(flatten(parts, Connective::Conj))
+    }
+
+    fn parse_unary_pattern(&mut self) -> Result<PatternExpr, LangError> {
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.parse_unary_pattern()?;
+            return Ok(PatternExpr::Neg(Box::new(inner)));
+        }
+        self.parse_postfix_pattern()
+    }
+
+    fn parse_postfix_pattern(&mut self) -> Result<PatternExpr, LangError> {
+        let base = self.parse_primary_pattern()?;
+        match self.peek().kind {
+            TokenKind::StarTok => {
+                self.advance();
+                Ok(PatternExpr::Kleene(Box::new(base), KleeneKind::Star))
+            }
+            TokenKind::PlusTok => {
+                self.advance();
+                Ok(PatternExpr::Kleene(Box::new(base), KleeneKind::Plus))
+            }
+            TokenKind::Caret => {
+                self.advance();
+                match self.advance().kind {
+                    TokenKind::Int(n) if n > 0 => {
+                        Ok(PatternExpr::Kleene(Box::new(base), KleeneKind::Count(n as u32)))
+                    }
+                    TokenKind::Int(_) => Err(LangError::ZeroClosureCount),
+                    _ => Err(self.err_expected("closure count")),
+                }
+            }
+            _ => Ok(base),
+        }
+    }
+
+    fn parse_primary_pattern(&mut self) -> Result<PatternExpr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(PatternExpr::Class(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_pattern()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => Err(self.err_expected("event class or '('")),
+        }
+    }
+
+    // ---- WHERE clause ---------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, LangError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.parse_cmp()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.parse_cmp()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// Comparisons, with chains desugared: `a = b = c` becomes
+    /// `(a = b) AND (b = c)`.
+    fn parse_cmp(&mut self) -> Result<Expr, LangError> {
+        let first = self.parse_additive()?;
+        let mut operands = vec![first];
+        let mut ops = Vec::new();
+        while let Some(op) = self.peek_cmp_op() {
+            self.advance();
+            ops.push(op);
+            operands.push(self.parse_additive()?);
+        }
+        if ops.is_empty() {
+            return Ok(operands.pop().expect("one operand parsed"));
+        }
+        let mut conjuncts = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| {
+                Expr::Binary(op, Box::new(operands[i].clone()), Box::new(operands[i + 1].clone()))
+            })
+            .collect::<Vec<_>>();
+        let mut out = conjuncts.remove(0);
+        for c in conjuncts {
+            out = Expr::Binary(BinOp::And, Box::new(out), Box::new(c));
+        }
+        Ok(out)
+    }
+
+    fn peek_cmp_op(&self) -> Option<BinOp> {
+        match self.peek().kind {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::PlusTok => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.parse_atom()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::StarTok => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_atom()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.advance();
+                if self.eat(&TokenKind::Percent) {
+                    Ok(Expr::Lit(Value::Float(n as f64 / 100.0)))
+                } else {
+                    Ok(Expr::Lit(Value::Int(n)))
+                }
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                if self.eat(&TokenKind::Percent) {
+                    Ok(Expr::Lit(Value::Float(x / 100.0)))
+                } else {
+                    Ok(Expr::Lit(Value::Float(x)))
+                }
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Lit(Value::str(s)))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            TokenKind::Minus => {
+                self.advance();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_atom()?)))
+            }
+            TokenKind::Bang => {
+                self.advance();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.parse_atom()?)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                // Aggregate call: sum(T2.volume)
+                if let Some(func) = AggFunc::from_name(&name) {
+                    if self.eat(&TokenKind::LParen) {
+                        let (class, field) = self.parse_attr_ref()?;
+                        self.expect(&TokenKind::RParen, "')'")?;
+                        return Ok(Expr::Agg { func, class, field });
+                    }
+                }
+                // Attribute reference: T1.price
+                self.expect(&TokenKind::Dot, "'.' after class name")?;
+                match self.advance().kind {
+                    TokenKind::Ident(field) => Ok(Expr::Attr { class: name, field }),
+                    _ => Err(self.err_expected("field name")),
+                }
+            }
+            _ => Err(self.err_expected("expression")),
+        }
+    }
+
+    fn parse_attr_ref(&mut self) -> Result<(String, String), LangError> {
+        let class = match self.advance().kind {
+            TokenKind::Ident(c) => c,
+            _ => return Err(self.err_expected("class name")),
+        };
+        self.expect(&TokenKind::Dot, "'.'")?;
+        let field = match self.advance().kind {
+            TokenKind::Ident(f) => f,
+            _ => return Err(self.err_expected("field name")),
+        };
+        Ok((class, field))
+    }
+
+    // ---- WITHIN clause --------------------------------------------------
+
+    fn parse_duration(&mut self) -> Result<u64, LangError> {
+        let n = match self.advance().kind {
+            TokenKind::Int(n) if n >= 0 => n as u64,
+            _ => return Err(self.err_expected("time window length")),
+        };
+        // Optional unit: the base logical unit is one second.
+        let multiplier = match self.peek().kind.clone() {
+            TokenKind::Ident(u) => {
+                let m = match u.to_ascii_lowercase().as_str() {
+                    "unit" | "units" | "s" | "sec" | "secs" | "second" | "seconds" => Some(1),
+                    "m" | "min" | "mins" | "minute" | "minutes" => Some(60),
+                    "h" | "hour" | "hours" => Some(3600),
+                    _ => None,
+                };
+                if let Some(m) = m {
+                    self.advance();
+                    m
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        };
+        Ok(n * multiplier)
+    }
+
+    // ---- RETURN clause --------------------------------------------------
+
+    fn parse_returns(&mut self) -> Result<Vec<ReturnItem>, LangError> {
+        let mut items = Vec::new();
+        loop {
+            match self.advance().kind {
+                TokenKind::Ident(name) => {
+                    if let Some(func) = AggFunc::from_name(&name) {
+                        if self.eat(&TokenKind::LParen) {
+                            let (class, field) = self.parse_attr_ref()?;
+                            self.expect(&TokenKind::RParen, "')'")?;
+                            items.push(ReturnItem::Agg(func, class, field));
+                        } else {
+                            items.push(ReturnItem::Class(name));
+                        }
+                    } else {
+                        items.push(ReturnItem::Class(name));
+                    }
+                }
+                _ => return Err(self.err_expected("return item")),
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+}
+
+enum Connective {
+    Seq,
+    Conj,
+    Disj,
+}
+
+/// Builds an n-ary connective, flattening single-element lists and nested
+/// connectives of the same kind (`(A;B);C` == `A;B;C`).
+fn flatten(parts: Vec<PatternExpr>, conn: Connective) -> PatternExpr {
+    if parts.len() == 1 {
+        return parts.into_iter().next().expect("len checked");
+    }
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        match (&conn, p) {
+            (Connective::Seq, PatternExpr::Seq(xs)) => out.extend(xs),
+            (Connective::Conj, PatternExpr::Conj(xs)) => out.extend(xs),
+            (Connective::Disj, PatternExpr::Disj(xs)) => out.extend(xs),
+            (_, other) => out.push(other),
+        }
+    }
+    match conn {
+        Connective::Seq => PatternExpr::Seq(out),
+        Connective::Conj => PatternExpr::Conj(out),
+        Connective::Disj => PatternExpr::Disj(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Query {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn parses_query1_from_paper() {
+        let q = parse(
+            "PATTERN T1; T2; T3 \
+             WHERE T1.name = T3.name AND T2.name = 'Google' \
+               AND T1.price > (1 + 5%) * T2.price \
+               AND T3.price < (1 - 5%) * T2.price \
+             WITHIN 10 secs \
+             RETURN T1, T2, T3",
+        );
+        assert_eq!(q.within, 10);
+        assert_eq!(q.pattern.class_names(), vec!["T1", "T2", "T3"]);
+        assert_eq!(q.returns.len(), 3);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_negation_pattern() {
+        let q = parse("PATTERN IBM; !Sun; Oracle WITHIN 200 units");
+        match &q.pattern {
+            PatternExpr::Seq(xs) => {
+                assert_eq!(xs.len(), 3);
+                assert!(matches!(&xs[1], PatternExpr::Neg(_)));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(q.within, 200);
+    }
+
+    #[test]
+    fn parses_kleene_variants() {
+        let q = parse("PATTERN T1; T2^5; T3 WITHIN 10");
+        match &q.pattern {
+            PatternExpr::Seq(xs) => {
+                assert!(matches!(&xs[1], PatternExpr::Kleene(_, KleeneKind::Count(5))));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        let q = parse("PATTERN A; B*; C WITHIN 10");
+        assert!(matches!(
+            &q.pattern,
+            PatternExpr::Seq(xs) if matches!(&xs[1], PatternExpr::Kleene(_, KleeneKind::Star))
+        ));
+        let q = parse("PATTERN A; B+; C WITHIN 10");
+        assert!(matches!(
+            &q.pattern,
+            PatternExpr::Seq(xs) if matches!(&xs[1], PatternExpr::Kleene(_, KleeneKind::Plus))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_closure_count() {
+        assert!(matches!(
+            parse_query("PATTERN A; B^0; C WITHIN 10"),
+            Err(LangError::ZeroClosureCount)
+        ));
+    }
+
+    #[test]
+    fn parses_conj_disj_precedence() {
+        // '|' binds tighter than ';', '&' tighter than '|'.
+        let q = parse("PATTERN A; B & C | D WITHIN 5");
+        match &q.pattern {
+            PatternExpr::Seq(xs) => match &xs[1] {
+                PatternExpr::Disj(ys) => {
+                    assert!(matches!(&ys[0], PatternExpr::Conj(_)));
+                    assert!(matches!(&ys[1], PatternExpr::Class(c) if c == "D"));
+                }
+                other => panic!("expected Disj, got {other:?}"),
+            },
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_negation_over_disjunction() {
+        let q = parse("PATTERN A; !(B | C); D WITHIN 10");
+        match &q.pattern {
+            PatternExpr::Seq(xs) => match &xs[1] {
+                PatternExpr::Neg(inner) => assert!(matches!(**inner, PatternExpr::Disj(_))),
+                other => panic!("expected Neg, got {other:?}"),
+            },
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_equality_desugars_to_conjunction() {
+        let q = parse("PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 10");
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::Binary(BinOp::And, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Eq, _, _)));
+                assert!(matches!(*r, Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("expected AND of equalities, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percent_literals_scale() {
+        let q = parse("PATTERN A; B WHERE A.price > B.price * (1 + 20%) WITHIN 10");
+        let s = q.where_clause.unwrap().to_string();
+        assert!(s.contains("0.2"), "percent literal should be 0.2 in {s}");
+    }
+
+    #[test]
+    fn duration_units_convert() {
+        assert_eq!(parse("PATTERN A; B WITHIN 10 hours").within, 36000);
+        assert_eq!(parse("PATTERN A; B WITHIN 2 mins").within, 120);
+        assert_eq!(parse("PATTERN A; B WITHIN 200 units").within, 200);
+        assert_eq!(parse("PATTERN A; B WITHIN 200").within, 200);
+    }
+
+    #[test]
+    fn parses_aggregates_in_where_and_return() {
+        let q = parse(
+            "PATTERN T1; T2^5; T3 \
+             WHERE sum(T2.volume) > 100 \
+             WITHIN 10 \
+             RETURN T1, sum(T2.volume), T3",
+        );
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Expr::Binary(BinOp::Gt, l, _) if matches!(*l, Expr::Agg { func: AggFunc::Sum, .. })
+        ));
+        assert!(matches!(&q.returns[1], ReturnItem::Agg(AggFunc::Sum, c, f) if c == "T2" && f == "volume"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(matches!(
+            parse_query("PATTERN A; B WITHIN 10 RETURN A garbage ;"),
+            Err(LangError::TrailingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_pattern_keyword_rejected() {
+        assert!(matches!(
+            parse_query("A; B WITHIN 10"),
+            Err(LangError::Expected { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let srcs = [
+            "PATTERN T1; T2; T3 WHERE T1.price > T2.price WITHIN 10 RETURN T1",
+            "PATTERN A; !(B | C); D WITHIN 100",
+            "PATTERN A & B; C* WITHIN 60",
+            "PATTERN IBM; Sun^3; Oracle WHERE sum(Sun.volume) > 10 WITHIN 50",
+        ];
+        for src in srcs {
+            let q1 = parse(src);
+            let q2 = parse(&q1.to_string());
+            assert_eq!(q1, q2, "display of {src} did not round-trip");
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The NFA runtime: stacks, RIP pointers, backward search, negation
+//! post-filter.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use zstream_events::{EventRef, Ts, Value};
+use zstream_lang::{AnalyzedQuery, ClassId, EventBinding, TypedExpr, TypedPattern};
+
+use crate::error::NfaError;
+
+/// One stack entry: an admitted event plus the RIP — the *raw* count of
+/// entries in the previous state's stack at arrival time (raw counts survive
+/// front-pruning; `raw - base` recovers the live index).
+#[derive(Debug, Clone)]
+struct Entry {
+    event: EventRef,
+    rip: u64,
+}
+
+/// A per-state stack with window pruning from the front.
+#[derive(Debug, Default)]
+struct Stack {
+    entries: VecDeque<Entry>,
+    /// Raw index of `entries[0]`.
+    base: u64,
+}
+
+impl Stack {
+    fn push(&mut self, event: EventRef, rip: u64) {
+        self.entries.push_back(Entry { event, rip });
+    }
+
+    fn raw_len(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    fn get_raw(&self, raw: u64) -> Option<&Entry> {
+        raw.checked_sub(self.base).and_then(|i| self.entries.get(i as usize))
+    }
+
+    fn prune_before(&mut self, ts: Ts) {
+        while let Some(front) = self.entries.front() {
+            if front.event.ts() < ts {
+                self.entries.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.entries.len() * (std::mem::size_of::<Entry>())
+            + self.entries.iter().map(|e| e.event.footprint()).sum::<usize>()
+    }
+}
+
+/// One negation group: classes negated between positive states `prev_state`
+/// and `prev_state + 1`.
+#[derive(Debug)]
+struct NegGroup {
+    classes: Vec<ClassId>,
+    /// Index of the positive state immediately before the negation.
+    prev_state: usize,
+    /// Per-negation-class buffers of admitted events.
+    buffers: Vec<VecDeque<EventRef>>,
+}
+
+/// A complete match: one event per positive state, in pattern order.
+#[derive(Debug, Clone)]
+pub struct NfaMatch {
+    /// Bound events in positive-state order.
+    pub events: Vec<EventRef>,
+}
+
+/// The NFA engine for one sequential query.
+#[derive(Debug)]
+pub struct NfaEngine {
+    aq: Arc<AnalyzedQuery>,
+    /// Positive classes in sequence order.
+    states: Vec<ClassId>,
+    /// Per-state intake predicates.
+    intake: Vec<Vec<TypedExpr>>,
+    stacks: Vec<Stack>,
+    negs: Vec<NegGroup>,
+    /// Per-neg-class intake predicates, aligned with the flattened list of
+    /// all negation classes.
+    neg_intake: Vec<(ClassId, Vec<TypedExpr>)>,
+    /// Multi-class predicates to check when the backward search binds state
+    /// `i` (all other referenced classes are already bound).
+    preds_at_state: Vec<Vec<TypedExpr>>,
+    /// Predicates involving negation classes, applied in the post-filter.
+    neg_preds: Vec<TypedExpr>,
+    window: Ts,
+    watermark: Ts,
+    events_in: u64,
+    peak_bytes: usize,
+}
+
+impl NfaEngine {
+    /// Compiles an analyzed flat sequential query (with optional negations)
+    /// to an NFA. `intake` holds per-class single-class predicates (same
+    /// vector the tree engine uses).
+    pub fn new(aq: Arc<AnalyzedQuery>, intake: Vec<Vec<TypedExpr>>) -> Result<NfaEngine, NfaError> {
+        let elems: Vec<&TypedPattern> = match &aq.pattern {
+            TypedPattern::Seq(xs) => xs.iter().collect(),
+            one @ TypedPattern::Class(_) => vec![one],
+            _ => {
+                return Err(NfaError::Unsupported(
+                    "only flat sequential patterns compile to the NFA baseline".into(),
+                ))
+            }
+        };
+        let mut states = Vec::new();
+        let mut negs: Vec<NegGroup> = Vec::new();
+        for e in elems {
+            match e {
+                TypedPattern::Class(c) => states.push(*c),
+                TypedPattern::Neg(inner) => {
+                    if states.is_empty() {
+                        return Err(NfaError::Unsupported(
+                            "negation cannot open a pattern".into(),
+                        ));
+                    }
+                    let mut classes = Vec::new();
+                    collect_neg_classes(inner, &mut classes)?;
+                    let prev_state = states.len() - 1;
+                    // Merge consecutive negation groups.
+                    if let Some(last) = negs.last_mut() {
+                        if last.prev_state == prev_state {
+                            last.buffers.extend(classes.iter().map(|_| VecDeque::new()));
+                            last.classes.extend(classes);
+                            continue;
+                        }
+                    }
+                    let buffers = classes.iter().map(|_| VecDeque::new()).collect();
+                    negs.push(NegGroup { classes, prev_state, buffers });
+                }
+                TypedPattern::Kleene(_, _) => {
+                    return Err(NfaError::Unsupported(
+                        "Kleene closure is not supported by the NFA baseline".into(),
+                    ))
+                }
+                _ => {
+                    return Err(NfaError::Unsupported(
+                        "conjunction/disjunction are not supported by the NFA baseline \
+                         (NFAs explicitly order state transitions, §1)"
+                            .into(),
+                    ))
+                }
+            }
+        }
+        if states.is_empty() || matches!(aq.pattern, TypedPattern::Seq(ref xs) if matches!(xs.last(), Some(TypedPattern::Neg(_))))
+        {
+            return Err(NfaError::Unsupported(
+                "a pattern must end with a positive class".into(),
+            ));
+        }
+        let neg_mask: u64 = negs
+            .iter()
+            .flat_map(|g| g.classes.iter())
+            .fold(0u64, |m, c| m | (1 << c));
+        // Assign positive multi-class predicates to the lowest bound state.
+        let mut preds_at_state: Vec<Vec<TypedExpr>> = vec![Vec::new(); states.len()];
+        let mut neg_preds = Vec::new();
+        for p in &aq.multi_preds {
+            if p.mask & neg_mask != 0 {
+                neg_preds.push(p.expr.clone());
+                continue;
+            }
+            // Lowest state whose class set suffix covers the mask: the
+            // *earliest* referenced class in sequence order.
+            let first = states
+                .iter()
+                .position(|c| p.mask & (1u64 << c) != 0)
+                .unwrap_or(states.len() - 1);
+            preds_at_state[first].push(p.expr.clone());
+        }
+        let state_intake: Vec<Vec<TypedExpr>> =
+            states.iter().map(|c| intake[*c].clone()).collect();
+        let neg_intake: Vec<(ClassId, Vec<TypedExpr>)> = negs
+            .iter()
+            .flat_map(|g| g.classes.iter().map(|c| (*c, intake[*c].clone())))
+            .collect();
+        let stacks = states.iter().map(|_| Stack::default()).collect();
+        Ok(NfaEngine {
+            aq,
+            states,
+            intake: state_intake,
+            stacks,
+            negs,
+            neg_intake,
+            preds_at_state,
+            neg_preds,
+            window: 0,
+            watermark: 0,
+            events_in: 0,
+            peak_bytes: 0,
+        }
+        .init_window())
+    }
+
+    fn init_window(mut self) -> Self {
+        self.window = self.aq.window;
+        self
+    }
+
+    /// Events pushed so far.
+    pub fn events_in(&self) -> u64 {
+        self.events_in
+    }
+
+    /// Peak logical memory (stacks plus negation buffers), for Tables 3/5.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Positive states (classes) in sequence order.
+    pub fn states(&self) -> &[ClassId] {
+        &self.states
+    }
+
+    /// Pushes one event; returns matches completed by it (the NFA evaluates
+    /// per event — there is no batching in the baseline).
+    pub fn push(&mut self, event: EventRef) -> Vec<NfaMatch> {
+        self.events_in += 1;
+        self.watermark = self.watermark.max(event.ts());
+        let prune_ts = self.watermark.saturating_sub(self.window);
+
+        // Admit into negation buffers.
+        for gi in 0..self.negs.len() {
+            for (ci, class) in self.negs[gi].classes.clone().into_iter().enumerate() {
+                if self.admits(class, &self.neg_intake_preds(class), &event) {
+                    self.negs[gi].buffers[ci].push_back(Arc::clone(&event));
+                }
+                while let Some(front) = self.negs[gi].buffers[ci].front() {
+                    if front.ts() < prune_ts {
+                        self.negs[gi].buffers[ci].pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Admit into state stacks (in reverse so the RIP snapshot excludes
+        // this event when it enters several consecutive states).
+        let mut out = Vec::new();
+        for i in (0..self.states.len()).rev() {
+            let class = self.states[i];
+            if self.aq.classes[class].schema.name() != event.schema().name() {
+                continue;
+            }
+            if !self.intake[i].iter().all(|p| {
+                let b = OneClass { class, event: &event };
+                matches!(p.eval(&b), Ok(Value::Bool(true)))
+            }) {
+                continue;
+            }
+            if i > 0 && self.stacks[i - 1].raw_len() == 0 {
+                continue; // SASE optimization: unreachable entry
+            }
+            let rip = if i == 0 { 0 } else { self.stacks[i - 1].raw_len() };
+            if i == self.states.len() - 1 {
+                // Final state: backward search instead of storing.
+                let mut binding: Vec<Option<EventRef>> =
+                    vec![None; self.aq.num_classes()];
+                binding[class] = Some(Arc::clone(&event));
+                if self.preds_ok(self.states.len() - 1, &binding) {
+                    self.search(self.states.len() - 1, rip, &event, &mut binding, &mut out);
+                }
+            } else {
+                self.stacks[i].push(Arc::clone(&event), rip);
+            }
+        }
+
+        for s in &mut self.stacks {
+            s.prune_before(prune_ts);
+        }
+        let bytes = self.stacks.iter().map(Stack::bytes).sum::<usize>()
+            + self
+                .negs
+                .iter()
+                .flat_map(|g| g.buffers.iter())
+                .map(|b| b.len() * std::mem::size_of::<EventRef>())
+                .sum::<usize>();
+        self.peak_bytes = self.peak_bytes.max(bytes);
+        out
+    }
+
+    fn neg_intake_preds(&self, class: ClassId) -> Vec<TypedExpr> {
+        self.neg_intake
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default()
+    }
+
+    fn admits(&self, class: ClassId, preds: &[TypedExpr], event: &EventRef) -> bool {
+        if self.aq.classes[class].schema.name() != event.schema().name() {
+            return false;
+        }
+        preds.iter().all(|p| {
+            let b = OneClass { class, event };
+            matches!(p.eval(&b), Ok(Value::Bool(true)))
+        })
+    }
+
+    /// Backward DFS from state `i + 1`'s binding: enumerate entries of state
+    /// `i` reachable through the RIP bound, most recent first.
+    fn search(
+        &self,
+        bound_state: usize,
+        rip: u64,
+        final_event: &EventRef,
+        binding: &mut Vec<Option<EventRef>>,
+        out: &mut Vec<NfaMatch>,
+    ) {
+        if bound_state == 0 {
+            // All states bound: apply the negation post-filter.
+            if self.negation_ok(binding) {
+                out.push(NfaMatch {
+                    events: self
+                        .states
+                        .iter()
+                        .map(|c| binding[*c].clone().expect("all states bound"))
+                        .collect(),
+                });
+            }
+            return;
+        }
+        let i = bound_state - 1;
+        let next_ts = binding[self.states[bound_state]]
+            .as_ref()
+            .expect("next state bound")
+            .ts();
+        let stack = &self.stacks[i];
+        let mut raw = rip;
+        while raw > 0 {
+            raw -= 1;
+            let Some(entry) = stack.get_raw(raw) else { break };
+            let ts = entry.event.ts();
+            if ts >= next_ts {
+                continue; // timestamp tie with a later arrival
+            }
+            if final_event.ts() - entry.event.ts() > self.window {
+                break; // stack is time-ordered: everything below is older
+            }
+            binding[self.states[i]] = Some(Arc::clone(&entry.event));
+            if self.preds_ok(i, binding) {
+                self.search(i, entry.rip, final_event, binding, out);
+            }
+            binding[self.states[i]] = None;
+        }
+    }
+
+    fn preds_ok(&self, state: usize, binding: &[Option<EventRef>]) -> bool {
+        self.preds_at_state[state].iter().all(|p| {
+            matches!(
+                p.eval(&zstream_lang::SliceBinding(binding)),
+                Ok(Value::Bool(true))
+            )
+        })
+    }
+
+    /// Post-filter (§4.4.2 baseline): reject the match when a qualifying
+    /// negation instance interleaves between its adjacent positive events.
+    fn negation_ok(&self, binding: &[Option<EventRef>]) -> bool {
+        for g in &self.negs {
+            let prev_ts = binding[self.states[g.prev_state]]
+                .as_ref()
+                .expect("bound")
+                .ts();
+            let next_ts = binding[self.states[g.prev_state + 1]]
+                .as_ref()
+                .expect("bound")
+                .ts();
+            for (ci, class) in g.classes.iter().enumerate() {
+                for b in &g.buffers[ci] {
+                    if b.ts() <= prev_ts {
+                        continue;
+                    }
+                    if b.ts() >= next_ts {
+                        break; // buffers are time-ordered
+                    }
+                    // Evaluate predicates involving this negation class.
+                    let mut bind2 = binding.to_vec();
+                    bind2[*class] = Some(Arc::clone(b));
+                    let relevant = self
+                        .neg_preds
+                        .iter()
+                        .filter(|p| p.class_mask() & (1u64 << class) != 0);
+                    let mut all_pass = true;
+                    for p in relevant {
+                        match p.eval(&zstream_lang::SliceBinding(&bind2)) {
+                            Ok(Value::Bool(true)) => {}
+                            // Other negation classes unbound: vacuous.
+                            Err(zstream_lang::EvalError::Unbound(c))
+                                if self
+                                    .negs
+                                    .iter()
+                                    .any(|g2| g2.classes.contains(&c)) => {}
+                            _ => {
+                                all_pass = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_pass {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Canonical signature aligned with the tree engine's
+    /// (`Engine::record_signature`): per class the Arc identities, negated
+    /// classes empty.
+    pub fn match_signature(&self, m: &NfaMatch) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.aq.num_classes()];
+        for (i, c) in self.states.iter().enumerate() {
+            out[*c] = vec![Arc::as_ptr(&m.events[i]) as usize];
+        }
+        out
+    }
+}
+
+struct OneClass<'a> {
+    class: ClassId,
+    event: &'a EventRef,
+}
+
+impl EventBinding for OneClass<'_> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        (class == self.class).then_some(self.event)
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        if class == self.class {
+            std::slice::from_ref(self.event)
+        } else {
+            &[]
+        }
+    }
+}
+
+fn collect_neg_classes(p: &TypedPattern, out: &mut Vec<ClassId>) -> Result<(), NfaError> {
+    match p {
+        TypedPattern::Class(c) => {
+            out.push(*c);
+            Ok(())
+        }
+        TypedPattern::Disj(xs) => {
+            for x in xs {
+                collect_neg_classes(x, out)?;
+            }
+            Ok(())
+        }
+        _ => Err(NfaError::Unsupported("negation over non-class pattern".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_events::{stock, Schema};
+    use zstream_lang::{analyze, Query, SchemaMap};
+
+    fn make(src: &str) -> NfaEngine {
+        let aq = Arc::new(
+            analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap(),
+        );
+        // Route by name, as the benchmarks do.
+        let intake: Vec<Vec<TypedExpr>> = (0..aq.num_classes())
+            .map(|c| {
+                let mut v = aq.single_preds[c].clone();
+                let schema = &aq.classes[c].schema;
+                let fi = schema.field_index("name").unwrap();
+                v.push(TypedExpr::Binary(
+                    zstream_lang::BinOp::Eq,
+                    Box::new(TypedExpr::Attr {
+                        class: c,
+                        field: fi,
+                        ty: zstream_events::ValueType::Str,
+                    }),
+                    Box::new(TypedExpr::Lit(Value::str(&aq.classes[c].name))),
+                ));
+                v
+            })
+            .collect();
+        NfaEngine::new(aq, intake).unwrap()
+    }
+
+    #[test]
+    fn matches_simple_sequence() {
+        let mut nfa = make("PATTERN IBM; Sun; Oracle WITHIN 100");
+        let mut n = 0;
+        for (i, name) in ["IBM", "Sun", "Oracle", "Sun", "Oracle"].iter().enumerate() {
+            n += nfa.push(stock(i as u64 + 1, i as i64, name, 1.0, 1)).len();
+        }
+        // (1,2,3), (1,2,5), (1,4,5).
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn window_prunes_matches() {
+        let mut nfa = make("PATTERN IBM; Sun WITHIN 5");
+        assert!(nfa.push(stock(1, 0, "IBM", 1.0, 1)).is_empty());
+        assert!(nfa.push(stock(100, 1, "Sun", 1.0, 1)).is_empty());
+        assert_eq!(nfa.push(stock(101, 2, "IBM", 1.0, 1)).len(), 0);
+        assert_eq!(nfa.push(stock(104, 3, "Sun", 1.0, 1)).len(), 1);
+    }
+
+    #[test]
+    fn predicates_filter_during_search() {
+        let mut nfa = make("PATTERN IBM; Sun WHERE IBM.price > Sun.price WITHIN 100");
+        nfa.push(stock(1, 0, "IBM", 10.0, 1));
+        nfa.push(stock(2, 1, "IBM", 90.0, 1));
+        let out = nfa.push(stock(3, 2, "Sun", 50.0, 1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].events[0].value(2).as_f64().unwrap(), 90.0);
+    }
+
+    #[test]
+    fn negation_post_filter() {
+        let mut nfa = make("PATTERN IBM; !Sun; Oracle WITHIN 100");
+        nfa.push(stock(1, 0, "IBM", 1.0, 1));
+        nfa.push(stock(2, 1, "Sun", 1.0, 1));
+        assert!(nfa.push(stock(3, 2, "Oracle", 1.0, 1)).is_empty());
+        nfa.push(stock(4, 3, "IBM", 1.0, 1));
+        // (4,5) clean; (1,5) still negated by Sun@2.
+        assert_eq!(nfa.push(stock(5, 4, "Oracle", 1.0, 1)).len(), 1);
+    }
+
+    #[test]
+    fn unsupported_operators_rejected() {
+        let aq = Arc::new(
+            analyze(
+                &Query::parse("PATTERN A & B WITHIN 10").unwrap(),
+                &SchemaMap::uniform(Schema::stocks()),
+            )
+            .unwrap(),
+        );
+        let intake = vec![Vec::new(); 2];
+        assert!(matches!(NfaEngine::new(aq, intake), Err(NfaError::Unsupported(_))));
+    }
+
+    #[test]
+    fn timestamp_ties_do_not_match() {
+        let mut nfa = make("PATTERN IBM; Sun WITHIN 100");
+        nfa.push(stock(5, 0, "IBM", 1.0, 1));
+        // Sun at the same timestamp: strict sequencing rejects it.
+        assert!(nfa.push(stock(5, 1, "Sun", 1.0, 1)).is_empty());
+        assert_eq!(nfa.push(stock(6, 2, "Sun", 1.0, 1)).len(), 1);
+    }
+
+    #[test]
+    fn memory_tracking_grows() {
+        let mut nfa = make("PATTERN IBM; Sun WITHIN 1000");
+        for i in 0..100 {
+            nfa.push(stock(i, i as i64, "IBM", 1.0, 1));
+        }
+        assert!(nfa.peak_bytes() > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! NFA baseline errors.
+
+use std::fmt;
+
+/// Errors raised when compiling a query to the NFA baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfaError {
+    /// The pattern uses operators the NFA baseline does not support
+    /// (conjunction, disjunction, Kleene closure — §1 of the paper).
+    Unsupported(String),
+}
+
+impl fmt::Display for NfaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfaError::Unsupported(s) => write!(f, "NFA baseline cannot evaluate: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NfaError {}

@@ -1,0 +1,29 @@
+//! SASE-style NFA baseline engine.
+//!
+//! ZStream's evaluation compares its tree plans against "a previously
+//! proposed NFA-based approach" — the SASE model of Wu, Diao & Rizvi
+//! (SIGMOD 2006, reference \[15\] of the paper). This crate implements that
+//! baseline faithfully to how the paper characterizes it:
+//!
+//! * a sequential pattern compiles to a chain of states, one per event
+//!   class, evaluated in **fixed order**,
+//! * each state keeps a stack of admitted events; each entry records an
+//!   RIP-style pointer (most-recent instance in the previous state's stack
+//!   at arrival time),
+//! * when an event reaches the final state, a **backward search** walks the
+//!   stacks from the last state to the first, enumerating combinations,
+//!   applying the time window and multi-class predicates as classes become
+//!   bound — with *no materialization* of intermediate combinations (the
+//!   paper's NFA implementation does not materialize; see §6),
+//! * **negation is a post-filter**: composite results are checked against a
+//!   side buffer of negation-class events after assembly (§1, §4.4.2:
+//!   "existing NFA-systems perform negation as a post-NFA filtering step"),
+//! * conjunction, disjunction and Kleene closure are not supported — the
+//!   paper picks sequential queries for its NFA comparisons for exactly
+//!   this reason (§6.5).
+
+mod engine;
+mod error;
+
+pub use engine::{NfaEngine, NfaMatch};
+pub use error::NfaError;

@@ -1,0 +1,19 @@
+//! Synthetic workloads reproducing the ZStream evaluation (§6).
+//!
+//! * [`StockGenerator`] — synthetic stock trades "generated so that event
+//!   rates and the selectivity of multi-class predicates could be
+//!   controlled" (§6): per-name relative rates and uniform prices whose
+//!   comparison selectivity is analytic ([`price_factor_for_selectivity`]),
+//! * [`WeblogGenerator`] — a synthetic web-access log reproducing the shape
+//!   of the paper's real MIT DB-group trace (Table 4 class frequencies,
+//!   Zipf-distributed IPs, one month of arrivals) — the substitution for the
+//!   proprietary data set, documented in `DESIGN.md`,
+//! * [`Zipf`] — the skewed sampler used for IP addresses.
+
+mod stock;
+mod weblog;
+mod zipf;
+
+pub use stock::{price_factor_for_selectivity, StockConfig, StockGenerator};
+pub use weblog::{WeblogConfig, WeblogGenerator, WeblogStats};
+pub use zipf::Zipf;

@@ -1,0 +1,196 @@
+//! Synthetic web-access log (§6.5 substitution).
+//!
+//! The paper's experiment uses one month (22 Feb – 22 Mar 2009) of MIT DB
+//! group web-server logs: more than 1.5 million records with schema
+//! `(Time, IP, Access-URL, Description)`, of which 6 775 touch publications,
+//! 11 610 projects and 16 083 courses (Table 4). That trace is not publicly
+//! available, so this generator reproduces the statistics that drive the
+//! experiment's outcome: the same class frequencies (scaled), Zipf-skewed IP
+//! popularity (web traffic is heavily skewed), and uniform arrivals over a
+//! month of seconds. Query 8's behavior depends exactly on these — the
+//! relative rarity of publication accesses and the per-IP equality — so the
+//! substitution preserves the plan comparison of Figure 17.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use zstream_events::{Event, EventRef, Schema, Ts};
+
+use crate::zipf::Zipf;
+
+/// Paper's Table 4: accesses per category in 1.5 M records.
+const PAPER_TOTAL: u64 = 1_500_000;
+const PAPER_PUBLICATION: u64 = 6_775;
+const PAPER_PROJECT: u64 = 11_610;
+const PAPER_COURSE: u64 = 16_083;
+/// One month in seconds (the paper's 22 Feb – 22 Mar window).
+const MONTH_SECS: u64 = 28 * 24 * 3600;
+
+/// Configuration of the synthetic web log.
+#[derive(Debug, Clone)]
+pub struct WeblogConfig {
+    /// Total records (paper: 1 500 000; scale down for tests).
+    pub total: u64,
+    /// Distinct client IPs.
+    pub num_ips: usize,
+    /// Zipf exponent of IP popularity.
+    pub ip_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeblogConfig {
+    fn default() -> Self {
+        WeblogConfig { total: PAPER_TOTAL, num_ips: 20_000, ip_skew: 1.1, seed: 2009 }
+    }
+}
+
+impl WeblogConfig {
+    /// A configuration scaled to `total` records, keeping Table 4's class
+    /// frequencies proportional.
+    pub fn scaled(total: u64, seed: u64) -> WeblogConfig {
+        WeblogConfig {
+            total,
+            num_ips: ((total / 75).max(10)) as usize,
+            ip_skew: 1.1,
+            seed,
+        }
+    }
+}
+
+/// Category counts of a generated log (reproduces Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeblogStats {
+    /// Total records generated.
+    pub total: u64,
+    /// Records accessing publications.
+    pub publication: u64,
+    /// Records accessing projects.
+    pub project: u64,
+    /// Records accessing courses.
+    pub course: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+/// Deterministic synthetic web-log generator.
+#[derive(Debug)]
+pub struct WeblogGenerator;
+
+impl WeblogGenerator {
+    /// Generates the log (time-ordered) together with its category counts.
+    pub fn generate(config: &WeblogConfig) -> (Vec<EventRef>, WeblogStats) {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let zipf = Zipf::new(config.num_ips, config.ip_skew);
+        let schema = Schema::weblog();
+
+        // Scale Table 4's category frequencies to the requested total.
+        let scale = config.total as f64 / PAPER_TOTAL as f64;
+        let n_pub = (PAPER_PUBLICATION as f64 * scale).round() as u64;
+        let n_proj = (PAPER_PROJECT as f64 * scale).round() as u64;
+        let n_course = (PAPER_COURSE as f64 * scale).round() as u64;
+
+        // Arrival timestamps: uniform over the month, sorted.
+        let mut timestamps: Vec<Ts> =
+            (0..config.total).map(|_| rng.random_range(0..MONTH_SECS)).collect();
+        timestamps.sort_unstable();
+
+        // Category assignment: shuffle category codes across positions.
+        let mut cats: Vec<u8> = Vec::with_capacity(config.total as usize);
+        cats.extend(std::iter::repeat_n(1u8, n_pub as usize));
+        cats.extend(std::iter::repeat_n(2u8, n_proj as usize));
+        cats.extend(std::iter::repeat_n(3u8, n_course as usize));
+        cats.resize(config.total as usize, 0u8);
+        // Fisher-Yates shuffle.
+        for i in (1..cats.len()).rev() {
+            let j = rng.random_range(0..=i);
+            cats.swap(i, j);
+        }
+
+        let mut stats =
+            WeblogStats { total: config.total, publication: 0, project: 0, course: 0, other: 0 };
+        let events = timestamps
+            .into_iter()
+            .zip(cats)
+            .map(|(ts, cat)| {
+                let ip_rank = zipf.sample(&mut rng);
+                let ip = format!("10.{}.{}.{}", ip_rank >> 16, (ip_rank >> 8) & 255, ip_rank & 255);
+                let (category, url) = match cat {
+                    1 => {
+                        stats.publication += 1;
+                        ("Publication", format!("/papers/p{}.pdf", rng.random_range(0..500)))
+                    }
+                    2 => {
+                        stats.project += 1;
+                        ("Project", format!("/projects/{}", rng.random_range(0..40)))
+                    }
+                    3 => {
+                        stats.course += 1;
+                        ("Course", format!("/courses/6.{}", 800 + rng.random_range(0..99)))
+                    }
+                    _ => {
+                        stats.other += 1;
+                        ("Other", format!("/misc/{}", rng.random_range(0..10_000)))
+                    }
+                };
+                Event::builder(schema.clone(), ts)
+                    .value(ip.as_str())
+                    .value(url.as_str())
+                    .value(category)
+                    .build_ref()
+                    .expect("weblog events are well-typed")
+            })
+            .collect();
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table4_proportions() {
+        let (events, stats) = WeblogGenerator::generate(&WeblogConfig::scaled(150_000, 1));
+        assert_eq!(events.len(), 150_000);
+        // One-tenth scale of Table 4.
+        assert_eq!(stats.publication, 678); // round(6775/10)
+        assert_eq!(stats.project, 1161);
+        assert_eq!(stats.course, 1608);
+        assert_eq!(
+            stats.publication + stats.project + stats.course + stats.other,
+            stats.total
+        );
+    }
+
+    #[test]
+    fn events_are_time_ordered_over_a_month() {
+        let (events, _) = WeblogGenerator::generate(&WeblogConfig::scaled(5_000, 3));
+        assert!(events.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        assert!(events.last().unwrap().ts() < MONTH_SECS);
+    }
+
+    #[test]
+    fn ips_are_skewed() {
+        let (events, _) = WeblogGenerator::generate(&WeblogConfig::scaled(20_000, 5));
+        let mut counts = std::collections::HashMap::new();
+        for e in &events {
+            *counts
+                .entry(e.value_by_name("ip").unwrap().as_str().unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let avg = events.len() / counts.len();
+        assert!(max > 5 * avg, "top IP ({max}) should dominate the average ({avg})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = WeblogGenerator::generate(&WeblogConfig::scaled(1_000, 9));
+        let (b, _) = WeblogGenerator::generate(&WeblogConfig::scaled(1_000, 9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_string(), y.to_string());
+        }
+    }
+}

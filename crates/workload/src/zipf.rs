@@ -1,0 +1,74 @@
+//! A Zipf-distributed integer sampler (inverse-CDF over precomputed
+//! cumulative weights), used for web-log IP addresses.
+
+use rand::{Rng, RngExt};
+
+/// Zipf distribution over `0..n` with exponent `s`: rank `k` has weight
+/// `1/(k+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.random();
+        self.cumulative.partition_point(|c| *c < x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (`n >= 1` is enforced).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skews_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 of Zipf(1.0) over 100 ranks carries ~1/H_100 ≈ 19%.
+        let frac = counts[0] as f64 / 20_000.0;
+        assert!((frac - 0.19).abs() < 0.03, "rank-0 fraction {frac}");
+    }
+
+    #[test]
+    fn single_rank_degenerates() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ZStream
+//!
+//! A cost-based composite event processing (CEP) system, reproducing
+//! *"ZStream: A Cost-based Query Processor for Adaptively Detecting Composite
+//! Events"* (Mei & Madden, SIGMOD 2009).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`events`] — event model (timestamps, values, schemas, records),
+//! * [`lang`] — the PATTERN/WHERE/WITHIN/RETURN query language,
+//! * [`core`] — tree-based plans, the cost model, the dynamic-programming
+//!   optimizer, the physical operators and the adaptive engine,
+//! * [`nfa`] — the SASE-style NFA baseline used for comparison,
+//! * [`workload`] — synthetic workload generators for the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zstream::prelude::*;
+//!
+//! // Query 5 of the paper: a pure sequence pattern.
+//! let query = Query::parse(
+//!     "PATTERN IBM; Sun; Oracle WITHIN 200 RETURN IBM, Sun, Oracle",
+//! ).unwrap();
+//!
+//! // Classes are routed by name: the standard stock schema is implied here.
+//! let engine = EngineBuilder::new(query)
+//!     .stock_routing()
+//!     .build()
+//!     .unwrap();
+//! # let _ = engine;
+//! ```
+
+pub use zstream_core as core;
+pub use zstream_events as events;
+pub use zstream_lang as lang;
+pub use zstream_nfa as nfa;
+pub use zstream_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use zstream_core::{
+        CompiledQuery, Engine, EngineBuilder, EngineConfig, PlanShape, Statistics,
+    };
+    pub use zstream_events::{stock, Batcher, Event, EventRef, Record, Schema, Slot, Value};
+    pub use zstream_lang::Query;
+    pub use zstream_workload::{StockConfig, StockGenerator};
+}

@@ -1,0 +1,149 @@
+//! Adaptive-engine correctness (§5.3): plan switches mid-stream must be
+//! invisible in the output — no duplicates, no losses — and the controller
+//! must actually switch plans when the stream's statistics flip.
+
+use std::sync::Arc;
+
+use zstream::core::{
+    build_intake, AdaptiveConfig, AdaptiveEngine, CompiledQuery, Engine, EngineBuilder,
+    EngineConfig, NegStrategy, PlanConfig, PlanShape, Statistics,
+};
+use zstream::events::{EventRef, Schema};
+use zstream::lang::{Query, SchemaMap};
+use zstream::workload::{StockConfig, StockGenerator};
+
+type Signature = Vec<Vec<usize>>;
+
+/// Three-phase stream à la Figure 14: IBM rare, then Sun rare, then Oracle
+/// rare. Rates flip hard enough to trigger re-planning.
+fn three_phase_stream(seed: u64, per_phase: usize) -> Vec<EventRef> {
+    let phases = [
+        [("IBM", 1.0), ("Sun", 20.0), ("Oracle", 20.0)],
+        [("IBM", 20.0), ("Sun", 1.0), ("Oracle", 20.0)],
+        [("IBM", 20.0), ("Sun", 20.0), ("Oracle", 1.0)],
+    ];
+    let mut out = Vec::new();
+    let mut ts_base = 0;
+    for (i, rates) in phases.iter().enumerate() {
+        let events =
+            StockGenerator::generate(StockConfig::with_rates(rates, per_phase, seed + i as u64));
+        for e in &events {
+            // Re-timestamp so phases concatenate in time order.
+            let shifted = zstream::events::Event::builder(Schema::stocks(), ts_base + e.ts())
+                .value(e.value(0).clone())
+                .value(e.value(1).clone())
+                .value(e.value(2).clone())
+                .value(e.value(3).clone())
+                .build_ref()
+                .unwrap();
+            out.push(shifted);
+        }
+        ts_base += per_phase as u64;
+    }
+    out
+}
+
+fn adaptive_run(src: &str, events: &[EventRef], batch: usize) -> (Vec<Signature>, u64, u64) {
+    let query = Query::parse(src).unwrap();
+    let schemas = SchemaMap::uniform(Schema::stocks());
+    let compiled = CompiledQuery::optimize(&query, &schemas, None).unwrap();
+    let plan = compiled.physical_plan(PlanConfig::default()).unwrap();
+    let intake = build_intake(&compiled.aq, Some("name")).unwrap();
+    let engine = Engine::new(compiled.aq.clone(), plan, intake, batch);
+    let mut adaptive = AdaptiveEngine::new(
+        engine,
+        compiled.spec.clone(),
+        compiled.stats.clone(),
+        AdaptiveConfig { check_interval: 4, ..Default::default() },
+    );
+    let mut out = Vec::new();
+    for chunk in events.chunks(batch) {
+        out.extend(adaptive.push_batch(chunk));
+    }
+    out.extend(adaptive.flush());
+    let mut sigs: Vec<Signature> =
+        out.iter().map(|r| adaptive.engine().record_signature(r)).collect();
+    let n = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(n, sigs.len(), "adaptive engine emitted duplicates");
+    let m = adaptive.engine().metrics();
+    (sigs, m.replans, m.plan_switches)
+}
+
+fn static_run(src: &str, shape: PlanShape, events: &[EventRef], batch: usize) -> Vec<Signature> {
+    let mut engine = EngineBuilder::parse(src)
+        .unwrap()
+        .stock_routing()
+        .shape(shape)
+        .neg_strategy(NegStrategy::PushdownPreferred)
+        .config(EngineConfig { batch_size: batch, ..Default::default() })
+        .build()
+        .unwrap();
+    let mut out = Vec::new();
+    for e in events {
+        out.extend(engine.push(Arc::clone(e)));
+    }
+    out.extend(engine.flush());
+    let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+#[test]
+fn adaptive_output_equals_static_output() {
+    let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
+    for seed in [0, 100, 200] {
+        let events = three_phase_stream(seed, 250);
+        let (adaptive_sigs, _, _) = adaptive_run(src, &events, 16);
+        let static_sigs = static_run(src, PlanShape::left_deep(3), &events, 16);
+        assert_eq!(adaptive_sigs, static_sigs, "seed {seed}");
+    }
+}
+
+#[test]
+fn adaptive_engine_switches_plans_on_drift() {
+    let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
+    let events = three_phase_stream(7, 400);
+    let (_, replans, switches) = adaptive_run(src, &events, 16);
+    assert!(replans >= 1, "drifting rates should trigger re-planning");
+    assert!(switches >= 1, "the optimal shape changes across phases");
+}
+
+#[test]
+fn adaptive_with_predicates_stays_correct() {
+    let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 35";
+    let events = three_phase_stream(42, 200);
+    let (adaptive_sigs, _, _) = adaptive_run(src, &events, 8);
+    let static_sigs = static_run(src, PlanShape::right_deep(3), &events, 8);
+    assert_eq!(adaptive_sigs, static_sigs);
+}
+
+#[test]
+fn stable_stream_does_not_thrash() {
+    let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
+    let events = StockGenerator::generate(StockConfig::uniform(
+        &["IBM", "Sun", "Oracle"],
+        600,
+        5,
+    ));
+    let query = Query::parse(src).unwrap();
+    let schemas = SchemaMap::uniform(Schema::stocks());
+    let compiled = CompiledQuery::optimize(&query, &schemas, None).unwrap();
+    let plan = compiled.physical_plan(PlanConfig::default()).unwrap();
+    let intake = build_intake(&compiled.aq, Some("name")).unwrap();
+    // Initial statistics match the stream (uniform): no switches expected.
+    let stats = Statistics::uniform(3, 0, 40).with_rates(&[1.0 / 3.0; 3]);
+    let engine = Engine::new(compiled.aq.clone(), plan, intake, 16);
+    let mut adaptive = AdaptiveEngine::new(
+        engine,
+        compiled.spec.clone(),
+        stats,
+        AdaptiveConfig { check_interval: 4, ..Default::default() },
+    );
+    for chunk in events.chunks(16) {
+        adaptive.push_batch(chunk);
+    }
+    assert_eq!(adaptive.engine().metrics().plan_switches, 0);
+}

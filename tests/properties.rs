@@ -1,0 +1,203 @@
+//! Property-based tests (proptest): randomized streams and parameters must
+//! never break the core invariants —
+//!
+//! 1. the engine's output equals the brute-force oracle's (all operators),
+//! 2. output is exactly-once (no duplicates),
+//! 3. every output composite fits inside the time window,
+//! 4. output records are emitted in end-timestamp order within a round,
+//! 5. plan shape, batch size and hashing never change the result set.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use zstream::core::reference::reference_signatures;
+use zstream::core::{
+    build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape,
+};
+use zstream::events::{stock, EventRef};
+use zstream::lang::{analyze, Query, SchemaMap};
+
+type Signature = Vec<Vec<usize>>;
+
+/// Strategy: a time-ordered stream over three names with small domains so
+/// predicates and equalities hit often.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRef>> {
+    prop::collection::vec(
+        (0u64..3, 0usize..3, 0i64..6, 1i64..4), // ts-gap, name, price-ish, volume
+        1..max_len,
+    )
+    .prop_map(|rows| {
+        let mut ts = 0u64;
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (gap, name_idx, price, volume))| {
+                ts += gap;
+                let name = ["IBM", "Sun", "Oracle"][name_idx];
+                stock(ts, i as i64, name, price as f64, volume)
+            })
+            .collect()
+    })
+}
+
+fn oracle_sigs(src: &str, events: &[EventRef]) -> Vec<Signature> {
+    let aq = analyze(
+        &Query::parse(src).unwrap(),
+        &SchemaMap::uniform(zstream::events::Schema::stocks()),
+    )
+    .unwrap();
+    let intake = build_intake(&aq, Some("name")).unwrap();
+    reference_signatures(&aq, &intake, events)
+}
+
+fn engine_run(
+    src: &str,
+    shape: Option<PlanShape>,
+    batch: usize,
+    use_hash: bool,
+    events: &[EventRef],
+) -> Vec<Signature> {
+    let mut b = EngineBuilder::parse(src)
+        .unwrap()
+        .stock_routing()
+        .config(EngineConfig {
+            batch_size: batch,
+            plan: PlanConfig { use_hash, ..Default::default() },
+        });
+    if let Some(s) = shape {
+        b = b.shape(s);
+    }
+    let mut engine = b.build().unwrap();
+    let mut out = Vec::new();
+    let window = engine.analyzed().window;
+    let mut round_out = Vec::new();
+    for e in events {
+        round_out.clear();
+        round_out.extend(engine.push(Arc::clone(e)));
+        check_round_invariants(&round_out, window);
+        out.extend(round_out.iter().cloned());
+    }
+    round_out.clear();
+    round_out.extend(engine.flush());
+    check_round_invariants(&round_out, window);
+    out.extend(round_out.iter().cloned());
+
+    let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
+    let n = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(n, sigs.len(), "duplicate matches emitted");
+    sigs
+}
+
+/// Invariants 3 and 4: in-window spans, end-ts-ordered emission per round.
+fn check_round_invariants(records: &[zstream::events::Record], window: u64) {
+    for r in records {
+        assert!(
+            r.end_ts() - r.start_ts() <= window,
+            "record span {}..{} exceeds window {window}",
+            r.start_ts(),
+            r.end_ts()
+        );
+    }
+    for w in records.windows(2) {
+        assert!(w[0].end_ts() <= w[1].end_ts(), "round output not end-ts ordered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sequence_matches_oracle(events in stream_strategy(28), batch in 1usize..12, hash: bool) {
+        let src = "PATTERN IBM; Sun; Oracle WITHIN 12";
+        let expected = oracle_sigs(src, &events);
+        for shape in PlanShape::enumerate_all(3) {
+            let got = engine_run(src, Some(shape), batch, hash, &events);
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn predicate_sequence_matches_oracle(events in stream_strategy(26), batch in 1usize..10) {
+        let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 14";
+        let expected = oracle_sigs(src, &events);
+        let got = engine_run(src, None, batch, true, &events);
+        prop_assert_eq!(&got, &expected);
+    }
+
+    #[test]
+    fn equality_sequence_matches_oracle(events in stream_strategy(26), hash: bool) {
+        // Small volume domain (1..4) makes the equality selective but non-trivial.
+        let src = "PATTERN IBM; Sun WHERE IBM.volume = Sun.volume WITHIN 15";
+        let expected = oracle_sigs(src, &events);
+        let got = engine_run(src, None, 5, hash, &events);
+        prop_assert_eq!(&got, &expected);
+    }
+
+    #[test]
+    fn negation_matches_oracle(events in stream_strategy(30), batch in 1usize..10) {
+        let src = "PATTERN IBM; !Sun; Oracle WITHIN 12";
+        let expected = oracle_sigs(src, &events);
+        let pushdown = engine_run(src, None, batch, true, &events);
+        prop_assert_eq!(&pushdown, &expected);
+        let mut b = EngineBuilder::parse(src).unwrap().stock_routing()
+            .neg_strategy(NegStrategy::TopFilter)
+            .config(EngineConfig { batch_size: batch, ..Default::default() });
+        b = b.shape(PlanShape::left_deep(2));
+        let mut engine = b.build().unwrap();
+        let mut out = Vec::new();
+        for e in &events { out.extend(engine.push(Arc::clone(e))); }
+        out.extend(engine.flush());
+        let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
+        sigs.sort();
+        sigs.dedup();
+        prop_assert_eq!(&sigs, &expected);
+    }
+
+    #[test]
+    fn kleene_matches_oracle(events in stream_strategy(22), batch in 1usize..8) {
+        for src in [
+            "PATTERN IBM; Sun^2; Oracle WITHIN 12",
+            "PATTERN IBM; Sun*; Oracle WITHIN 10",
+            "PATTERN IBM; Sun+; Oracle WITHIN 10",
+        ] {
+            let expected = oracle_sigs(src, &events);
+            let got = engine_run(src, None, batch, true, &events);
+            prop_assert_eq!(&got, &expected, "query {}", src);
+        }
+    }
+
+    #[test]
+    fn conjunction_disjunction_match_oracle(events in stream_strategy(20), batch in 1usize..8) {
+        for src in [
+            "PATTERN IBM & Sun WITHIN 8",
+            "PATTERN (IBM | Sun); Oracle WITHIN 8",
+        ] {
+            let expected = oracle_sigs(src, &events);
+            let got = engine_run(src, None, batch, true, &events);
+            prop_assert_eq!(&got, &expected, "query {}", src);
+        }
+    }
+
+    #[test]
+    fn nfa_agrees_with_oracle(events in stream_strategy(26)) {
+        let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 12";
+        let aq = Arc::new(analyze(
+            &Query::parse(src).unwrap(),
+            &SchemaMap::uniform(zstream::events::Schema::stocks()),
+        ).unwrap());
+        let intake = build_intake(&aq, Some("name")).unwrap();
+        let expected = oracle_sigs(src, &events);
+        let mut nfa = zstream::nfa::NfaEngine::new(aq, intake).unwrap();
+        let mut sigs: Vec<Signature> = Vec::new();
+        for e in &events {
+            for m in nfa.push(Arc::clone(e)) {
+                sigs.push(nfa.match_signature(&m));
+            }
+        }
+        sigs.sort();
+        sigs.dedup();
+        prop_assert_eq!(&sigs, &expected);
+    }
+}
