@@ -43,9 +43,7 @@ fn main() {
             NegStrategy::PushdownPreferred,
         )
         .unwrap();
-        let plan = compiled
-            .physical_plan(PlanConfig { use_hash, ..Default::default() })
-            .unwrap();
+        let plan = compiled.physical_plan(PlanConfig { use_hash, ..Default::default() }).unwrap();
         let intake = build_intake(&compiled.aq, None).unwrap();
         let mut engine = Engine::new(compiled.aq.clone(), plan, intake, 512);
         let t0 = Instant::now();
@@ -67,16 +65,9 @@ fn main() {
     println!("\nhash speedup: {:.2}x", hash_on.throughput / hash_off.throughput);
 
     // --- EAT pruning (§4.3) ----------------------------------------------
-    header(
-        "Ablation B: EAT pruning (§4.3)",
-        "PATTERN IBM; Sun; Oracle WITHIN 200, uniform rates",
-    );
+    header("Ablation B: EAT pruning (§4.3)", "PATTERN IBM; Sun; Oracle WITHIN 200, uniform rates");
     let seq = "PATTERN IBM; Sun; Oracle WITHIN 200";
-    let events = StockGenerator::generate(StockConfig::uniform(
-        &["IBM", "Sun", "Oracle"],
-        len,
-        78,
-    ));
+    let events = StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], len, 78));
     row_header("pruning ->", &["on".to_string(), "off".to_string()]);
     let mut with = TreeRun::shaped(seq, PlanShape::left_deep(3));
     with.plan = PlanConfig { eat_pruning: true, ..Default::default() };

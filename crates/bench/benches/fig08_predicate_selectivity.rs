@@ -23,19 +23,15 @@ fn main() {
     let cols: Vec<String> = selectivities.iter().map(|s| format!("{s:.4}")).collect();
     row_header("selectivity ->", &cols);
 
-    let events = StockGenerator::generate(StockConfig::uniform(
-        &["IBM", "Sun", "Oracle"],
-        len,
-        808,
-    ));
+    let events =
+        StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], len, 808));
 
     let mut results: Vec<(&str, Vec<f64>)> =
         vec![("left-deep", vec![]), ("right-deep", vec![]), ("NFA", vec![])];
     for s in selectivities {
         let f = price_factor_for_selectivity(s);
-        let query = format!(
-            "PATTERN IBM; Sun; Oracle WHERE IBM.price > {f} * Sun.price WITHIN 200"
-        );
+        let query =
+            format!("PATTERN IBM; Sun; Oracle WHERE IBM.price > {f} * Sun.price WITHIN 200");
         let ld = measure_tree(&TreeRun::shaped(&query, PlanShape::left_deep(3)), &events, reps);
         let rd = measure_tree(&TreeRun::shaped(&query, PlanShape::right_deep(3)), &events, reps);
         let nfa = measure_nfa(&query, Routing::StockByName, &events, reps);

@@ -22,24 +22,15 @@ fn main() {
     let mut out: Vec<(&str, Vec<f64>)> = vec![("left-deep", vec![]), ("right-deep", vec![])];
     for s in selectivities {
         let f = price_factor_for_selectivity(s);
-        let src = format!(
-            "PATTERN IBM; Sun; Oracle WHERE IBM.price > {f} * Sun.price WITHIN 200"
-        );
-        let aq = analyze(
-            &Query::parse(&src).unwrap(),
-            &SchemaMap::uniform(Schema::stocks()),
-        )
-        .unwrap();
+        let src = format!("PATTERN IBM; Sun; Oracle WHERE IBM.price > {f} * Sun.price WITHIN 200");
+        let aq =
+            analyze(&Query::parse(&src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
         // Each class receives 1/3 of events, one event per time unit.
-        let stats = Statistics::uniform(3, 1, 200)
-            .with_rates(&[1.0 / 3.0; 3])
-            .with_pred_sel(0, s);
-        for (i, shape) in [PlanShape::left_deep(3), PlanShape::right_deep(3)]
-            .into_iter()
-            .enumerate()
+        let stats = Statistics::uniform(3, 1, 200).with_rates(&[1.0 / 3.0; 3]).with_pred_sel(0, s);
+        for (i, shape) in
+            [PlanShape::left_deep(3), PlanShape::right_deep(3)].into_iter().enumerate()
         {
-            let spec =
-                spec_with_shape(&aq, &stats, shape, NegStrategy::PushdownPreferred).unwrap();
+            let spec = spec_with_shape(&aq, &stats, shape, NegStrategy::PushdownPreferred).unwrap();
             out[i].1.push(1e6 / spec.est_cost);
         }
     }

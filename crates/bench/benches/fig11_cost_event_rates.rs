@@ -27,22 +27,15 @@ fn main() {
         sweeps.iter().map(|(a, b, c)| format!("{a:.0}:{b:.0}:{c:.0}")).collect();
     row_header("IBM:Sun:Oracle ->", &cols);
 
-    let aq = analyze(
-        &Query::parse(QUERY).unwrap(),
-        &SchemaMap::uniform(Schema::stocks()),
-    )
-    .unwrap();
+    let aq = analyze(&Query::parse(QUERY).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
     let mut out: Vec<(&str, Vec<f64>)> = vec![("left-deep", vec![]), ("right-deep", vec![])];
     for (a, b, c) in sweeps {
         let total = a + b + c;
-        let stats =
-            Statistics::uniform(3, 0, 200).with_rates(&[a / total, b / total, c / total]);
-        for (i, shape) in [PlanShape::left_deep(3), PlanShape::right_deep(3)]
-            .into_iter()
-            .enumerate()
+        let stats = Statistics::uniform(3, 0, 200).with_rates(&[a / total, b / total, c / total]);
+        for (i, shape) in
+            [PlanShape::left_deep(3), PlanShape::right_deep(3)].into_iter().enumerate()
         {
-            let spec =
-                spec_with_shape(&aq, &stats, shape, NegStrategy::PushdownPreferred).unwrap();
+            let spec = spec_with_shape(&aq, &stats, shape, NegStrategy::PushdownPreferred).unwrap();
             out[i].1.push(1e6 / spec.est_cost);
         }
     }

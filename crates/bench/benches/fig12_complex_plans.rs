@@ -41,12 +41,7 @@ pub fn regime_stream(
 ) -> Vec<EventRef> {
     StockGenerator::generate(
         StockConfig::with_rates(
-            &[
-                ("IBM", rates[0]),
-                ("Sun", rates[1]),
-                ("Oracle", rates[2]),
-                ("Google", rates[3]),
-            ],
+            &[("IBM", rates[0]), ("Sun", rates[1]), ("Oracle", rates[2]), ("Google", rates[3])],
             len,
             seed,
         )
@@ -69,10 +64,7 @@ fn main() {
     let len = bench_len(25_000);
     let reps = bench_reps(2);
 
-    header(
-        "Figure 12: throughput of fixed plans for Query 6 across regimes",
-        QUERY6,
-    );
+    header("Figure 12: throughput of fixed plans for Query 6 across regimes", QUERY6);
     let cols: Vec<String> = regimes().iter().map(|(l, ..)| l.to_string()).collect();
     row_header("plan \\ regime ->", &cols);
 

@@ -31,11 +31,8 @@ fn main() {
     let cols: Vec<String> = regimes.iter().map(|(l, ..)| l.to_string()).collect();
     row_header("plan \\ regime ->", &cols);
 
-    let aq = analyze(
-        &Query::parse(QUERY6).unwrap(),
-        &SchemaMap::uniform(Schema::stocks()),
-    )
-    .unwrap();
+    let aq =
+        analyze(&Query::parse(QUERY6).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
     let plans = [
         ("left-deep", PlanShape::left_deep(4)),
         ("right-deep", PlanShape::right_deep(4)),
@@ -49,9 +46,8 @@ fn main() {
                 .with_rates(rates)
                 .with_pred_sel(0, *sel1)
                 .with_pred_sel(1, *sel2);
-            let spec =
-                spec_with_shape(&aq, &stats, shape.clone(), NegStrategy::PushdownPreferred)
-                    .unwrap();
+            let spec = spec_with_shape(&aq, &stats, shape.clone(), NegStrategy::PushdownPreferred)
+                .unwrap();
             series.push(1e5 / spec.est_cost);
         }
         row(label, &series);

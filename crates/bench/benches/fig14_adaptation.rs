@@ -19,12 +19,7 @@ const QUERY6: &str = "PATTERN IBM; Sun; Oracle; Google \
 fn phase(rates: [f64; 4], ss: f64, gs: f64, len: usize, seed: u64, ts_base: u64) -> Vec<EventRef> {
     StockGenerator::generate(
         StockConfig::with_rates(
-            &[
-                ("IBM", rates[0]),
-                ("Sun", rates[1]),
-                ("Oracle", rates[2]),
-                ("Google", rates[3]),
-            ],
+            &[("IBM", rates[0]), ("Sun", rates[1]), ("Oracle", rates[2]), ("Google", rates[3])],
             len,
             seed,
         )

@@ -16,10 +16,7 @@ fn main() {
     let reps = bench_reps(3);
     let ks = [1.0, 10.0, 20.0, 30.0, 40.0, 50.0];
 
-    header(
-        "Figure 16: negation push-down (NSEQ) vs NEG-on-top, varying Sun rate",
-        QUERY7,
-    );
+    header("Figure 16: negation push-down (NSEQ) vs NEG-on-top, varying Sun rate", QUERY7);
     let cols: Vec<String> = ks.iter().map(|k| format!("1:{k:.0}:1")).collect();
     row_header("IBM:Sun:Oracle ->", &cols);
 

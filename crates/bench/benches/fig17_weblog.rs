@@ -19,10 +19,7 @@ const QUERY8: &str = "PATTERN Publication; Project; Course \
 fn main() {
     let total = bench_len(750_000) as u64;
     let reps = bench_reps(3);
-    header(
-        "Figure 17: throughput on the web access log (Query 8)",
-        QUERY8,
-    );
+    header("Figure 17: throughput on the web access log (Query 8)", QUERY8);
     let (events, stats) = WeblogGenerator::generate(&WeblogConfig::scaled(total, 2009));
     println!(
         "workload: {} records | publication {} | project {} | course {}\n",

@@ -14,10 +14,7 @@ fn main() {
     );
     let (events, stats) = WeblogGenerator::generate(&WeblogConfig::scaled(total, 2009));
     println!("{:>16} {:>14} {:>14} {:>14}", "", "publication", "project", "courses");
-    println!(
-        "{:>16} {:>14} {:>14} {:>14}",
-        "paper (1.5M)", 6_775, 11_610, 16_083
-    );
+    println!("{:>16} {:>14} {:>14} {:>14}", "paper (1.5M)", 6_775, 11_610, 16_083);
     println!(
         "{:>16} {:>14} {:>14} {:>14}",
         format!("ours ({:.2}M)", total as f64 / 1e6),

@@ -87,15 +87,12 @@ impl<'a> TreeRun<'a> {
         let query = Query::parse(self.query).expect("bench query parses");
         let schemas = self.routing.schemas();
         let compiled = match &self.shape {
-            Some(s) => {
-                CompiledQuery::with_shape(&query, &schemas, None, s.clone(), self.neg)
-                    .expect("bench query compiles")
-            }
+            Some(s) => CompiledQuery::with_shape(&query, &schemas, None, s.clone(), self.neg)
+                .expect("bench query compiles"),
             None => CompiledQuery::optimize(&query, &schemas, None).expect("compiles"),
         };
         let plan = compiled.physical_plan(self.plan.clone()).expect("plan builds");
-        let intake =
-            build_intake(&compiled.aq, Some(self.routing.field())).expect("intake builds");
+        let intake = build_intake(&compiled.aq, Some(self.routing.field())).expect("intake builds");
         Engine::new(compiled.aq.clone(), plan, intake, self.batch)
     }
 }
@@ -124,12 +121,7 @@ pub fn measure_tree(run: &TreeRun<'_>, events: &[EventRef], reps: usize) -> Meas
 }
 
 /// Runs the NFA baseline `reps` times over `events`.
-pub fn measure_nfa(
-    query: &str,
-    routing: Routing,
-    events: &[EventRef],
-    reps: usize,
-) -> Measurement {
+pub fn measure_nfa(query: &str, routing: Routing, events: &[EventRef], reps: usize) -> Measurement {
     let q = Query::parse(query).expect("bench query parses");
     let schemas = routing.schemas();
     let aq = Arc::new(zstream_lang::analyze(&q, &schemas).expect("analyzes"));
@@ -204,18 +196,12 @@ pub fn row_header(label: &str, cols: &[String]) {
 /// Shared default stream length for figure benches (events per point);
 /// override with `ZSTREAM_BENCH_LEN`.
 pub fn bench_len(default: usize) -> usize {
-    std::env::var("ZSTREAM_BENCH_LEN")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::var("ZSTREAM_BENCH_LEN").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Shared repetition count; override with `ZSTREAM_BENCH_REPS`.
 pub fn bench_reps(default: usize) -> usize {
-    std::env::var("ZSTREAM_BENCH_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    std::env::var("ZSTREAM_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 /// Default engine config used by figure benches.

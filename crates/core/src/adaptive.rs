@@ -201,10 +201,8 @@ impl AdaptiveEngine {
             return None;
         }
         let plan = self.engine.plan();
-        let bufs: Vec<&crate::physical::buffer::Buffer> = classes
-            .iter()
-            .map(|c| &plan.nodes[plan.leaf_of_class[*c]].buf)
-            .collect();
+        let bufs: Vec<&crate::physical::buffer::Buffer> =
+            classes.iter().map(|c| &plan.nodes[plan.leaf_of_class[*c]].buf).collect();
         if bufs.iter().any(|b| b.is_empty()) {
             return None;
         }

@@ -242,14 +242,13 @@ mod tests {
 
     #[test]
     fn where_predicates_filter_matches() {
-        let mut engine = EngineBuilder::parse(
-            "PATTERN IBM; Sun WHERE IBM.price > Sun.price WITHIN 100",
-        )
-        .unwrap()
-        .stock_routing()
-        .config(EngineConfig { batch_size: 1, ..Default::default() })
-        .build()
-        .unwrap();
+        let mut engine =
+            EngineBuilder::parse("PATTERN IBM; Sun WHERE IBM.price > Sun.price WITHIN 100")
+                .unwrap()
+                .stock_routing()
+                .config(EngineConfig { batch_size: 1, ..Default::default() })
+                .build()
+                .unwrap();
         let mut matches = Vec::new();
         matches.extend(engine.push(stock(1, 0, "IBM", 50.0, 1)));
         matches.extend(engine.push(stock(2, 1, "Sun", 80.0, 1))); // fails pred

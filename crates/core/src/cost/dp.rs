@@ -137,11 +137,17 @@ impl PlanSpec {
                     UnitKind::Class(c) => aq.classes[*c].name.clone(),
                     UnitKind::Kseq { .. } => format!(
                         "KSEQ({})",
-                        cs.iter().map(|c| aq.classes[*c].name.as_str()).collect::<Vec<_>>().join(",")
+                        cs.iter()
+                            .map(|c| aq.classes[*c].name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
                     ),
                     UnitKind::Nseq { .. } => format!(
                         "NSEQ({})",
-                        cs.iter().map(|c| aq.classes[*c].name.as_str()).collect::<Vec<_>>().join(",")
+                        cs.iter()
+                            .map(|c| aq.classes[*c].name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
                     ),
                 }
             })
@@ -230,10 +236,7 @@ fn extract_terms(aq: &AnalyzedQuery) -> Result<Vec<Term>, CoreError> {
 fn pushdown_valid(aq: &AnalyzedQuery, neg: &[ClassId], anchor: ClassId) -> bool {
     let neg_mask: u64 = neg.iter().fold(0, |m, c| m | (1u64 << c));
     let allowed = neg_mask | (1u64 << anchor);
-    aq.multi_preds
-        .iter()
-        .filter(|p| p.mask & neg_mask != 0)
-        .all(|p| p.mask & !allowed == 0)
+    aq.multi_preds.iter().filter(|p| p.mask & neg_mask != 0).all(|p| p.mask & !allowed == 0)
 }
 
 /// Builds the unit list for one per-negation strategy choice. `pushdown[g]`
@@ -328,9 +331,7 @@ fn build_units(
                         None
                     }
                 };
-                units.push(Unit {
-                    kind: UnitKind::Kseq { start, closure: *c, kind: *kind, end },
-                });
+                units.push(Unit { kind: UnitKind::Kseq { start, closure: *c, kind: *kind, end } });
                 i += 1;
             }
         }
@@ -384,13 +385,8 @@ fn dp_search(cm: &CostModel<'_>, units: &[Unit]) -> DpResult {
                 } else {
                     1.0
                 };
-                let oc: OperatorCost = cm.seq(
-                    card[i][r],
-                    range_mask[i][r],
-                    card[r][j],
-                    range_mask[r][j],
-                    extra,
-                );
+                let oc: OperatorCost =
+                    cm.seq(card[i][r], range_mask[i][r], card[r][j], range_mask[r][j], extra);
                 let total = min_cost[i][r] + min_cost[r][j] + oc.total();
                 if total < min_cost[i][j] {
                     min_cost[i][j] = total;
@@ -436,16 +432,10 @@ fn cost_for_shape(cm: &CostModel<'_>, units: &[Unit], shape: &PlanShape) -> (f64
     }
 }
 
-fn add_top_neg_costs(
-    cm: &CostModel<'_>,
-    top_negs: &[TopNeg],
-    mut cost: f64,
-    mut card: f64,
-) -> f64 {
+fn add_top_neg_costs(cm: &CostModel<'_>, top_negs: &[TopNeg], mut cost: f64, mut card: f64) -> f64 {
     for tn in top_negs {
         let neg_mask: u64 = tn.neg.iter().fold(0, |m, c| m | (1u64 << c));
-        let npreds =
-            cm.aq.multi_preds.iter().filter(|p| p.mask & neg_mask != 0).count();
+        let npreds = cm.aq.multi_preds.iter().filter(|p| p.mask & neg_mask != 0).count();
         let oc = cm.neg_top(card, npreds);
         cost += oc.total();
         card = oc.output;
@@ -520,9 +510,7 @@ pub fn search_optimal(aq: &AnalyzedQuery, stats: &Statistics) -> Result<PlanSpec
             best = Some(PlanSpec { units, shape: dp.shape, top_negs, est_cost: cost });
         }
     }
-    best.ok_or_else(|| {
-        CoreError::UnsupportedPattern("no viable plan found for the pattern".into())
-    })
+    best.ok_or_else(|| CoreError::UnsupportedPattern("no viable plan found for the pattern".into()))
 }
 
 /// Negation strategy requested by [`spec_with_shape`].
@@ -617,25 +605,19 @@ mod tests {
     fn selective_predicate_pulls_join_forward() {
         // Query 6 regime 2: selective predicate between classes 1 and 2
         // makes the inner plan [0, [[1,2],3]] optimal.
-        let q = aq(
-            "PATTERN IBM; Sun; Oracle; Google \
+        let q = aq("PATTERN IBM; Sun; Oracle; Google \
              WHERE Oracle.price > Sun.price AND Oracle.price > Google.price \
-             WITHIN 100",
-        );
-        let s = Statistics::uniform(4, 2, 100)
-            .with_pred_sel(0, 1.0 / 50.0)
-            .with_pred_sel(1, 1.0);
+             WITHIN 100");
+        let s = Statistics::uniform(4, 2, 100).with_pred_sel(0, 1.0 / 50.0).with_pred_sel(1, 1.0);
         let spec = search_optimal(&q, &s).unwrap();
         assert_eq!(spec.shape, PlanShape::inner4());
     }
 
     #[test]
     fn dp_matches_exhaustive_enumeration() {
-        let q = aq(
-            "PATTERN A; B; C; D; E \
+        let q = aq("PATTERN A; B; C; D; E \
              WHERE A.price > B.price AND C.price > D.price AND B.price > E.price \
-             WITHIN 50",
-        );
+             WITHIN 50");
         // A few deterministic pseudo-random statistics settings.
         for seed in 0u64..20 {
             let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
@@ -682,8 +664,7 @@ mod tests {
             [UnitKind::Class(0), UnitKind::Nseq { .. }]
         ));
 
-        let top =
-            spec_with_shape(&q, &s, PlanShape::left_deep(2), NegStrategy::TopFilter).unwrap();
+        let top = spec_with_shape(&q, &s, PlanShape::left_deep(2), NegStrategy::TopFilter).unwrap();
         assert_eq!(top.top_negs.len(), 1);
         assert!(spec.est_cost < top.est_cost);
     }
@@ -692,11 +673,9 @@ mod tests {
     fn pushdown_rejected_when_predicates_span_both_sides() {
         // Sun (negated) has predicates against both IBM and Oracle: §4.4.2
         // forces the top filter.
-        let q = aq(
-            "PATTERN IBM; !Sun; Oracle \
+        let q = aq("PATTERN IBM; !Sun; Oracle \
              WHERE Sun.price > IBM.price AND Sun.price < Oracle.price \
-             WITHIN 200",
-        );
+             WITHIN 200");
         let s = Statistics::uniform(3, 2, 200);
         let spec = search_optimal(&q, &s).unwrap();
         assert_eq!(spec.top_negs.len(), 1);
@@ -727,10 +706,7 @@ mod tests {
     fn unbounded_closure_at_end_rejected() {
         let q = aq("PATTERN A; B* WITHIN 10");
         let s = Statistics::uniform(2, 0, 10);
-        assert!(matches!(
-            search_optimal(&q, &s),
-            Err(CoreError::UnsupportedClosure(_))
-        ));
+        assert!(matches!(search_optimal(&q, &s), Err(CoreError::UnsupportedClosure(_))));
     }
 
     #[test]
@@ -762,8 +738,9 @@ mod tests {
     fn repricing_under_new_stats_changes_cost() {
         let q = aq("PATTERN A; B; C WITHIN 10");
         let s1 = Statistics::uniform(3, 0, 10);
-        let spec = spec_with_shape(&q, &s1, PlanShape::left_deep(3), NegStrategy::PushdownPreferred)
-            .unwrap();
+        let spec =
+            spec_with_shape(&q, &s1, PlanShape::left_deep(3), NegStrategy::PushdownPreferred)
+                .unwrap();
         let s2 = Statistics::uniform(3, 0, 10).with_rates(&[10.0, 1.0, 1.0]);
         let c2 = plan_cost(&q, &s2, &spec);
         assert!(c2 > spec.est_cost);
@@ -773,9 +750,6 @@ mod tests {
     fn conjunction_pattern_rejected_by_sequential_planner() {
         let q = aq("PATTERN A & B WITHIN 10");
         let s = Statistics::uniform(2, 0, 10);
-        assert!(matches!(
-            search_optimal(&q, &s),
-            Err(CoreError::UnsupportedPattern(_))
-        ));
+        assert!(matches!(search_optimal(&q, &s), Err(CoreError::UnsupportedPattern(_))));
     }
 }

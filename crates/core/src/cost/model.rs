@@ -189,8 +189,8 @@ impl<'a> CostModel<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zstream_lang::{analyze, Query, SchemaMap};
     use zstream_events::Schema;
+    use zstream_lang::{analyze, Query, SchemaMap};
 
     fn aq(src: &str) -> AnalyzedQuery {
         analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap()
@@ -280,13 +280,7 @@ mod tests {
         let m = CostModel::new(&q, &stats);
         // NSEQ plan: nseq + seq with survival factor.
         let nseq = m.nseq(&[1], 2);
-        let top_seq = m.seq(
-            stats.card(0),
-            0b001,
-            nseq.output,
-            0b110,
-            m.nseq_survival(),
-        );
+        let top_seq = m.seq(stats.card(0), 0b001, nseq.output, 0b110, m.nseq_survival());
         let pushdown = nseq.total() + top_seq.total();
         // NEG-on-top plan: seq(A, C) + filter.
         let seq_ac = m.seq(stats.card(0), 0b001, stats.card(2), 0b100, 1.0);

@@ -199,9 +199,7 @@ mod tests {
 
     #[test]
     fn card_is_rate_window_selectivity() {
-        let s = Statistics::uniform(3, 0, 10)
-            .with_rate(1, 4.0)
-            .with_single_sel(1, 0.25);
+        let s = Statistics::uniform(3, 0, 10).with_rate(1, 4.0).with_single_sel(1, 0.25);
         assert_eq!(s.card(0), 10.0);
         assert_eq!(s.card(1), 4.0 * 10.0 * 0.25);
     }

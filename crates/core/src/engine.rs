@@ -163,9 +163,10 @@ impl Engine {
             }
             self.offered[c] += 1;
             let binding = OneClassBinding { class: c, event };
-            if self.intake[c].iter().all(|p| {
-                matches!(p.eval(&binding), Ok(zstream_events::Value::Bool(true)))
-            }) {
+            if self.intake[c]
+                .iter()
+                .all(|p| matches!(p.eval(&binding), Ok(zstream_events::Value::Bool(true))))
+            {
                 self.admitted[c] += 1;
                 admitted_any = true;
                 let leaf = self.plan.leaf_of_class[c];
@@ -216,12 +217,8 @@ impl Engine {
             if self.aq.classes[*class].negated {
                 continue;
             }
-            out[*class] = rec
-                .slot(slot_idx)
-                .events()
-                .iter()
-                .map(|e| Arc::as_ptr(e) as usize)
-                .collect();
+            out[*class] =
+                rec.slot(slot_idx).events().iter().map(|e| Arc::as_ptr(e) as usize).collect();
         }
         out
     }
@@ -231,8 +228,7 @@ impl Engine {
         use std::fmt::Write;
         use zstream_lang::TypedReturn;
         let root = &self.plan.nodes[self.plan.root];
-        let binding =
-            crate::physical::binding::RecordBinding { rec, map: &root.map };
+        let binding = crate::physical::binding::RecordBinding { rec, map: &root.map };
         let mut s = format!("[{}..{}]", rec.start_ts(), rec.end_ts());
         for r in &self.aq.returns {
             match r {

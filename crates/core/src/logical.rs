@@ -53,10 +53,7 @@ fn rewrite_once(p: &PatternExpr) -> (PatternExpr, usize) {
     // The acceptance criterion of §5.2.1 is monotone by construction: every
     // individual rule either removes operators or swaps CON for DIS. Assert
     // it anyway — a rewrite must never grow the expression.
-    debug_assert!(
-        next.operator_count() <= before,
-        "rewrite grew the pattern: {p} -> {next}"
-    );
+    debug_assert!(next.operator_count() <= before, "rewrite grew the pattern: {p} -> {next}");
     (next, changed)
 }
 
@@ -64,9 +61,7 @@ fn walk(p: &PatternExpr, changed: &mut usize) -> PatternExpr {
     match p {
         PatternExpr::Class(_) => p.clone(),
         PatternExpr::Neg(inner) => PatternExpr::Neg(Box::new(walk(inner, changed))),
-        PatternExpr::Kleene(inner, k) => {
-            PatternExpr::Kleene(Box::new(walk(inner, changed)), *k)
-        }
+        PatternExpr::Kleene(inner, k) => PatternExpr::Kleene(Box::new(walk(inner, changed)), *k),
         PatternExpr::Seq(xs) => rebuild_nary(xs, changed, NaryKind::Seq),
         PatternExpr::Conj(xs) => {
             let rebuilt = rebuild_nary(xs, changed, NaryKind::Conj);
@@ -192,10 +187,8 @@ mod tests {
 
     #[test]
     fn collapses_singletons() {
-        let e = PatternExpr::Disj(vec![
-            PatternExpr::Class("A".into()),
-            PatternExpr::Class("A".into()),
-        ]);
+        let e =
+            PatternExpr::Disj(vec![PatternExpr::Class("A".into()), PatternExpr::Class("A".into())]);
         let (r, _) = rewrite_pattern(&e);
         assert_eq!(r, PatternExpr::Class("A".into()));
     }
@@ -221,10 +214,9 @@ mod tests {
 
     #[test]
     fn rewrite_query_keeps_other_clauses() {
-        let q = Query::parse(
-            "PATTERN A; (!B & !C); D WHERE A.price > D.price WITHIN 10 RETURN A, D",
-        )
-        .unwrap();
+        let q =
+            Query::parse("PATTERN A; (!B & !C); D WHERE A.price > D.price WITHIN 10 RETURN A, D")
+                .unwrap();
         let (r, n) = rewrite_query(&q);
         assert!(n >= 1);
         assert_eq!(r.within, q.within);

@@ -42,11 +42,8 @@ pub fn can_partition_by(aq: &AnalyzedQuery, field: &str) -> bool {
         return false;
     }
     // Resolve the field index per class; every class must have the field.
-    let field_idx: Vec<Option<usize>> = aq
-        .classes
-        .iter()
-        .map(|c| c.schema.field_index(field).ok())
-        .collect();
+    let field_idx: Vec<Option<usize>> =
+        aq.classes.iter().map(|c| c.schema.field_index(field).ok()).collect();
     if field_idx.iter().any(Option::is_none) {
         return false;
     }
@@ -151,18 +148,11 @@ impl PartitionedEngine {
                 .compiled
                 .physical_plan(self.plan_config.clone())
                 .expect("template plan was validated at construction");
-            let engine = Engine::new(
-                self.compiled.aq.clone(),
-                plan,
-                self.intake.clone(),
-                self.batch_size,
-            );
+            let engine =
+                Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
             self.partitions.insert(key.clone(), engine);
         }
-        self.partitions
-            .get_mut(&key)
-            .expect("inserted above")
-            .push(event)
+        self.partitions.get_mut(&key).expect("inserted above").push(event)
     }
 
     /// Flushes every partition.
@@ -195,11 +185,7 @@ impl PartitionedEngine {
     /// Signature of a record (delegates to any partition's engine — the
     /// plan layout is identical across partitions).
     pub fn record_signature(&self, rec: &Record) -> Vec<Vec<usize>> {
-        self.partitions
-            .values()
-            .next()
-            .map(|e| e.record_signature(rec))
-            .unwrap_or_default()
+        self.partitions.values().next().map(|e| e.record_signature(rec)).unwrap_or_default()
     }
 }
 
@@ -255,8 +241,7 @@ mod tests {
     fn partitioned_matches_only_within_keys() {
         let c = compiled("PATTERN A; B WHERE A.name = B.name WITHIN 100");
         let intake = build_intake(&c.aq, None).unwrap();
-        let mut pe =
-            PartitionedEngine::new(c, PlanConfig::default(), intake, 1, "name").unwrap();
+        let mut pe = PartitionedEngine::new(c, PlanConfig::default(), intake, 1, "name").unwrap();
         let mut matches = Vec::new();
         matches.extend(pe.push(stock(1, 1, "IBM", 1.0, 1)));
         matches.extend(pe.push(stock(2, 2, "Sun", 1.0, 1)));
@@ -280,21 +265,15 @@ mod tests {
 
         let c = compiled(src);
         let intake = build_intake(&c.aq, None).unwrap();
-        let mut pe = PartitionedEngine::new(
-            c.clone(),
-            PlanConfig::default(),
-            intake.clone(),
-            4,
-            "name",
-        )
-        .unwrap();
+        let mut pe =
+            PartitionedEngine::new(c.clone(), PlanConfig::default(), intake.clone(), 4, "name")
+                .unwrap();
         let mut part_out = Vec::new();
         for e in &events {
             part_out.extend(pe.push(Arc::clone(e)));
         }
         part_out.extend(pe.flush());
-        let mut part_sigs: Vec<_> =
-            part_out.iter().map(|r| pe.record_signature(r)).collect();
+        let mut part_sigs: Vec<_> = part_out.iter().map(|r| pe.record_signature(r)).collect();
         part_sigs.sort();
 
         let plan = c.physical_plan(PlanConfig::default()).unwrap();
@@ -304,8 +283,7 @@ mod tests {
             flat_out.extend(engine.push(Arc::clone(e)));
         }
         flat_out.extend(engine.flush());
-        let mut flat_sigs: Vec<_> =
-            flat_out.iter().map(|r| engine.record_signature(r)).collect();
+        let mut flat_sigs: Vec<_> = flat_out.iter().map(|r| engine.record_signature(r)).collect();
         flat_sigs.sort();
 
         assert!(!flat_sigs.is_empty());
@@ -317,10 +295,8 @@ mod tests {
         // `T1.name = T2.name = T3.name` with T2 negated: when no T2 occurs,
         // nothing forces T1.name == T3.name, so partitioning is unsound.
         let aq = analyze(
-            &Query::parse(
-                "PATTERN T1; !T2; T3 WHERE T1.name = T2.name = T3.name WITHIN 10",
-            )
-            .unwrap(),
+            &Query::parse("PATTERN T1; !T2; T3 WHERE T1.name = T2.name = T3.name WITHIN 10")
+                .unwrap(),
             &SchemaMap::uniform(Schema::stocks()),
         )
         .unwrap();

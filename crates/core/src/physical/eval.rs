@@ -22,7 +22,9 @@
 use zstream_events::{EventRef, Record, Slot, Ts};
 use zstream_lang::{ClassId, EventBinding, KleeneKind, TypedExpr};
 
-use crate::physical::binding::{pred_passes, ClassMap, PairBinding, RecordBinding, WithEventBinding};
+use crate::physical::binding::{
+    pred_passes, ClassMap, PairBinding, RecordBinding, WithEventBinding,
+};
 use crate::physical::hash::HashIndex;
 use crate::physical::plan::{Node, NodeKind, PhysicalPlan};
 
@@ -65,8 +67,7 @@ impl PhysicalPlan {
     /// Prunes every buffer and rebuilds hash indexes whose build-side buffer
     /// shifted.
     fn prune_all(&mut self, eat: Ts) {
-        let pruned: Vec<bool> =
-            self.nodes.iter_mut().map(|n| n.buf.prune(eat) > 0).collect();
+        let pruned: Vec<bool> = self.nodes.iter_mut().map(|n| n.buf.prune(eat) > 0).collect();
         for k in 0..self.nodes.len() {
             let Some(spec) = self.nodes[k].hash.clone() else { continue };
             let (left, right) = match self.nodes[k].kind {
@@ -87,17 +88,17 @@ impl PhysicalPlan {
     /// Total logical footprint of all buffers and hash indexes (peak-memory
     /// accounting for Tables 3 and 5).
     pub fn total_bytes(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| n.buf.bytes() + n.hash_left.bytes() + n.hash_right.bytes())
-            .sum()
+        self.nodes.iter().map(|n| n.buf.bytes() + n.hash_left.bytes() + n.hash_right.bytes()).sum()
     }
 
     /// Resets all dynamic state: internal buffers cleared, leaf buffers
     /// rewound for replay, except classes in `keep_consumed` (the trigger
     /// classes) whose cursor is preserved — the adaptive plan-switch
     /// protocol of §5.3.
-    pub fn reset_for_switch(&mut self, leaf_snapshots: Vec<(ClassId, crate::physical::buffer::Buffer)>) {
+    pub fn reset_for_switch(
+        &mut self,
+        leaf_snapshots: Vec<(ClassId, crate::physical::buffer::Buffer)>,
+    ) {
         for (class, buf) in leaf_snapshots {
             let li = self.leaf_of_class[class];
             self.nodes[li].buf = buf;
@@ -195,11 +196,8 @@ fn eval_seq(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &EvalC
                 left: RecordBinding { rec: lr, map: &lnode.map },
                 right: RecordBinding { rec: rr, map: &rnode.map },
             };
-            let covered: &[usize] = if hash_used {
-                node.hash.as_ref().map_or(&[], |s| &s.covered_preds)
-            } else {
-                &[]
-            };
+            let covered: &[usize] =
+                if hash_used { node.hash.as_ref().map_or(&[], |s| &s.covered_preds) } else { &[] };
             if !preds_pass(&node.preds, covered, &binding, ctx.optional_mask) {
                 continue;
             }
@@ -259,9 +257,9 @@ fn eval_conj(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &Eval
             let parts = if probe_right { &spec.left } else { &spec.right };
             if let Some(key) = HashIndex::key_of(pr, pr_map, parts) {
                 let idx = if probe_right { &node.hash_right } else { &node.hash_left };
-                candidates.extend(idx.probe(&key).iter().copied().filter(|&i| (i as usize) < bound));
                 candidates
-                    .extend(idx.unkeyed().iter().copied().filter(|&i| (i as usize) < bound));
+                    .extend(idx.probe(&key).iter().copied().filter(|&i| (i as usize) < bound));
+                candidates.extend(idx.unkeyed().iter().copied().filter(|&i| (i as usize) < bound));
                 hash_used = true;
             }
         }
@@ -276,20 +274,14 @@ fn eval_conj(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &Eval
                 continue;
             }
             // Positional slots: left-child classes first.
-            let (lrec, rrec, lmap2, rmap2) = if take_left {
-                (pr, br, pr_map, other_map)
-            } else {
-                (br, pr, other_map, pr_map)
-            };
+            let (lrec, rrec, lmap2, rmap2) =
+                if take_left { (pr, br, pr_map, other_map) } else { (br, pr, other_map, pr_map) };
             let binding = PairBinding {
                 left: RecordBinding { rec: lrec, map: lmap2 },
                 right: RecordBinding { rec: rrec, map: rmap2 },
             };
-            let covered: &[usize] = if hash_used {
-                node.hash.as_ref().map_or(&[], |s| &s.covered_preds)
-            } else {
-                &[]
-            };
+            let covered: &[usize] =
+                if hash_used { node.hash.as_ref().map_or(&[], |s| &s.covered_preds) } else { &[] };
             if !preds_pass(&node.preds, covered, &binding, ctx.optional_mask) {
                 continue;
             }
@@ -324,8 +316,7 @@ fn eval_disj(nodes: &mut [Node], k: usize, left: usize, right: usize) {
         } else {
             let r = rnode.buf.get(rc);
             rc += 1;
-            let mut slots: Vec<Slot> =
-                std::iter::repeat_with(|| Slot::None).take(lwidth).collect();
+            let mut slots: Vec<Slot> = std::iter::repeat_with(|| Slot::None).take(lwidth).collect();
             slots.extend(r.slots().iter().cloned());
             Record::from_slots_with_span(slots, r.start_ts(), r.end_ts())
         };
@@ -435,9 +426,9 @@ fn eval_kseq(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
             for ei in enode.buf.consumed()..enode.buf.len() {
                 let er = enode.buf.get(ei);
                 let starts: Vec<Option<usize>> = match start {
-                    Some(s) => (0..before[s].buf.prefix_end_before(er.start_ts()))
-                        .map(Some)
-                        .collect(),
+                    Some(s) => {
+                        (0..before[s].buf.prefix_end_before(er.start_ts())).map(Some).collect()
+                    }
                     None => vec![None],
                 };
                 for si in starts {
@@ -465,9 +456,7 @@ fn eval_kseq(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
             for mi in mbuf.consumed()..mbuf.len() {
                 let m_end = mbuf.get(mi).end_ts();
                 let starts: Vec<Option<usize>> = match start {
-                    Some(s) => {
-                        (0..before[s].buf.prefix_end_before(m_end)).map(Some).collect()
-                    }
+                    Some(s) => (0..before[s].buf.prefix_end_before(m_end)).map(Some).collect(),
                     None => vec![None],
                 };
                 for si in starts {
@@ -651,16 +640,8 @@ fn eval_negtop(nodes: &mut [Node], k: usize, ctx: &EvalCtx) {
         if !rec_preds.iter().all(|p| pred_passes(p, &base, ctx.optional_mask)) {
             continue;
         }
-        let prev_ts = node
-            .map
-            .slot_of(prev)
-            .and_then(|p| rr.slot(p).as_one())
-            .map(|e| e.ts());
-        let next_ts = node
-            .map
-            .slot_of(next)
-            .and_then(|p| rr.slot(p).as_one())
-            .map(|e| e.ts());
+        let prev_ts = node.map.slot_of(prev).and_then(|p| rr.slot(p).as_one()).map(|e| e.ts());
+        let next_ts = node.map.slot_of(next).and_then(|p| rr.slot(p).as_one()).map(|e| e.ts());
         let (Some(prev_ts), Some(next_ts)) = (prev_ts, next_ts) else {
             // Defensive: anchors should always be bound for flat sequences.
             node.buf.push(rr.clone());

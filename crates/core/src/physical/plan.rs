@@ -261,15 +261,10 @@ impl PhysicalPlan {
             NodeKind::Seq { left, right }
             | NodeKind::Conj { left, right }
             | NodeKind::Disj { left, right } => vec![*left, *right],
-            NodeKind::Nseq { negs, right } => {
-                negs.iter().copied().chain([*right]).collect()
+            NodeKind::Nseq { negs, right } => negs.iter().copied().chain([*right]).collect(),
+            NodeKind::Kseq { start, closure, end, .. } => {
+                start.iter().copied().chain([*closure]).chain(end.iter().copied()).collect()
             }
-            NodeKind::Kseq { start, closure, end, .. } => start
-                .iter()
-                .copied()
-                .chain([*closure])
-                .chain(end.iter().copied())
-                .collect(),
             NodeKind::NegTop { input, negs, .. } => {
                 [*input].into_iter().chain(negs.iter().copied()).collect()
             }
@@ -402,11 +397,13 @@ impl<'a> Builder<'a> {
                 }
                 Ok(cur)
             }
-            TypedPattern::Neg(_) | TypedPattern::Kleene(_, _) => Err(CoreError::UnsupportedPattern(
-                "negation and Kleene closure require a flat sequential pattern \
+            TypedPattern::Neg(_) | TypedPattern::Kleene(_, _) => {
+                Err(CoreError::UnsupportedPattern(
+                    "negation and Kleene closure require a flat sequential pattern \
                  (planned via PlanSpec); mixed nesting is not supported"
-                    .into(),
-            )),
+                        .into(),
+                ))
+            }
         }
     }
 
@@ -420,10 +417,8 @@ impl<'a> Builder<'a> {
             .iter()
             .map(|n| match &n.kind {
                 NodeKind::NegTop { negs, .. } => {
-                    let neg_mask: u64 = negs
-                        .iter()
-                        .map(|ni| self.nodes[*ni].mask())
-                        .fold(0, |a, b| a | b);
+                    let neg_mask: u64 =
+                        negs.iter().map(|ni| self.nodes[*ni].mask()).fold(0, |a, b| a | b);
                     n.mask() | neg_mask
                 }
                 NodeKind::Nseq { .. } | NodeKind::Kseq { .. } => n.mask(),
@@ -470,9 +465,7 @@ impl<'a> Builder<'a> {
         if self.config.use_hash {
             for i in 0..self.nodes.len() {
                 let (li, ri) = match self.nodes[i].kind {
-                    NodeKind::Seq { left, right } | NodeKind::Conj { left, right } => {
-                        (left, right)
-                    }
+                    NodeKind::Seq { left, right } | NodeKind::Conj { left, right } => (left, right),
                     _ => continue,
                 };
                 let lmask = self.nodes[li].mask();
@@ -480,15 +473,14 @@ impl<'a> Builder<'a> {
                 let mut spec = HashSpec { left: vec![], right: vec![], covered_preds: vec![] };
                 for (pi, pred) in self.nodes[i].preds.iter().enumerate() {
                     if let Some(((c1, f1), (c2, f2))) = as_equality(pred) {
-                        let (lpart, rpart) = if lmask & (1u64 << c1) != 0
-                            && rmask & (1u64 << c2) != 0
-                        {
-                            ((c1, f1), (c2, f2))
-                        } else if lmask & (1u64 << c2) != 0 && rmask & (1u64 << c1) != 0 {
-                            ((c2, f2), (c1, f1))
-                        } else {
-                            continue;
-                        };
+                        let (lpart, rpart) =
+                            if lmask & (1u64 << c1) != 0 && rmask & (1u64 << c2) != 0 {
+                                ((c1, f1), (c2, f2))
+                            } else if lmask & (1u64 << c2) != 0 && rmask & (1u64 << c1) != 0 {
+                                ((c2, f2), (c1, f1))
+                            } else {
+                                continue;
+                            };
                         spec.left.push(KeyPart { class: lpart.0, field: lpart.1 });
                         spec.right.push(KeyPart { class: rpart.0, field: rpart.1 });
                         spec.covered_preds.push(pi);
@@ -600,10 +592,9 @@ pub fn optional_mask(p: &TypedPattern, under_disj: bool) -> u64 {
         TypedPattern::Seq(xs) | TypedPattern::Conj(xs) => {
             xs.iter().map(|x| optional_mask(x, under_disj)).fold(0, |a, b| a | b)
         }
-        TypedPattern::Disj(xs) => xs
-            .iter()
-            .map(|x| optional_mask(x, xs.len() > 1))
-            .fold(0, |a, b| a | b),
+        TypedPattern::Disj(xs) => {
+            xs.iter().map(|x| optional_mask(x, xs.len() > 1)).fold(0, |a, b| a | b)
+        }
         TypedPattern::Neg(x) => optional_mask(x, under_disj),
     }
 }
@@ -637,15 +628,10 @@ mod tests {
                 NodeKind::Seq { left, right }
                 | NodeKind::Conj { left, right }
                 | NodeKind::Disj { left, right } => vec![*left, *right],
-                NodeKind::Nseq { negs, right } => {
-                    negs.iter().copied().chain([*right]).collect()
+                NodeKind::Nseq { negs, right } => negs.iter().copied().chain([*right]).collect(),
+                NodeKind::Kseq { start, closure, end, .. } => {
+                    start.iter().copied().chain([*closure]).chain(end.iter().copied()).collect()
                 }
-                NodeKind::Kseq { start, closure, end, .. } => start
-                    .iter()
-                    .copied()
-                    .chain([*closure])
-                    .chain(end.iter().copied())
-                    .collect(),
                 NodeKind::NegTop { input, negs, .. } => {
                     [*input].into_iter().chain(negs.iter().copied()).collect()
                 }
@@ -722,30 +708,22 @@ mod tests {
 
     #[test]
     fn kseq_event_preds_split_from_group_preds() {
-        let q = aq(
-            "PATTERN T1; T2^2; T3 \
+        let q = aq("PATTERN T1; T2^2; T3 \
              WHERE sum(T2.volume) > 10 AND T2.price > T1.price \
-             WITHIN 10",
-        );
+             WITHIN 10");
         let stats = Statistics::uniform(3, 2, 10);
         let spec = search_optimal(&q, &stats).unwrap();
         let plan = PhysicalPlan::from_spec(&q, &spec, PlanConfig::default()).unwrap();
-        let kseq = plan
-            .nodes
-            .iter()
-            .find(|n| matches!(n.kind, NodeKind::Kseq { .. }))
-            .unwrap();
+        let kseq = plan.nodes.iter().find(|n| matches!(n.kind, NodeKind::Kseq { .. })).unwrap();
         assert_eq!(kseq.preds.len(), 1, "aggregate stays a group predicate");
         assert_eq!(kseq.event_preds.len(), 1, "plain closure attr is per-event");
     }
 
     #[test]
     fn negtop_plan_covers_neg_predicates() {
-        let q = aq(
-            "PATTERN IBM; !Sun; Oracle \
+        let q = aq("PATTERN IBM; !Sun; Oracle \
              WHERE Sun.price > IBM.price AND Sun.price < Oracle.price \
-             WITHIN 200",
-        );
+             WITHIN 200");
         let stats = Statistics::uniform(3, 2, 200);
         let spec = search_optimal(&q, &stats).unwrap();
         assert_eq!(spec.top_negs.len(), 1, "cross-side predicates force NEG-on-top");

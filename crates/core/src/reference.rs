@@ -100,10 +100,7 @@ impl PartialMatch {
 
     /// Canonical signature for comparison with engine output.
     pub fn signature(&self) -> Signature {
-        self.bind
-            .iter()
-            .map(|evs| evs.iter().map(|e| Arc::as_ptr(e) as usize).collect())
-            .collect()
+        self.bind.iter().map(|evs| evs.iter().map(|e| Arc::as_ptr(e) as usize).collect()).collect()
     }
 }
 
@@ -256,10 +253,9 @@ impl<'a> Matcher<'a> {
     fn enumerate(&self, p: &TypedPattern) -> Vec<PartialMatch> {
         let n = self.aq.num_classes();
         match p {
-            TypedPattern::Class(c) => self.admitted[*c]
-                .iter()
-                .map(|e| PartialMatch::empty(n).with_event(*c, e))
-                .collect(),
+            TypedPattern::Class(c) => {
+                self.admitted[*c].iter().map(|e| PartialMatch::empty(n).with_event(*c, e)).collect()
+            }
             TypedPattern::Seq(xs) => self.enumerate_seq(xs),
             TypedPattern::Kleene(_, _) => self.enumerate_seq(std::slice::from_ref(p)),
             TypedPattern::Conj(xs) => {
@@ -293,10 +289,7 @@ impl<'a> Matcher<'a> {
                     collect_classes(inner, &mut pending_neg);
                 }
                 TypedPattern::Kleene(c, k) => {
-                    assert!(
-                        pending_neg.is_empty(),
-                        "negation adjacent to closure is unsupported"
-                    );
+                    assert!(pending_neg.is_empty(), "negation adjacent to closure is unsupported");
                     pending_closure = Some((*c, *k));
                 }
                 pos => {
@@ -580,9 +573,7 @@ mod tests {
 
     #[test]
     fn kleene_aggregate_filters_groups() {
-        let q = aq(
-            "PATTERN IBM; Sun^2; Oracle WHERE sum(Sun.volume) > 25 WITHIN 100",
-        );
+        let q = aq("PATTERN IBM; Sun^2; Oracle WHERE sum(Sun.volume) > 25 WITHIN 100");
         let events = vec![
             stock(1, 0, "IBM", 1.0, 1),
             stock(2, 1, "Sun", 1.0, 10),

@@ -7,9 +7,7 @@
 use std::sync::Arc;
 
 use zstream_core::reference::{reference_signatures, Signature};
-use zstream_core::{
-    build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape,
-};
+use zstream_core::{build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape};
 use zstream_events::{stock, EventRef};
 use zstream_lang::Query;
 
@@ -57,8 +55,7 @@ fn engine_signatures(
         out.extend(engine.push(Arc::clone(e)));
     }
     out.extend(engine.flush());
-    let mut sigs: Vec<Signature> =
-        out.iter().map(|r| engine.record_signature(r)).collect();
+    let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
     let before_dedup = sigs.len();
     sigs.sort();
     sigs.dedup();
@@ -89,9 +86,13 @@ fn check_flat(src: &str, n_units: usize, seeds: std::ops::Range<u64>, names: &[&
             vec![PlanShape::left_deep(n_units), PlanShape::right_deep(n_units)]
         };
         for shape in shapes {
-            for (batch, hash, prune) in
-                [(1, true, true), (7, true, true), (1000, true, true), (3, false, true), (5, true, false)]
-            {
+            for (batch, hash, prune) in [
+                (1, true, true),
+                (7, true, true),
+                (1000, true, true),
+                (3, false, true),
+                (5, true, false),
+            ] {
                 let cfg = PlanConfig { use_hash: hash, eat_pruning: prune };
                 let got = engine_signatures(
                     src,
@@ -117,15 +118,12 @@ fn check_syntax(src: &str, seeds: std::ops::Range<u64>, names: &[&str]) {
         let expected = reference_for(src, &events);
         for (batch, hash) in [(1, true), (6, true), (4, false), (1000, true)] {
             let cfg = PlanConfig { use_hash: hash, ..Default::default() };
-            let got = engine_signatures(
-                src,
-                None,
-                NegStrategy::PushdownPreferred,
-                batch,
-                cfg,
-                &events,
+            let got =
+                engine_signatures(src, None, NegStrategy::PushdownPreferred, batch, cfg, &events);
+            assert_eq!(
+                got, expected,
+                "mismatch: seed={seed} batch={batch} hash={hash} query={src}"
             );
-            assert_eq!(got, expected, "mismatch: seed={seed} batch={batch} hash={hash} query={src}");
         }
     }
 }
@@ -217,14 +215,8 @@ fn both_negation_strategies_agree() {
             PlanConfig::default(),
             &events,
         );
-        let top = engine_signatures(
-            src,
-            None,
-            NegStrategy::TopFilter,
-            4,
-            PlanConfig::default(),
-            &events,
-        );
+        let top =
+            engine_signatures(src, None, NegStrategy::TopFilter, 4, PlanConfig::default(), &events);
         assert_eq!(pushdown, top, "strategies disagree at seed {seed}");
     }
 }
@@ -318,11 +310,7 @@ fn conjunction_matches_oracle() {
 
 #[test]
 fn conjunction_with_predicate_matches_oracle() {
-    check_syntax(
-        "PATTERN IBM & Sun WHERE IBM.price > Sun.price WITHIN 15",
-        0..6,
-        &["IBM", "Sun"],
-    );
+    check_syntax("PATTERN IBM & Sun WHERE IBM.price > Sun.price WITHIN 15", 0..6, &["IBM", "Sun"]);
 }
 
 #[test]

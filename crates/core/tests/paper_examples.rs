@@ -32,10 +32,7 @@ fn figure5_nseq_walkthrough() {
     let b3 = stock(3, 3, "B", 1.0, 1);
     let a4 = stock(4, 4, "A", 1.0, 1);
     let c5 = stock(5, 5, "C", 1.0, 1);
-    let out = push_all(
-        &mut engine,
-        &[a1, b2, b3, Arc::clone(&a4), Arc::clone(&c5)],
-    );
+    let out = push_all(&mut engine, &[a1, b2, b3, Arc::clone(&a4), Arc::clone(&c5)]);
     assert_eq!(out.len(), 1, "exactly the composite (a4, c5)");
     let rec = &out[0];
     // Root record slots: [A, B, C] — A must be a4 and C must be c5.
@@ -56,11 +53,7 @@ fn figure5_without_negation_instance() {
         .unwrap();
     let out = push_all(
         &mut engine,
-        &[
-            stock(1, 1, "A", 1.0, 1),
-            stock(4, 4, "A", 1.0, 1),
-            stock(5, 5, "C", 1.0, 1),
-        ],
+        &[stock(1, 1, "A", 1.0, 1), stock(4, 4, "A", 1.0, 1), stock(5, 5, "C", 1.0, 1)],
     );
     assert_eq!(out.len(), 2, "both a1 and a4 match c5");
 }
@@ -143,14 +136,12 @@ fn figure6_kseq_count_two() {
 /// when searching backward for the negating event.
 #[test]
 fn nseq_skips_nonqualifying_negation_instances() {
-    let mut engine = EngineBuilder::parse(
-        "PATTERN A; !B; C WHERE B.price < C.price WITHIN 100",
-    )
-    .unwrap()
-    .stock_routing()
-    .config(EngineConfig { batch_size: 1, ..Default::default() })
-    .build()
-    .unwrap();
+    let mut engine = EngineBuilder::parse("PATTERN A; !B; C WHERE B.price < C.price WITHIN 100")
+        .unwrap()
+        .stock_routing()
+        .config(EngineConfig { batch_size: 1, ..Default::default() })
+        .build()
+        .unwrap();
     let out = push_all(
         &mut engine,
         &[
@@ -181,11 +172,7 @@ fn composite_duration_bounded_by_window() {
     // consecutive pair is within the window.
     let out = push_all(
         &mut engine,
-        &[
-            stock(0, 1, "A", 1.0, 1),
-            stock(6, 2, "B", 1.0, 1),
-            stock(12, 3, "C", 1.0, 1),
-        ],
+        &[stock(0, 1, "A", 1.0, 1), stock(6, 2, "B", 1.0, 1), stock(12, 3, "C", 1.0, 1)],
     );
     assert!(out.is_empty());
 }
@@ -200,9 +187,6 @@ fn simultaneous_events_do_not_chain() {
         .config(EngineConfig { batch_size: 1, ..Default::default() })
         .build()
         .unwrap();
-    let out = push_all(
-        &mut engine,
-        &[stock(5, 1, "A", 1.0, 1), stock(5, 2, "B", 1.0, 1)],
-    );
+    let out = push_all(&mut engine, &[stock(5, 1, "A", 1.0, 1), stock(5, 2, "B", 1.0, 1)]);
     assert!(out.is_empty());
 }

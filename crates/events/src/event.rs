@@ -170,10 +170,7 @@ mod tests {
             .value(10i64)
             .build()
             .unwrap_err();
-        assert!(matches!(
-            err,
-            EventError::FieldTypeMismatch { expected: ValueType::Float, .. }
-        ));
+        assert!(matches!(err, EventError::FieldTypeMismatch { expected: ValueType::Float, .. }));
     }
 
     #[test]

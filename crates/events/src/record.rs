@@ -247,10 +247,8 @@ mod tests {
     #[test]
     fn footprint_grows_with_closure_size() {
         let small = Record::primitive(stock(1, 1, "A", 1.0, 1));
-        let many: Arc<[EventRef]> = (0..10)
-            .map(|i| stock(i, i as i64, "G", 1.0, 1))
-            .collect::<Vec<_>>()
-            .into();
+        let many: Arc<[EventRef]> =
+            (0..10).map(|i| stock(i, i as i64, "G", 1.0, 1)).collect::<Vec<_>>().into();
         let big = Record::from_slots(vec![Slot::Many(many)]);
         assert!(big.footprint() > small.footprint());
     }

@@ -121,10 +121,7 @@ impl Value {
             (Value::Float(a), Value::Int(b)) => Ok(a.total_cmp(&(*b as f64))),
             (Value::Str(a), Value::Str(b)) => Ok(a.as_ref().cmp(b.as_ref())),
             (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
-            (a, b) => Err(EventError::Incomparable {
-                left: a.value_type(),
-                right: b.value_type(),
-            }),
+            (a, b) => Err(EventError::Incomparable { left: a.value_type(), right: b.value_type() }),
         }
     }
 
@@ -280,10 +277,7 @@ mod tests {
 
     #[test]
     fn integer_division_by_zero_errors() {
-        assert!(matches!(
-            Value::Int(1).div(&Value::Int(0)),
-            Err(EventError::DivisionByZero)
-        ));
+        assert!(matches!(Value::Int(1).div(&Value::Int(0)), Err(EventError::DivisionByZero)));
     }
 
     #[test]

@@ -170,20 +170,12 @@ pub fn analyze(query: &Query, schemas: &SchemaMap) -> Result<AnalyzedQuery, Lang
     let mut classes: Vec<ClassInfo> = names
         .iter()
         .map(|n| {
-            let schema = schemas
-                .lookup(n)
-                .ok_or_else(|| LangError::UnknownClass(n.to_string()))?;
-            Ok(ClassInfo {
-                name: n.to_string(),
-                schema,
-                kleene: None,
-                negated: false,
-            })
+            let schema = schemas.lookup(n).ok_or_else(|| LangError::UnknownClass(n.to_string()))?;
+            Ok(ClassInfo { name: n.to_string(), schema, kleene: None, negated: false })
         })
         .collect::<Result<_, LangError>>()?;
 
-    let by_name: HashMap<&str, ClassId> =
-        names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let by_name: HashMap<&str, ClassId> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
 
     // 2. Build the typed pattern and record negation/closure flags.
     let pattern = build_typed(&query.pattern, &by_name, &mut classes, Ctx::Top)?;
@@ -349,9 +341,9 @@ fn build_typed(
                     classes[id].kleene = Some(*kind);
                     Ok(TypedPattern::Kleene(id, *kind))
                 }
-                _ => Err(LangError::InvalidKleene(
-                    "closure applies to a single event class".into(),
-                )),
+                _ => {
+                    Err(LangError::InvalidKleene("closure applies to a single event class".into()))
+                }
             }
         }
     }
@@ -409,11 +401,8 @@ fn detect_equality(e: &TypedExpr) -> Option<EqualityPred> {
         ) = (l.as_ref(), r.as_ref())
         {
             if c1 != c2 {
-                let (left, right) = if c1 < c2 {
-                    ((*c1, *f1), (*c2, *f2))
-                } else {
-                    ((*c2, *f2), (*c1, *f1))
-                };
+                let (left, right) =
+                    if c1 < c2 { ((*c1, *f1), (*c2, *f2)) } else { ((*c2, *f2), (*c1, *f1)) };
                 return Some(EqualityPred { left, right });
             }
         }
@@ -540,9 +529,7 @@ fn type_return(
 ) -> Result<TypedReturn, LangError> {
     match r {
         ReturnItem::Class(c) => {
-            let id = *by_name
-                .get(c.as_str())
-                .ok_or_else(|| LangError::UnknownClass(c.clone()))?;
+            let id = *by_name.get(c.as_str()).ok_or_else(|| LangError::UnknownClass(c.clone()))?;
             if classes[id].negated {
                 return Err(LangError::InvalidNegation(format!(
                     "cannot RETURN negated class '{c}'"
@@ -551,9 +538,7 @@ fn type_return(
             Ok(TypedReturn::Class(id))
         }
         ReturnItem::Agg(func, c, f) => {
-            let id = *by_name
-                .get(c.as_str())
-                .ok_or_else(|| LangError::UnknownClass(c.clone()))?;
+            let id = *by_name.get(c.as_str()).ok_or_else(|| LangError::UnknownClass(c.clone()))?;
             if classes[id].kleene.is_none() {
                 return Err(LangError::AggregateOverNonClosure(c.clone()));
             }
@@ -627,10 +612,7 @@ mod tests {
     #[test]
     fn aggregate_over_non_closure_rejected() {
         let q = Query::parse("PATTERN A; B WHERE sum(A.volume) > 1 WITHIN 10").unwrap();
-        assert!(matches!(
-            analyze(&q, &stocks()),
-            Err(LangError::AggregateOverNonClosure(_))
-        ));
+        assert!(matches!(analyze(&q, &stocks()), Err(LangError::AggregateOverNonClosure(_))));
     }
 
     #[test]
@@ -680,10 +662,7 @@ mod tests {
     #[test]
     fn incomparable_where_types_rejected() {
         let q = Query::parse("PATTERN A; B WHERE A.name > B.price WITHIN 10").unwrap();
-        assert!(matches!(
-            analyze(&q, &stocks()),
-            Err(LangError::IncomparableTypes { .. })
-        ));
+        assert!(matches!(analyze(&q, &stocks()), Err(LangError::IncomparableTypes { .. })));
     }
 
     #[test]

@@ -124,11 +124,7 @@ impl PatternExpr {
 
 impl fmt::Display for PatternExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_nary(
-            f: &mut fmt::Formatter<'_>,
-            xs: &[PatternExpr],
-            sep: &str,
-        ) -> fmt::Result {
+        fn write_nary(f: &mut fmt::Formatter<'_>, xs: &[PatternExpr], sep: &str) -> fmt::Result {
             write!(f, "(")?;
             for (i, x) in xs.iter().enumerate() {
                 if i > 0 {

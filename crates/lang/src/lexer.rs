@@ -158,10 +158,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 if j >= bytes.len() {
                     return Err(LangError::UnterminatedString { pos });
                 }
-                tokens.push(Token {
-                    kind: TokenKind::Str(src[start..j].to_string()),
-                    pos,
-                });
+                tokens.push(Token { kind: TokenKind::Str(src[start..j].to_string()), pos });
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
@@ -184,15 +181,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 }
                 let text = &src[i..j];
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| LangError::BadNumber {
-                        text: text.to_string(),
-                        pos,
-                    })?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| LangError::BadNumber { text: text.to_string(), pos })?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|_| LangError::BadNumber {
-                        text: text.to_string(),
-                        pos,
-                    })?)
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| LangError::BadNumber { text: text.to_string(), pos })?,
+                    )
                 };
                 tokens.push(Token { kind, pos });
                 i = j;
@@ -261,11 +258,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("pattern Where wIthIn")[..3], [
-            TokenKind::Pattern,
-            TokenKind::Where,
-            TokenKind::Within
-        ]);
+        assert_eq!(
+            kinds("pattern Where wIthIn")[..3],
+            [TokenKind::Pattern, TokenKind::Where, TokenKind::Within]
+        );
     }
 
     #[test]
@@ -301,10 +297,7 @@ mod tests {
 
     #[test]
     fn lexes_strings() {
-        assert_eq!(
-            kinds("'Google'"),
-            vec![TokenKind::Str("Google".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds("'Google'"), vec![TokenKind::Str("Google".into()), TokenKind::Eof]);
     }
 
     #[test]

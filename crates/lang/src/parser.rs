@@ -27,18 +27,10 @@ pub fn parse_query(src: &str) -> Result<Query, LangError> {
     let mut p = Parser { tokens, pos: 0 };
     p.expect(&TokenKind::Pattern, "PATTERN")?;
     let pattern = p.parse_pattern()?;
-    let where_clause = if p.eat(&TokenKind::Where) {
-        Some(p.parse_expr()?)
-    } else {
-        None
-    };
+    let where_clause = if p.eat(&TokenKind::Where) { Some(p.parse_expr()?) } else { None };
     p.expect(&TokenKind::Within, "WITHIN")?;
     let within = p.parse_duration()?;
-    let returns = if p.eat(&TokenKind::Return) {
-        p.parse_returns()?
-    } else {
-        Vec::new()
-    };
+    let returns = if p.eat(&TokenKind::Return) { p.parse_returns()? } else { Vec::new() };
     if !matches!(p.peek().kind, TokenKind::Eof) {
         return Err(LangError::TrailingInput { pos: p.peek().pos });
     }
@@ -554,7 +546,9 @@ mod tests {
             q.where_clause.unwrap(),
             Expr::Binary(BinOp::Gt, l, _) if matches!(*l, Expr::Agg { func: AggFunc::Sum, .. })
         ));
-        assert!(matches!(&q.returns[1], ReturnItem::Agg(AggFunc::Sum, c, f) if c == "T2" && f == "volume"));
+        assert!(
+            matches!(&q.returns[1], ReturnItem::Agg(AggFunc::Sum, c, f) if c == "T2" && f == "volume")
+        );
     }
 
     #[test]
@@ -567,10 +561,7 @@ mod tests {
 
     #[test]
     fn missing_pattern_keyword_rejected() {
-        assert!(matches!(
-            parse_query("A; B WITHIN 10"),
-            Err(LangError::Expected { .. })
-        ));
+        assert!(matches!(parse_query("A; B WITHIN 10"), Err(LangError::Expected { .. })));
     }
 
     #[test]

@@ -218,8 +218,7 @@ fn eval_agg(func: AggFunc, field: usize, group: &[EventRef]) -> Result<Value, Ev
                     }
                 }
                 AggFunc::Max => {
-                    if v.compare(&a).map_err(|_| EvalError::Type)? == std::cmp::Ordering::Greater
-                    {
+                    if v.compare(&a).map_err(|_| EvalError::Type)? == std::cmp::Ordering::Greater {
                         v
                     } else {
                         a
@@ -231,9 +230,7 @@ fn eval_agg(func: AggFunc, field: usize, group: &[EventRef]) -> Result<Value, Ev
     }
     let total = acc.expect("group nonempty");
     if matches!(func, AggFunc::Avg) {
-        return Ok(Value::Float(
-            total.as_f64().map_err(|_| EvalError::Type)? / group.len() as f64,
-        ));
+        return Ok(Value::Float(total.as_f64().map_err(|_| EvalError::Type)? / group.len() as f64));
     }
     Ok(total)
 }
@@ -302,10 +299,8 @@ mod tests {
         let binding = vec![Some(a), Some(b)];
         assert!(e.eval_bool(&SliceBinding(&binding)));
 
-        let binding = vec![
-            Some(stock(1, 1, "IBM", 110.0, 10)),
-            Some(stock(2, 2, "Sun", 100.0, 10)),
-        ];
+        let binding =
+            vec![Some(stock(1, 1, "IBM", 110.0, 10)), Some(stock(2, 2, "Sun", 100.0, 10))];
         assert!(!e.eval_bool(&SliceBinding(&binding)));
     }
 
@@ -371,10 +366,7 @@ mod tests {
                 &self.0
             }
         }
-        let group = ClosureBinding(vec![
-            stock(1, 1, "G", 10.0, 100),
-            stock(2, 2, "G", 20.0, 300),
-        ]);
+        let group = ClosureBinding(vec![stock(1, 1, "G", 10.0, 100), stock(2, 2, "G", 20.0, 300)]);
         // volume is field 3.
         let sum = TypedExpr::Agg { func: AggFunc::Sum, class: 0, field: 3 };
         assert_eq!(sum.eval(&group), Ok(Value::Int(400)));

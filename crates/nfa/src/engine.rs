@@ -119,9 +119,7 @@ impl NfaEngine {
                 TypedPattern::Class(c) => states.push(*c),
                 TypedPattern::Neg(inner) => {
                     if states.is_empty() {
-                        return Err(NfaError::Unsupported(
-                            "negation cannot open a pattern".into(),
-                        ));
+                        return Err(NfaError::Unsupported("negation cannot open a pattern".into()));
                     }
                     let mut classes = Vec::new();
                     collect_neg_classes(inner, &mut classes)?;
@@ -151,16 +149,13 @@ impl NfaEngine {
                 }
             }
         }
-        if states.is_empty() || matches!(aq.pattern, TypedPattern::Seq(ref xs) if matches!(xs.last(), Some(TypedPattern::Neg(_))))
+        if states.is_empty()
+            || matches!(aq.pattern, TypedPattern::Seq(ref xs) if matches!(xs.last(), Some(TypedPattern::Neg(_))))
         {
-            return Err(NfaError::Unsupported(
-                "a pattern must end with a positive class".into(),
-            ));
+            return Err(NfaError::Unsupported("a pattern must end with a positive class".into()));
         }
-        let neg_mask: u64 = negs
-            .iter()
-            .flat_map(|g| g.classes.iter())
-            .fold(0u64, |m, c| m | (1 << c));
+        let neg_mask: u64 =
+            negs.iter().flat_map(|g| g.classes.iter()).fold(0u64, |m, c| m | (1 << c));
         // Assign positive multi-class predicates to the lowest bound state.
         let mut preds_at_state: Vec<Vec<TypedExpr>> = vec![Vec::new(); states.len()];
         let mut neg_preds = Vec::new();
@@ -171,18 +166,13 @@ impl NfaEngine {
             }
             // Lowest state whose class set suffix covers the mask: the
             // *earliest* referenced class in sequence order.
-            let first = states
-                .iter()
-                .position(|c| p.mask & (1u64 << c) != 0)
-                .unwrap_or(states.len() - 1);
+            let first =
+                states.iter().position(|c| p.mask & (1u64 << c) != 0).unwrap_or(states.len() - 1);
             preds_at_state[first].push(p.expr.clone());
         }
-        let state_intake: Vec<Vec<TypedExpr>> =
-            states.iter().map(|c| intake[*c].clone()).collect();
-        let neg_intake: Vec<(ClassId, Vec<TypedExpr>)> = negs
-            .iter()
-            .flat_map(|g| g.classes.iter().map(|c| (*c, intake[*c].clone())))
-            .collect();
+        let state_intake: Vec<Vec<TypedExpr>> = states.iter().map(|c| intake[*c].clone()).collect();
+        let neg_intake: Vec<(ClassId, Vec<TypedExpr>)> =
+            negs.iter().flat_map(|g| g.classes.iter().map(|c| (*c, intake[*c].clone()))).collect();
         let stacks = states.iter().map(|_| Stack::default()).collect();
         Ok(NfaEngine {
             aq,
@@ -264,8 +254,7 @@ impl NfaEngine {
             let rip = if i == 0 { 0 } else { self.stacks[i - 1].raw_len() };
             if i == self.states.len() - 1 {
                 // Final state: backward search instead of storing.
-                let mut binding: Vec<Option<EventRef>> =
-                    vec![None; self.aq.num_classes()];
+                let mut binding: Vec<Option<EventRef>> = vec![None; self.aq.num_classes()];
                 binding[class] = Some(Arc::clone(&event));
                 if self.preds_ok(self.states.len() - 1, &binding) {
                     self.search(self.states.len() - 1, rip, &event, &mut binding, &mut out);
@@ -331,10 +320,7 @@ impl NfaEngine {
             return;
         }
         let i = bound_state - 1;
-        let next_ts = binding[self.states[bound_state]]
-            .as_ref()
-            .expect("next state bound")
-            .ts();
+        let next_ts = binding[self.states[bound_state]].as_ref().expect("next state bound").ts();
         let stack = &self.stacks[i];
         let mut raw = rip;
         while raw > 0 {
@@ -356,26 +342,17 @@ impl NfaEngine {
     }
 
     fn preds_ok(&self, state: usize, binding: &[Option<EventRef>]) -> bool {
-        self.preds_at_state[state].iter().all(|p| {
-            matches!(
-                p.eval(&zstream_lang::SliceBinding(binding)),
-                Ok(Value::Bool(true))
-            )
-        })
+        self.preds_at_state[state]
+            .iter()
+            .all(|p| matches!(p.eval(&zstream_lang::SliceBinding(binding)), Ok(Value::Bool(true))))
     }
 
     /// Post-filter (§4.4.2 baseline): reject the match when a qualifying
     /// negation instance interleaves between its adjacent positive events.
     fn negation_ok(&self, binding: &[Option<EventRef>]) -> bool {
         for g in &self.negs {
-            let prev_ts = binding[self.states[g.prev_state]]
-                .as_ref()
-                .expect("bound")
-                .ts();
-            let next_ts = binding[self.states[g.prev_state + 1]]
-                .as_ref()
-                .expect("bound")
-                .ts();
+            let prev_ts = binding[self.states[g.prev_state]].as_ref().expect("bound").ts();
+            let next_ts = binding[self.states[g.prev_state + 1]].as_ref().expect("bound").ts();
             for (ci, class) in g.classes.iter().enumerate() {
                 for b in &g.buffers[ci] {
                     if b.ts() <= prev_ts {
@@ -387,20 +364,15 @@ impl NfaEngine {
                     // Evaluate predicates involving this negation class.
                     let mut bind2 = binding.to_vec();
                     bind2[*class] = Some(Arc::clone(b));
-                    let relevant = self
-                        .neg_preds
-                        .iter()
-                        .filter(|p| p.class_mask() & (1u64 << class) != 0);
+                    let relevant =
+                        self.neg_preds.iter().filter(|p| p.class_mask() & (1u64 << class) != 0);
                     let mut all_pass = true;
                     for p in relevant {
                         match p.eval(&zstream_lang::SliceBinding(&bind2)) {
                             Ok(Value::Bool(true)) => {}
                             // Other negation classes unbound: vacuous.
                             Err(zstream_lang::EvalError::Unbound(c))
-                                if self
-                                    .negs
-                                    .iter()
-                                    .any(|g2| g2.classes.contains(&c)) => {}
+                                if self.negs.iter().any(|g2| g2.classes.contains(&c)) => {}
                             _ => {
                                 all_pass = false;
                                 break;

@@ -74,12 +74,7 @@ impl StockConfig {
     /// divided by the timestamp step) — feeds the optimizer's statistics.
     pub fn expected_rate(&self, name: &str) -> f64 {
         let total: f64 = self.names.iter().map(|(_, w)| w).sum();
-        let w = self
-            .names
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, w)| *w)
-            .unwrap_or(0.0);
+        let w = self.names.iter().find(|(n, _)| n == name).map(|(_, w)| *w).unwrap_or(0.0);
         w / total / self.ts_step as f64
     }
 }

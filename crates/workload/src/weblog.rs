@@ -49,12 +49,7 @@ impl WeblogConfig {
     /// A configuration scaled to `total` records, keeping Table 4's class
     /// frequencies proportional.
     pub fn scaled(total: u64, seed: u64) -> WeblogConfig {
-        WeblogConfig {
-            total,
-            num_ips: ((total / 75).max(10)) as usize,
-            ip_skew: 1.1,
-            seed,
-        }
+        WeblogConfig { total, num_ips: ((total / 75).max(10)) as usize, ip_skew: 1.1, seed }
     }
 }
 
@@ -157,10 +152,7 @@ mod tests {
         assert_eq!(stats.publication, 678); // round(6775/10)
         assert_eq!(stats.project, 1161);
         assert_eq!(stats.course, 1608);
-        assert_eq!(
-            stats.publication + stats.project + stats.course + stats.other,
-            stats.total
-        );
+        assert_eq!(stats.publication + stats.project + stats.course + stats.other, stats.total);
     }
 
     #[test]

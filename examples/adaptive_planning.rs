@@ -86,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = adaptive.engine().metrics();
     println!(
         "\ntotals: {} events, {} matches, {} replans, {} plan switches, peak {:.2} MB",
-        m.events_in, m.matches_out, m.replans, m.plan_switches, m.peak_mb()
+        m.events_in,
+        m.matches_out,
+        m.replans,
+        m.plan_switches,
+        m.peak_mb()
     );
     Ok(())
 }

@@ -106,24 +106,17 @@ fn optimizer_regimes() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "sel(Sun,Oracle) = 1/50",
-            Statistics::uniform(4, 2, 100)
-                .with_rates(&[0.25; 4])
-                .with_pred_sel(0, 1.0 / 50.0),
+            Statistics::uniform(4, 2, 100).with_rates(&[0.25; 4]).with_pred_sel(0, 1.0 / 50.0),
         ),
         (
             "sel(Oracle,Google) = 1/50",
-            Statistics::uniform(4, 2, 100)
-                .with_rates(&[0.25; 4])
-                .with_pred_sel(1, 1.0 / 50.0),
+            Statistics::uniform(4, 2, 100).with_rates(&[0.25; 4]).with_pred_sel(1, 1.0 / 50.0),
         ),
     ];
     for (label, stats) in regimes {
         let compiled = CompiledQuery::optimize(&query, &schemas, Some(stats))?;
         let spec = compiled.spec.as_ref().unwrap();
-        println!(
-            "  {label:32} -> {} (est. cost {:.0})",
-            spec.shape, spec.est_cost
-        );
+        println!("  {label:32} -> {} (est. cost {:.0})", spec.shape, spec.est_cost);
     }
     println!();
     Ok(())

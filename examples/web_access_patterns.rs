@@ -12,9 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use zstream::core::{
-    build_intake, CompiledQuery, Engine, NegStrategy, PlanConfig, PlanShape,
-};
+use zstream::core::{build_intake, CompiledQuery, Engine, NegStrategy, PlanConfig, PlanShape};
 use zstream::lang::{Query, SchemaMap};
 use zstream::nfa::NfaEngine;
 use zstream::workload::{WeblogConfig, WeblogGenerator};
@@ -36,10 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schemas = SchemaMap::uniform(zstream::events::Schema::weblog());
     let query = Query::parse(QUERY8)?;
 
-    for (label, shape) in [
-        ("left-deep ", PlanShape::left_deep(3)),
-        ("right-deep", PlanShape::right_deep(3)),
-    ] {
+    for (label, shape) in
+        [("left-deep ", PlanShape::left_deep(3)), ("right-deep", PlanShape::right_deep(3))]
+    {
         let compiled = CompiledQuery::with_shape(
             &query,
             &schemas,

@@ -39,10 +39,38 @@ pub use zstream_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use zstream_core::{
-        CompiledQuery, Engine, EngineBuilder, EngineConfig, PlanShape, Statistics,
-    };
-    pub use zstream_events::{stock, Batcher, Event, EventRef, Record, Schema, Slot, Value};
+    /// A parsed, analyzed and optimized query, ready to instantiate.
+    pub use zstream_core::CompiledQuery;
+    /// The tree-plan evaluation engine (push events, collect matches).
+    pub use zstream_core::Engine;
+    /// Fluent constructor: query + routing + config → [`Engine`].
+    pub use zstream_core::EngineBuilder;
+    /// Engine tuning knobs (batch size, plan options).
+    pub use zstream_core::EngineConfig;
+    /// The shape of a tree plan (left-deep, right-deep, bushy).
+    pub use zstream_core::PlanShape;
+    /// Per-class rates and predicate selectivities fed to the optimizer.
+    pub use zstream_core::Statistics;
+    /// Convenience constructor for stock-schema events.
+    pub use zstream_events::stock;
+    /// Fixed-size batching for the batch-iterator model (§4.3).
+    pub use zstream_events::Batcher;
+    /// A primitive event: one timestamp plus a row of typed values.
+    pub use zstream_events::Event;
+    /// A shared, immutable handle to an [`Event`].
+    pub use zstream_events::EventRef;
+    /// A composite result: event pointers plus a start and an end time.
+    pub use zstream_events::Record;
+    /// A typed attribute layout for primitive events.
+    pub use zstream_events::Schema;
+    /// One cell of a [`Record`]: an event, a closure group, or NSEQ's NULL.
+    pub use zstream_events::Slot;
+    /// A dynamically typed attribute value.
+    pub use zstream_events::Value;
+    /// A parsed PATTERN/WHERE/WITHIN/RETURN query.
     pub use zstream_lang::Query;
-    pub use zstream_workload::{StockConfig, StockGenerator};
+    /// Configuration of a synthetic stock stream (rates, prices, length).
+    pub use zstream_workload::StockConfig;
+    /// Deterministic generator of synthetic stock-trade events.
+    pub use zstream_workload::StockGenerator;
 }

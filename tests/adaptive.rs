@@ -123,11 +123,7 @@ fn adaptive_with_predicates_stays_correct() {
 #[test]
 fn stable_stream_does_not_thrash() {
     let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
-    let events = StockGenerator::generate(StockConfig::uniform(
-        &["IBM", "Sun", "Oracle"],
-        600,
-        5,
-    ));
+    let events = StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], 600, 5));
     let query = Query::parse(src).unwrap();
     let schemas = SchemaMap::uniform(Schema::stocks());
     let compiled = CompiledQuery::optimize(&query, &schemas, None).unwrap();

@@ -62,8 +62,7 @@ fn run_nfa(src: &str, events: &[EventRef]) -> Vec<Signature> {
 }
 
 fn oracle(src: &str, events: &[EventRef]) -> Vec<Signature> {
-    let aq =
-        analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
+    let aq = analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
     let intake = build_intake(&aq, Some("name")).unwrap();
     reference_signatures(&aq, &intake, events)
 }
@@ -198,15 +197,13 @@ fn weblog_query8_tree_vs_nfa() {
         )
         .unwrap();
         let plan = compiled.physical_plan(PlanConfig::default()).unwrap();
-        let mut engine =
-            zstream::core::Engine::new(compiled.aq.clone(), plan, intake.clone(), 64);
+        let mut engine = zstream::core::Engine::new(compiled.aq.clone(), plan, intake.clone(), 64);
         let mut out = Vec::new();
         for e in &events {
             out.extend(engine.push(Arc::clone(e)));
         }
         out.extend(engine.flush());
-        let mut sigs: Vec<Signature> =
-            out.iter().map(|r| engine.record_signature(r)).collect();
+        let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
         sigs.sort();
         sigs.dedup();
         assert_eq!(sigs, expected, "tree {shape} vs oracle on weblog");

@@ -26,21 +26,12 @@ fn partitioned_query2_style_matches_oracle() {
     assert!(can_partition_by(&compiled.aq, "name"));
     let intake = build_intake(&compiled.aq, None).unwrap();
 
-    let events = StockGenerator::generate(StockConfig::uniform(
-        &["IBM", "Sun", "Oracle"],
-        400,
-        31,
-    ));
+    let events = StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], 400, 31));
     let expected = reference_signatures(&compiled.aq, &intake, &events);
 
-    let mut pe = PartitionedEngine::new(
-        compiled.clone(),
-        PlanConfig::default(),
-        intake.clone(),
-        8,
-        "name",
-    )
-    .unwrap();
+    let mut pe =
+        PartitionedEngine::new(compiled.clone(), PlanConfig::default(), intake.clone(), 8, "name")
+            .unwrap();
     let mut out = Vec::new();
     for e in &events {
         out.extend(pe.push(Arc::clone(e)));
@@ -66,14 +57,9 @@ fn partitioned_weblog_query8_equals_flat() {
     let intake = build_intake(&compiled.aq, Some("category")).unwrap();
     let (events, _) = WeblogGenerator::generate(&WeblogConfig::scaled(40_000, 17));
 
-    let mut pe = PartitionedEngine::new(
-        compiled.clone(),
-        PlanConfig::default(),
-        intake.clone(),
-        32,
-        "ip",
-    )
-    .unwrap();
+    let mut pe =
+        PartitionedEngine::new(compiled.clone(), PlanConfig::default(), intake.clone(), 32, "ip")
+            .unwrap();
     let mut part_out = Vec::new();
     for e in &events {
         part_out.extend(pe.push(Arc::clone(e)));

@@ -57,13 +57,10 @@ fn engine_run(
     use_hash: bool,
     events: &[EventRef],
 ) -> Vec<Signature> {
-    let mut b = EngineBuilder::parse(src)
-        .unwrap()
-        .stock_routing()
-        .config(EngineConfig {
-            batch_size: batch,
-            plan: PlanConfig { use_hash, ..Default::default() },
-        });
+    let mut b = EngineBuilder::parse(src).unwrap().stock_routing().config(EngineConfig {
+        batch_size: batch,
+        plan: PlanConfig { use_hash, ..Default::default() },
+    });
     if let Some(s) = shape {
         b = b.shape(s);
     }

@@ -1,0 +1,29 @@
+//! Default generation for plain typed parameters (`flag: bool`).
+
+use rand::RngExt;
+
+use crate::test_runner::TestRng;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng_mut().random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.rng_mut().random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.rng_mut().random()
+    }
+}

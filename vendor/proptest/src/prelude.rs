@@ -1,0 +1,7 @@
+//! One-stop imports, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::Arbitrary;
+pub use crate::prop;
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

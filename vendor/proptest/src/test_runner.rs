@@ -1,0 +1,29 @@
+//! Deterministic per-case randomness.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The generator handed to strategies; one per test case, seeded from the
+/// case index so failures reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// The generator for case number `case`.
+    pub fn for_case(case: u32) -> TestRng {
+        // Fixed base constant: runs are reproducible, cases independent.
+        TestRng { rng: StdRng::seed_from_u64(0x5EED_2009_0000_0000 ^ case as u64) }
+    }
+
+    /// Access to the underlying [`rand`] generator.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
