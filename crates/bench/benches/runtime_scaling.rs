@@ -1,0 +1,117 @@
+//! **Scale-out** — throughput of the sharded runtime at 1/2/4/8 worker
+//! shards vs the single-threaded engines, on a partitionable stock query
+//! (every class connected by `name` equalities, 64-name alphabet so keys
+//! spread across shards).
+//!
+//! Expected shape on a multi-core host: near-linear scaling while shards ≤
+//! cores — the query partitions into shared-nothing key subsets, so the
+//! only serial work is routing and the ordered merge. On a single core the
+//! sharded configurations pay thread overhead for no parallel gain; the
+//! speedup column makes either outcome visible.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use zstream_bench::*;
+use zstream_core::{CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
+use zstream_events::EventRef;
+use zstream_runtime::{Partitioning, Runtime};
+use zstream_workload::{StockConfig, StockGenerator};
+
+const QUERY: &str = "PATTERN A; B; C WHERE A.name = B.name AND B.name = C.name WITHIN 60";
+const CHUNK: usize = 1024;
+
+fn compile() -> CompiledParts {
+    EngineBuilder::parse(QUERY)
+        .expect("bench query parses")
+        .config(EngineConfig { batch_size: 256, plan: PlanConfig::default() })
+        .compile()
+        .expect("bench query compiles")
+}
+
+/// Single-threaded plain engine (equality predicates evaluated in-plan).
+fn measure_engine(events: &[EventRef], reps: usize) -> (f64, u64) {
+    median_run(reps, || {
+        let mut engine = compile().engine().expect("engine builds");
+        let t0 = Instant::now();
+        let mut matches = 0u64;
+        for chunk in events.chunks(CHUNK) {
+            matches += engine.push_batch(chunk).len() as u64;
+        }
+        matches += engine.flush().len() as u64;
+        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+    })
+}
+
+/// Single-threaded per-key partitioned engine (the §4.1 figure-3 layout).
+fn measure_partitioned(events: &[EventRef], reps: usize) -> (f64, u64) {
+    median_run(reps, || {
+        let mut engine = compile().partitioned_engine("name").expect("partitionable");
+        let t0 = Instant::now();
+        let mut matches = 0u64;
+        for chunk in events.chunks(CHUNK) {
+            matches += engine.push_batch(chunk).len() as u64;
+        }
+        matches += engine.flush().len() as u64;
+        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+    })
+}
+
+/// The sharded runtime at `workers` shards.
+fn measure_runtime(workers: usize, events: &[EventRef], reps: usize) -> (f64, u64) {
+    median_run(reps, || {
+        let mut builder = Runtime::builder().workers(workers).batch_size(CHUNK).channel_capacity(4);
+        builder.register(compile(), Partitioning::Field("name".into()));
+        let mut runtime = builder.build().expect("runtime builds");
+        let t0 = Instant::now();
+        let mut matches = runtime.ingest(events).expect("ingest").len() as u64;
+        matches += runtime.shutdown().expect("shutdown").matches.len() as u64;
+        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+    })
+}
+
+fn median_run(reps: usize, mut run: impl FnMut() -> (f64, u64)) -> (f64, u64) {
+    let mut samples: Vec<(f64, u64)> = (0..reps.max(1)).map(|_| run()).collect();
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let len = bench_len(60_000);
+    let reps = bench_reps(3);
+    let names: Vec<String> = (0..64).map(|i| format!("S{i:02}")).collect();
+    let rates: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 1.0)).collect();
+    let events = StockGenerator::generate(StockConfig::with_rates(&rates, len, 4242));
+    let events: Vec<EventRef> = events.iter().map(Arc::clone).collect();
+
+    header(
+        "Scale-out: sharded runtime vs single-threaded engines",
+        "PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 60, 64 names, uniform rates",
+    );
+    let shard_counts = [1usize, 2, 4, 8];
+    let cols: Vec<String> = std::iter::once("single".to_string())
+        .chain(std::iter::once("part-1thr".to_string()))
+        .chain(shard_counts.iter().map(|w| format!("{w} shards")))
+        .collect();
+    row_header("configuration ->", &cols);
+
+    let (engine_tput, engine_matches) = measure_engine(&events, reps);
+    let (part_tput, part_matches) = measure_partitioned(&events, reps);
+    assert_eq!(engine_matches, part_matches, "partitioned engine changed the match set");
+    let mut tputs = vec![engine_tput, part_tput];
+    let mut shard_tputs = Vec::new();
+    for &workers in &shard_counts {
+        let (tput, matches) = measure_runtime(workers, &events, reps);
+        assert_eq!(engine_matches, matches, "{workers}-shard runtime changed the match set");
+        shard_tputs.push(tput);
+        tputs.push(tput);
+    }
+    row("events/s", &tputs);
+    println!(
+        "\nmatches: {engine_matches} (identical across all configurations) | \
+         4-shard/1-shard: {:.2}x | 4-shard/single: {:.2}x | host cores: {}",
+        shard_tputs[2] / shard_tputs[0],
+        shard_tputs[2] / engine_tput,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}

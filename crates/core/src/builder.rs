@@ -12,6 +12,7 @@ use crate::cost::stats::Statistics;
 use crate::engine::Engine;
 use crate::error::CoreError;
 use crate::logical::rewrite_query;
+use crate::partition::PartitionedEngine;
 use crate::physical::plan::{PhysicalPlan, PlanConfig};
 
 /// Engine configuration.
@@ -183,15 +184,62 @@ impl EngineBuilder {
 
     /// Compiles and builds the engine.
     pub fn build(self) -> Result<Engine, CoreError> {
+        self.compile()?.engine()
+    }
+
+    /// Compiles without instantiating an engine: the seam used by execution
+    /// runtimes that build one engine (or [`PartitionedEngine`]) per shard
+    /// from a single compiled template.
+    pub fn compile(self) -> Result<CompiledParts, CoreError> {
         let compiled = match self.shape {
             Some(sh) => {
                 CompiledQuery::with_shape(&self.query, &self.schemas, self.stats, sh, self.neg)?
             }
             None => CompiledQuery::optimize(&self.query, &self.schemas, self.stats)?,
         };
-        let plan = compiled.physical_plan(self.config.plan.clone())?;
         let intake = build_intake(&compiled.aq, self.route_field.as_deref())?;
-        Ok(Engine::new(compiled.aq, plan, intake, self.config.batch_size))
+        Ok(CompiledParts { compiled, intake, config: self.config })
+    }
+}
+
+/// The compiled artifacts an execution runtime needs to instantiate engines:
+/// the optimized query, the per-class intake predicates, and the engine
+/// configuration. Cloneable, so one compilation can fan out to many shards,
+/// each instantiating its own engine over the shared plan template.
+#[derive(Debug, Clone)]
+pub struct CompiledParts {
+    /// The rewritten, analyzed, planned query.
+    pub compiled: CompiledQuery,
+    /// Per-class intake predicates (single-class predicates plus any
+    /// route-by-field equality).
+    pub intake: Vec<Vec<TypedExpr>>,
+    /// Batch size and physical plan toggles.
+    pub config: EngineConfig,
+}
+
+impl CompiledParts {
+    /// The analyzed query.
+    pub fn analyzed(&self) -> &Arc<AnalyzedQuery> {
+        &self.compiled.aq
+    }
+
+    /// Instantiates a fresh single-threaded engine.
+    pub fn engine(&self) -> Result<Engine, CoreError> {
+        let plan = self.compiled.physical_plan(self.config.plan.clone())?;
+        Ok(Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.config.batch_size))
+    }
+
+    /// Instantiates a fresh [`PartitionedEngine`] keyed on `field`. Fails
+    /// when partitioning on `field` is unsound for this query (see
+    /// [`crate::partition::can_partition_by`]).
+    pub fn partitioned_engine(&self, field: &str) -> Result<PartitionedEngine, CoreError> {
+        PartitionedEngine::new(
+            self.compiled.clone(),
+            self.config.plan.clone(),
+            self.intake.clone(),
+            self.config.batch_size,
+            field,
+        )
     }
 }
 

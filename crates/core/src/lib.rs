@@ -28,7 +28,7 @@ pub mod physical;
 pub mod reference;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveEngine};
-pub use builder::{build_intake, CompiledQuery, EngineBuilder, EngineConfig};
+pub use builder::{build_intake, CompiledParts, CompiledQuery, EngineBuilder, EngineConfig};
 pub use cost::dp::{plan_cost, search_optimal, spec_with_shape, NegStrategy, PlanSpec};
 pub use cost::model::{CostModel, OperatorCost};
 pub use cost::shape::PlanShape;

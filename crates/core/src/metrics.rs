@@ -40,6 +40,24 @@ impl EngineMetrics {
     pub fn peak_mb(&self) -> f64 {
         self.peak_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Folds another engine's counters into this one. Used by
+    /// [`crate::PartitionedEngine`] and the scale-out runtime to report one
+    /// aggregated snapshot across per-partition / per-shard engines.
+    ///
+    /// All counters sum. `peak_bytes` also sums: the constituent engines
+    /// hold their buffers simultaneously, so the sum of per-engine peaks is
+    /// an upper bound on the true simultaneous peak.
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.events_in += other.events_in;
+        self.events_admitted += other.events_admitted;
+        self.matches_out += other.matches_out;
+        self.assembly_rounds += other.assembly_rounds;
+        self.idle_rounds += other.idle_rounds;
+        self.peak_bytes += other.peak_bytes;
+        self.replans += other.replans;
+        self.plan_switches += other.plan_switches;
+    }
 }
 
 #[cfg(test)]
@@ -54,6 +72,47 @@ mod tests {
         assert_eq!(m.peak_bytes, 100);
         m.sample_memory(200);
         assert_eq!(m.peak_bytes, 200);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_peaks() {
+        let mut a = EngineMetrics {
+            events_in: 10,
+            events_admitted: 8,
+            matches_out: 3,
+            assembly_rounds: 2,
+            idle_rounds: 1,
+            peak_bytes: 100,
+            replans: 1,
+            plan_switches: 1,
+        };
+        let b = EngineMetrics {
+            events_in: 5,
+            events_admitted: 4,
+            matches_out: 2,
+            assembly_rounds: 1,
+            idle_rounds: 3,
+            peak_bytes: 50,
+            replans: 0,
+            plan_switches: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.events_in, 15);
+        assert_eq!(a.events_admitted, 12);
+        assert_eq!(a.matches_out, 5);
+        assert_eq!(a.assembly_rounds, 3);
+        assert_eq!(a.idle_rounds, 4);
+        assert_eq!(a.peak_bytes, 150);
+        assert_eq!(a.replans, 1);
+        assert_eq!(a.plan_switches, 1);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut a = EngineMetrics { events_in: 7, matches_out: 2, ..Default::default() };
+        let before = a;
+        a.merge(&EngineMetrics::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -143,6 +143,53 @@ impl PartitionedEngine {
             return Vec::new();
         };
         let key = value.hash_key();
+        self.partition_mut(key).push(event)
+    }
+
+    /// Routes a whole batch and forces one evaluation round in every
+    /// partition that received events, so no match whose trigger is in
+    /// `events` stays buffered past this call. This is the latency/finality
+    /// guarantee the scale-out runtime's watermark protocol relies on: after
+    /// `push_batch` returns, every future match has an end timestamp no
+    /// earlier than the last timestamp of `events`.
+    ///
+    /// Output is ordered by end timestamp across partitions (ties keep the
+    /// first-seen-key partition order), so it is deterministic for a given
+    /// input stream.
+    pub fn push_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
+        // Group by key, preserving both intra-key event order and the
+        // first-seen order of keys (HashMap iteration order would be
+        // nondeterministic).
+        let mut order: Vec<HashableValue> = Vec::new();
+        let mut groups: HashMap<HashableValue, Vec<EventRef>> = HashMap::new();
+        for event in events {
+            self.events_in += 1;
+            let Ok(value) = event.value_by_name(&self.field) else {
+                self.dropped += 1;
+                continue;
+            };
+            let key = value.hash_key();
+            match groups.get_mut(&key) {
+                Some(group) => group.push(Arc::clone(event)),
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key, vec![Arc::clone(event)]);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for key in order {
+            let group = groups.remove(&key).expect("grouped above");
+            out.extend(self.partition_mut(key).push_batch(&group));
+        }
+        // Stable: ties keep first-seen-key partition order.
+        out.sort_by_key(Record::end_ts);
+        out
+    }
+
+    /// The engine owning `key`, created from the compiled template on first
+    /// sight.
+    fn partition_mut(&mut self, key: HashableValue) -> &mut Engine {
         if !self.partitions.contains_key(&key) {
             let plan = self
                 .compiled
@@ -152,7 +199,7 @@ impl PartitionedEngine {
                 Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
             self.partitions.insert(key.clone(), engine);
         }
-        self.partitions.get_mut(&key).expect("inserted above").push(event)
+        self.partitions.get_mut(&key).expect("inserted above")
     }
 
     /// Flushes every partition.
@@ -166,19 +213,17 @@ impl PartitionedEngine {
         out
     }
 
-    /// Aggregated metrics: sums of per-partition counters; `peak_bytes` is
-    /// the sum of per-partition peaks (an upper bound on the true
-    /// simultaneous peak).
+    /// Aggregated metrics: per-partition counters folded together with
+    /// [`EngineMetrics::merge`]; `peak_bytes` is the sum of per-partition
+    /// peaks (an upper bound on the true simultaneous peak). `events_in`
+    /// counts every event offered to this engine, including ones dropped
+    /// for lacking the partition attribute.
     pub fn metrics(&self) -> EngineMetrics {
-        let mut m = EngineMetrics { events_in: self.events_in, ..Default::default() };
+        let mut m = EngineMetrics::default();
         for e in self.partitions.values() {
-            let pm = e.metrics();
-            m.events_admitted += pm.events_admitted;
-            m.matches_out += pm.matches_out;
-            m.assembly_rounds += pm.assembly_rounds;
-            m.idle_rounds += pm.idle_rounds;
-            m.peak_bytes += pm.peak_bytes;
+            m.merge(&e.metrics());
         }
+        m.events_in = self.events_in;
         m
     }
 
@@ -288,6 +333,48 @@ mod tests {
 
         assert!(!flat_sigs.is_empty());
         assert_eq!(part_sigs, flat_sigs);
+    }
+
+    #[test]
+    fn push_batch_equals_per_event_push_and_orders_output() {
+        let src = "PATTERN A; B WHERE A.name = B.name WITHIN 100";
+        let names = ["IBM", "Sun", "Oracle", "HP"];
+        let events: Vec<EventRef> = (0..80u64)
+            .map(|i| stock(i + 1, i as i64, names[(i as usize * 5) % 4], i as f64, 1))
+            .collect();
+
+        let c = compiled(src);
+        let intake = build_intake(&c.aq, None).unwrap();
+        let mut batched =
+            PartitionedEngine::new(c.clone(), PlanConfig::default(), intake.clone(), 4, "name")
+                .unwrap();
+        let mut batched_out = Vec::new();
+        for chunk in events.chunks(7) {
+            let out = batched.push_batch(chunk);
+            assert!(
+                out.windows(2).all(|w| w[0].end_ts() <= w[1].end_ts()),
+                "push_batch output must be end-ts ordered"
+            );
+            batched_out.extend(out);
+        }
+        batched_out.extend(batched.flush());
+
+        let mut single =
+            PartitionedEngine::new(c, PlanConfig::default(), intake, 4, "name").unwrap();
+        let mut single_out = Vec::new();
+        for e in &events {
+            single_out.extend(single.push(std::sync::Arc::clone(e)));
+        }
+        single_out.extend(single.flush());
+
+        let mut b_sigs: Vec<_> = batched_out.iter().map(|r| batched.record_signature(r)).collect();
+        let mut s_sigs: Vec<_> = single_out.iter().map(|r| single.record_signature(r)).collect();
+        b_sigs.sort();
+        s_sigs.sort();
+        assert!(!b_sigs.is_empty());
+        assert_eq!(b_sigs, s_sigs);
+        assert_eq!(batched.metrics().events_in, events.len() as u64);
+        assert_eq!(batched.metrics().matches_out, single.metrics().matches_out);
     }
 
     #[test]

@@ -13,13 +13,17 @@
 //!   operators are `Record`s; `Slot::Many` holds Kleene-closure groups and
 //!   `Slot::None` represents the `(NULL, Rr)` rows emitted by NSEQ,
 //! * [`Batcher`] — splits an ordered event stream into fixed-size batches for
-//!   the batch-iterator model of §4.3.
+//!   the batch-iterator model of §4.3,
+//! * [`shard_of`] / [`split_by_field`] — stable hash routing of batches to
+//!   worker shards for scale-out ingest (generalizing the §4.1 hash
+//!   partitioning to a fixed shard count).
 
 mod batch;
 mod error;
 mod event;
 mod record;
 mod reorder;
+mod route;
 mod schema;
 mod time;
 mod value;
@@ -29,6 +33,7 @@ pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
 pub use record::{Record, Slot};
 pub use reorder::{ReorderBuffer, ReorderOutcome};
+pub use route::{shard_of, split_by_field, ShardSplit};
 pub use schema::{Field, Schema, SchemaBuilder};
 pub use time::{span_within, Ts};
 pub use value::{HashableValue, Value, ValueType};

@@ -1,0 +1,121 @@
+//! Shard routing of time-ordered event batches.
+//!
+//! The paper's hash partitioning (§4.1, Figures 3–4) keys an engine per
+//! attribute value; a scale-out runtime coarsens that idea to a fixed number
+//! of worker *shards*, assigning every partition key to exactly one shard so
+//! the shards share nothing. These helpers perform the routing step: a
+//! stable key → shard mapping and a batch splitter that preserves the
+//! time-order of each shard's sub-stream.
+
+use crate::value::HashableValue;
+use crate::EventRef;
+
+/// The shard owning `key` among `num_shards` shards.
+///
+/// Stable across processes and runs (it hashes via
+/// [`HashableValue::digest`]), so a stream replayed with the same shard
+/// count routes identically — a prerequisite for deterministic scale-out
+/// output.
+pub fn shard_of(key: &HashableValue, num_shards: usize) -> usize {
+    assert!(num_shards >= 1, "at least one shard required");
+    (key.digest() % num_shards as u64) as usize
+}
+
+/// Result of [`split_by_field`]: per-shard sub-batches plus the count of
+/// events that lacked the routing field.
+#[derive(Debug)]
+pub struct ShardSplit {
+    /// One time-ordered sub-batch per shard (same index as the shard id).
+    pub shards: Vec<Vec<EventRef>>,
+    /// Events whose schema has no `field` attribute; they route nowhere.
+    pub dropped: u64,
+}
+
+/// Splits a time-ordered batch into `num_shards` per-shard sub-batches by
+/// hash of each event's `field` value. Within a shard, events keep their
+/// stream order (and therefore stay time-ordered); events missing the field
+/// are counted in [`ShardSplit::dropped`].
+pub fn split_by_field(events: &[EventRef], field: &str, num_shards: usize) -> ShardSplit {
+    assert!(num_shards >= 1, "at least one shard required");
+    let mut shards: Vec<Vec<EventRef>> = vec![Vec::new(); num_shards];
+    let mut dropped = 0u64;
+    for event in events {
+        match event.value_by_name(field) {
+            Ok(value) => {
+                let shard = shard_of(&value.hash_key(), num_shards);
+                shards[shard].push(EventRef::clone(event));
+            }
+            Err(_) => dropped += 1,
+        }
+    }
+    ShardSplit { shards, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::stock;
+    use crate::value::Value;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for n in 1..=8usize {
+            for name in ["IBM", "Sun", "Oracle", "HP", "Dell"] {
+                let key = Value::str(name).hash_key();
+                let s = shard_of(&key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(&key, n), "same key must map to same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_keys_coerce_before_routing() {
+        // Int(2) and Float(2.0) are the same partition key, so they must
+        // land on the same shard.
+        assert_eq!(
+            shard_of(&Value::Int(2).hash_key(), 8),
+            shard_of(&Value::Float(2.0).hash_key(), 8)
+        );
+    }
+
+    #[test]
+    fn split_preserves_order_and_covers_all_events() {
+        let names = ["IBM", "Sun", "Oracle", "HP"];
+        let events: Vec<EventRef> =
+            (0..40u64).map(|i| stock(i, i as i64, names[i as usize % 4], 1.0, 1)).collect();
+        let split = split_by_field(&events, "name", 3);
+        assert_eq!(split.dropped, 0);
+        assert_eq!(split.shards.iter().map(Vec::len).sum::<usize>(), events.len());
+        for sub in &split.shards {
+            assert!(sub.windows(2).all(|w| w[0].ts() <= w[1].ts()), "sub-stream time-ordered");
+        }
+        // All events of one name land on one shard.
+        for name in names {
+            let holders: Vec<usize> = split
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, sub)| {
+                    sub.iter().any(|e| e.value_by_name("name").unwrap().as_str().unwrap() == name)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert!(holders.len() <= 1, "key '{name}' split across shards {holders:?}");
+        }
+    }
+
+    #[test]
+    fn split_counts_missing_field_as_dropped() {
+        let events: Vec<EventRef> = (0..5u64).map(|i| stock(i, 0, "IBM", 1.0, 1)).collect();
+        let split = split_by_field(&events, "no_such_field", 2);
+        assert_eq!(split.dropped, 5);
+        assert!(split.shards.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        shard_of(&Value::Int(1).hash_key(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use zstream_core::CoreError;
+
+/// Errors raised by the scale-out runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A compilation or plan-construction error from the core.
+    Core(CoreError),
+    /// Invalid builder configuration (zero workers, empty registry, a
+    /// `Partitioning::Field` that is unsound for its query, …).
+    InvalidConfig(String),
+    /// A worker shard hung up unexpectedly (it panicked or was lost); the
+    /// payload is the shard id.
+    WorkerLost(usize),
+    /// The reply channel closed with shards still outstanding — every
+    /// worker is gone.
+    ChannelClosed,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Core(e) => write!(f, "core error: {e}"),
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime configuration: {msg}"),
+            RuntimeError::WorkerLost(shard) => write!(f, "worker shard {shard} hung up"),
+            RuntimeError::ChannelClosed => write!(f, "all worker shards hung up"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}

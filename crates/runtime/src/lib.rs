@@ -1,0 +1,85 @@
+//! Sharded, multi-threaded execution runtime for ZStream.
+//!
+//! The paper evaluates equality-connected patterns independently per hash
+//! partition (§4.1, Figures 3–4) but on a single thread. This crate scales
+//! that idea out: a [`Runtime`] owns N worker **shards** (OS threads), each
+//! running its own engines over a disjoint subset of partition keys, so the
+//! shards share nothing and scale with cores. Plan choice stays with the
+//! cost-based optimizer — sharding never changes *what* is matched, only
+//! where it is evaluated.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!           ingest(events)                 bounded channels (backpressure)
+//!  caller ───────────────► router ──┬────► shard 0 (PartitionedEngine / Engine per query)
+//!                                   ├────► shard 1        …
+//!                                   └────► shard N-1      …
+//!                                              │ matches + watermarks
+//!                           ordered merge ◄────┘
+//!                     (end_ts, shard, seq) ──► finalized matches
+//! ```
+//!
+//! * **Registry** — several compiled queries ([`zstream_core::CompiledParts`])
+//!   share the one ingest path; each has its own [`Partitioning`] policy
+//!   and [`QueryId`].
+//! * **Routing** — for a query whose equality predicates connect all
+//!   classes on a field ([`zstream_core::can_partition_by`]), each event
+//!   goes to `hash(key) mod N` ([`zstream_events::shard_of`]); the shard
+//!   runs a [`zstream_core::PartitionedEngine`] over its key subset.
+//!   Queries that cannot be partitioned fall back to a single home shard
+//!   running a plain [`zstream_core::Engine`] — correct, just not parallel
+//!   for that query.
+//! * **Backpressure** — shard input channels are bounded
+//!   ([`RuntimeBuilder::channel_capacity`] batches); a slow shard blocks
+//!   [`Runtime::ingest`] instead of buffering unboundedly.
+//! * **Ordered merge** — shards report matches asynchronously; the merger
+//!   restores a deterministic total order (composite end-timestamp, then
+//!   shard id, then per-shard sequence) and releases a match only once
+//!   every live shard's watermark has passed its end timestamp.
+//! * **Shutdown** — [`Runtime::shutdown`] drains in-flight batches (channel
+//!   FIFO), flushes every engine, joins the workers, and returns the
+//!   remaining matches plus per-query [`zstream_core::EngineMetrics`]
+//!   aggregated across shards.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstream_core::EngineBuilder;
+//! use zstream_runtime::{Partitioning, Runtime};
+//! use zstream_events::stock;
+//!
+//! let mut builder = Runtime::builder().workers(2).batch_size(64);
+//! let q = builder.register(
+//!     EngineBuilder::parse("PATTERN A; B WHERE A.name = B.name WITHIN 100")
+//!         .unwrap()
+//!         .compile()
+//!         .unwrap(),
+//!     Partitioning::Auto("name".into()),
+//! );
+//! let mut runtime = builder.build().unwrap();
+//!
+//! let events = vec![
+//!     stock(1, 1, "IBM", 10.0, 1),
+//!     stock(2, 2, "Sun", 11.0, 1),
+//!     stock(3, 3, "IBM", 12.0, 1),
+//!     stock(4, 4, "Sun", 13.0, 1),
+//! ];
+//! let mut matches = runtime.ingest(&events).unwrap();
+//! let report = runtime.shutdown().unwrap();
+//! matches.extend(report.matches);
+//! assert_eq!(matches.len(), 2); // IBM;IBM and Sun;Sun
+//! assert!(matches.iter().all(|m| m.query == q));
+//! ```
+
+mod error;
+mod merge;
+mod registry;
+mod runtime;
+mod shard;
+
+pub use error::RuntimeError;
+pub use merge::RuntimeMatch;
+pub use registry::{Partitioning, QueryId, Route};
+pub use runtime::{Runtime, RuntimeBuilder, RuntimeReport};

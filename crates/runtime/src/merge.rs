@@ -1,0 +1,197 @@
+//! Deterministic ordered merge of per-shard match streams.
+//!
+//! Shards evaluate independently and report matches asynchronously, so the
+//! raw arrival order at the control thread is racy. The merger restores a
+//! deterministic total order — `(end timestamp, shard id, per-shard
+//! emission sequence)` — using per-shard **watermarks**: after a shard has
+//! processed every event up to time `w`, any match it produces later has an
+//! end timestamp of at least `w` (shard sub-streams are time-ordered and
+//! shards force an evaluation round per batch). A buffered match is
+//! therefore final once its end timestamp is strictly below the minimum
+//! watermark across live shards.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use zstream_events::{Record, Ts};
+
+use crate::registry::QueryId;
+
+/// One composite match produced by the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeMatch {
+    /// The registered query that matched.
+    pub query: QueryId,
+    /// The worker shard that produced the match.
+    pub shard: usize,
+    /// Emission sequence number within the shard (deterministic for a given
+    /// stream and configuration; the final tie-breaker of the merge order).
+    pub seq: u64,
+    /// The composite event.
+    pub record: Record,
+}
+
+impl RuntimeMatch {
+    /// The merge key this match is ordered by.
+    pub fn key(&self) -> (Ts, usize, u64) {
+        (self.record.end_ts(), self.shard, self.seq)
+    }
+}
+
+/// Heap entry ordered by the merge key only (records carry no total order).
+struct Entry {
+    key: (Ts, usize, u64),
+    m: RuntimeMatch,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Buffers per-shard matches and releases them in deterministic order as
+/// the shard watermarks advance.
+pub(crate) struct OrderedMerge {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Per-shard watermark; `None` once the shard has finished (treated as
+    /// an infinite watermark).
+    watermarks: Vec<Option<Ts>>,
+}
+
+impl std::fmt::Debug for OrderedMerge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderedMerge")
+            .field("pending", &self.heap.len())
+            .field("watermarks", &self.watermarks)
+            .finish()
+    }
+}
+
+impl OrderedMerge {
+    pub fn new(shards: usize) -> OrderedMerge {
+        OrderedMerge { heap: BinaryHeap::new(), watermarks: vec![Some(0); shards] }
+    }
+
+    /// Buffers one match.
+    pub fn offer(&mut self, m: RuntimeMatch) {
+        self.heap.push(Reverse(Entry { key: m.key(), m }));
+    }
+
+    /// Advances a shard's watermark (monotone).
+    pub fn advance(&mut self, shard: usize, ts: Ts) {
+        if let Some(w) = &mut self.watermarks[shard] {
+            *w = (*w).max(ts);
+        }
+    }
+
+    /// Marks a shard as finished: it will never produce another match.
+    pub fn finish(&mut self, shard: usize) {
+        self.watermarks[shard] = None;
+    }
+
+    /// The finality frontier: matches ending strictly before it are safe to
+    /// emit. `None` means every shard has finished (everything is final).
+    pub fn frontier(&self) -> Option<Ts> {
+        self.watermarks.iter().flatten().min().copied()
+    }
+
+    /// Number of buffered (not yet final) matches.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Pops every final match, in `(end_ts, shard, seq)` order.
+    pub fn drain_ready(&mut self) -> Vec<RuntimeMatch> {
+        let frontier = self.frontier();
+        let mut out = Vec::new();
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if frontier.is_some_and(|f| top.key.0 >= f) {
+                break;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked above");
+            out.push(entry.m);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_events::{stock, Record};
+
+    fn m(query: usize, shard: usize, seq: u64, end: Ts) -> RuntimeMatch {
+        RuntimeMatch {
+            query: QueryId(query),
+            shard,
+            seq,
+            record: Record::primitive(stock(end, 0, "IBM", 1.0, 1)),
+        }
+    }
+
+    #[test]
+    fn holds_matches_until_all_shards_pass_them() {
+        let mut merge = OrderedMerge::new(2);
+        merge.offer(m(0, 0, 0, 5));
+        merge.advance(0, 10);
+        // Shard 1 is still at 0 — nothing is final.
+        assert!(merge.drain_ready().is_empty());
+        merge.advance(1, 6);
+        let out = merge.drain_ready();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].record.end_ts(), 5);
+    }
+
+    #[test]
+    fn orders_by_end_ts_then_shard_then_seq() {
+        let mut merge = OrderedMerge::new(3);
+        merge.offer(m(0, 2, 0, 7));
+        merge.offer(m(0, 0, 3, 7));
+        merge.offer(m(1, 1, 1, 4));
+        merge.offer(m(0, 0, 9, 9));
+        for s in 0..3 {
+            merge.finish(s);
+        }
+        let keys: Vec<_> = merge.drain_ready().iter().map(RuntimeMatch::key).collect();
+        assert_eq!(keys, vec![(4, 1, 1), (7, 0, 3), (7, 2, 0), (9, 0, 9)]);
+    }
+
+    #[test]
+    fn equal_end_ts_is_not_final_until_shards_pass_it() {
+        // A match ending exactly at the frontier must wait: another shard
+        // at watermark w can still produce a match ending at w.
+        let mut merge = OrderedMerge::new(2);
+        merge.offer(m(0, 0, 0, 10));
+        merge.advance(0, 10);
+        merge.advance(1, 10);
+        assert!(merge.drain_ready().is_empty());
+        merge.advance(1, 11);
+        merge.advance(0, 11);
+        assert_eq!(merge.drain_ready().len(), 1);
+    }
+
+    #[test]
+    fn finished_shards_do_not_hold_the_frontier() {
+        let mut merge = OrderedMerge::new(2);
+        merge.offer(m(0, 0, 0, 100));
+        merge.finish(1);
+        merge.advance(0, 50);
+        assert!(merge.drain_ready().is_empty(), "shard 0 could still emit before 100");
+        merge.finish(0);
+        assert_eq!(merge.frontier(), None);
+        assert_eq!(merge.drain_ready().len(), 1);
+        assert_eq!(merge.pending(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The multi-query registry: several compiled patterns sharing one ingest
+//! path, each with its own routing policy.
+//!
+//! Sharding is sound exactly when the paper's hash-partitioning condition
+//! holds ([`zstream_core::can_partition_by`]): every class of the pattern is
+//! connected by equality predicates on the routing field, so no match can
+//! span two key partitions — and therefore no match can span two shards
+//! that each own a disjoint set of keys. Queries that fail the condition
+//! fall back to a single *home* shard that sees the whole stream for that
+//! query (correct, just not parallel for that query).
+
+use std::fmt;
+
+use zstream_core::{can_partition_by, CompiledParts};
+
+use crate::error::RuntimeError;
+
+/// Identifier of a registered query, assigned in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub(crate) usize);
+
+impl QueryId {
+    /// Registration index of this query.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// How a registered query's events are distributed over worker shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Shard by hash of the named field when that is sound for the query
+    /// ([`zstream_core::can_partition_by`]); otherwise fall back to a
+    /// single home shard.
+    Auto(String),
+    /// Shard by hash of the named field; registration fails when the
+    /// query's equality predicates do not justify it.
+    Field(String),
+    /// Evaluate on a single home shard (no partitioning).
+    Broadcast,
+}
+
+/// The resolved routing of one registered query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `shard = hash(event[field]) mod workers`; each shard runs a
+    /// [`zstream_core::PartitionedEngine`] over its key subset.
+    Hash(String),
+    /// Every event of this query goes to the one named shard, which runs a
+    /// plain [`zstream_core::Engine`].
+    Single(usize),
+}
+
+/// One registered query: compiled artifacts plus resolved routing.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryDef {
+    pub parts: CompiledParts,
+    pub route: Route,
+}
+
+/// Resolves each query's [`Partitioning`] request against its analyzed
+/// query, assigning home shards round-robin so multiple broadcast queries
+/// spread across workers.
+pub(crate) fn resolve_routes(
+    defs: Vec<(CompiledParts, Partitioning)>,
+    workers: usize,
+) -> Result<Vec<QueryDef>, RuntimeError> {
+    // Counts only single-shard assignments, so home shards spread evenly
+    // no matter how hash-routed queries interleave with broadcast ones.
+    let mut homes = 0usize;
+    let mut next_home = || {
+        let home = homes % workers;
+        homes += 1;
+        home
+    };
+    defs.into_iter()
+        .enumerate()
+        .map(|(i, (parts, partitioning))| {
+            let route = match partitioning {
+                Partitioning::Auto(field) => {
+                    if can_partition_by(parts.analyzed(), &field) {
+                        Route::Hash(field)
+                    } else {
+                        Route::Single(next_home())
+                    }
+                }
+                Partitioning::Field(field) => {
+                    if can_partition_by(parts.analyzed(), &field) {
+                        Route::Hash(field)
+                    } else {
+                        return Err(RuntimeError::InvalidConfig(format!(
+                            "query {i}: cannot partition on '{field}': equality predicates \
+                             do not connect all classes on that field \
+                             (use Partitioning::Auto for a broadcast fallback)"
+                        )));
+                    }
+                }
+                Partitioning::Broadcast => Route::Single(next_home()),
+            };
+            Ok(QueryDef { parts, route })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_core::EngineBuilder;
+
+    fn parts(src: &str) -> CompiledParts {
+        EngineBuilder::parse(src).unwrap().compile().unwrap()
+    }
+
+    #[test]
+    fn auto_partitions_when_sound() {
+        let p = parts("PATTERN A; B WHERE A.name = B.name WITHIN 10");
+        let defs = resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
+        assert_eq!(defs[0].route, Route::Hash("name".into()));
+    }
+
+    #[test]
+    fn auto_falls_back_to_home_shard() {
+        let p = parts("PATTERN A; B WITHIN 10");
+        let defs = resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
+        assert_eq!(defs[0].route, Route::Single(0));
+    }
+
+    #[test]
+    fn field_requires_soundness() {
+        let p = parts("PATTERN A; B WITHIN 10");
+        let err = resolve_routes(vec![(p, Partitioning::Field("name".into()))], 4).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn home_shards_spread_round_robin() {
+        let p = parts("PATTERN A; B WITHIN 10");
+        let defs = resolve_routes(
+            vec![
+                (p.clone(), Partitioning::Broadcast),
+                (p.clone(), Partitioning::Broadcast),
+                (p, Partitioning::Broadcast),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(defs[0].route, Route::Single(0));
+        assert_eq!(defs[1].route, Route::Single(1));
+        assert_eq!(defs[2].route, Route::Single(0));
+    }
+
+    #[test]
+    fn hash_routed_queries_do_not_consume_home_slots() {
+        // A hash-routed query between two broadcast ones must not skew the
+        // round-robin: the broadcast queries still land on distinct shards.
+        let hashed = parts("PATTERN A; B WHERE A.name = B.name WITHIN 10");
+        let plain = parts("PATTERN A; B WITHIN 10");
+        let defs = resolve_routes(
+            vec![
+                (plain.clone(), Partitioning::Broadcast),
+                (hashed, Partitioning::Auto("name".into())),
+                (plain, Partitioning::Broadcast),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(defs[0].route, Route::Single(0));
+        assert_eq!(defs[1].route, Route::Hash("name".into()));
+        assert_eq!(defs[2].route, Route::Single(1));
+    }
+}

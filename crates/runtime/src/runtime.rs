@@ -1,0 +1,359 @@
+//! The runtime proper: router, worker pool, merger, lifecycle.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TryRecvError};
+use std::thread::JoinHandle;
+
+use zstream_core::{CompiledParts, Engine, EngineMetrics};
+use zstream_events::{split_by_field, EventRef, Record, Ts};
+
+use crate::error::RuntimeError;
+use crate::merge::{OrderedMerge, RuntimeMatch};
+use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
+use crate::shard::{build_engines, run_shard, ShardMsg, ShardReply};
+
+/// Configures and constructs a [`Runtime`].
+///
+/// ```
+/// use zstream_core::EngineBuilder;
+/// use zstream_runtime::{Partitioning, Runtime};
+///
+/// let mut builder = Runtime::builder().workers(4).batch_size(256);
+/// let q = builder.register(
+///     EngineBuilder::parse("PATTERN A; B WHERE A.name = B.name WITHIN 10")
+///         .unwrap()
+///         .compile()
+///         .unwrap(),
+///     Partitioning::Auto("name".into()),
+/// );
+/// let runtime = builder.build().unwrap();
+/// # let _ = (q, runtime);
+/// ```
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    workers: usize,
+    batch_size: usize,
+    channel_capacity: usize,
+    defs: Vec<(CompiledParts, Partitioning)>,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            batch_size: 512,
+            channel_capacity: 4,
+            defs: Vec::new(),
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Starts from the defaults: one worker per available core, batch size
+    /// 512, four batches of channel slack per shard.
+    pub fn new() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Number of worker shards (≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Events per routed batch: each call to [`Runtime::ingest`] is chopped
+    /// into chunks of this size, and every chunk costs one message per
+    /// shard. Larger batches amortize messaging; smaller batches lower
+    /// match latency (≥ 1).
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Bounded capacity, in batches, of each shard's input channel (≥ 1).
+    /// This is the backpressure knob: once a shard falls this many batches
+    /// behind, [`Runtime::ingest`] blocks instead of buffering further.
+    pub fn channel_capacity(mut self, n: usize) -> Self {
+        self.channel_capacity = n;
+        self
+    }
+
+    /// Registers a compiled query; returns its id (assigned in
+    /// registration order). Routing soundness is checked at [`build`].
+    ///
+    /// [`build`]: RuntimeBuilder::build
+    pub fn register(&mut self, parts: CompiledParts, partitioning: Partitioning) -> QueryId {
+        let id = QueryId(self.defs.len());
+        self.defs.push((parts, partitioning));
+        id
+    }
+
+    /// Validates the configuration, resolves every query's routing, spawns
+    /// the worker shards, and returns the running [`Runtime`].
+    pub fn build(self) -> Result<Runtime, RuntimeError> {
+        if self.workers == 0 {
+            return Err(RuntimeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.batch_size == 0 || self.channel_capacity == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "batch_size and channel_capacity must be >= 1".into(),
+            ));
+        }
+        if self.defs.is_empty() {
+            return Err(RuntimeError::InvalidConfig("no queries registered".into()));
+        }
+        let defs = resolve_routes(self.defs, self.workers)?;
+        // One template engine per query stays on the control thread; it
+        // never sees events and exists to interpret records (signatures,
+        // RETURN formatting) without reaching into worker state.
+        let templates: Vec<Engine> =
+            defs.iter().map(|d| d.parts.engine()).collect::<Result<_, _>>()?;
+
+        let (reply_tx, replies) = channel::<ShardReply>();
+        let mut senders = Vec::with_capacity(self.workers);
+        let mut handles = Vec::with_capacity(self.workers);
+        for shard in 0..self.workers {
+            let engines = build_engines(&defs, shard)?;
+            let (tx, rx) = sync_channel::<ShardMsg>(self.channel_capacity);
+            let reply_tx = reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("zstream-shard-{shard}"))
+                .spawn(move || run_shard(shard, engines, rx, reply_tx))
+                .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?;
+            senders.push(tx);
+            handles.push(handle);
+        }
+        let dropped = vec![0u64; defs.len()];
+        let merge = OrderedMerge::new(self.workers);
+        Ok(Runtime {
+            senders,
+            replies,
+            handles,
+            defs,
+            templates,
+            merge,
+            batch_size: self.batch_size,
+            watermark: 0,
+            dropped,
+        })
+    }
+}
+
+/// Final accounting returned by [`Runtime::shutdown`].
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Matches that were still buffered at shutdown, in merge order
+    /// (matches already returned by [`Runtime::ingest`] / [`Runtime::poll`]
+    /// are not repeated).
+    pub matches: Vec<RuntimeMatch>,
+    /// Per-query metrics, aggregated across shards with
+    /// [`EngineMetrics::merge`], in registration order.
+    pub query_metrics: Vec<EngineMetrics>,
+    /// Grand total across queries.
+    pub metrics: EngineMetrics,
+    /// Per-query count of ingested events that lacked the routing field.
+    pub dropped: Vec<u64>,
+    /// Number of worker shards that ran.
+    pub workers: usize,
+}
+
+/// A sharded, multi-threaded execution runtime for one or more compiled
+/// queries.
+///
+/// See the [crate documentation](crate) for the architecture. Lifecycle:
+/// [`RuntimeBuilder::register`] queries, [`RuntimeBuilder::build`],
+/// [`ingest`] time-ordered events (returning finalized matches as they
+/// become safe to emit), and [`shutdown`] to drain in-flight batches, stop
+/// the workers, and collect the remaining matches plus aggregated metrics.
+///
+/// [`ingest`]: Runtime::ingest
+/// [`shutdown`]: Runtime::shutdown
+#[derive(Debug)]
+pub struct Runtime {
+    senders: Vec<SyncSender<ShardMsg>>,
+    replies: Receiver<ShardReply>,
+    handles: Vec<JoinHandle<()>>,
+    defs: Vec<QueryDef>,
+    templates: Vec<Engine>,
+    merge: OrderedMerge,
+    batch_size: usize,
+    watermark: Ts,
+    dropped: Vec<u64>,
+}
+
+impl Runtime {
+    /// Starts a builder.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// The resolved routing of a registered query.
+    pub fn route(&self, query: QueryId) -> &Route {
+        &self.defs[query.0].route
+    }
+
+    /// Latest event timestamp ingested.
+    pub fn watermark(&self) -> Ts {
+        self.watermark
+    }
+
+    /// Number of matches buffered in the merger, awaiting finality.
+    pub fn pending_matches(&self) -> usize {
+        self.merge.pending()
+    }
+
+    /// Canonical signature of a match record (per pattern class, the
+    /// identities of its bound events) — delegates to the query's template
+    /// plan; see [`Engine::record_signature`].
+    pub fn record_signature(&self, query: QueryId, record: &Record) -> Vec<Vec<usize>> {
+        self.templates[query.0].record_signature(record)
+    }
+
+    /// Formats a match record according to the query's RETURN clause.
+    pub fn format_match(&self, query: QueryId, record: &Record) -> String {
+        self.templates[query.0].format_match(record)
+    }
+
+    /// Routes a time-ordered slice of events to the worker shards (in
+    /// chunks of the configured batch size) and returns every match that
+    /// became final, in deterministic `(end_ts, shard, seq)` order.
+    ///
+    /// Blocks when a shard's input channel is full — that is the
+    /// backpressure contract, not an error. Events must arrive in global
+    /// time order across calls.
+    pub fn ingest(&mut self, events: &[EventRef]) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        let mut ready = Vec::new();
+        for chunk in events.chunks(self.batch_size) {
+            self.dispatch(chunk)?;
+            self.drain_replies()?;
+            ready.append(&mut self.merge.drain_ready());
+        }
+        Ok(ready)
+    }
+
+    /// Collects any matches that have become final since the last call,
+    /// without ingesting anything. Non-blocking.
+    pub fn poll(&mut self) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        self.drain_replies()?;
+        Ok(self.merge.drain_ready())
+    }
+
+    /// Drains in-flight batches, flushes every engine, stops the workers,
+    /// and returns the remaining matches plus aggregated metrics.
+    pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
+        for (shard, tx) in self.senders.iter().enumerate() {
+            tx.send(ShardMsg::Shutdown).map_err(|_| RuntimeError::WorkerLost(shard))?;
+        }
+        let workers = self.senders.len();
+        let mut query_metrics = vec![EngineMetrics::default(); self.defs.len()];
+        let mut done = 0usize;
+        while done < workers {
+            match self.replies.recv() {
+                Ok(ShardReply::Output { shard, watermark, matches }) => {
+                    for m in matches {
+                        self.merge.offer(m);
+                    }
+                    self.merge.advance(shard, watermark);
+                }
+                Ok(ShardReply::Done { shard, metrics }) => {
+                    for (agg, m) in query_metrics.iter_mut().zip(&metrics) {
+                        agg.merge(m);
+                    }
+                    self.merge.finish(shard);
+                    done += 1;
+                }
+                Err(_) => return Err(RuntimeError::ChannelClosed),
+            }
+        }
+        self.senders.clear();
+        for (shard, handle) in self.handles.drain(..).enumerate() {
+            handle.join().map_err(|_| RuntimeError::WorkerLost(shard))?;
+        }
+        let matches = self.merge.drain_ready();
+        debug_assert_eq!(self.merge.pending(), 0, "all matches final after shutdown");
+        let mut metrics = EngineMetrics::default();
+        for m in &query_metrics {
+            metrics.merge(m);
+        }
+        Ok(RuntimeReport {
+            matches,
+            query_metrics,
+            metrics,
+            dropped: std::mem::take(&mut self.dropped),
+            workers,
+        })
+    }
+
+    /// Routes one chunk: per shard, per query, the events it owns. Every
+    /// shard gets a message for every chunk — an empty one still carries
+    /// the watermark that lets the merger finalize other shards' matches.
+    fn dispatch(&mut self, chunk: &[EventRef]) -> Result<(), RuntimeError> {
+        let workers = self.senders.len();
+        let nq = self.defs.len();
+        for event in chunk {
+            debug_assert!(event.ts() >= self.watermark, "ingest must be time-ordered");
+            self.watermark = self.watermark.max(event.ts());
+        }
+        let mut per_shard: Vec<Vec<Vec<EventRef>>> = vec![vec![Vec::new(); nq]; workers];
+        for (q, def) in self.defs.iter().enumerate() {
+            match &def.route {
+                Route::Hash(field) => {
+                    let split = split_by_field(chunk, field, workers);
+                    self.dropped[q] += split.dropped;
+                    for (shard, events) in split.shards.into_iter().enumerate() {
+                        per_shard[shard][q] = events;
+                    }
+                }
+                Route::Single(home) => per_shard[*home][q] = chunk.to_vec(),
+            }
+        }
+        for (shard, per_query) in per_shard.into_iter().enumerate() {
+            self.senders[shard]
+                .send(ShardMsg::Batch { watermark: self.watermark, per_query })
+                .map_err(|_| RuntimeError::WorkerLost(shard))?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking drain of the reply channel into the merger.
+    fn drain_replies(&mut self) -> Result<(), RuntimeError> {
+        loop {
+            match self.replies.try_recv() {
+                Ok(ShardReply::Output { shard, watermark, matches }) => {
+                    for m in matches {
+                        self.merge.offer(m);
+                    }
+                    self.merge.advance(shard, watermark);
+                }
+                Ok(ShardReply::Done { shard, .. }) => {
+                    // Only possible after a worker-side failure path; treat
+                    // as the shard leaving the pool.
+                    self.merge.finish(shard);
+                }
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => return Err(RuntimeError::ChannelClosed),
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    /// Dropping without [`Runtime::shutdown`] still stops the workers:
+    /// closing the input channels ends their receive loops, and joining
+    /// prevents leaked threads.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Worker shards: the shared-nothing evaluation loop.
+//!
+//! Each shard is one OS thread owning one engine per registered query —
+//! a [`PartitionedEngine`] over the shard's key subset for hash-routed
+//! queries, a plain [`Engine`] on the query's home shard otherwise. Shards
+//! receive [`ShardMsg::Batch`] messages over a **bounded** channel (the
+//! backpressure point: a slow shard blocks the router instead of buffering
+//! unboundedly), evaluate, and reply with matches plus the batch watermark
+//! on the shared reply channel.
+//!
+//! The finality invariant the merger relies on: a batch message forces an
+//! evaluation round in every engine that received events, so once the shard
+//! echoes watermark `w`, every match it later produces ends at or after
+//! `w`. Shutdown is a terminal [`ShardMsg::Shutdown`] message — channel
+//! FIFO order guarantees all in-flight batches are drained first — answered
+//! by a final flush, a [`ShardReply::Done`] with per-query metrics, and
+//! thread exit.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use zstream_core::{CoreError, Engine, EngineMetrics, PartitionedEngine};
+use zstream_events::{EventRef, Record, Ts};
+
+use crate::merge::RuntimeMatch;
+use crate::registry::{QueryDef, QueryId, Route};
+
+/// Control-to-shard messages.
+pub(crate) enum ShardMsg {
+    /// One routed batch: per registered query, the events this shard owns
+    /// (possibly empty — the message still carries the stream watermark so
+    /// idle shards keep the merge frontier moving).
+    Batch { watermark: Ts, per_query: Vec<Vec<EventRef>> },
+    /// Flush every engine, report metrics, and exit.
+    Shutdown,
+}
+
+/// Shard-to-control replies.
+pub(crate) enum ShardReply {
+    /// Matches produced by one batch (or the final flush), plus the
+    /// watermark the shard has now fully processed.
+    Output { shard: usize, watermark: Ts, matches: Vec<RuntimeMatch> },
+    /// Terminal reply: per-query metrics, in registration order.
+    Done { shard: usize, metrics: Vec<EngineMetrics> },
+}
+
+/// One query's evaluation state on one shard.
+pub(crate) enum ShardEngine {
+    /// Hash-routed query: per-key engines over this shard's key subset.
+    Partitioned(PartitionedEngine),
+    /// Home-shard query: the whole (query-relevant) stream, one engine.
+    Flat(Engine),
+}
+
+impl ShardEngine {
+    fn push_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
+        match self {
+            ShardEngine::Partitioned(e) => e.push_batch(events),
+            ShardEngine::Flat(e) => e.push_batch(events),
+        }
+    }
+
+    fn flush(&mut self) -> Vec<Record> {
+        match self {
+            ShardEngine::Partitioned(e) => e.flush(),
+            ShardEngine::Flat(e) => e.flush(),
+        }
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        match self {
+            ShardEngine::Partitioned(e) => e.metrics(),
+            ShardEngine::Flat(e) => e.metrics(),
+        }
+    }
+}
+
+/// Instantiates this shard's engines: one per query that can route events
+/// here (`None` for single-shard queries homed elsewhere).
+pub(crate) fn build_engines(
+    defs: &[QueryDef],
+    shard: usize,
+) -> Result<Vec<Option<ShardEngine>>, CoreError> {
+    defs.iter()
+        .map(|def| match &def.route {
+            Route::Hash(field) => {
+                def.parts.partitioned_engine(field).map(|e| Some(ShardEngine::Partitioned(e)))
+            }
+            Route::Single(home) if *home == shard => {
+                def.parts.engine().map(|e| Some(ShardEngine::Flat(e)))
+            }
+            Route::Single(_) => Ok(None),
+        })
+        .collect()
+}
+
+/// The shard thread body. Exits when told to shut down or when either
+/// channel disconnects (the runtime was dropped).
+pub(crate) fn run_shard(
+    shard: usize,
+    mut engines: Vec<Option<ShardEngine>>,
+    rx: Receiver<ShardMsg>,
+    tx: Sender<ShardReply>,
+) {
+    let mut seq = 0u64;
+    let mut tag = |q: usize, records: Vec<Record>, matches: &mut Vec<RuntimeMatch>| {
+        for record in records {
+            matches.push(RuntimeMatch { query: QueryId(q), shard, seq, record });
+            seq += 1;
+        }
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch { watermark, per_query } => {
+                let mut matches = Vec::new();
+                for (q, events) in per_query.iter().enumerate() {
+                    if events.is_empty() {
+                        continue;
+                    }
+                    let Some(engine) = engines[q].as_mut() else { continue };
+                    tag(q, engine.push_batch(events), &mut matches);
+                }
+                if tx.send(ShardReply::Output { shard, watermark, matches }).is_err() {
+                    return;
+                }
+            }
+            ShardMsg::Shutdown => {
+                let mut matches = Vec::new();
+                for (q, engine) in engines.iter_mut().enumerate() {
+                    if let Some(engine) = engine {
+                        tag(q, engine.flush(), &mut matches);
+                    }
+                }
+                let metrics = engines
+                    .iter()
+                    .map(|e| e.as_ref().map(ShardEngine::metrics).unwrap_or_default())
+                    .collect();
+                let _ = tx.send(ShardReply::Output { shard, watermark: Ts::MAX, matches });
+                let _ = tx.send(ShardReply::Done { shard, metrics });
+                return;
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`core`] — tree-based plans, the cost model, the dynamic-programming
 //!   optimizer, the physical operators and the adaptive engine,
 //! * [`nfa`] — the SASE-style NFA baseline used for comparison,
+//! * [`runtime`] — the sharded, multi-threaded execution runtime (hash-routed
+//!   worker shards, ordered match merge, multi-query registry),
 //! * [`workload`] — synthetic workload generators for the paper's evaluation.
 //!
 //! ## Quickstart
@@ -35,10 +37,14 @@ pub use zstream_core as core;
 pub use zstream_events as events;
 pub use zstream_lang as lang;
 pub use zstream_nfa as nfa;
+pub use zstream_runtime as runtime;
 pub use zstream_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    /// Compiled artifacts (query + intake + config) ready to fan out to
+    /// engines or runtime shards.
+    pub use zstream_core::CompiledParts;
     /// A parsed, analyzed and optimized query, ready to instantiate.
     pub use zstream_core::CompiledQuery;
     /// The tree-plan evaluation engine (push events, collect matches).
@@ -69,6 +75,18 @@ pub mod prelude {
     pub use zstream_events::Value;
     /// A parsed PATTERN/WHERE/WITHIN/RETURN query.
     pub use zstream_lang::Query;
+    /// Shard routing policy of a registered query (auto / forced / broadcast).
+    pub use zstream_runtime::Partitioning;
+    /// Identifier of a query registered with the runtime.
+    pub use zstream_runtime::QueryId;
+    /// The sharded, multi-threaded execution runtime.
+    pub use zstream_runtime::Runtime;
+    /// Fluent constructor: workers + batch size + registered queries → [`Runtime`].
+    pub use zstream_runtime::RuntimeBuilder;
+    /// One composite match produced by the runtime (query, shard, record).
+    pub use zstream_runtime::RuntimeMatch;
+    /// Final accounting returned by [`Runtime::shutdown`].
+    pub use zstream_runtime::RuntimeReport;
     /// Configuration of a synthetic stock stream (rates, prices, length).
     pub use zstream_workload::StockConfig;
     /// Deterministic generator of synthetic stock-trade events.

@@ -103,7 +103,7 @@ fn check_round_invariants(records: &[zstream::events::Record], window: u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn sequence_matches_oracle(events in stream_strategy(28), batch in 1usize..12, hash: bool) {

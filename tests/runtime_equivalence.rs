@@ -1,0 +1,318 @@
+//! Sharded-runtime equivalence: for generated queries and streams, the
+//! multi-threaded runtime's match set must equal the brute-force oracle's
+//! and the single-threaded engine's, regardless of worker count, batch
+//! size, and where batch boundaries fall — and its output must come out in
+//! the documented deterministic order `(end_ts, shard, seq)`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use zstream::core::reference::reference_signatures;
+use zstream::core::{build_intake, CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
+use zstream::events::{stock, EventRef, Schema};
+use zstream::lang::{analyze, Query, SchemaMap};
+use zstream::runtime::{Partitioning, Route, Runtime, RuntimeMatch};
+use zstream::workload::{StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
+
+type Signature = Vec<Vec<usize>>;
+
+/// Classes named A/B/C match any stock event (no route-by-name intake), so
+/// the `name` equality predicates are what connect — and partition — them.
+const PARTITIONABLE: &str = "PATTERN A; B; C WHERE A.name = B.name AND B.name = C.name WITHIN 12";
+/// No equality predicates: `Partitioning::Auto` must fall back to a single
+/// home shard.
+const BROADCAST: &str = "PATTERN A; B WHERE A.price > B.price WITHIN 9";
+
+fn compile(src: &str, batch: usize) -> CompiledParts {
+    EngineBuilder::parse(src)
+        .unwrap()
+        .config(EngineConfig { batch_size: batch, plan: PlanConfig::default() })
+        .compile()
+        .unwrap()
+}
+
+fn oracle_sigs(src: &str, events: &[EventRef]) -> Vec<Signature> {
+    let aq = analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
+    let intake = build_intake(&aq, None).unwrap();
+    reference_signatures(&aq, &intake, events)
+}
+
+fn engine_sigs(parts: &CompiledParts, events: &[EventRef]) -> Vec<Signature> {
+    let mut engine = parts.engine().unwrap();
+    let mut out = Vec::new();
+    for e in events {
+        out.extend(engine.push(Arc::clone(e)));
+    }
+    out.extend(engine.flush());
+    let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+/// Runs the sharded runtime end to end and returns every match in delivery
+/// order, after asserting merge-order delivery and consistent accounting.
+fn runtime_matches(
+    parts: CompiledParts,
+    partitioning: Partitioning,
+    workers: usize,
+    chunk: usize,
+    events: &[EventRef],
+) -> Vec<RuntimeMatch> {
+    let mut builder = Runtime::builder().workers(workers).batch_size(chunk).channel_capacity(2);
+    let q = builder.register(parts, partitioning);
+    let mut runtime = builder.build().unwrap();
+    let mut matches: Vec<RuntimeMatch> = Vec::new();
+    // Ingest in two slices so slice boundaries also fall mid-stream.
+    let split = events.len() / 2;
+    matches.extend(runtime.ingest(&events[..split]).unwrap());
+    matches.extend(runtime.poll().unwrap());
+    matches.extend(runtime.ingest(&events[split..]).unwrap());
+    let report = runtime.shutdown().unwrap();
+    matches.extend(report.matches);
+    assert!(
+        matches.windows(2).all(|w| w[0].key() <= w[1].key()),
+        "runtime output not in (end_ts, shard, seq) order"
+    );
+    assert!(matches.iter().all(|m| m.query == q));
+    assert_eq!(report.workers, workers);
+    assert_eq!(
+        report.metrics.matches_out,
+        matches.len() as u64,
+        "aggregated metrics disagree with delivered match count"
+    );
+    matches
+}
+
+/// Sorted, deduplicated signatures of runtime matches, asserting
+/// exactly-once emission on the way.
+fn runtime_sigs(
+    parts: CompiledParts,
+    partitioning: Partitioning,
+    workers: usize,
+    chunk: usize,
+    events: &[EventRef],
+) -> Vec<Signature> {
+    // A template engine from the same compiled parts interprets records
+    // identically to the runtime's shard engines (same plan layout).
+    let template = parts.engine().unwrap();
+    let matches = runtime_matches(parts, partitioning, workers, chunk, events);
+    let mut sigs: Vec<Signature> =
+        matches.iter().map(|m| template.record_signature(&m.record)).collect();
+    let n = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(n, sigs.len(), "runtime emitted duplicate matches");
+    sigs
+}
+
+/// Strategy: a time-ordered stream over a small name alphabet so partition
+/// keys collide often and predicates hit.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRef>> {
+    prop::collection::vec(
+        (0u64..3, 0usize..4, 0i64..6, 1i64..4), // ts-gap, name, price-ish, volume
+        1..max_len,
+    )
+    .prop_map(|rows| {
+        let mut ts = 0u64;
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (gap, name_idx, price, volume))| {
+                ts += gap;
+                let name = ["IBM", "Sun", "Oracle", "HP"][name_idx];
+                stock(ts, i as i64, name, price as f64, volume)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20 })]
+
+    #[test]
+    fn sharded_runtime_matches_oracle_and_engine(
+        events in stream_strategy(26),
+        workers in 1usize..4,
+        chunk in 1usize..9,
+        engine_batch in 1usize..6,
+    ) {
+        let parts = compile(PARTITIONABLE, engine_batch);
+        let expected = oracle_sigs(PARTITIONABLE, &events);
+        prop_assert_eq!(&engine_sigs(&parts, &events), &expected);
+        let got = runtime_sigs(
+            parts,
+            Partitioning::Auto("name".into()),
+            workers,
+            chunk,
+            &events,
+        );
+        prop_assert_eq!(&got, &expected);
+    }
+
+    #[test]
+    fn broadcast_fallback_matches_oracle_and_engine(
+        events in stream_strategy(24),
+        workers in 1usize..4,
+        chunk in 1usize..9,
+    ) {
+        let parts = compile(BROADCAST, 4);
+        let expected = oracle_sigs(BROADCAST, &events);
+        prop_assert_eq!(&engine_sigs(&parts, &events), &expected);
+        let got = runtime_sigs(
+            parts,
+            Partitioning::Auto("name".into()), // no equalities -> home shard
+            workers,
+            chunk,
+            &events,
+        );
+        prop_assert_eq!(&got, &expected);
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_match_set() {
+    let events = StockGenerator::generate(StockConfig::with_rates(
+        &[("IBM", 1.0), ("Sun", 1.0), ("Oracle", 1.0), ("HP", 1.0)],
+        400,
+        7,
+    ));
+    let baseline =
+        runtime_sigs(compile(PARTITIONABLE, 8), Partitioning::Auto("name".into()), 1, 16, &events);
+    assert!(!baseline.is_empty());
+    for workers in [2, 3, 4, 8] {
+        for chunk in [1, 7, 64] {
+            let got = runtime_sigs(
+                compile(PARTITIONABLE, 8),
+                Partitioning::Auto("name".into()),
+                workers,
+                chunk,
+                &events,
+            );
+            assert_eq!(got, baseline, "workers={workers} chunk={chunk}");
+        }
+    }
+}
+
+/// Acceptance: on the stock workload, the sharded runtime's match output is
+/// byte-identical (formatted through the RETURN clause) to the
+/// single-threaded engine's, under the shared deterministic order.
+#[test]
+fn stock_workload_output_is_byte_identical_to_engine() {
+    let src = "PATTERN A; B; C WHERE A.name = B.name AND B.name = C.name \
+               WITHIN 30 RETURN A, B, C";
+    let events = StockGenerator::generate(StockConfig::with_rates(
+        &[("IBM", 1.0), ("Sun", 1.0), ("Oracle", 1.0), ("HP", 1.0), ("Dell", 1.0)],
+        600,
+        21,
+    ));
+    let parts = compile(src, 16);
+
+    let mut engine = parts.engine().unwrap();
+    let mut records = Vec::new();
+    for e in &events {
+        records.extend(engine.push(Arc::clone(e)));
+    }
+    records.extend(engine.flush());
+    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
+
+    for workers in [2, 4] {
+        let template = parts.engine().unwrap();
+        let matches =
+            runtime_matches(parts.clone(), Partitioning::Auto("name".into()), workers, 32, &events);
+        let mut runtime_lines: Vec<String> =
+            matches.iter().map(|m| template.format_match(&m.record)).collect();
+        // Both outputs are deterministic; equal end-ts ties may order
+        // differently between one engine and N shards, so compare under the
+        // shared canonical order (end_ts is the line's `..end]` prefix, and
+        // the full line disambiguates ties).
+        engine_lines.sort();
+        runtime_lines.sort();
+        assert!(!runtime_lines.is_empty());
+        assert_eq!(runtime_lines, engine_lines, "workers={workers}");
+    }
+}
+
+/// Acceptance: same byte-identity on the web-log workload (Query 8 shape:
+/// same-IP Publication → Project → Course within 10 hours).
+#[test]
+fn weblog_workload_output_is_byte_identical_to_engine() {
+    let src = "PATTERN Publication; Project; Course \
+               WHERE Publication.ip = Project.ip AND Project.ip = Course.ip \
+               WITHIN 10 hours RETURN Publication, Project, Course";
+    let (events, _) = WeblogGenerator::generate(&WeblogConfig::scaled(20_000, 11));
+    let parts = EngineBuilder::parse(src)
+        .unwrap()
+        .schemas(SchemaMap::uniform(Schema::weblog()))
+        .route_by_field("category")
+        .config(EngineConfig { batch_size: 64, plan: PlanConfig::default() })
+        .compile()
+        .unwrap();
+
+    let mut engine = parts.engine().unwrap();
+    let mut records = Vec::new();
+    for e in &events {
+        records.extend(engine.push(Arc::clone(e)));
+    }
+    records.extend(engine.flush());
+    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
+    engine_lines.sort();
+
+    let template = parts.engine().unwrap();
+    let matches = runtime_matches(parts, Partitioning::Field("ip".into()), 4, 128, &events);
+    let mut runtime_lines: Vec<String> =
+        matches.iter().map(|m| template.format_match(&m.record)).collect();
+    runtime_lines.sort();
+    assert!(!runtime_lines.is_empty());
+    assert_eq!(runtime_lines, engine_lines);
+}
+
+/// The multi-query registry: a partitioned and a broadcast query sharing
+/// one ingest path each produce exactly what they produce when run alone.
+#[test]
+fn multi_query_registry_isolates_results() {
+    let events = StockGenerator::generate(StockConfig::with_rates(
+        &[("IBM", 1.0), ("Sun", 1.0), ("Oracle", 1.0), ("HP", 1.0)],
+        300,
+        3,
+    ));
+    let part_parts = compile(PARTITIONABLE, 8);
+    let bcast_parts = compile(BROADCAST, 8);
+    let solo_part =
+        runtime_sigs(part_parts.clone(), Partitioning::Auto("name".into()), 3, 16, &events);
+    let solo_bcast = runtime_sigs(bcast_parts.clone(), Partitioning::Broadcast, 3, 16, &events);
+
+    let part_template = part_parts.engine().unwrap();
+    let bcast_template = bcast_parts.engine().unwrap();
+    let mut builder = Runtime::builder().workers(3).batch_size(16);
+    let q_part = builder.register(part_parts, Partitioning::Auto("name".into()));
+    let q_bcast = builder.register(bcast_parts, Partitioning::Broadcast);
+    let mut runtime = builder.build().unwrap();
+    assert_eq!(runtime.route(q_part), &Route::Hash("name".into()));
+    assert!(matches!(runtime.route(q_bcast), Route::Single(_)));
+
+    let mut matches = runtime.ingest(&events).unwrap();
+    let report = runtime.shutdown().unwrap();
+    matches.extend(report.matches);
+
+    let mut got_part: Vec<Signature> = matches
+        .iter()
+        .filter(|m| m.query == q_part)
+        .map(|m| part_template.record_signature(&m.record))
+        .collect();
+    let mut got_bcast: Vec<Signature> = matches
+        .iter()
+        .filter(|m| m.query == q_bcast)
+        .map(|m| bcast_template.record_signature(&m.record))
+        .collect();
+    got_part.sort();
+    got_bcast.sort();
+    assert!(!got_part.is_empty() && !got_bcast.is_empty());
+    assert_eq!(got_part, solo_part);
+    assert_eq!(got_bcast, solo_bcast);
+    assert_eq!(
+        report.query_metrics[q_part.index()].matches_out
+            + report.query_metrics[q_bcast.index()].matches_out,
+        matches.len() as u64
+    );
+}
