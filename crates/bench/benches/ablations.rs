@@ -52,10 +52,12 @@ fn main() {
             matches += engine.push_batch(chunk).len() as u64;
         }
         matches += engine.flush().len() as u64;
+        let metrics = engine.metrics();
         Measurement {
             throughput: events.len() as f64 / t0.elapsed().as_secs_f64(),
             matches,
-            peak_mb: engine.metrics().peak_mb(),
+            peak_mb: metrics.peak_mb(),
+            peak_bytes: metrics.peak_bytes,
         }
     };
     let hash_on = measure_alias(true);

@@ -23,8 +23,13 @@ fn main() {
     let cols: Vec<String> = selectivities.iter().map(|s| format!("{s:.4}")).collect();
     row_header("selectivity ->", &cols);
 
-    let events =
-        StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun", "Oracle"], len, 808));
+    // Columnar batches sized to the engine round (vectorized intake); the
+    // NFA baseline consumes the same rows as flat handles.
+    let batches = StockGenerator::generate_batches(
+        StockConfig::uniform(&["IBM", "Sun", "Oracle"], len, 808),
+        512, // = TreeRun::shaped's batch size: one batch per engine round
+    );
+    let events: Vec<_> = batches.iter().flat_map(|b| b.iter()).collect();
 
     let mut results: Vec<(&str, Vec<f64>)> =
         vec![("left-deep", vec![]), ("right-deep", vec![]), ("NFA", vec![])];
@@ -32,11 +37,19 @@ fn main() {
         let f = price_factor_for_selectivity(s);
         let query =
             format!("PATTERN IBM; Sun; Oracle WHERE IBM.price > {f} * Sun.price WITHIN 200");
-        let ld = measure_tree(&TreeRun::shaped(&query, PlanShape::left_deep(3)), &events, reps);
-        let rd = measure_tree(&TreeRun::shaped(&query, PlanShape::right_deep(3)), &events, reps);
+        let ld =
+            measure_tree_columns(&TreeRun::shaped(&query, PlanShape::left_deep(3)), &batches, reps);
+        let rd = measure_tree_columns(
+            &TreeRun::shaped(&query, PlanShape::right_deep(3)),
+            &batches,
+            reps,
+        );
         let nfa = measure_nfa(&query, Routing::StockByName, &events, reps);
         assert_eq!(ld.matches, rd.matches, "plans must agree on matches");
         assert_eq!(ld.matches, nfa.matches, "NFA must agree on matches");
+        record_json("fig08_predicate_selectivity", &format!("left-deep@{s}"), &ld);
+        record_json("fig08_predicate_selectivity", &format!("right-deep@{s}"), &rd);
+        record_json("fig08_predicate_selectivity", &format!("nfa@{s}"), &nfa);
         results[0].1.push(ld.throughput);
         results[1].1.push(rd.throughput);
         results[2].1.push(nfa.throughput);

@@ -29,10 +29,10 @@ fn phase(rates: [f64; 4], ss: f64, gs: f64, len: usize, seed: u64, ts_base: u64)
     .into_iter()
     .map(|e| {
         Event::builder(Schema::stocks(), ts_base + e.ts())
-            .value(e.value(0).clone())
-            .value(e.value(1).clone())
-            .value(e.value(2).clone())
-            .value(e.value(3).clone())
+            .value(e.value(0))
+            .value(e.value(1))
+            .value(e.value(2))
+            .value(e.value(3))
             .build_ref()
             .unwrap()
     })
@@ -82,7 +82,7 @@ fn main() {
         let series = measure_segmented(&segments, |seg| {
             let mut n = 0u64;
             for e in seg {
-                n += nfa.push(std::sync::Arc::clone(e)).len() as u64;
+                n += nfa.push(e.clone()).len() as u64;
             }
             n
         });

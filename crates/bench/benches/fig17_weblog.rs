@@ -20,7 +20,13 @@ fn main() {
     let total = bench_len(750_000) as u64;
     let reps = bench_reps(3);
     header("Figure 17: throughput on the web access log (Query 8)", QUERY8);
-    let (events, stats) = WeblogGenerator::generate(&WeblogConfig::scaled(total, 2009));
+    // Columnar batches feed the tree engines' vectorized intake; the NFA
+    // baseline consumes the same rows as flat handles.
+    let (batches, stats) = WeblogGenerator::generate_batches(
+        &WeblogConfig::scaled(total, 2009),
+        512, // = TreeRun::shaped's batch size: one batch per engine round
+    );
+    let events: Vec<_> = batches.iter().flat_map(|b| b.iter()).collect();
     println!(
         "workload: {} records | publication {} | project {} | course {}\n",
         stats.total, stats.publication, stats.project, stats.course
@@ -29,16 +35,19 @@ fn main() {
 
     let mut run = TreeRun::shaped(QUERY8, PlanShape::left_deep(3));
     run.routing = Routing::WeblogByCategory;
-    let ld = measure_tree(&run, &events, reps);
+    let ld = measure_tree_columns(&run, &batches, reps);
     row("left-deep", &[ld.throughput, ld.matches as f64]);
 
     let mut run = TreeRun::shaped(QUERY8, PlanShape::right_deep(3));
     run.routing = Routing::WeblogByCategory;
-    let rd = measure_tree(&run, &events, reps);
+    let rd = measure_tree_columns(&run, &batches, reps);
     row("right-deep", &[rd.throughput, rd.matches as f64]);
 
     let nfa = measure_nfa(QUERY8, Routing::WeblogByCategory, &events, reps);
     row("NFA", &[nfa.throughput, nfa.matches as f64]);
+    record_json("fig17_weblog", "left-deep", &ld);
+    record_json("fig17_weblog", "right-deep", &rd);
+    record_json("fig17_weblog", "nfa", &nfa);
 
     assert_eq!(ld.matches, rd.matches);
     assert_eq!(ld.matches, nfa.matches);

@@ -1,12 +1,14 @@
 //! **Operator microbenchmarks** (criterion) — per-event costs of the hot
-//! paths: intake routing, a full SEQ assembly round, the hash probe path,
-//! and the NSEQ backward scan.
+//! paths: intake routing (record-at-a-time vs columnar), a full SEQ
+//! assembly round, the hash probe path, the NSEQ backward scan, and the
+//! buffer prune sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use zstream_core::physical::Buffer;
 use zstream_core::{EngineBuilder, EngineConfig, PlanConfig, PlanShape};
-use zstream_events::EventRef;
+use zstream_events::{stock, EventRef, Record, Slot};
 use zstream_workload::{StockConfig, StockGenerator};
 
 fn stream(len: usize, seed: u64) -> Vec<EventRef> {
@@ -15,23 +17,77 @@ fn stream(len: usize, seed: u64) -> Vec<EventRef> {
 
 fn bench_seq_round(c: &mut Criterion) {
     let events = stream(4096, 10);
+    let batches = StockGenerator::generate_batches(
+        StockConfig::uniform(&["IBM", "Sun", "Oracle"], 4096, 10),
+        256,
+    );
     let mut group = c.benchmark_group("seq_pipeline");
     group.sample_size(20);
     group.throughput(Throughput::Elements(events.len() as u64));
+    let build = || {
+        EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 100")
+            .unwrap()
+            .stock_routing()
+            .shape(PlanShape::left_deep(3))
+            .config(EngineConfig { batch_size: 256, ..Default::default() })
+            .build()
+            .unwrap()
+    };
     group.bench_function("scan_join", |b| {
         b.iter(|| {
-            let mut engine = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 100")
-                .unwrap()
-                .stock_routing()
-                .shape(PlanShape::left_deep(3))
-                .config(EngineConfig { batch_size: 256, ..Default::default() })
-                .build()
-                .unwrap();
+            let mut engine = build();
             let mut n = 0usize;
             for chunk in events.chunks(256) {
                 n += engine.push_batch(black_box(chunk)).len();
             }
             n
+        })
+    });
+    group.bench_function("scan_join_columnar", |b| {
+        b.iter(|| {
+            let mut engine = build();
+            let mut n = 0usize;
+            for batch in &batches {
+                n += engine.push_columns(black_box(batch)).len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    // Interior (slow-path) pruning: records sorted by end but not by start,
+    // so the in-place compaction sweep runs — the Buffer::prune hot path
+    // for internal buffers under EAT pressure.
+    const N: usize = 4096;
+    let wide = stock(0, 0, "W", 1.0, 1);
+    let make_buffer = || {
+        let mut b = Buffer::new();
+        for i in 0..N as u64 {
+            // Alternate long-span records (pruned by start) with short ones.
+            let rec = if i % 2 == 0 {
+                Record::from_slots(vec![
+                    Slot::One(wide.clone()),
+                    Slot::One(stock(i + 1, i as i64, "E", 1.0, 1)),
+                ])
+            } else {
+                Record::primitive(stock(i + 1, i as i64, "E", 1.0, 1))
+            };
+            b.push(rec);
+        }
+        b
+    };
+    let mut group = c.benchmark_group("buffer_prune");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("interior_sweep", |b| {
+        b.iter(|| {
+            let mut buf = make_buffer();
+            // start<1 prunes every even record via the interior sweep.
+            let removed = buf.prune(black_box(1));
+            assert_eq!(removed, N / 2);
+            buf.len()
         })
     });
     group.finish();
@@ -91,5 +147,5 @@ fn bench_nseq(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seq_round, bench_hash_vs_scan, bench_nseq);
+criterion_group!(benches, bench_seq_round, bench_hash_vs_scan, bench_nseq, bench_prune);
 criterion_main!(benches);

@@ -9,12 +9,11 @@
 //! sharded configurations pay thread overhead for no parallel gain; the
 //! speedup column makes either outcome visible.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use zstream_bench::*;
 use zstream_core::{CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
-use zstream_events::EventRef;
+use zstream_events::{EventBatch, EventRef};
 use zstream_runtime::{Partitioning, Runtime};
 use zstream_workload::{StockConfig, StockGenerator};
 
@@ -29,31 +28,39 @@ fn compile() -> CompiledParts {
         .expect("bench query compiles")
 }
 
-/// Single-threaded plain engine (equality predicates evaluated in-plan).
-fn measure_engine(events: &[EventRef], reps: usize) -> (f64, u64) {
+fn total_events(batches: &[EventBatch]) -> usize {
+    batches.iter().map(EventBatch::len).sum()
+}
+
+/// Single-threaded plain engine (equality predicates evaluated in-plan),
+/// consuming the columnar batches directly.
+fn measure_engine(batches: &[EventBatch], reps: usize) -> (f64, u64) {
+    let total = total_events(batches);
     median_run(reps, || {
         let mut engine = compile().engine().expect("engine builds");
         let t0 = Instant::now();
         let mut matches = 0u64;
-        for chunk in events.chunks(CHUNK) {
-            matches += engine.push_batch(chunk).len() as u64;
+        for batch in batches {
+            matches += engine.push_columns(batch).len() as u64;
         }
         matches += engine.flush().len() as u64;
-        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+        (total as f64 / t0.elapsed().as_secs_f64(), matches)
     })
 }
 
-/// Single-threaded per-key partitioned engine (the §4.1 figure-3 layout).
-fn measure_partitioned(events: &[EventRef], reps: usize) -> (f64, u64) {
+/// Single-threaded per-key partitioned engine (the §4.1 figure-3 layout),
+/// routing each batch off the key column.
+fn measure_partitioned(batches: &[EventBatch], reps: usize) -> (f64, u64) {
+    let total = total_events(batches);
     median_run(reps, || {
         let mut engine = compile().partitioned_engine("name").expect("partitionable");
         let t0 = Instant::now();
         let mut matches = 0u64;
-        for chunk in events.chunks(CHUNK) {
-            matches += engine.push_batch(chunk).len() as u64;
+        for batch in batches {
+            matches += engine.push_columns(batch).len() as u64;
         }
         matches += engine.flush().len() as u64;
-        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+        (total as f64 / t0.elapsed().as_secs_f64(), matches)
     })
 }
 
@@ -81,8 +88,9 @@ fn main() {
     let reps = bench_reps(3);
     let names: Vec<String> = (0..64).map(|i| format!("S{i:02}")).collect();
     let rates: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 1.0)).collect();
-    let events = StockGenerator::generate(StockConfig::with_rates(&rates, len, 4242));
-    let events: Vec<EventRef> = events.iter().map(Arc::clone).collect();
+    let batches =
+        StockGenerator::generate_batches(StockConfig::with_rates(&rates, len, 4242), CHUNK);
+    let events: Vec<_> = batches.iter().flat_map(|b| b.iter()).collect();
 
     header(
         "Scale-out: sharded runtime vs single-threaded engines",
@@ -95,14 +103,21 @@ fn main() {
         .collect();
     row_header("configuration ->", &cols);
 
-    let (engine_tput, engine_matches) = measure_engine(&events, reps);
-    let (part_tput, part_matches) = measure_partitioned(&events, reps);
+    let record = |series: &str, tput: f64, matches: u64| {
+        let m = Measurement { throughput: tput, matches, peak_mb: 0.0, peak_bytes: 0 };
+        record_json("runtime_scaling", series, &m);
+    };
+    let (engine_tput, engine_matches) = measure_engine(&batches, reps);
+    let (part_tput, part_matches) = measure_partitioned(&batches, reps);
     assert_eq!(engine_matches, part_matches, "partitioned engine changed the match set");
+    record("single", engine_tput, engine_matches);
+    record("part-1thr", part_tput, part_matches);
     let mut tputs = vec![engine_tput, part_tput];
     let mut shard_tputs = Vec::new();
     for &workers in &shard_counts {
         let (tput, matches) = measure_runtime(workers, &events, reps);
         assert_eq!(engine_matches, matches, "{workers}-shard runtime changed the match set");
+        record(&format!("{workers}-shards"), tput, matches);
         shard_tputs.push(tput);
         tputs.push(tput);
     }

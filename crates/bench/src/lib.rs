@@ -12,7 +12,7 @@ use std::time::Instant;
 use zstream_core::{
     build_intake, CompiledQuery, Engine, EngineConfig, NegStrategy, PlanConfig, PlanShape,
 };
-use zstream_events::{EventRef, Schema};
+use zstream_events::{EventBatch, EventRef, Schema};
 use zstream_lang::{Query, SchemaMap};
 use zstream_nfa::NfaEngine;
 
@@ -25,6 +25,8 @@ pub struct Measurement {
     pub matches: u64,
     /// Peak logical memory in MB.
     pub peak_mb: f64,
+    /// Peak logical memory in bytes (what `peak_mb` is derived from).
+    pub peak_bytes: usize,
 }
 
 /// Which schema/routing convention a benchmark uses.
@@ -110,10 +112,39 @@ pub fn measure_tree(run: &TreeRun<'_>, events: &[EventRef], reps: usize) -> Meas
             }
             matches += engine.flush().len() as u64;
             let dt = t0.elapsed();
+            let metrics = engine.metrics();
             Measurement {
                 throughput: events.len() as f64 / dt.as_secs_f64(),
                 matches,
-                peak_mb: engine.metrics().peak_mb(),
+                peak_mb: metrics.peak_mb(),
+                peak_bytes: metrics.peak_bytes,
+            }
+        })
+        .collect();
+    median(samples)
+}
+
+/// Runs one tree configuration `reps` times over pre-built columnar batches
+/// (the vectorized-intake path); median by throughput. Batches should be
+/// sized to the run's batch size — each batch is one engine round.
+pub fn measure_tree_columns(run: &TreeRun<'_>, batches: &[EventBatch], reps: usize) -> Measurement {
+    let total: usize = batches.iter().map(EventBatch::len).sum();
+    let samples: Vec<Measurement> = (0..reps.max(1))
+        .map(|_| {
+            let mut engine = run.build_engine();
+            let t0 = Instant::now();
+            let mut matches = 0u64;
+            for batch in batches {
+                matches += engine.push_columns(batch).len() as u64;
+            }
+            matches += engine.flush().len() as u64;
+            let dt = t0.elapsed();
+            let metrics = engine.metrics();
+            Measurement {
+                throughput: total as f64 / dt.as_secs_f64(),
+                matches,
+                peak_mb: metrics.peak_mb(),
+                peak_bytes: metrics.peak_bytes,
             }
         })
         .collect();
@@ -132,17 +163,55 @@ pub fn measure_nfa(query: &str, routing: Routing, events: &[EventRef], reps: usi
             let t0 = Instant::now();
             let mut matches = 0u64;
             for e in events {
-                matches += nfa.push(Arc::clone(e)).len() as u64;
+                matches += nfa.push(e.clone()).len() as u64;
             }
             let dt = t0.elapsed();
             Measurement {
                 throughput: events.len() as f64 / dt.as_secs_f64(),
                 matches,
                 peak_mb: nfa.peak_bytes() as f64 / (1024.0 * 1024.0),
+                peak_bytes: nfa.peak_bytes(),
             }
         })
         .collect();
     median(samples)
+}
+
+/// Appends one measured point to the JSON results file named by the
+/// `ZSTREAM_BENCH_JSON` environment variable (no-op when unset). The file
+/// stays a valid JSON array after every append, so several bench targets can
+/// contribute to one `BENCH_results.json` without a collation step.
+///
+/// The read-modify-write is not atomic: run bench targets that share one
+/// results file sequentially (as the CI `bench-trajectory` job does), not in
+/// parallel.
+pub fn record_json(bench: &str, series: &str, m: &Measurement) {
+    let Some(path) = std::env::var_os("ZSTREAM_BENCH_JSON") else { return };
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let entry = format!(
+        "  {{\"bench\": \"{}\", \"series\": \"{}\", \
+         \"events_per_sec\": {:.0}, \"peak_bytes\": {}, \"matches\": {}}}",
+        escape(bench),
+        escape(series),
+        m.throughput,
+        m.peak_bytes,
+        m.matches
+    );
+    let existing = std::fs::read_to_string(&path).ok();
+    let content = match existing.as_deref().map(str::trim_end) {
+        Some(s) if s.ends_with(']') => {
+            let body = s.strip_suffix(']').expect("checked above").trim_end();
+            if body == "[" {
+                format!("[\n{entry}\n]\n")
+            } else {
+                format!("{body},\n{entry}\n]\n")
+            }
+        }
+        _ => format!("[\n{entry}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write bench results to {path:?}: {e}");
+    }
 }
 
 fn median(mut samples: Vec<Measurement>) -> Measurement {

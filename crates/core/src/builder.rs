@@ -354,7 +354,7 @@ mod tests {
                 .unwrap();
             let mut n = 0;
             for e in &events {
-                n += engine.push(Arc::clone(e)).len();
+                n += engine.push(e.clone()).len();
             }
             n += engine.flush().len();
             counts.push(n);

@@ -15,8 +15,8 @@
 
 use std::sync::Arc;
 
-use zstream_events::{EventRef, Record, Ts};
-use zstream_lang::{AnalyzedQuery, ClassId, EventBinding, TypedExpr};
+use zstream_events::{EventBatch, EventRef, Record, Sym, Ts, Value};
+use zstream_lang::{AnalyzedQuery, BinOp, ClassId, EventBinding, TypedExpr};
 
 use crate::metrics::EngineMetrics;
 use crate::physical::plan::PhysicalPlan;
@@ -41,6 +41,104 @@ impl EventBinding for OneClassBinding<'_> {
     }
 }
 
+/// One intake predicate compiled for column-wise evaluation. The compiled
+/// forms are *exactly* equivalent to evaluating the original [`TypedExpr`]
+/// per event — they only skip the expression-tree walk.
+#[derive(Debug, Clone)]
+enum IntakePred {
+    /// `Attr = 'lit'` over a string column: a symbol-id compare per row.
+    StrEq {
+        /// Field (column) index within the class schema.
+        field: usize,
+        /// Interned literal.
+        sym: Sym,
+    },
+    /// `Attr op lit` (either operand order, op flipped accordingly): one
+    /// column read plus a [`Value::compare`] per row.
+    CmpLit {
+        /// Field (column) index within the class schema.
+        field: usize,
+        /// Comparison operator (Eq/Ne/Lt/Le/Gt/Ge).
+        op: BinOp,
+        /// Literal operand.
+        lit: Value,
+    },
+    /// Anything else: evaluate the expression per row against a one-class
+    /// binding (the same code path the per-event intake uses).
+    General(TypedExpr),
+}
+
+impl IntakePred {
+    /// Compiles one single-class intake expression.
+    fn compile(expr: &TypedExpr) -> IntakePred {
+        if let TypedExpr::Binary(op, l, r) = expr {
+            let flipped = |op: BinOp| match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            let lit_cmp = |field: usize, op: BinOp, lit: &Value| match (op, lit) {
+                (BinOp::Eq, Value::Str(sym)) => IntakePred::StrEq { field, sym: *sym },
+                (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _) => {
+                    IntakePred::CmpLit { field, op, lit: *lit }
+                }
+                _ => IntakePred::General(expr.clone()),
+            };
+            match (l.as_ref(), r.as_ref()) {
+                (TypedExpr::Attr { field, .. }, TypedExpr::Lit(v)) => {
+                    return lit_cmp(*field, *op, v);
+                }
+                (TypedExpr::Lit(v), TypedExpr::Attr { field, .. }) => {
+                    return lit_cmp(*field, flipped(*op), v);
+                }
+                _ => {}
+            }
+        }
+        IntakePred::General(expr.clone())
+    }
+
+    /// True when the original expression would evaluate to `Bool(true)` for
+    /// `row` of `batch` bound to `class`.
+    #[inline]
+    fn passes(&self, batch: &EventBatch, row: usize, class: ClassId) -> bool {
+        match self {
+            IntakePred::StrEq { .. } => unreachable!("StrEq is evaluated column-wise"),
+            IntakePred::CmpLit { field, op, lit } => {
+                cmp_passes(*op, batch.column(*field).value(row), lit)
+            }
+            IntakePred::General(expr) => {
+                let event = batch.event(row);
+                let binding = OneClassBinding { class, event: &event };
+                matches!(expr.eval(&binding), Ok(Value::Bool(true)))
+            }
+        }
+    }
+}
+
+/// Comparison semantics identical to `TypedExpr::Binary(op, Attr, Lit)`
+/// evaluation: `Eq`/`Ne` via loose equality, orderings via exact
+/// [`Value::compare`]; incomparable types fail closed.
+#[inline]
+fn cmp_passes(op: BinOp, v: Value, lit: &Value) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Eq => v.loose_eq(lit),
+        BinOp::Ne => !v.loose_eq(lit),
+        _ => match v.compare(lit) {
+            Ok(ord) => match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!("compiled ops are comparisons"),
+            },
+            Err(_) => false,
+        },
+    }
+}
+
 /// A running query: a physical plan plus routing and round bookkeeping.
 #[derive(Debug)]
 pub struct Engine {
@@ -49,6 +147,11 @@ pub struct Engine {
     /// Per-class intake predicates: analyzed single-class predicates plus
     /// any route-by-field equality added by the builder.
     intake: Vec<Vec<TypedExpr>>,
+    /// The same predicates compiled for column-wise evaluation.
+    intake_compiled: Vec<Vec<IntakePred>>,
+    /// Per-class interned schema name (intake schema matching is an integer
+    /// compare).
+    class_schema: Vec<Sym>,
     /// Events buffered until a full batch is formed (push-one API).
     pending: Vec<EventRef>,
     batch_size: usize,
@@ -70,10 +173,15 @@ impl Engine {
     ) -> Engine {
         assert!(batch_size >= 1);
         let n = aq.num_classes();
+        let intake_compiled =
+            intake.iter().map(|preds| preds.iter().map(IntakePred::compile).collect()).collect();
+        let class_schema = aq.classes.iter().map(|c| c.schema.name_sym()).collect();
         Engine {
             aq,
             plan,
             intake,
+            intake_compiled,
+            class_schema,
             pending: Vec::with_capacity(batch_size),
             batch_size,
             watermark: 0,
@@ -93,9 +201,12 @@ impl Engine {
         &self.plan
     }
 
-    /// Metrics snapshot.
+    /// Metrics snapshot (with the process-wide symbol-table stats stamped
+    /// in at snapshot time).
     pub fn metrics(&self) -> EngineMetrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.stamp_symbol_stats();
+        m
     }
 
     /// Mutable access to metrics (the adaptive controller records replans).
@@ -136,6 +247,21 @@ impl Engine {
         }
     }
 
+    /// Routes a whole **columnar** batch and runs one round — the
+    /// vectorized intake path. Single-class predicates (§4.1 push-down)
+    /// evaluate column-wise over the batch, and only the surviving rows
+    /// materialize leaf records; admitted/offered accounting, watermark and
+    /// round semantics are identical to [`Engine::push_batch`] over the same
+    /// rows.
+    pub fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        let pending = std::mem::take(&mut self.pending);
+        for e in &pending {
+            self.route(e);
+        }
+        self.route_columns(batch);
+        self.round()
+    }
+
     /// Flushes any buffered events and forces a final assembly round.
     pub fn flush(&mut self) -> Vec<Record> {
         let batch = std::mem::take(&mut self.pending);
@@ -149,6 +275,84 @@ impl Engine {
         self.round()
     }
 
+    /// Column-wise intake of one batch (§4.1 push-down over columns).
+    fn route_columns(&mut self, batch: &EventBatch) {
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        let ts_col = batch.ts_column();
+        debug_assert!(
+            ts_col[0] >= self.watermark && ts_col.windows(2).all(|w| w[0] <= w[1]),
+            "input must be time-ordered"
+        );
+        self.metrics.events_in += n as u64;
+        self.watermark = self.watermark.max(ts_col[n - 1]);
+        let batch_schema = batch.schema().name_sym();
+        // Rows admitted into at least one class (for `events_admitted`).
+        let mut admitted_any = vec![false; n];
+        for c in 0..self.aq.num_classes() {
+            if self.class_schema[c] != batch_schema {
+                continue;
+            }
+            self.offered[c] += n as u64;
+            // Selection vector: `None` = all rows; predicates narrow it in
+            // order, cheapest representation first (the symbol-equality scan
+            // of the route predicate runs over the raw column).
+            let mut sel: Option<Vec<u32>> = None;
+            for pred in &self.intake_compiled[c] {
+                match pred {
+                    IntakePred::StrEq { field, sym } => {
+                        // The analyzed predicate is type-checked: the field
+                        // is a string column.
+                        let syms = batch.column(*field).as_syms().expect("type-checked str column");
+                        match &mut sel {
+                            None => {
+                                sel = Some(
+                                    (0..n as u32).filter(|r| syms[*r as usize] == *sym).collect(),
+                                );
+                            }
+                            Some(rows) => rows.retain(|r| syms[*r as usize] == *sym),
+                        }
+                    }
+                    other => match &mut sel {
+                        None => {
+                            sel = Some(
+                                (0..n as u32)
+                                    .filter(|r| other.passes(batch, *r as usize, c))
+                                    .collect(),
+                            );
+                        }
+                        Some(rows) => rows.retain(|r| other.passes(batch, *r as usize, c)),
+                    },
+                }
+                if matches!(&sel, Some(rows) if rows.is_empty()) {
+                    break;
+                }
+            }
+            let leaf = self.plan.leaf_of_class[c];
+            match sel {
+                None => {
+                    self.admitted[c] += n as u64;
+                    for (row, admitted) in admitted_any.iter_mut().enumerate() {
+                        *admitted = true;
+                        self.plan.nodes[leaf].buf.push(Record::primitive(batch.event(row)));
+                    }
+                }
+                Some(rows) => {
+                    self.admitted[c] += rows.len() as u64;
+                    for row in rows {
+                        admitted_any[row as usize] = true;
+                        self.plan.nodes[leaf]
+                            .buf
+                            .push(Record::primitive(batch.event(row as usize)));
+                    }
+                }
+            }
+        }
+        self.metrics.events_admitted += admitted_any.iter().filter(|a| **a).count() as u64;
+    }
+
     /// Routes one event to every class whose schema matches and whose
     /// intake predicates accept it (§4.1: single-class predicates prevent
     /// irrelevant events from entering leaf buffers).
@@ -157,8 +361,9 @@ impl Engine {
         debug_assert!(event.ts() >= self.watermark, "input must be time-ordered");
         self.watermark = self.watermark.max(event.ts());
         let mut admitted_any = false;
+        let event_schema = event.schema().name_sym();
         for c in 0..self.aq.num_classes() {
-            if self.aq.classes[c].schema.name() != event.schema().name() {
+            if self.class_schema[c] != event_schema {
                 continue;
             }
             self.offered[c] += 1;
@@ -170,7 +375,7 @@ impl Engine {
                 self.admitted[c] += 1;
                 admitted_any = true;
                 let leaf = self.plan.leaf_of_class[c];
-                self.plan.nodes[leaf].buf.push(Record::primitive(Arc::clone(event)));
+                self.plan.nodes[leaf].buf.push(Record::primitive(event.clone()));
             }
         }
         if admitted_any {
@@ -218,7 +423,7 @@ impl Engine {
                 continue;
             }
             out[*class] =
-                rec.slot(slot_idx).events().iter().map(|e| Arc::as_ptr(e) as usize).collect();
+                rec.slot(slot_idx).events().iter().map(|e| e.identity() as usize).collect();
         }
         out
     }

@@ -26,6 +26,14 @@ pub struct EngineMetrics {
     pub replans: u64,
     /// Plan switches actually installed.
     pub plan_switches: u64,
+    /// Distinct strings interned in the **process-wide** symbol table at
+    /// snapshot time (see [`zstream_events::symbol_stats`]). Global, not
+    /// per-engine: [`EngineMetrics::merge`] takes the maximum.
+    pub symbols_interned: u64,
+    /// Bytes the symbol table's intern hits avoided re-allocating (what a
+    /// per-value `Arc<str>` representation would have copied). Global, like
+    /// `symbols_interned`.
+    pub symbol_bytes_saved: u64,
 }
 
 impl EngineMetrics {
@@ -47,7 +55,9 @@ impl EngineMetrics {
     ///
     /// All counters sum. `peak_bytes` also sums: the constituent engines
     /// hold their buffers simultaneously, so the sum of per-engine peaks is
-    /// an upper bound on the true simultaneous peak.
+    /// an upper bound on the true simultaneous peak. The symbol-table stats
+    /// describe one process-global table, so they take the maximum instead
+    /// of double counting.
     pub fn merge(&mut self, other: &EngineMetrics) {
         self.events_in += other.events_in;
         self.events_admitted += other.events_admitted;
@@ -57,6 +67,15 @@ impl EngineMetrics {
         self.peak_bytes += other.peak_bytes;
         self.replans += other.replans;
         self.plan_switches += other.plan_switches;
+        self.symbols_interned = self.symbols_interned.max(other.symbols_interned);
+        self.symbol_bytes_saved = self.symbol_bytes_saved.max(other.symbol_bytes_saved);
+    }
+
+    /// Stamps the process-wide symbol-table statistics onto this snapshot.
+    pub fn stamp_symbol_stats(&mut self) {
+        let s = zstream_events::symbol_stats();
+        self.symbols_interned = s.symbols;
+        self.symbol_bytes_saved = s.bytes_saved;
     }
 }
 
@@ -85,6 +104,8 @@ mod tests {
             peak_bytes: 100,
             replans: 1,
             plan_switches: 1,
+            symbols_interned: 10,
+            symbol_bytes_saved: 100,
         };
         let b = EngineMetrics {
             events_in: 5,
@@ -95,6 +116,8 @@ mod tests {
             peak_bytes: 50,
             replans: 0,
             plan_switches: 0,
+            symbols_interned: 25,
+            symbol_bytes_saved: 60,
         };
         a.merge(&b);
         assert_eq!(a.events_in, 15);
@@ -105,6 +128,9 @@ mod tests {
         assert_eq!(a.peak_bytes, 150);
         assert_eq!(a.replans, 1);
         assert_eq!(a.plan_switches, 1);
+        // Symbol stats describe one global table: max, not sum.
+        assert_eq!(a.symbols_interned, 25);
+        assert_eq!(a.symbol_bytes_saved, 100);
     }
 
     #[test]

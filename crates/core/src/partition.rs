@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use zstream_events::{EventRef, HashableValue, Record};
+use zstream_events::{EventBatch, EventRef, HashableValue, Record};
 use zstream_lang::{AnalyzedQuery, TypedExpr};
 
 use crate::builder::CompiledQuery;
@@ -170,10 +170,10 @@ impl PartitionedEngine {
             };
             let key = value.hash_key();
             match groups.get_mut(&key) {
-                Some(group) => group.push(Arc::clone(event)),
+                Some(group) => group.push(event.clone()),
                 None => {
-                    order.push(key.clone());
-                    groups.insert(key, vec![Arc::clone(event)]);
+                    order.push(key);
+                    groups.insert(key, vec![event.clone()]);
                 }
             }
         }
@@ -183,6 +183,40 @@ impl PartitionedEngine {
             out.extend(self.partition_mut(key).push_batch(&group));
         }
         // Stable: ties keep first-seen-key partition order.
+        out.sort_by_key(Record::end_ts);
+        out
+    }
+
+    /// Columnar variant of [`PartitionedEngine::push_batch`]: extracts the
+    /// partition key from the routing column (one field resolution per
+    /// batch, integer keys throughout) and hands each partition its rows as
+    /// cheap handles. Output ordering and round-forcing semantics are
+    /// identical to `push_batch` over the same rows.
+    pub fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        let n = batch.len();
+        self.events_in += n as u64;
+        let Ok(field_idx) = batch.schema().field_index(&self.field) else {
+            self.dropped += n as u64;
+            return Vec::new();
+        };
+        let col = batch.column(field_idx);
+        let mut order: Vec<HashableValue> = Vec::new();
+        let mut groups: HashMap<HashableValue, Vec<EventRef>> = HashMap::new();
+        for row in 0..n {
+            let key = col.value(row).hash_key();
+            match groups.get_mut(&key) {
+                Some(group) => group.push(batch.event(row)),
+                None => {
+                    order.push(key);
+                    groups.insert(key, vec![batch.event(row)]);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for key in order {
+            let group = groups.remove(&key).expect("grouped above");
+            out.extend(self.partition_mut(key).push_batch(&group));
+        }
         out.sort_by_key(Record::end_ts);
         out
     }
@@ -197,7 +231,7 @@ impl PartitionedEngine {
                 .expect("template plan was validated at construction");
             let engine =
                 Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
-            self.partitions.insert(key.clone(), engine);
+            self.partitions.insert(key, engine);
         }
         self.partitions.get_mut(&key).expect("inserted above")
     }
@@ -224,6 +258,7 @@ impl PartitionedEngine {
             m.merge(&e.metrics());
         }
         m.events_in = self.events_in;
+        m.stamp_symbol_stats();
         m
     }
 
@@ -300,7 +335,6 @@ mod tests {
 
     #[test]
     fn partitioned_equals_unpartitioned() {
-        use std::sync::Arc;
         let src = "PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 50";
         // Small alphabet so partitions receive several events each.
         let names = ["IBM", "Sun", "Oracle"];
@@ -315,7 +349,7 @@ mod tests {
                 .unwrap();
         let mut part_out = Vec::new();
         for e in &events {
-            part_out.extend(pe.push(Arc::clone(e)));
+            part_out.extend(pe.push(e.clone()));
         }
         part_out.extend(pe.flush());
         let mut part_sigs: Vec<_> = part_out.iter().map(|r| pe.record_signature(r)).collect();
@@ -325,7 +359,7 @@ mod tests {
         let mut engine = Engine::new(c.aq.clone(), plan, intake, 4);
         let mut flat_out = Vec::new();
         for e in &events {
-            flat_out.extend(engine.push(Arc::clone(e)));
+            flat_out.extend(engine.push(e.clone()));
         }
         flat_out.extend(engine.flush());
         let mut flat_sigs: Vec<_> = flat_out.iter().map(|r| engine.record_signature(r)).collect();
@@ -363,7 +397,7 @@ mod tests {
             PartitionedEngine::new(c, PlanConfig::default(), intake, 4, "name").unwrap();
         let mut single_out = Vec::new();
         for e in &events {
-            single_out.extend(single.push(std::sync::Arc::clone(e)));
+            single_out.extend(single.push(e.clone()));
         }
         single_out.extend(single.flush());
 

@@ -156,30 +156,29 @@ impl Buffer {
         self.consumed = self.consumed.saturating_sub(removed_front);
         // Slow path for interior out-of-window records (internal buffers:
         // start order is not end order). Scan only if any survivor violates.
+        // One in-place compaction sweep: survivors swap down to a write
+        // cursor while `bytes` and `consumed` update in the same pass — no
+        // reallocation, no second traversal.
         if self.recs.iter().any(|r| r.start_ts() < eat) {
             let consumed = self.consumed;
-            let mut kept = 0usize;
-            let mut removed = 0usize;
             let mut new_consumed = consumed;
-            self.recs = std::mem::take(&mut self.recs)
-                .into_iter()
-                .enumerate()
-                .filter_map(|(i, r)| {
-                    if r.start_ts() < eat {
-                        self.bytes -= r.footprint();
-                        removed += 1;
-                        if i < consumed {
-                            new_consumed -= 1;
-                        }
-                        None
-                    } else {
-                        kept += 1;
-                        Some(r)
+            let mut write = 0usize;
+            for read in 0..self.recs.len() {
+                if self.recs[read].start_ts() < eat {
+                    self.bytes -= self.recs[read].footprint();
+                    if read < consumed {
+                        new_consumed -= 1;
                     }
-                })
-                .collect();
+                } else {
+                    if write != read {
+                        self.recs.swap(write, read);
+                    }
+                    write += 1;
+                }
+            }
+            removed_front += self.recs.len() - write;
+            self.recs.truncate(write);
             self.consumed = new_consumed;
-            removed_front += removed;
         }
         removed_front
     }

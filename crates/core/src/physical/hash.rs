@@ -164,6 +164,45 @@ mod tests {
     }
 
     #[test]
+    fn mixed_type_equality_join_keys_coerce() {
+        // Regression (§5.2.2 hashable form): an equality join between an
+        // `int` column and a `float` column must treat `Int(v)` and
+        // `Float(v as f64)` as the same key — and must NOT collapse large
+        // integers that only collide after a lossy f64 cast.
+        use std::sync::Arc;
+        use zstream_events::{Event, Schema, Value, ValueType};
+        let int_schema =
+            Arc::new(Schema::builder("IntSide").field("k", ValueType::Int).build().unwrap());
+        let float_schema =
+            Arc::new(Schema::builder("FloatSide").field("k", ValueType::Float).build().unwrap());
+        let big = 1i64 << 53;
+        let mut build = Buffer::new();
+        for (ts, v) in [(1, 2), (2, big), (3, big + 1)] {
+            let e = Event::new(Arc::clone(&int_schema), ts, vec![Value::Int(v)]).unwrap();
+            build.push(Record::primitive(e));
+        }
+        let map = ClassMap::new(2, &[0]);
+        let parts = vec![KeyPart { class: 0, field: 0 }];
+        let mut idx = HashIndex::new();
+        idx.sync(&build, &map, &parts);
+
+        let probe_key = |v: f64| {
+            let e = Event::new(Arc::clone(&float_schema), 9, vec![Value::Float(v)]).unwrap();
+            let rec = Record::primitive(e);
+            let pmap = ClassMap::new(2, &[1]);
+            HashIndex::key_of(&rec, &pmap, &[KeyPart { class: 1, field: 0 }]).unwrap()
+        };
+        // Float(2.0) finds Int(2).
+        assert_eq!(idx.probe(&probe_key(2.0)), &[0]);
+        // Float(2^53) finds exactly Int(2^53) — not the neighbour that a
+        // lossy cast would have merged into the same bucket *and* treated
+        // as join-equal.
+        assert_eq!(idx.probe(&probe_key(big as f64)), &[1]);
+        // Non-integral probe finds nothing.
+        assert!(idx.probe(&probe_key(2.5)).is_empty());
+    }
+
+    #[test]
     fn composite_keys_distinguish_pairs() {
         // Key on (name, volume).
         let mut b = Buffer::new();

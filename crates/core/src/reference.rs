@@ -10,8 +10,6 @@
 //! class, the identities (`Arc` pointers) of the events bound to it, with
 //! negated and unbound classes empty.
 
-use std::sync::Arc;
-
 use zstream_events::{EventRef, Ts};
 use zstream_lang::{
     AnalyzedQuery, ClassId, EvalError, EventBinding, KleeneKind, TypedExpr, TypedPattern,
@@ -64,7 +62,7 @@ impl PartialMatch {
 
     fn with_event(&self, class: ClassId, e: &EventRef) -> PartialMatch {
         let mut pm = self.clone();
-        pm.bind[class].push(Arc::clone(e));
+        pm.bind[class].push(e.clone());
         let ts = e.ts();
         pm.span = Some(match pm.span {
             None => (ts, ts),
@@ -100,7 +98,7 @@ impl PartialMatch {
 
     /// Canonical signature for comparison with engine output.
     pub fn signature(&self) -> Signature {
-        self.bind.iter().map(|evs| evs.iter().map(|e| Arc::as_ptr(e) as usize).collect()).collect()
+        self.bind.iter().map(|evs| evs.iter().map(|e| e.identity() as usize).collect()).collect()
     }
 }
 
@@ -189,7 +187,7 @@ impl<'a> Matcher<'a> {
                     .iter()
                     .all(|p| matches!(p.eval(&b), Ok(zstream_events::Value::Bool(true))))
                 {
-                    admitted[c].push(Arc::clone(e));
+                    admitted[c].push(e.clone());
                 }
             }
         }

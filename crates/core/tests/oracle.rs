@@ -4,8 +4,6 @@
 //! pins down the exactly-once semantics of the batch-iterator model (§4.3)
 //! and the correctness of each operator algorithm (§4.4).
 
-use std::sync::Arc;
-
 use zstream_core::reference::{reference_signatures, Signature};
 use zstream_core::{build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape};
 use zstream_events::{stock, EventRef};
@@ -52,7 +50,7 @@ fn engine_signatures(
     let mut engine = b.build().unwrap();
     let mut out = Vec::new();
     for e in events {
-        out.extend(engine.push(Arc::clone(e)));
+        out.extend(engine.push(e.clone()));
     }
     out.extend(engine.flush());
     let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
@@ -368,7 +366,7 @@ fn equality_routing_query1_style() {
                     .unwrap();
                 let mut out = Vec::new();
                 for e in &events {
-                    out.extend(engine.push(Arc::clone(e)));
+                    out.extend(engine.push(e.clone()));
                 }
                 out.extend(engine.flush());
                 let mut sigs: Vec<Signature> =

@@ -1,15 +1,13 @@
 //! Walk-throughs of the paper's worked examples: the engine must reproduce
 //! Figure 5 (NSEQ evaluation) and Figure 6 (KSEQ evaluation) event by event.
 
-use std::sync::Arc;
-
 use zstream_core::{EngineBuilder, EngineConfig, NegStrategy};
 use zstream_events::{stock, EventRef, Slot};
 
 fn push_all(engine: &mut zstream_core::Engine, events: &[EventRef]) -> Vec<zstream_events::Record> {
     let mut out = Vec::new();
     for e in events {
-        out.extend(engine.push(Arc::clone(e)));
+        out.extend(engine.push(e.clone()));
     }
     out.extend(engine.flush());
     out
@@ -32,14 +30,14 @@ fn figure5_nseq_walkthrough() {
     let b3 = stock(3, 3, "B", 1.0, 1);
     let a4 = stock(4, 4, "A", 1.0, 1);
     let c5 = stock(5, 5, "C", 1.0, 1);
-    let out = push_all(&mut engine, &[a1, b2, b3, Arc::clone(&a4), Arc::clone(&c5)]);
+    let out = push_all(&mut engine, &[a1, b2, b3, a4.clone(), c5.clone()]);
     assert_eq!(out.len(), 1, "exactly the composite (a4, c5)");
     let rec = &out[0];
     // Root record slots: [A, B, C] — A must be a4 and C must be c5.
     let a_slot = rec.slot(0).as_one().expect("A bound");
-    assert!(Arc::ptr_eq(a_slot, &a4));
+    assert!(a_slot.identity() == a4.identity());
     let c_slot = rec.slot(2).as_one().expect("C bound");
-    assert!(Arc::ptr_eq(c_slot, &c5));
+    assert!(c_slot.identity() == c5.identity());
 }
 
 /// Figure 5 continued: when no B interleaves at all, every prior A matches.
@@ -76,10 +74,10 @@ fn figure6_kseq_unspecified_count() {
         &mut engine,
         &[
             stock(1, 1, "A", 1.0, 1),
-            Arc::clone(&b2),
-            Arc::clone(&b3),
+            b2.clone(),
+            b3.clone(),
             stock(4, 4, "A", 1.0, 1),
-            Arc::clone(&b5),
+            b5.clone(),
             stock(6, 6, "C", 1.0, 1),
         ],
     );

@@ -3,43 +3,45 @@
 //! A primitive event is a single occurrence of interest that cannot be split
 //! into smaller events (§3). It carries one timestamp (start == end) and a
 //! row of attribute values conforming to a [`Schema`].
+//!
+//! Since the columnar refactor an [`Event`] is a **handle**: an
+//! `(Arc<BatchData>, row)` pair pointing into a shared struct-of-arrays
+//! [`EventBatch`](crate::EventBatch). Cloning an event bumps one refcount;
+//! no per-event heap object exists. Events built one at a time (tests, the
+//! streaming generator APIs) become single-row batches, which preserves the
+//! old construction API at the old cost — high-rate paths build whole
+//! batches instead.
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::error::EventError;
 use crate::schema::Schema;
+use crate::soa::{BatchData, EventBatch};
 use crate::time::Ts;
 use crate::value::Value;
 use crate::EventRef;
 
-/// An immutable primitive event.
-#[derive(Debug, Clone)]
+/// An immutable primitive event: a cheap `(batch, row)` handle.
+#[derive(Clone)]
 pub struct Event {
-    schema: Arc<Schema>,
-    ts: Ts,
-    values: Box<[Value]>,
+    data: Arc<BatchData>,
+    row: u32,
 }
 
 impl Event {
-    /// Builds an event, validating arity and field types against the schema.
+    /// Builds a standalone event (a single-row batch), validating arity and
+    /// field types against the schema.
     pub fn new(schema: Arc<Schema>, ts: Ts, values: Vec<Value>) -> Result<Event, EventError> {
-        if values.len() != schema.arity() {
-            return Err(EventError::ArityMismatch {
-                expected: schema.arity(),
-                found: values.len(),
-            });
-        }
-        for (field, value) in schema.fields().iter().zip(&values) {
-            if field.ty != value.value_type() {
-                return Err(EventError::FieldTypeMismatch {
-                    field: field.name.clone(),
-                    expected: field.ty,
-                    found: value.value_type(),
-                });
-            }
-        }
-        Ok(Event { schema, ts, values: values.into_boxed_slice() })
+        let mut b = EventBatch::builder(schema, 1);
+        b.push_row(ts, &values)?;
+        Ok(b.finish().event(0))
+    }
+
+    /// A handle to row `row` of `data`. Used by [`EventBatch::event`].
+    #[inline]
+    pub(crate) fn from_batch(data: Arc<BatchData>, row: u32) -> Event {
+        Event { data, row }
     }
 
     /// Starts a builder for ergonomic construction in tests and generators.
@@ -50,55 +52,76 @@ impl Event {
     /// The event's timestamp (start and end coincide for primitive events).
     #[inline]
     pub fn ts(&self) -> Ts {
-        self.ts
+        self.data.ts(self.row as usize)
     }
 
     /// The schema this event conforms to.
+    #[inline]
     pub fn schema(&self) -> &Arc<Schema> {
-        &self.schema
+        self.data.schema()
     }
 
     /// Value of the field at `index` (panics if out of bounds; indexes come
     /// from compiled predicates which are validated at plan build time).
+    /// Values are `Copy` — this reads straight out of the column.
     #[inline]
-    pub fn value(&self, index: usize) -> &Value {
-        &self.values[index]
+    pub fn value(&self, index: usize) -> Value {
+        self.data.value(self.row as usize, index)
     }
 
     /// Value of the named field.
-    pub fn value_by_name(&self, name: &str) -> Result<&Value, EventError> {
-        Ok(&self.values[self.schema.field_index(name)?])
+    pub fn value_by_name(&self, name: &str) -> Result<Value, EventError> {
+        Ok(self.value(self.schema().field_index(name)?))
     }
 
-    /// All values in schema order.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    /// All values in schema order (materialized; prefer [`Event::value`] on
+    /// hot paths).
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.schema().arity()).map(|i| self.value(i)).collect()
+    }
+
+    /// The batch this event points into and its row index.
+    #[inline]
+    pub fn batch_row(&self) -> (&Arc<BatchData>, u32) {
+        (&self.data, self.row)
+    }
+
+    /// A process-unique identity for this primitive event: two handles to
+    /// the same batch row are the same event. Used by result-comparison
+    /// signatures (the columnar equivalent of comparing `Arc` pointers).
+    #[inline]
+    pub fn identity(&self) -> u64 {
+        (self.data.id() << 32) | u64::from(self.row)
     }
 
     /// Approximate in-memory footprint in bytes, used by the logical memory
-    /// accounting that reproduces Tables 3 and 5.
+    /// accounting that reproduces Tables 3 and 5: this row's share of the
+    /// batch columns plus the handle itself. Interned string bytes are
+    /// shared process-wide and not charged per event.
     pub fn footprint(&self) -> usize {
-        std::mem::size_of::<Event>()
-            + self.values.len() * std::mem::size_of::<Value>()
-            + self
-                .values
-                .iter()
-                .map(|v| match v {
-                    Value::Str(s) => s.len(),
-                    _ => 0,
-                })
-                .sum::<usize>()
+        std::mem::size_of::<Event>() + self.data.row_bytes()
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("batch", &self.data.id())
+            .field("row", &self.row)
+            .field("ts", &self.ts())
+            .field("schema", &self.schema().name())
+            .finish()
     }
 }
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}[", self.schema.name(), self.ts)?;
-        for (i, v) in self.values.iter().enumerate() {
+        write!(f, "{}@{}[", self.schema().name(), self.ts())?;
+        for i in 0..self.schema().arity() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{v}")?;
+            write!(f, "{}", self.value(i))?;
         }
         write!(f, "]")
     }
@@ -124,9 +147,11 @@ impl EventBuilder {
         Event::new(self.schema, self.ts, self.values)
     }
 
-    /// Finishes, validates, and wraps the event in an [`Arc`].
+    /// Finishes and validates the event ([`EventRef`] is the event handle
+    /// itself since the columnar refactor; the name survives for API
+    /// continuity).
     pub fn build_ref(self) -> Result<EventRef, EventError> {
-        self.build().map(Arc::new)
+        self.build()
     }
 }
 
@@ -174,10 +199,21 @@ mod tests {
     }
 
     #[test]
-    fn footprint_counts_strings() {
+    fn footprint_is_positive_and_string_bytes_are_shared() {
+        // Interning makes the per-event footprint independent of string
+        // length — the bytes live once in the symbol table.
         let short = stock(0, 1, "A", 1.0, 1);
         let long = stock(0, 1, "A-very-long-stock-name", 1.0, 1);
-        assert!(long.footprint() > short.footprint());
+        assert!(short.footprint() > 0);
+        assert_eq!(long.footprint(), short.footprint());
+    }
+
+    #[test]
+    fn identity_distinguishes_events_and_tracks_clones() {
+        let a = stock(1, 1, "IBM", 1.0, 1);
+        let b = stock(1, 1, "IBM", 1.0, 1);
+        assert_ne!(a.identity(), b.identity(), "separate constructions are distinct events");
+        assert_eq!(a.identity(), a.clone().identity(), "clones are the same event");
     }
 
     #[test]

@@ -5,18 +5,24 @@
 //!
 //! * [`Ts`] — logical timestamps; every event carries a start and an end
 //!   timestamp (equal for primitive events, §3 of the paper),
-//! * [`Value`] / [`ValueType`] — dynamically typed attribute values,
+//! * [`Sym`] / [`SymbolTable` stats](symbol_stats) — process-wide interned
+//!   strings: every string attribute is a 4-byte symbol, so equality
+//!   predicates, hash-join keys and shard routing are integer operations,
+//! * [`Value`] / [`ValueType`] — dynamically typed, 16-byte `Copy` attribute
+//!   values,
 //! * [`Schema`] — named, typed attribute layouts for primitive events,
-//! * [`Event`] — a primitive event: one timestamp plus a row of values,
+//! * [`EventBatch`] / [`Column`] / [`BatchData`] — struct-of-arrays columnar
+//!   batches: the storage behind every event,
+//! * [`Event`] — a primitive event: a cheap `(batch, row)` handle,
 //! * [`Record`] / [`Slot`] — the buffer record of §4.2: a vector of event
 //!   pointers plus a start time and an end time. Composite events produced by
 //!   operators are `Record`s; `Slot::Many` holds Kleene-closure groups and
 //!   `Slot::None` represents the `(NULL, Rr)` rows emitted by NSEQ,
 //! * [`Batcher`] — splits an ordered event stream into fixed-size batches for
 //!   the batch-iterator model of §4.3,
-//! * [`shard_of`] / [`split_by_field`] — stable hash routing of batches to
-//!   worker shards for scale-out ingest (generalizing the §4.1 hash
-//!   partitioning to a fixed shard count).
+//! * [`shard_of`] / [`split_by_field`] / [`split_batch_by_field`] — stable
+//!   hash routing of batches to worker shards for scale-out ingest
+//!   (generalizing the §4.1 hash partitioning to a fixed shard count).
 
 mod batch;
 mod error;
@@ -25,6 +31,8 @@ mod record;
 mod reorder;
 mod route;
 mod schema;
+mod soa;
+mod sym;
 mod time;
 mod value;
 
@@ -33,15 +41,16 @@ pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
 pub use record::{Record, Slot};
 pub use reorder::{ReorderBuffer, ReorderOutcome};
-pub use route::{shard_of, split_by_field, ShardSplit};
+pub use route::{shard_of, split_batch_by_field, split_by_field, ShardSplit};
 pub use schema::{Field, Schema, SchemaBuilder};
+pub use soa::{BatchBuilder, BatchData, Column, EventBatch};
+pub use sym::{symbol_stats, Sym, SymbolStats};
 pub use time::{span_within, Ts};
 pub use value::{HashableValue, Value, ValueType};
 
-use std::sync::Arc;
-
-/// Shared pointer to an immutable primitive event.
+/// Handle to an immutable primitive event.
 ///
-/// Events are produced once by a source and then referenced from many buffer
-/// records, so they are always handled through an [`Arc`].
-pub type EventRef = Arc<Event>;
+/// Historically an `Arc<Event>`; since the columnar refactor [`Event`] is
+/// itself a cheap `(batch, row)` handle, so the alias is the event type.
+/// Cloning bumps the batch's refcount — there is no per-event allocation.
+pub type EventRef = Event;

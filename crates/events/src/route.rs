@@ -4,25 +4,34 @@
 //! attribute value; a scale-out runtime coarsens that idea to a fixed number
 //! of worker *shards*, assigning every partition key to exactly one shard so
 //! the shards share nothing. These helpers perform the routing step: a
-//! stable key → shard mapping and a batch splitter that preserves the
+//! stable key → shard mapping and batch splitters that preserve the
 //! time-order of each shard's sub-stream.
+//!
+//! Routing is integer work end-to-end: keys canonicalize to
+//! [`HashableValue`] (strings are interned symbols whose **content** digest
+//! is cached in the symbol table), so routing a row costs a digest lookup
+//! and a modulo — no string hashing on the routing path.
 
+use std::collections::HashMap;
+
+use crate::soa::EventBatch;
+use crate::sym::Sym;
 use crate::value::HashableValue;
 use crate::EventRef;
 
 /// The shard owning `key` among `num_shards` shards.
 ///
 /// Stable across processes and runs (it hashes via
-/// [`HashableValue::digest`]), so a stream replayed with the same shard
-/// count routes identically — a prerequisite for deterministic scale-out
-/// output.
+/// [`HashableValue::digest`], which depends only on the key's content), so
+/// a stream replayed with the same shard count routes identically — a
+/// prerequisite for deterministic scale-out output.
 pub fn shard_of(key: &HashableValue, num_shards: usize) -> usize {
     assert!(num_shards >= 1, "at least one shard required");
     (key.digest() % num_shards as u64) as usize
 }
 
-/// Result of [`split_by_field`]: per-shard sub-batches plus the count of
-/// events that lacked the routing field.
+/// Result of [`split_by_field`] / [`split_batch_by_field`]: per-shard
+/// sub-batches plus the count of events that lacked the routing field.
 #[derive(Debug)]
 pub struct ShardSplit {
     /// One time-ordered sub-batch per shard (same index as the shard id).
@@ -39,16 +48,60 @@ pub fn split_by_field(events: &[EventRef], field: &str, num_shards: usize) -> Sh
     assert!(num_shards >= 1, "at least one shard required");
     let mut shards: Vec<Vec<EventRef>> = vec![Vec::new(); num_shards];
     let mut dropped = 0u64;
+    // Consecutive events usually share one schema; memoize the field lookup
+    // and symbol digests so the loop stays on integers.
+    let mut last_schema: Option<(*const crate::Schema, Option<usize>)> = None;
+    let mut sym_digests: HashMap<Sym, u64> = HashMap::new();
     for event in events {
-        match event.value_by_name(field) {
-            Ok(value) => {
-                let shard = shard_of(&value.hash_key(), num_shards);
-                shards[shard].push(EventRef::clone(event));
+        let schema_ptr = std::sync::Arc::as_ptr(event.schema());
+        let field_idx = match last_schema {
+            Some((ptr, idx)) if ptr == schema_ptr => idx,
+            _ => {
+                let idx = event.schema().field_index(field).ok();
+                last_schema = Some((schema_ptr, idx));
+                idx
             }
-            Err(_) => dropped += 1,
-        }
+        };
+        let Some(idx) = field_idx else {
+            dropped += 1;
+            continue;
+        };
+        let key = event.value(idx).hash_key();
+        let digest = match key {
+            HashableValue::Str(s) => *sym_digests.entry(s).or_insert_with(|| key.digest()),
+            other => other.digest(),
+        };
+        shards[(digest % num_shards as u64) as usize].push(event.clone());
     }
     ShardSplit { shards, dropped }
+}
+
+/// Columnar variant of [`split_by_field`]: routes a whole [`EventBatch`] by
+/// scanning the key column once and handing out row handles — the field
+/// index resolves once per batch and string keys route via their cached
+/// symbol digests. Rows route identically to the per-event path.
+pub fn split_batch_by_field(batch: &EventBatch, field: &str, num_shards: usize) -> ShardSplit {
+    assert!(num_shards >= 1, "at least one shard required");
+    let mut shards: Vec<Vec<EventRef>> = vec![Vec::new(); num_shards];
+    let Ok(idx) = batch.schema().field_index(field) else {
+        return ShardSplit { shards, dropped: batch.len() as u64 };
+    };
+    let col = batch.column(idx);
+    if let Some(syms) = col.as_syms() {
+        // Hot path: route on the interned symbol column with memoized
+        // content digests — one table lookup per distinct symbol.
+        let mut digests: HashMap<Sym, u64> = HashMap::new();
+        for (row, sym) in syms.iter().enumerate() {
+            let digest = *digests.entry(*sym).or_insert_with(|| HashableValue::Str(*sym).digest());
+            shards[(digest % num_shards as u64) as usize].push(batch.event(row));
+        }
+    } else {
+        for row in 0..batch.len() {
+            let shard = shard_of(&col.value(row).hash_key(), num_shards);
+            shards[shard].push(batch.event(row));
+        }
+    }
+    ShardSplit { shards, dropped: 0 }
 }
 
 #[cfg(test)]
@@ -103,6 +156,33 @@ mod tests {
                 .collect();
             assert!(holders.len() <= 1, "key '{name}' split across shards {holders:?}");
         }
+    }
+
+    #[test]
+    fn batch_split_matches_per_event_split() {
+        let names = ["IBM", "Sun", "Oracle", "HP", "Dell"];
+        let events: Vec<EventRef> =
+            (0..50u64).map(|i| stock(i, i as i64, names[i as usize % 5], 1.0, 1)).collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        for n in [1usize, 2, 3, 7] {
+            let a = split_by_field(&events, "name", n);
+            let b = split_batch_by_field(&batch, "name", n);
+            assert_eq!(a.dropped, b.dropped);
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                let xs: Vec<String> = x.iter().map(|e| e.to_string()).collect();
+                let ys: Vec<String> = y.iter().map(|e| e.to_string()).collect();
+                assert_eq!(xs, ys, "batch and per-event routing must agree at {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_split_without_field_drops_all() {
+        let events: Vec<EventRef> = (0..5u64).map(|i| stock(i, 0, "IBM", 1.0, 1)).collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        let split = split_batch_by_field(&batch, "no_such_field", 2);
+        assert_eq!(split.dropped, 5);
+        assert!(split.shards.iter().all(Vec::is_empty));
     }
 
     #[test]

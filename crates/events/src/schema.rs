@@ -9,6 +9,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::error::EventError;
+use crate::sym::Sym;
 use crate::value::ValueType;
 
 /// A named, typed attribute of a schema.
@@ -23,7 +24,7 @@ pub struct Field {
 /// An immutable primitive-event schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
-    name: String,
+    name: Sym,
     fields: Vec<Field>,
 }
 
@@ -35,7 +36,14 @@ impl Schema {
 
     /// The stream/source name this schema describes.
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The interned stream name — schema matching at intake compares this
+    /// single integer instead of the name's bytes.
+    #[inline]
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// All fields in declaration order.
@@ -126,7 +134,7 @@ impl SchemaBuilder {
                 return Err(EventError::DuplicateField(f.name.clone()));
             }
         }
-        Ok(Schema { name: self.name, fields: self.fields })
+        Ok(Schema { name: Sym::intern(&self.name), fields: self.fields })
     }
 }
 

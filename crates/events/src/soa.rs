@@ -1,0 +1,416 @@
+//! Struct-of-arrays event batches — the columnar data plane.
+//!
+//! The paper's batch-iterator model (§4.3) reads primitive events into leaf
+//! buffers batch by batch. Here a batch *is* the storage: [`BatchData`]
+//! holds one timestamp column plus one typed column per schema field, and an
+//! [`Event`](crate::Event) is a `(Arc<BatchData>, row)` handle — creating,
+//! cloning and passing events around never allocates per event.
+//!
+//! The columnar layout is what makes intake vectorizable: single-class
+//! predicates (§4.1 push-down) and partition-key routing scan a column of
+//! plain `i64`/`f64`/[`Sym`] values instead of walking per-event heap
+//! objects, and only the surviving rows materialize leaf records.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::EventError;
+use crate::schema::Schema;
+use crate::sym::Sym;
+use crate::time::Ts;
+use crate::value::{Value, ValueType};
+use crate::Event;
+
+/// One typed attribute column of a batch.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Interned strings.
+    Str(Vec<Sym>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl Column {
+    fn with_capacity(ty: ValueType, cap: usize) -> Column {
+        match ty {
+            ValueType::Int => Column::Int(Vec::with_capacity(cap)),
+            ValueType::Float => Column::Float(Vec::with_capacity(cap)),
+            ValueType::Str => Column::Str(Vec::with_capacity(cap)),
+            ValueType::Bool => Column::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    fn push(&mut self, v: Value) -> Result<(), ValueType> {
+        match (self, v) {
+            (Column::Int(c), Value::Int(x)) => c.push(x),
+            (Column::Float(c), Value::Float(x)) => c.push(x),
+            (Column::Str(c), Value::Str(x)) => c.push(x),
+            (Column::Bool(c), Value::Bool(x)) => c.push(x),
+            (_, v) => return Err(v.value_type()),
+        }
+        Ok(())
+    }
+
+    /// The value at `row` (a `Copy`, no heap traffic).
+    #[inline]
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(c) => Value::Int(c[row]),
+            Column::Float(c) => Value::Float(c[row]),
+            Column::Str(c) => Value::Str(c[row]),
+            Column::Bool(c) => Value::Bool(c[row]),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(c) => c.len(),
+            Column::Float(c) => c.len(),
+            Column::Str(c) => c.len(),
+            Column::Bool(c) => c.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol column, if this is a string column.
+    pub fn as_syms(&self) -> Option<&[Sym]> {
+        match self {
+            Column::Str(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Bytes of one element of this column.
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            Column::Int(_) => std::mem::size_of::<i64>(),
+            Column::Float(_) => std::mem::size_of::<f64>(),
+            Column::Str(_) => std::mem::size_of::<Sym>(),
+            Column::Bool(_) => std::mem::size_of::<bool>(),
+        }
+    }
+}
+
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Immutable columnar storage behind a batch: one `ts` column plus one typed
+/// column per schema field. Shared by every [`Event`](crate::Event) handle
+/// pointing into the batch.
+#[derive(Debug)]
+pub struct BatchData {
+    /// Process-unique id; combined with a row index it identifies one
+    /// primitive event (see [`Event::identity`](crate::Event::identity)).
+    id: u64,
+    schema: Arc<Schema>,
+    ts: Vec<Ts>,
+    cols: Vec<Column>,
+}
+
+impl BatchData {
+    /// The schema all rows conform to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Process-unique batch id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The timestamp column.
+    #[inline]
+    pub fn ts_column(&self) -> &[Ts] {
+        &self.ts
+    }
+
+    /// The column of field `field`.
+    #[inline]
+    pub fn column(&self, field: usize) -> &Column {
+        &self.cols[field]
+    }
+
+    /// Timestamp of `row`.
+    #[inline]
+    pub fn ts(&self, row: usize) -> Ts {
+        self.ts[row]
+    }
+
+    /// Value of field `field` at `row`.
+    #[inline]
+    pub fn value(&self, row: usize, field: usize) -> Value {
+        self.cols[field].value(row)
+    }
+
+    /// Logical bytes of one row: the timestamp plus one element per column.
+    /// Interned string bytes are shared process-wide and not charged per
+    /// event (the symbol table accounts for them once).
+    pub fn row_bytes(&self) -> usize {
+        std::mem::size_of::<Ts>() + self.cols.iter().map(Column::elem_bytes).sum::<usize>()
+    }
+}
+
+/// A shared, immutable columnar batch of time-ordered primitive events.
+/// Cloning is an `Arc` bump; [`EventBatch::event`] hands out row handles
+/// without allocating.
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    data: Arc<BatchData>,
+}
+
+impl EventBatch {
+    /// Starts building a batch for `schema` with room for `capacity` rows.
+    pub fn builder(schema: Arc<Schema>, capacity: usize) -> BatchBuilder {
+        let cols = schema.fields().iter().map(|f| Column::with_capacity(f.ty, capacity)).collect();
+        BatchBuilder { schema, ts: Vec::with_capacity(capacity), cols }
+    }
+
+    /// Builds a batch from a slice of events (gathering their values into
+    /// columns). Events must share one schema and be time-ordered.
+    pub fn from_events(events: &[Event]) -> Result<EventBatch, EventError> {
+        let schema = events
+            .first()
+            .map(|e| Arc::clone(e.schema()))
+            .ok_or_else(|| EventError::UnknownField("empty batch has no schema".into()))?;
+        let mut b = EventBatch::builder(schema, events.len());
+        for e in events {
+            b.push_event(e)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// The shared columnar storage.
+    pub fn data(&self) -> &Arc<BatchData> {
+        &self.data
+    }
+
+    /// The schema all rows conform to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.data.schema()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The timestamp column.
+    #[inline]
+    pub fn ts_column(&self) -> &[Ts] {
+        self.data.ts_column()
+    }
+
+    /// The column of field `field`.
+    #[inline]
+    pub fn column(&self, field: usize) -> &Column {
+        self.data.column(field)
+    }
+
+    /// A cheap `(batch, row)` handle to the event at `row`.
+    #[inline]
+    pub fn event(&self, row: usize) -> Event {
+        debug_assert!(row < self.len());
+        Event::from_batch(Arc::clone(&self.data), row as u32)
+    }
+
+    /// Iterates row handles in order.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        (0..self.len()).map(|row| self.event(row))
+    }
+
+    /// All row handles as a vector.
+    pub fn to_events(&self) -> Vec<Event> {
+        self.iter().collect()
+    }
+
+    /// Gathers `rows` (in the given order) into a new batch.
+    pub fn select(&self, rows: &[u32]) -> EventBatch {
+        let mut b = EventBatch::builder(Arc::clone(self.schema()), rows.len());
+        for &row in rows {
+            b.ts.push(self.data.ts(row as usize));
+            for (col, src) in b.cols.iter_mut().zip(&self.data.cols) {
+                col.push(src.value(row as usize)).expect("same schema");
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Incremental [`EventBatch`] constructor. Rows must be appended in
+/// non-decreasing timestamp order; values are validated against the schema.
+#[derive(Debug)]
+pub struct BatchBuilder {
+    schema: Arc<Schema>,
+    ts: Vec<Ts>,
+    cols: Vec<Column>,
+}
+
+impl BatchBuilder {
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when no rows were appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Appends one row, validating arity, field types and time order.
+    pub fn push_row(&mut self, ts: Ts, values: &[Value]) -> Result<(), EventError> {
+        if values.len() != self.schema.arity() {
+            return Err(EventError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: values.len(),
+            });
+        }
+        debug_assert!(
+            self.ts.last().is_none_or(|last| *last <= ts),
+            "batch rows must be time-ordered"
+        );
+        // Validate all fields before mutating any column so a failed row
+        // leaves the builder unchanged.
+        for (field, value) in self.schema.fields().iter().zip(values) {
+            if field.ty != value.value_type() {
+                return Err(EventError::FieldTypeMismatch {
+                    field: field.name.clone(),
+                    expected: field.ty,
+                    found: value.value_type(),
+                });
+            }
+        }
+        self.ts.push(ts);
+        for (col, value) in self.cols.iter_mut().zip(values) {
+            col.push(*value).expect("types validated above");
+        }
+        Ok(())
+    }
+
+    /// Appends a copy of an existing event's row. The event must conform to
+    /// this builder's schema.
+    pub fn push_event(&mut self, e: &Event) -> Result<(), EventError> {
+        if e.schema().name() != self.schema.name() || e.schema().arity() != self.schema.arity() {
+            return Err(EventError::UnknownField(format!(
+                "event schema '{}' does not match batch schema '{}'",
+                e.schema().name(),
+                self.schema.name()
+            )));
+        }
+        self.ts.push(e.ts());
+        for (field, col) in self.cols.iter_mut().enumerate() {
+            col.push(e.value(field)).map_err(|found| EventError::FieldTypeMismatch {
+                field: self.schema.fields()[field].name.clone(),
+                expected: self.schema.fields()[field].ty,
+                found,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the batch, freezing the columns behind an `Arc`.
+    pub fn finish(self) -> EventBatch {
+        let id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
+        // `Event::identity` packs the id into 32 bits next to the row
+        // index; exhausting that space must fail loudly, not alias two
+        // distinct events' identities.
+        assert!(id < u64::from(u32::MAX), "batch id space exhausted (2^32 batches created)");
+        EventBatch {
+            data: Arc::new(BatchData { id, schema: self.schema, ts: self.ts, cols: self.cols }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stock_batch() -> EventBatch {
+        let mut b = EventBatch::builder(Schema::stocks(), 3);
+        for (ts, name, price) in [(1, "IBM", 10.0), (2, "Sun", 20.0), (3, "IBM", 30.0)] {
+            b.push_row(
+                ts,
+                &[Value::Int(ts as i64), Value::str(name), Value::Float(price), Value::Int(1)],
+            )
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builds_columns_and_reads_back() {
+        let batch = stock_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.ts_column(), &[1, 2, 3]);
+        assert_eq!(batch.column(2).value(1), Value::Float(20.0));
+        assert_eq!(batch.column(1).as_syms().unwrap()[0], Sym::intern("IBM"));
+        assert!(batch.column(0).as_syms().is_none());
+    }
+
+    #[test]
+    fn event_handles_share_storage() {
+        let batch = stock_batch();
+        let a = batch.event(0);
+        let b = batch.event(2);
+        assert_eq!(a.ts(), 1);
+        assert_eq!(b.value_by_name("price").unwrap(), Value::Float(30.0));
+        assert_ne!(a.identity(), b.identity());
+        assert_eq!(a.identity(), batch.event(0).identity());
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut b = EventBatch::builder(Schema::stocks(), 1);
+        assert!(matches!(
+            b.push_row(1, &[Value::Int(1)]),
+            Err(EventError::ArityMismatch { expected: 4, found: 1 })
+        ));
+        assert!(matches!(
+            b.push_row(1, &[Value::Int(1), Value::str("x"), Value::str("bad"), Value::Int(1)]),
+            Err(EventError::FieldTypeMismatch { .. })
+        ));
+        assert!(b.is_empty(), "failed rows leave the builder unchanged");
+    }
+
+    #[test]
+    fn select_gathers_rows() {
+        let batch = stock_batch();
+        let sub = batch.select(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.ts_column(), &[1, 3]);
+        assert_eq!(sub.column(2).value(1), Value::Float(30.0));
+        assert_ne!(sub.data().id(), batch.data().id());
+    }
+
+    #[test]
+    fn round_trips_through_events() {
+        let batch = stock_batch();
+        let rebuilt = EventBatch::from_events(&batch.to_events()).unwrap();
+        assert_eq!(rebuilt.len(), batch.len());
+        for (a, b) in batch.iter().zip(rebuilt.iter()) {
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Interned string symbols.
+//!
+//! Every string attribute in the system — stock names, URLs, IPs, categories
+//! — is interned once into a process-wide symbol table and handled as a
+//! [`Sym`]: a 4-byte id. Equality predicates, the §5.2.2 hash-table keys and
+//! shard routing all become integer operations; the string bytes are stored
+//! exactly once no matter how many events carry them.
+//!
+//! The table is append-only and lives for the whole process, so resolving a
+//! symbol yields a `&'static str` and a [`Sym`] stays valid forever. Each
+//! entry also caches a **stable content digest** (FNV-1a over the bytes):
+//! symbol *ids* depend on interning order and must never leave the process,
+//! but the digest depends only on the content, so [`Sym::digest`] is safe to
+//! use for cross-process-deterministic shard routing.
+//!
+//! **Cardinality caveat:** entries are never evicted, so the table holds
+//! every *distinct* string ever interned. That is the point for the
+//! bounded-alphabet attributes CEP queries key on (tickers, categories,
+//! URLs, IPs) — but an attribute with unbounded cardinality (per-request
+//! ids, session tokens) would grow the table without limit, where the old
+//! per-event `Arc<str>` representation freed its bytes on prune. Monitor
+//! [`symbol_stats`] (`bytes`/`symbols`) when ingesting new stream shapes;
+//! scoped or epoch-evicted tables are the escape hatch if such a workload
+//! ever lands.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a cheap, `Copy` handle into the process-wide symbol
+/// table. Two `Sym`s are equal iff their strings are equal, so equality (and
+/// hashing) is a single `u32` comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Entry {
+    text: &'static str,
+    digest: u64,
+}
+
+#[derive(Default)]
+struct TableInner {
+    map: HashMap<&'static str, u32>,
+    entries: Vec<Entry>,
+    /// Total bytes of distinct interned strings.
+    bytes: u64,
+}
+
+fn table() -> &'static RwLock<TableInner> {
+    static TABLE: OnceLock<RwLock<TableInner>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(TableInner::default()))
+}
+
+/// Total intern calls (hits + misses); updated lock-free so the hit path
+/// only ever takes the read lock.
+static INTERN_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Bytes that intern hits did *not* re-allocate (each hit would have
+/// heap-allocated a fresh copy of the string under the old `Arc<str>`
+/// per-value representation).
+static BYTES_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a, stable across processes, platforms and runs — the digest feeding
+/// [`Sym::digest`] and therefore shard routing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Sym {
+    /// Interns `s`, returning its symbol. Repeated calls with equal strings
+    /// return the same symbol and allocate nothing.
+    pub fn intern(s: &str) -> Sym {
+        INTERN_CALLS.fetch_add(1, Ordering::Relaxed);
+        {
+            let inner = table().read().expect("symbol table poisoned");
+            if let Some(&id) = inner.map.get(s) {
+                BYTES_SAVED.fetch_add(s.len() as u64, Ordering::Relaxed);
+                return Sym(id);
+            }
+        }
+        let mut inner = table().write().expect("symbol table poisoned");
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&id) = inner.map.get(s) {
+            BYTES_SAVED.fetch_add(s.len() as u64, Ordering::Relaxed);
+            return Sym(id);
+        }
+        let text: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(inner.entries.len()).expect("symbol table overflow");
+        inner.entries.push(Entry { text, digest: fnv1a(text.as_bytes()) });
+        inner.map.insert(text, id);
+        inner.bytes += text.len() as u64;
+        Sym(id)
+    }
+
+    /// The interned string. Symbols are never evicted, so the reference is
+    /// `'static`.
+    pub fn as_str(self) -> &'static str {
+        let inner = table().read().expect("symbol table poisoned");
+        inner.entries[self.0 as usize].text
+    }
+
+    /// Stable content digest (FNV-1a of the string bytes). Unlike the raw
+    /// id, this does not depend on interning order, so replaying a stream in
+    /// another process routes identically.
+    pub fn digest(self) -> u64 {
+        let inner = table().read().expect("symbol table poisoned");
+        inner.entries[self.0 as usize].digest
+    }
+
+    /// The raw table id. Only meaningful within this process.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+/// A snapshot of the process-wide symbol table's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymbolStats {
+    /// Distinct strings interned.
+    pub symbols: u64,
+    /// Bytes held by the table (each distinct string once).
+    pub bytes: u64,
+    /// Total [`Sym::intern`] calls.
+    pub intern_calls: u64,
+    /// Bytes the intern hits avoided re-allocating (what a per-value
+    /// `Arc<str>` representation would have copied again).
+    pub bytes_saved: u64,
+}
+
+/// Current symbol-table statistics. The table is process-global, so the
+/// numbers cover every stream and engine in the process.
+pub fn symbol_stats() -> SymbolStats {
+    let inner = table().read().expect("symbol table poisoned");
+    SymbolStats {
+        symbols: inner.entries.len() as u64,
+        bytes: inner.bytes,
+        intern_calls: INTERN_CALLS.load(Ordering::Relaxed),
+        bytes_saved: BYTES_SAVED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("IBM");
+        let b = Sym::intern("IBM");
+        let c = Sym::intern("Sun");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "IBM");
+        assert_eq!(c.as_str(), "Sun");
+    }
+
+    #[test]
+    fn digest_depends_on_content_only() {
+        assert_eq!(Sym::intern("Oracle").digest(), Sym::intern("Oracle").digest());
+        assert_ne!(Sym::intern("Oracle").digest(), Sym::intern("oracle").digest());
+        // FNV-1a of "a" — a fixed value, guarding cross-run stability.
+        assert_eq!(Sym::intern("a").digest(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn stats_track_hits_and_bytes() {
+        let before = symbol_stats();
+        let tag = "stats-probe-string";
+        Sym::intern(tag);
+        Sym::intern(tag);
+        let after = symbol_stats();
+        assert!(after.symbols > before.symbols);
+        assert!(after.bytes >= before.bytes + tag.len() as u64);
+        assert!(after.intern_calls >= before.intern_calls + 2);
+        assert!(after.bytes_saved >= before.bytes_saved + tag.len() as u64);
+    }
+
+    #[test]
+    fn display_matches_content() {
+        assert_eq!(Sym::intern("HP").to_string(), "HP");
+    }
+}

@@ -4,13 +4,29 @@
 //! different events (`T1.price > (1 + x%) * T2.price`), so values support
 //! numeric coercion between integers and floats, ordered comparison, and a
 //! hashable form used by the equality-predicate hash tables of §5.2.2.
+//!
+//! Strings are interned [`Sym`]s, which makes `Value` a 16-byte `Copy` type:
+//! cloning a value never touches the heap, and string equality is a single
+//! integer comparison.
+//!
+//! ## Equality is an equivalence relation
+//!
+//! Numeric comparison is **exact**: an `Int` and a `Float` compare by their
+//! mathematical values, not through a lossy `as f64` cast, and two `Float`s
+//! compare numerically (`0.0 == -0.0`; every NaN belongs to one equivalence
+//! class that sorts above all numbers). This matters for the hash tables of
+//! §5.2.2: a hash join treats key equality as *the* join condition, so
+//! "equal" must be transitive — under cast-based coercion `Int(2^53)` and
+//! `Int(2^53 + 1)` both equal `Float(2^53)` yet differ from each other, and
+//! no consistent hash key can exist. [`Value::hash_key`] canonicalizes to
+//! this exact relation: integral in-range floats collapse onto the integer
+//! key, so `Int(1)` and `Float(1.0)` collide exactly when they are equal.
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 
 use crate::error::EventError;
+use crate::sym::Sym;
 
 /// The type of a [`Value`]. Schemas declare one per field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,7 +35,7 @@ pub enum ValueType {
     Int,
     /// 64-bit IEEE float.
     Float,
-    /// Immutable shared string.
+    /// Interned string.
     Str,
     /// Boolean.
     Bool,
@@ -37,22 +53,65 @@ impl fmt::Display for ValueType {
 }
 
 /// A dynamically typed attribute value carried by an [`crate::Event`].
-#[derive(Debug, Clone)]
+/// 16 bytes, `Copy` — strings are interned symbols.
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),
     /// 64-bit IEEE float.
     Float(f64),
-    /// Immutable shared string (cheap to clone).
-    Str(Arc<str>),
+    /// Interned string (see [`Sym`]).
+    Str(Sym),
     /// Boolean.
     Bool(bool),
 }
 
+/// Exact comparison of an `i64` against an `f64` without a lossy cast.
+/// NaN sorts above every number (one NaN equivalence class).
+fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return Ordering::Less; // every number < NaN
+    }
+    // 2^63 and -2^63 are exactly representable as f64.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    let bt = b.trunc(); // |bt| <= 2^63, exact as i64 except +2^63 (excluded)
+    let bi = bt as i64;
+    match a.cmp(&bi) {
+        Ordering::Equal => {
+            // a == trunc(b): the fractional part decides.
+            if b > bt {
+                Ordering::Less
+            } else if b < bt {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        other => other,
+    }
+}
+
+/// Numeric comparison of two `f64`s: `0.0 == -0.0`, NaNs are one
+/// equivalence class above all numbers.
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("neither operand is NaN"),
+    }
+}
+
 impl Value {
-    /// Creates a string value from anything string-like.
+    /// Creates a string value, interning the text.
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Sym::intern(s.as_ref()))
     }
 
     /// The runtime type of this value.
@@ -99,10 +158,10 @@ impl Value {
         }
     }
 
-    /// String view of the value.
-    pub fn as_str(&self) -> Result<&str, EventError> {
+    /// String view of the value (resolves the interned symbol).
+    pub fn as_str(&self) -> Result<&'static str, EventError> {
         match self {
-            Value::Str(s) => Ok(s),
+            Value::Str(s) => Ok(s.as_str()),
             other => Err(EventError::TypeMismatch {
                 expected: ValueType::Str,
                 found: other.value_type(),
@@ -110,23 +169,40 @@ impl Value {
         }
     }
 
-    /// Ordered comparison with numeric coercion (int vs float compares
-    /// numerically; floats use IEEE total order so NaN is well defined).
+    /// The interned symbol of a string value.
+    pub fn as_sym(&self) -> Result<Sym, EventError> {
+        match self {
+            Value::Str(s) => Ok(*s),
+            other => Err(EventError::TypeMismatch {
+                expected: ValueType::Str,
+                found: other.value_type(),
+            }),
+        }
+    }
+
+    /// Ordered comparison with **exact** numeric coercion (int vs float
+    /// compares mathematically; NaNs form one class above all numbers).
     /// Returns an error for incomparable types (e.g. string vs int).
     pub fn compare(&self, other: &Value) -> Result<Ordering, EventError> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
-            (Value::Float(a), Value::Float(b)) => Ok(a.total_cmp(b)),
-            (Value::Int(a), Value::Float(b)) => Ok((*a as f64).total_cmp(b)),
-            (Value::Float(a), Value::Int(b)) => Ok(a.total_cmp(&(*b as f64))),
-            (Value::Str(a), Value::Str(b)) => Ok(a.as_ref().cmp(b.as_ref())),
+            (Value::Float(a), Value::Float(b)) => Ok(cmp_f64(*a, *b)),
+            (Value::Int(a), Value::Float(b)) => Ok(cmp_i64_f64(*a, *b)),
+            (Value::Float(a), Value::Int(b)) => Ok(cmp_i64_f64(*b, *a).reverse()),
+            (Value::Str(a), Value::Str(b)) => {
+                if a == b {
+                    Ok(Ordering::Equal) // interned: id equality, no resolve
+                } else {
+                    Ok(a.as_str().cmp(b.as_str()))
+                }
+            }
             (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
             (a, b) => Err(EventError::Incomparable { left: a.value_type(), right: b.value_type() }),
         }
     }
 
-    /// Equality as used by query predicates: numeric coercion, otherwise
-    /// same-type equality. Incomparable types are simply unequal.
+    /// Equality as used by query predicates: exact numeric coercion,
+    /// otherwise same-type equality. Incomparable types are simply unequal.
     pub fn loose_eq(&self, other: &Value) -> bool {
         matches!(self.compare(other), Ok(Ordering::Equal))
     }
@@ -157,13 +233,28 @@ impl Value {
     }
 
     /// A hashable key form of this value, used for hash partitioning and the
-    /// equality-predicate hash tables of §5.2.2. Integers and floats with the
-    /// same numeric value map to the same key.
+    /// equality-predicate hash tables of §5.2.2. The key is **canonical**
+    /// with respect to [`Value::loose_eq`]: two values produce equal keys iff
+    /// they are loosely equal. Integral floats in `i64` range collapse onto
+    /// the integer key; every NaN maps to one key; strings key by symbol id.
     pub fn hash_key(&self) -> HashableValue {
         match self {
-            Value::Int(i) => HashableValue::Num((*i as f64).to_bits()),
-            Value::Float(f) => HashableValue::Num(f.to_bits()),
-            Value::Str(s) => HashableValue::Str(Arc::clone(s)),
+            Value::Int(i) => HashableValue::Int(*i),
+            Value::Float(f) => {
+                if f.is_nan() {
+                    return HashableValue::Nan;
+                }
+                const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+                if *f >= -TWO_63 && *f < TWO_63 && f.trunc() == *f {
+                    // Exactly an i64: share the integer's key (covers ±0.0).
+                    HashableValue::Int(*f as i64)
+                } else {
+                    // Non-integral (or out of i64 range): IEEE equality is
+                    // bit equality here, so the bit pattern is canonical.
+                    HashableValue::Float(f.to_bits())
+                }
+            }
+            Value::Str(s) => HashableValue::Str(*s),
             Value::Bool(b) => HashableValue::Bool(*b),
         }
     }
@@ -216,6 +307,12 @@ impl From<&str> for Value {
     }
 }
 
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::Str(v)
+    }
+}
+
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Bool(v)
@@ -223,25 +320,46 @@ impl From<bool> for Value {
 }
 
 /// Hashable, totally equatable form of a [`Value`], suitable as a `HashMap`
-/// key. Floats are keyed by bit pattern of their `f64` form (after coercing
-/// integers), so `Int(2)` and `Float(2.0)` collide as intended for equality
-/// predicates.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// key. Canonical with respect to [`Value::loose_eq`] (see
+/// [`Value::hash_key`]): `Int(2)` and `Float(2.0)` collide as intended for
+/// equality predicates, while `Int(2^53)` and `Int(2^53 + 1)` stay distinct.
+/// `Copy` — hashing and comparing keys never touches string content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HashableValue {
-    /// Numeric key: the IEEE-754 bit pattern of the value as `f64`.
-    Num(u64),
-    /// String key.
-    Str(Arc<str>),
+    /// Any numeric value that is exactly an `i64` (including integral
+    /// floats such as `2.0`).
+    Int(i64),
+    /// Bit pattern of a non-integral or out-of-`i64`-range, non-NaN float.
+    Float(u64),
+    /// The single NaN equivalence class.
+    Nan,
+    /// String key: the interned symbol.
+    Str(Sym),
     /// Boolean key.
     Bool(bool),
 }
 
 impl HashableValue {
-    /// A stable 64-bit digest used by tests and partitioners.
+    /// A stable 64-bit digest used by shard routing and partitioners.
+    /// Depends only on the *content* of the value (string digests come from
+    /// the symbol table's content hash), so it is identical across
+    /// processes and runs.
     pub fn digest(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        fn mix(tag: u64, payload: u64) -> u64 {
+            // splitmix64 finalizer over tag ^ payload — stable by
+            // construction (no RandomState).
+            let mut z = tag.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(payload);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        match self {
+            HashableValue::Int(i) => mix(1, *i as u64),
+            HashableValue::Float(bits) => mix(2, *bits),
+            HashableValue::Nan => mix(3, 0),
+            HashableValue::Str(s) => mix(4, s.digest()),
+            HashableValue::Bool(b) => mix(5, u64::from(*b)),
+        }
     }
 }
 
@@ -254,6 +372,36 @@ mod tests {
         assert_eq!(Value::Int(3).compare(&Value::Float(3.0)).unwrap(), Ordering::Equal);
         assert_eq!(Value::Float(2.5).compare(&Value::Int(3)).unwrap(), Ordering::Less);
         assert_eq!(Value::Int(4).compare(&Value::Float(3.5)).unwrap(), Ordering::Greater);
+    }
+
+    #[test]
+    fn comparison_is_exact_beyond_f64_precision() {
+        // 2^53 and 2^53 + 1 cast to the same f64; exact comparison keeps
+        // them apart and only the true equal pair compares Equal.
+        let big = 1i64 << 53;
+        assert_eq!(Value::Int(big).compare(&Value::Float(big as f64)).unwrap(), Ordering::Equal);
+        assert_eq!(
+            Value::Int(big + 1).compare(&Value::Float(big as f64)).unwrap(),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(i64::MAX).compare(&Value::Float(1e19)).unwrap(), Ordering::Less);
+        assert_eq!(Value::Int(i64::MIN).compare(&Value::Float(-1e19)).unwrap(), Ordering::Greater);
+    }
+
+    #[test]
+    fn nan_is_one_class_above_all_numbers() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.compare(&Value::Float(-f64::NAN)).unwrap(), Ordering::Equal);
+        assert_eq!(nan.compare(&Value::Float(f64::INFINITY)).unwrap(), Ordering::Greater);
+        assert_eq!(Value::Int(i64::MAX).compare(&nan).unwrap(), Ordering::Less);
+        assert_eq!(nan.hash_key(), Value::Float(-f64::NAN).hash_key());
+    }
+
+    #[test]
+    fn signed_zeros_are_equal() {
+        assert!(Value::Float(0.0).loose_eq(&Value::Float(-0.0)));
+        assert_eq!(Value::Float(-0.0).hash_key(), Value::Float(0.0).hash_key());
+        assert_eq!(Value::Float(-0.0).hash_key(), Value::Int(0).hash_key());
     }
 
     #[test]
@@ -294,6 +442,39 @@ mod tests {
     }
 
     #[test]
+    fn hash_key_is_canonical_for_loose_eq() {
+        // key(a) == key(b) ⇔ a loose_eq b, probed across the precision edge
+        // where the old cast-based key violated it.
+        let big = 1i64 << 53;
+        let values = [
+            Value::Int(big),
+            Value::Int(big + 1),
+            Value::Float(big as f64),
+            Value::Int(2),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+        ];
+        for a in &values {
+            for b in &values {
+                assert_eq!(
+                    a.hash_key() == b.hash_key(),
+                    a.loose_eq(b),
+                    "hash/eq must agree for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_for_content() {
+        assert_eq!(Value::str("IBM").hash_key().digest(), Value::str("IBM").hash_key().digest());
+        assert_eq!(Value::Int(7).hash_key().digest(), Value::Float(7.0).hash_key().digest());
+        assert_ne!(Value::Int(7).hash_key().digest(), Value::Int(8).hash_key().digest());
+    }
+
+    #[test]
     fn value_type_reporting() {
         assert_eq!(Value::Int(1).value_type(), ValueType::Int);
         assert_eq!(Value::str("s").value_type(), ValueType::Str);
@@ -307,6 +488,15 @@ mod tests {
         assert!(Value::str("x").as_i64().is_err());
         assert!(Value::Bool(true).as_bool().unwrap());
         assert_eq!(Value::str("x").as_str().unwrap(), "x");
+        assert_eq!(Value::str("x").as_sym().unwrap(), Sym::intern("x"));
         assert_eq!(Value::Int(7).as_f64().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn value_is_copy_and_small() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+        assert_copy::<HashableValue>();
+        assert_eq!(std::mem::size_of::<Value>(), 16);
     }
 }

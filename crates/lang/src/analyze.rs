@@ -425,7 +425,7 @@ fn type_expr(
             let ty = schema.fields()[fi].ty;
             Ok((TypedExpr::Attr { class: id, field: fi, ty }, ty))
         }
-        Expr::Lit(v) => Ok((TypedExpr::Lit(v.clone()), v.value_type())),
+        Expr::Lit(v) => Ok((TypedExpr::Lit(*v), v.value_type())),
         Expr::Unary(UnaryOp::Neg, inner) => {
             let (t, ty) = type_expr(inner, by_name, classes)?;
             if !matches!(ty, ValueType::Int | ValueType::Float) {

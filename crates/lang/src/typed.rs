@@ -97,11 +97,10 @@ impl TypedExpr {
     /// Evaluates the expression against a binding.
     pub fn eval(&self, binding: &impl EventBinding) -> Result<Value, EvalError> {
         match self {
-            TypedExpr::Attr { class, field, .. } => binding
-                .event(*class)
-                .map(|e| e.value(*field).clone())
-                .ok_or(EvalError::Unbound(*class)),
-            TypedExpr::Lit(v) => Ok(v.clone()),
+            TypedExpr::Attr { class, field, .. } => {
+                binding.event(*class).map(|e| e.value(*field)).ok_or(EvalError::Unbound(*class))
+            }
+            TypedExpr::Lit(v) => Ok(*v),
             TypedExpr::Unary(UnaryOp::Neg, e) => match e.eval(binding)? {
                 Value::Int(i) => Ok(Value::Int(-i)),
                 Value::Float(f) => Ok(Value::Float(-f)),
@@ -205,7 +204,7 @@ fn eval_agg(func: AggFunc, field: usize, group: &[EventRef]) -> Result<Value, Ev
     }
     let mut acc: Option<Value> = None;
     for e in group {
-        let v = e.value(field).clone();
+        let v = e.value(field);
         acc = Some(match acc {
             None => v,
             Some(a) => match func {

@@ -222,7 +222,7 @@ impl NfaEngine {
         for gi in 0..self.negs.len() {
             for (ci, class) in self.negs[gi].classes.clone().into_iter().enumerate() {
                 if self.admits(class, &self.neg_intake_preds(class), &event) {
-                    self.negs[gi].buffers[ci].push_back(Arc::clone(&event));
+                    self.negs[gi].buffers[ci].push_back(event.clone());
                 }
                 while let Some(front) = self.negs[gi].buffers[ci].front() {
                     if front.ts() < prune_ts {
@@ -255,12 +255,12 @@ impl NfaEngine {
             if i == self.states.len() - 1 {
                 // Final state: backward search instead of storing.
                 let mut binding: Vec<Option<EventRef>> = vec![None; self.aq.num_classes()];
-                binding[class] = Some(Arc::clone(&event));
+                binding[class] = Some(event.clone());
                 if self.preds_ok(self.states.len() - 1, &binding) {
                     self.search(self.states.len() - 1, rip, &event, &mut binding, &mut out);
                 }
             } else {
-                self.stacks[i].push(Arc::clone(&event), rip);
+                self.stacks[i].push(event.clone(), rip);
             }
         }
 
@@ -333,7 +333,7 @@ impl NfaEngine {
             if final_event.ts() - entry.event.ts() > self.window {
                 break; // stack is time-ordered: everything below is older
             }
-            binding[self.states[i]] = Some(Arc::clone(&entry.event));
+            binding[self.states[i]] = Some(entry.event.clone());
             if self.preds_ok(i, binding) {
                 self.search(i, entry.rip, final_event, binding, out);
             }
@@ -363,7 +363,7 @@ impl NfaEngine {
                     }
                     // Evaluate predicates involving this negation class.
                     let mut bind2 = binding.to_vec();
-                    bind2[*class] = Some(Arc::clone(b));
+                    bind2[*class] = Some(b.clone());
                     let relevant =
                         self.neg_preds.iter().filter(|p| p.class_mask() & (1u64 << class) != 0);
                     let mut all_pass = true;
@@ -394,7 +394,7 @@ impl NfaEngine {
     pub fn match_signature(&self, m: &NfaMatch) -> Vec<Vec<usize>> {
         let mut out = vec![Vec::new(); self.aq.num_classes()];
         for (i, c) in self.states.iter().enumerate() {
-            out[*c] = vec![Arc::as_ptr(&m.events[i]) as usize];
+            out[*c] = vec![m.events[i].identity() as usize];
         }
         out
     }

@@ -15,7 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use zstream_events::{Event, EventRef, Schema, Ts};
+use zstream_events::{Event, EventBatch, EventRef, Schema, Sym, Ts, Value};
 
 /// Configuration of a synthetic stock stream.
 #[derive(Debug, Clone)]
@@ -122,40 +122,91 @@ impl StockGenerator {
         StockGenerator { config, rng, cumulative, next_id: 0, ts: 0, produced: 0 }
     }
 
-    /// Generates the whole stream eagerly.
+    /// Generates the whole stream eagerly as handles into shared columnar
+    /// batches — no per-event allocation.
     pub fn generate(config: StockConfig) -> Vec<EventRef> {
+        let len = config.len.max(1);
+        StockGenerator::generate_batches(config, len).iter().flat_map(EventBatch::iter).collect()
+    }
+
+    /// Generates the stream directly as struct-of-arrays [`EventBatch`]es of
+    /// `batch_size` rows (the last batch may be shorter). The row values are
+    /// identical to [`StockGenerator::generate`] for the same config — the
+    /// two only differ in batch boundaries.
+    pub fn generate_batches(config: StockConfig, batch_size: usize) -> Vec<EventBatch> {
+        assert!(batch_size >= 1, "batch size must be at least 1");
         let mut g = StockGenerator::new(config);
-        let mut out = Vec::with_capacity(g.config.len);
-        while let Some(e) = g.next_event() {
-            out.push(e);
+        // Intern each name once; every generated row reuses the symbol.
+        let name_syms: Vec<Sym> = g.config.names.iter().map(|(n, _)| Sym::intern(n)).collect();
+        let schema = Schema::stocks();
+        let mut out = Vec::with_capacity(g.config.len.div_ceil(batch_size));
+        let mut builder = EventBatch::builder(schema.clone(), batch_size.min(g.config.len));
+        while let Some(row) = g.next_row() {
+            builder
+                .push_row(
+                    row.ts,
+                    &[
+                        Value::Int(row.id),
+                        Value::Str(name_syms[row.name_idx]),
+                        Value::Float(row.price),
+                        Value::Int(row.volume),
+                    ],
+                )
+                .expect("stock rows are well-typed");
+            if builder.len() == batch_size {
+                out.push(builder.finish());
+                let remaining = g.config.len - g.produced;
+                builder = EventBatch::builder(schema.clone(), batch_size.min(remaining.max(1)));
+            }
+        }
+        if !builder.is_empty() {
+            out.push(builder.finish());
         }
         out
     }
 
-    /// The next event, or `None` when `len` events were produced.
-    pub fn next_event(&mut self) -> Option<EventRef> {
+    /// Draws the next row's raw values (shared by the streaming and the
+    /// columnar construction paths; the RNG call order defines the stream).
+    fn next_row(&mut self) -> Option<StockRow> {
         if self.produced >= self.config.len {
             return None;
         }
         self.produced += 1;
         self.ts += self.config.ts_step;
         let x: f64 = self.rng.random();
-        let idx = self.cumulative.partition_point(|c| *c < x).min(self.config.names.len() - 1);
-        let name = &self.config.names[idx].0;
-        let price = self.rng.random::<f64>() * 100.0 * self.config.price_scales[idx];
+        let name_idx = self.cumulative.partition_point(|c| *c < x).min(self.config.names.len() - 1);
+        let price = self.rng.random::<f64>() * 100.0 * self.config.price_scales[name_idx];
         let volume: i64 = self.rng.random_range(1..1000);
         let id = self.next_id;
         self.next_id += 1;
+        Some(StockRow { ts: self.ts, id, name_idx, price, volume })
+    }
+
+    /// The next event, or `None` when `len` events were produced. Builds a
+    /// standalone (single-row-batch) event; prefer
+    /// [`StockGenerator::generate_batches`] on high-rate paths.
+    pub fn next_event(&mut self) -> Option<EventRef> {
+        let row = self.next_row()?;
+        let name = &self.config.names[row.name_idx].0;
         Some(
-            Event::builder(Schema::stocks(), self.ts)
-                .value(id)
+            Event::builder(Schema::stocks(), row.ts)
+                .value(row.id)
                 .value(name.as_str())
-                .value(price)
-                .value(volume)
+                .value(row.price)
+                .value(row.volume)
                 .build_ref()
                 .expect("stock events are well-typed"),
         )
     }
+}
+
+/// One drawn row of the synthetic stock stream.
+struct StockRow {
+    ts: Ts,
+    id: i64,
+    name_idx: usize,
+    price: f64,
+    volume: i64,
 }
 
 impl Iterator for StockGenerator {
@@ -175,6 +226,19 @@ mod tests {
         let events = StockGenerator::generate(StockConfig::uniform(&["IBM", "Sun"], 500, 7));
         assert_eq!(events.len(), 500);
         assert!(events.windows(2).all(|w| w[0].ts() < w[1].ts()));
+    }
+
+    #[test]
+    fn batches_match_flat_generation() {
+        let cfg = StockConfig::uniform(&["IBM", "Sun", "Oracle"], 300, 5);
+        let flat = StockGenerator::generate(cfg.clone());
+        let batches = StockGenerator::generate_batches(cfg, 64);
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 300);
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 64));
+        let rebuilt: Vec<String> =
+            batches.iter().flat_map(|b| b.iter()).map(|e| e.to_string()).collect();
+        let flat_strs: Vec<String> = flat.iter().map(|e| e.to_string()).collect();
+        assert_eq!(rebuilt, flat_strs);
     }
 
     #[test]

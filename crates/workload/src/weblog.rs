@@ -14,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use zstream_events::{Event, EventRef, Schema, Ts};
+use zstream_events::{EventBatch, EventRef, Schema, Ts, Value};
 
 use crate::zipf::Zipf;
 
@@ -74,7 +74,21 @@ pub struct WeblogGenerator;
 
 impl WeblogGenerator {
     /// Generates the log (time-ordered) together with its category counts.
+    /// Events are handles into shared columnar batches.
     pub fn generate(config: &WeblogConfig) -> (Vec<EventRef>, WeblogStats) {
+        let batch_size = (config.total as usize).max(1);
+        let (batches, stats) = Self::generate_batches(config, batch_size);
+        (batches.iter().flat_map(EventBatch::iter).collect(), stats)
+    }
+
+    /// Generates the log directly as struct-of-arrays [`EventBatch`]es of
+    /// `batch_size` rows (the last batch may be shorter). Row values are
+    /// identical to [`WeblogGenerator::generate`] for the same config.
+    pub fn generate_batches(
+        config: &WeblogConfig,
+        batch_size: usize,
+    ) -> (Vec<EventBatch>, WeblogStats) {
+        assert!(batch_size >= 1, "batch size must be at least 1");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let zipf = Zipf::new(config.num_ips, config.ip_skew);
         let schema = Schema::weblog();
@@ -102,41 +116,51 @@ impl WeblogGenerator {
             cats.swap(i, j);
         }
 
+        let category_syms = [
+            Value::str("Other"),
+            Value::str("Publication"),
+            Value::str("Project"),
+            Value::str("Course"),
+        ];
         let mut stats =
             WeblogStats { total: config.total, publication: 0, project: 0, course: 0, other: 0 };
-        let events = timestamps
-            .into_iter()
-            .zip(cats)
-            .map(|(ts, cat)| {
-                let ip_rank = zipf.sample(&mut rng);
-                let ip = format!("10.{}.{}.{}", ip_rank >> 16, (ip_rank >> 8) & 255, ip_rank & 255);
-                let (category, url) = match cat {
-                    1 => {
-                        stats.publication += 1;
-                        ("Publication", format!("/papers/p{}.pdf", rng.random_range(0..500)))
-                    }
-                    2 => {
-                        stats.project += 1;
-                        ("Project", format!("/projects/{}", rng.random_range(0..40)))
-                    }
-                    3 => {
-                        stats.course += 1;
-                        ("Course", format!("/courses/6.{}", 800 + rng.random_range(0..99)))
-                    }
-                    _ => {
-                        stats.other += 1;
-                        ("Other", format!("/misc/{}", rng.random_range(0..10_000)))
-                    }
-                };
-                Event::builder(schema.clone(), ts)
-                    .value(ip.as_str())
-                    .value(url.as_str())
-                    .value(category)
-                    .build_ref()
-                    .expect("weblog events are well-typed")
-            })
-            .collect();
-        (events, stats)
+        let total = config.total as usize;
+        let mut batches = Vec::with_capacity(total.div_ceil(batch_size));
+        let mut builder = EventBatch::builder(schema.clone(), batch_size.min(total.max(1)));
+        for (row, (ts, cat)) in timestamps.into_iter().zip(cats).enumerate() {
+            let ip_rank = zipf.sample(&mut rng);
+            let ip = format!("10.{}.{}.{}", ip_rank >> 16, (ip_rank >> 8) & 255, ip_rank & 255);
+            let url = match cat {
+                1 => {
+                    stats.publication += 1;
+                    format!("/papers/p{}.pdf", rng.random_range(0..500))
+                }
+                2 => {
+                    stats.project += 1;
+                    format!("/projects/{}", rng.random_range(0..40))
+                }
+                3 => {
+                    stats.course += 1;
+                    format!("/courses/6.{}", 800 + rng.random_range(0..99))
+                }
+                _ => {
+                    stats.other += 1;
+                    format!("/misc/{}", rng.random_range(0..10_000))
+                }
+            };
+            builder
+                .push_row(ts, &[Value::str(&ip), Value::str(&url), category_syms[cat as usize]])
+                .expect("weblog rows are well-typed");
+            if builder.len() == batch_size {
+                batches.push(builder.finish());
+                let remaining = total - row - 1;
+                builder = EventBatch::builder(schema.clone(), batch_size.min(remaining.max(1)));
+            }
+        }
+        if !builder.is_empty() {
+            batches.push(builder.finish());
+        }
+        (batches, stats)
     }
 }
 
@@ -184,5 +208,18 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_string(), y.to_string());
         }
+    }
+
+    #[test]
+    fn batches_match_flat_generation() {
+        let cfg = WeblogConfig::scaled(1_000, 11);
+        let (flat, flat_stats) = WeblogGenerator::generate(&cfg);
+        let (batches, batch_stats) = WeblogGenerator::generate_batches(&cfg, 128);
+        assert_eq!(flat_stats, batch_stats);
+        assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), flat.len());
+        let rebuilt: Vec<String> =
+            batches.iter().flat_map(|b| b.iter()).map(|e| e.to_string()).collect();
+        let flat_strs: Vec<String> = flat.iter().map(|e| e.to_string()).collect();
+        assert_eq!(rebuilt, flat_strs);
     }
 }

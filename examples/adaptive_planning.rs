@@ -27,10 +27,10 @@ fn phase_stream(rates: [(&str, f64); 3], len: usize, seed: u64, ts_base: u64) ->
         .into_iter()
         .map(|e| {
             Event::builder(Schema::stocks(), ts_base + e.ts())
-                .value(e.value(0).clone())
-                .value(e.value(1).clone())
-                .value(e.value(2).clone())
-                .value(e.value(3).clone())
+                .value(e.value(0))
+                .value(e.value(1))
+                .value(e.value(2))
+                .value(e.value(3))
                 .build_ref()
                 .unwrap()
         })

@@ -12,8 +12,6 @@
 //! cargo run --example stock_monitoring
 //! ```
 
-use std::sync::Arc;
-
 use zstream::core::{CompiledQuery, EngineBuilder, EngineConfig, Statistics};
 use zstream::lang::{Query, SchemaMap};
 use zstream::workload::{StockConfig, StockGenerator};
@@ -48,7 +46,7 @@ fn negation_query() -> Result<(), Box<dyn std::error::Error>> {
     let events = StockGenerator::generate(StockConfig::uniform(&["Google", "IBM"], 4_000, 7));
     let mut matches = 0usize;
     for e in &events {
-        matches += engine.push(Arc::clone(e)).len();
+        matches += engine.push(e.clone()).len();
     }
     matches += engine.flush().len();
     println!("{matches} threshold-crossing rises without an interleaved dip\n");
@@ -76,7 +74,7 @@ fn kleene_query() -> Result<(), Box<dyn std::error::Error>> {
     let mut shown = 0usize;
     let mut matches = 0usize;
     for e in &events {
-        for m in engine.push(Arc::clone(e)) {
+        for m in engine.push(e.clone()) {
             matches += 1;
             if shown < 3 {
                 println!("  {}", engine.format_match(&m));

@@ -9,7 +9,6 @@
 //! cargo run --release --example web_access_patterns
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use zstream::core::{build_intake, CompiledQuery, Engine, NegStrategy, PlanConfig, PlanShape};
@@ -68,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let mut matches = 0usize;
     for e in &events {
-        matches += nfa.push(Arc::clone(e)).len();
+        matches += nfa.push(e.clone()).len();
     }
     let dt = t0.elapsed();
     println!(

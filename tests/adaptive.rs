@@ -2,8 +2,6 @@
 //! invisible in the output — no duplicates, no losses — and the controller
 //! must actually switch plans when the stream's statistics flip.
 
-use std::sync::Arc;
-
 use zstream::core::{
     build_intake, AdaptiveConfig, AdaptiveEngine, CompiledQuery, Engine, EngineBuilder,
     EngineConfig, NegStrategy, PlanConfig, PlanShape, Statistics,
@@ -30,10 +28,10 @@ fn three_phase_stream(seed: u64, per_phase: usize) -> Vec<EventRef> {
         for e in &events {
             // Re-timestamp so phases concatenate in time order.
             let shifted = zstream::events::Event::builder(Schema::stocks(), ts_base + e.ts())
-                .value(e.value(0).clone())
-                .value(e.value(1).clone())
-                .value(e.value(2).clone())
-                .value(e.value(3).clone())
+                .value(e.value(0))
+                .value(e.value(1))
+                .value(e.value(2))
+                .value(e.value(3))
                 .build_ref()
                 .unwrap();
             out.push(shifted);
@@ -82,7 +80,7 @@ fn static_run(src: &str, shape: PlanShape, events: &[EventRef], batch: usize) ->
         .unwrap();
     let mut out = Vec::new();
     for e in events {
-        out.extend(engine.push(Arc::clone(e)));
+        out.extend(engine.push(e.clone()));
     }
     out.extend(engine.flush());
     let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();

@@ -33,7 +33,7 @@ fn run_tree(
     let mut engine = b.build().unwrap();
     let mut out = Vec::new();
     for e in events {
-        out.extend(engine.push(Arc::clone(e)));
+        out.extend(engine.push(e.clone()));
     }
     out.extend(engine.flush());
     let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
@@ -50,7 +50,7 @@ fn run_nfa(src: &str, events: &[EventRef]) -> Vec<Signature> {
     let mut nfa = NfaEngine::new(aq, intake).unwrap();
     let mut sigs: Vec<Signature> = Vec::new();
     for e in events {
-        for m in nfa.push(Arc::clone(e)) {
+        for m in nfa.push(e.clone()) {
             sigs.push(nfa.match_signature(&m));
         }
     }
@@ -179,7 +179,7 @@ fn weblog_query8_tree_vs_nfa() {
     let mut nfa = NfaEngine::new(aq.clone(), intake.clone()).unwrap();
     let mut nfa_sigs: Vec<Signature> = Vec::new();
     for e in &events {
-        for m in nfa.push(Arc::clone(e)) {
+        for m in nfa.push(e.clone()) {
             nfa_sigs.push(nfa.match_signature(&m));
         }
     }
@@ -200,7 +200,7 @@ fn weblog_query8_tree_vs_nfa() {
         let mut engine = zstream::core::Engine::new(compiled.aq.clone(), plan, intake.clone(), 64);
         let mut out = Vec::new();
         for e in &events {
-            out.extend(engine.push(Arc::clone(e)));
+            out.extend(engine.push(e.clone()));
         }
         out.extend(engine.flush());
         let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();

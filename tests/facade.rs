@@ -3,8 +3,6 @@
 //! the match count and contents — exactly the path the README quickstart
 //! shows.
 
-use std::sync::Arc;
-
 use zstream::prelude::*;
 
 /// A fixed five-event stream with exactly one IBM; Sun; Oracle match inside
@@ -30,7 +28,7 @@ fn prelude_end_to_end_sequence() {
 
     let mut matches: Vec<Record> = Vec::new();
     for event in fixed_stream() {
-        matches.extend(engine.push(Arc::clone(&event)));
+        matches.extend(engine.push(event.clone()));
     }
     matches.extend(engine.flush());
 
@@ -50,7 +48,7 @@ fn prelude_end_to_end_with_predicate_and_generator() {
     let mut engine = EngineBuilder::parse(src).unwrap().stock_routing().build().unwrap();
     let mut got = 0usize;
     for event in &events {
-        got += engine.push(Arc::clone(event)).len();
+        got += engine.push(event.clone()).len();
     }
     got += engine.flush().len();
 
@@ -89,7 +87,7 @@ fn plan_shapes_agree_on_match_count() {
             EngineBuilder::parse(src).unwrap().stock_routing().shape(shape).build().unwrap();
         let mut n = 0usize;
         for event in &events {
-            n += engine.push(Arc::clone(event)).len();
+            n += engine.push(event.clone()).len();
         }
         n += engine.flush().len();
         counts.push(n);

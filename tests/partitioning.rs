@@ -2,8 +2,6 @@
 //! exactly the same matches as the flat engine and the oracle whenever the
 //! partitioning soundness condition holds.
 
-use std::sync::Arc;
-
 use zstream::core::reference::reference_signatures;
 use zstream::core::{
     build_intake, can_partition_by, CompiledQuery, Engine, PartitionedEngine, PlanConfig,
@@ -34,7 +32,7 @@ fn partitioned_query2_style_matches_oracle() {
             .unwrap();
     let mut out = Vec::new();
     for e in &events {
-        out.extend(pe.push(Arc::clone(e)));
+        out.extend(pe.push(e.clone()));
     }
     out.extend(pe.flush());
     let mut sigs: Vec<_> = out.iter().map(|r| pe.record_signature(r)).collect();
@@ -62,7 +60,7 @@ fn partitioned_weblog_query8_equals_flat() {
             .unwrap();
     let mut part_out = Vec::new();
     for e in &events {
-        part_out.extend(pe.push(Arc::clone(e)));
+        part_out.extend(pe.push(e.clone()));
     }
     part_out.extend(pe.flush());
     let mut part_sigs: Vec<_> = part_out.iter().map(|r| pe.record_signature(r)).collect();
@@ -72,7 +70,7 @@ fn partitioned_weblog_query8_equals_flat() {
     let mut flat = Engine::new(compiled.aq.clone(), plan, intake, 32);
     let mut flat_out = Vec::new();
     for e in &events {
-        flat_out.extend(flat.push(Arc::clone(e)));
+        flat_out.extend(flat.push(e.clone()));
     }
     flat_out.extend(flat.flush());
     let mut flat_sigs: Vec<_> = flat_out.iter().map(|r| flat.record_signature(r)).collect();

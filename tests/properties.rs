@@ -70,7 +70,7 @@ fn engine_run(
     let mut round_out = Vec::new();
     for e in events {
         round_out.clear();
-        round_out.extend(engine.push(Arc::clone(e)));
+        round_out.extend(engine.push(e.clone()));
         check_round_invariants(&round_out, window);
         out.extend(round_out.iter().cloned());
     }
@@ -144,7 +144,7 @@ proptest! {
         b = b.shape(PlanShape::left_deep(2));
         let mut engine = b.build().unwrap();
         let mut out = Vec::new();
-        for e in &events { out.extend(engine.push(Arc::clone(e))); }
+        for e in &events { out.extend(engine.push(e.clone())); }
         out.extend(engine.flush());
         let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
         sigs.sort();
@@ -189,7 +189,7 @@ proptest! {
         let mut nfa = zstream::nfa::NfaEngine::new(aq, intake).unwrap();
         let mut sigs: Vec<Signature> = Vec::new();
         for e in &events {
-            for m in nfa.push(Arc::clone(e)) {
+            for m in nfa.push(e.clone()) {
                 sigs.push(nfa.match_signature(&m));
             }
         }

@@ -4,8 +4,6 @@
 //! size, and where batch boundaries fall — and its output must come out in
 //! the documented deterministic order `(end_ts, shard, seq)`.
 
-use std::sync::Arc;
-
 use proptest::prelude::*;
 
 use zstream::core::reference::reference_signatures;
@@ -42,7 +40,7 @@ fn engine_sigs(parts: &CompiledParts, events: &[EventRef]) -> Vec<Signature> {
     let mut engine = parts.engine().unwrap();
     let mut out = Vec::new();
     for e in events {
-        out.extend(engine.push(Arc::clone(e)));
+        out.extend(engine.push(e.clone()));
     }
     out.extend(engine.flush());
     let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
@@ -211,7 +209,7 @@ fn stock_workload_output_is_byte_identical_to_engine() {
     let mut engine = parts.engine().unwrap();
     let mut records = Vec::new();
     for e in &events {
-        records.extend(engine.push(Arc::clone(e)));
+        records.extend(engine.push(e.clone()));
     }
     records.extend(engine.flush());
     let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
@@ -252,7 +250,7 @@ fn weblog_workload_output_is_byte_identical_to_engine() {
     let mut engine = parts.engine().unwrap();
     let mut records = Vec::new();
     for e in &events {
-        records.extend(engine.push(Arc::clone(e)));
+        records.extend(engine.push(e.clone()));
     }
     records.extend(engine.flush());
     let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
