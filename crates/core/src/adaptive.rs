@@ -18,7 +18,7 @@
 //! cursors are preserved, so no duplicates or losses occur (§5.3's two-step
 //! switch protocol).
 
-use zstream_events::{EventRef, Record, Ts};
+use zstream_events::{EventBatch, EventRef, Record, Ts};
 use zstream_lang::EventBinding;
 
 use crate::cost::dp::{plan_cost, search_optimal, PlanSpec};
@@ -114,6 +114,25 @@ impl AdaptiveEngine {
     /// Pushes a batch, running the adaptation check on round boundaries.
     pub fn push_batch(&mut self, events: &[EventRef]) -> Vec<Record> {
         let out = self.engine.push_batch(events);
+        self.after_round();
+        out
+    }
+
+    /// Pushes a **columnar** batch through the vectorized intake
+    /// ([`Engine::push_columns`]), running the same round-boundary
+    /// adaptation check as [`AdaptiveEngine::push_batch`]. Adaptive queries
+    /// therefore ride the columnar data plane: statistics sampling, drift
+    /// detection and plan switching are identical across both paths.
+    pub fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        let out = self.engine.push_columns(batch);
+        self.after_round();
+        out
+    }
+
+    /// Round-boundary bookkeeping shared by the intake paths: every push is
+    /// one engine round; every `check_interval` rounds, re-measure and maybe
+    /// switch plans (§5.3 switches happen only on round boundaries).
+    fn after_round(&mut self) {
         self.rounds_since_check += 1;
         if self.rounds_since_check >= self.config.check_interval {
             self.rounds_since_check = 0;
@@ -121,7 +140,6 @@ impl AdaptiveEngine {
             // break query processing; skip the check instead.
             let _ = self.maybe_adapt();
         }
-        out
     }
 
     /// Flushes buffered events.
@@ -229,10 +247,7 @@ impl AdaptiveEngine {
             let events: Vec<&EventRef> = bufs
                 .iter()
                 .enumerate()
-                .filter_map(|(bi, b)| {
-                    let idx = (s * (bi * 7 + 3)) % b.len();
-                    b.get(idx).slot(0).as_one()
-                })
+                .filter_map(|(bi, b)| b.get(sample_index(s, bi, b.len())).slot(0).as_one())
                 .collect();
             if events.len() != bufs.len() {
                 continue;
@@ -244,5 +259,83 @@ impl AdaptiveEngine {
             }
         }
         (tried > 0).then(|| (passed as f64 / tried as f64).clamp(0.001, 1.0))
+    }
+}
+
+/// The `s`-th sampled index into buffer `bi` of length `len`.
+///
+/// Strides through the buffer with a per-buffer stride made **coprime** to
+/// `len`, so consecutive samples visit every index before repeating (a full
+/// cycle of Z/len). The naive `(s * (bi * 7 + 3)) % len` strides by a fixed
+/// constant: whenever `len` divides the stride (any length-3 buffer for
+/// `bi = 0`, length-10 for `bi = 1`, …) it degenerates to sampling index 0
+/// only, silently biasing the multi-class selectivity estimate toward
+/// whatever single pair sits at the buffer heads.
+fn sample_index(s: usize, bi: usize, len: usize) -> usize {
+    if len <= 1 {
+        return 0;
+    }
+    (s * coprime_stride(bi * 7 + 3, len)) % len
+}
+
+/// The smallest value ≥ `base` (mod-adjusted into `1..`) coprime to `len`.
+/// Terminates because `len + 1` is always coprime to `len`.
+fn coprime_stride(base: usize, len: usize) -> usize {
+    let mut stride = base % len;
+    if stride == 0 {
+        stride = 1;
+    }
+    while gcd(stride, len) != 1 {
+        stride += 1;
+    }
+    stride
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Regression: the degenerate lengths where the old fixed-stride sampler
+    /// collapsed to index 0 (len divides the stride) now cycle through every
+    /// index.
+    #[test]
+    fn stride_sampler_covers_degenerate_lengths() {
+        for (bi, len) in [(0usize, 3usize), (1, 10), (0, 1), (0, 9), (1, 17), (2, 2)] {
+            let seen: BTreeSet<usize> = (0..len.max(1)).map(|s| sample_index(s, bi, len)).collect();
+            assert_eq!(
+                seen.len(),
+                len.max(1),
+                "bi={bi} len={len}: {len} samples must cover all {len} indices, got {seen:?}"
+            );
+            assert!(seen.iter().all(|i| *i < len.max(1)), "indices in range");
+        }
+    }
+
+    /// The old formula's failure mode, pinned: stride 3 over a length-3
+    /// buffer only ever sampled index 0.
+    #[test]
+    fn old_formula_was_degenerate_new_one_is_not() {
+        let old: BTreeSet<usize> = (0..64).map(|s| (s * 3) % 3).collect();
+        assert_eq!(old.len(), 1, "the bug this guards against");
+        let new: BTreeSet<usize> = (0..64).map(|s| sample_index(s, 0, 3)).collect();
+        assert_eq!(new.len(), 3);
+    }
+
+    #[test]
+    fn strides_are_coprime_to_length() {
+        for len in 2usize..40 {
+            for base in 1usize..30 {
+                let stride = coprime_stride(base, len);
+                assert_eq!(gcd(stride, len), 1, "base={base} len={len} stride={stride}");
+            }
+        }
     }
 }

@@ -258,7 +258,23 @@ impl Engine {
         for e in &pending {
             self.route(e);
         }
-        self.route_columns(batch);
+        self.route_columns(batch, None);
+        self.round()
+    }
+
+    /// Selection-vector variant of [`Engine::push_columns`]: routes only the
+    /// given (ascending) `rows` of the shared batch and runs one round.
+    /// This is the shard/partition form of vectorized intake — the batch is
+    /// shared storage, never copied, and the handles materialized for
+    /// surviving rows point into it (identities preserved). Semantics are
+    /// identical to `push_columns` over a batch of exactly the selected
+    /// rows.
+    pub fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+        let pending = std::mem::take(&mut self.pending);
+        for e in &pending {
+            self.route(e);
+        }
+        self.route_columns(batch, Some(rows));
         self.round()
     }
 
@@ -276,29 +292,46 @@ impl Engine {
     }
 
     /// Column-wise intake of one batch (§4.1 push-down over columns).
-    fn route_columns(&mut self, batch: &EventBatch) {
+    /// `input` restricts intake to those (ascending) rows of the batch;
+    /// `None` means every row.
+    fn route_columns(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
         let n = batch.len();
-        if n == 0 {
+        let n_input = input.map_or(n, <[u32]>::len);
+        if n_input == 0 {
             return;
         }
         let ts_col = batch.ts_column();
+        let (first, last) = match input {
+            None => (0usize, n - 1),
+            Some(rows) => (rows[0] as usize, rows[rows.len() - 1] as usize),
+        };
         debug_assert!(
-            ts_col[0] >= self.watermark && ts_col.windows(2).all(|w| w[0] <= w[1]),
+            ts_col[first] >= self.watermark && ts_col.windows(2).all(|w| w[0] <= w[1]),
             "input must be time-ordered"
         );
-        self.metrics.events_in += n as u64;
-        self.watermark = self.watermark.max(ts_col[n - 1]);
+        debug_assert!(
+            input.is_none_or(|rows| rows.windows(2).all(|w| w[0] < w[1])),
+            "selection must ascend"
+        );
+        self.metrics.events_in += n_input as u64;
+        self.watermark = self.watermark.max(ts_col[last]);
         let batch_schema = batch.schema().name_sym();
-        // Rows admitted into at least one class (for `events_admitted`).
-        let mut admitted_any = vec![false; n];
+        // Phase 1: per matched class, narrow the input to its final
+        // selection (`None` = the whole input survived every predicate).
+        // Selections are kept so `events_admitted` can be computed from
+        // them directly — no O(batch-length) scratch per call, which
+        // matters when partitioned intake routes one small selection per
+        // key through this path.
+        let mut class_sels: Vec<(usize, Option<Vec<u32>>)> = Vec::new();
         for c in 0..self.aq.num_classes() {
             if self.class_schema[c] != batch_schema {
                 continue;
             }
-            self.offered[c] += n as u64;
-            // Selection vector: `None` = all rows; predicates narrow it in
-            // order, cheapest representation first (the symbol-equality scan
-            // of the route predicate runs over the raw column).
+            self.offered[c] += n_input as u64;
+            // Selection vector: `None` = the whole input; predicates narrow
+            // it in order, cheapest representation first (the
+            // symbol-equality scan of the route predicate runs over the raw
+            // column).
             let mut sel: Option<Vec<u32>> = None;
             for pred in &self.intake_compiled[c] {
                 match pred {
@@ -306,51 +339,97 @@ impl Engine {
                         // The analyzed predicate is type-checked: the field
                         // is a string column.
                         let syms = batch.column(*field).as_syms().expect("type-checked str column");
-                        match &mut sel {
-                            None => {
+                        match (&mut sel, input) {
+                            (Some(rows), _) => rows.retain(|r| syms[*r as usize] == *sym),
+                            (None, None) => {
                                 sel = Some(
                                     (0..n as u32).filter(|r| syms[*r as usize] == *sym).collect(),
                                 );
                             }
-                            Some(rows) => rows.retain(|r| syms[*r as usize] == *sym),
+                            (None, Some(rows)) => {
+                                sel = Some(
+                                    rows.iter()
+                                        .copied()
+                                        .filter(|r| syms[*r as usize] == *sym)
+                                        .collect(),
+                                );
+                            }
                         }
                     }
-                    other => match &mut sel {
-                        None => {
+                    other => match (&mut sel, input) {
+                        (Some(rows), _) => rows.retain(|r| other.passes(batch, *r as usize, c)),
+                        (None, None) => {
                             sel = Some(
                                 (0..n as u32)
                                     .filter(|r| other.passes(batch, *r as usize, c))
                                     .collect(),
                             );
                         }
-                        Some(rows) => rows.retain(|r| other.passes(batch, *r as usize, c)),
+                        (None, Some(rows)) => {
+                            sel = Some(
+                                rows.iter()
+                                    .copied()
+                                    .filter(|r| other.passes(batch, *r as usize, c))
+                                    .collect(),
+                            );
+                        }
                     },
                 }
                 if matches!(&sel, Some(rows) if rows.is_empty()) {
                     break;
                 }
             }
+            class_sels.push((c, sel));
+        }
+        // `events_admitted` counts input rows admitted into at least one
+        // class: the whole input if any class kept everything, otherwise
+        // the size of the union of the (ascending, distinct) selections.
+        self.metrics.events_admitted += if class_sels.iter().any(|(_, sel)| sel.is_none()) {
+            n_input as u64
+        } else {
+            match class_sels.as_slice() {
+                [] => 0,
+                [(_, Some(rows))] => rows.len() as u64,
+                many => {
+                    let mut union: Vec<u32> = many
+                        .iter()
+                        .flat_map(|(_, sel)| sel.as_deref().unwrap_or(&[]))
+                        .copied()
+                        .collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    union.len() as u64
+                }
+            }
+        };
+        // Phase 2: materialize leaf records for the surviving rows, in the
+        // same class-then-row order as the per-event path fills buffers.
+        for (c, sel) in class_sels {
             let leaf = self.plan.leaf_of_class[c];
-            match sel {
-                None => {
+            let admit = |row: usize, this: &mut PhysicalPlan| {
+                this.nodes[leaf].buf.push(Record::primitive(batch.event(row)));
+            };
+            match (sel, input) {
+                (None, None) => {
                     self.admitted[c] += n as u64;
-                    for (row, admitted) in admitted_any.iter_mut().enumerate() {
-                        *admitted = true;
-                        self.plan.nodes[leaf].buf.push(Record::primitive(batch.event(row)));
+                    for row in 0..n {
+                        admit(row, &mut self.plan);
                     }
                 }
-                Some(rows) => {
+                (None, Some(rows)) => {
                     self.admitted[c] += rows.len() as u64;
                     for row in rows {
-                        admitted_any[row as usize] = true;
-                        self.plan.nodes[leaf]
-                            .buf
-                            .push(Record::primitive(batch.event(row as usize)));
+                        admit(*row as usize, &mut self.plan);
+                    }
+                }
+                (Some(rows), _) => {
+                    self.admitted[c] += rows.len() as u64;
+                    for row in rows {
+                        admit(row as usize, &mut self.plan);
                     }
                 }
             }
         }
-        self.metrics.events_admitted += admitted_any.iter().filter(|a| **a).count() as u64;
     }
 
     /// Routes one event to every class whose schema matches and whose

@@ -199,23 +199,53 @@ impl PartitionedEngine {
             self.dropped += n as u64;
             return Vec::new();
         };
+        self.push_selected(batch, field_idx, 0..n as u32)
+    }
+
+    /// Selection-vector variant of [`PartitionedEngine::push_columns`]: the
+    /// shard form of columnar intake. `rows` are ascending indices into
+    /// `batch` (the subset this engine owns after shard routing); only those
+    /// rows are keyed, grouped and evaluated — the batch itself is shared
+    /// storage and is never copied. Semantics are identical to
+    /// `push_columns` over a batch containing exactly the selected rows.
+    pub fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+        self.events_in += rows.len() as u64;
+        let Ok(field_idx) = batch.schema().field_index(&self.field) else {
+            self.dropped += rows.len() as u64;
+            return Vec::new();
+        };
+        self.push_selected(batch, field_idx, rows.iter().copied())
+    }
+
+    /// Shared tail of the columnar intake paths: group the given rows by
+    /// partition key (first-seen key order, intra-key stream order), hand
+    /// each partition its row selection (forcing a round per receiving
+    /// partition), and emit in end-timestamp order. Groups hold 4-byte row
+    /// indices, not event handles — the batch stays shared storage all the
+    /// way into each partition's [`Engine::push_rows`].
+    fn push_selected(
+        &mut self,
+        batch: &EventBatch,
+        field_idx: usize,
+        rows: impl Iterator<Item = u32>,
+    ) -> Vec<Record> {
         let col = batch.column(field_idx);
         let mut order: Vec<HashableValue> = Vec::new();
-        let mut groups: HashMap<HashableValue, Vec<EventRef>> = HashMap::new();
-        for row in 0..n {
-            let key = col.value(row).hash_key();
+        let mut groups: HashMap<HashableValue, Vec<u32>> = HashMap::new();
+        for row in rows {
+            let key = col.value(row as usize).hash_key();
             match groups.get_mut(&key) {
-                Some(group) => group.push(batch.event(row)),
+                Some(group) => group.push(row),
                 None => {
                     order.push(key);
-                    groups.insert(key, vec![batch.event(row)]);
+                    groups.insert(key, vec![row]);
                 }
             }
         }
         let mut out = Vec::new();
         for key in order {
             let group = groups.remove(&key).expect("grouped above");
-            out.extend(self.partition_mut(key).push_batch(&group));
+            out.extend(self.partition_mut(key).push_rows(batch, &group));
         }
         out.sort_by_key(Record::end_ts);
         out
@@ -409,6 +439,60 @@ mod tests {
         assert_eq!(b_sigs, s_sigs);
         assert_eq!(batched.metrics().events_in, events.len() as u64);
         assert_eq!(batched.metrics().matches_out, single.metrics().matches_out);
+    }
+
+    #[test]
+    fn push_rows_equals_push_columns_on_the_selected_subset() {
+        let src = "PATTERN A; B WHERE A.name = B.name WITHIN 100";
+        let names = ["IBM", "Sun", "Oracle", "HP"];
+        let events: Vec<EventRef> = (0..60u64)
+            .map(|i| stock(i + 1, i as i64, names[(i as usize * 5) % 4], i as f64, 1))
+            .collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        // Every third row: the kind of selection a shard receives.
+        let rows: Vec<u32> = (0..batch.len() as u32).filter(|r| r % 3 == 0).collect();
+
+        let c = compiled(src);
+        let intake = build_intake(&c.aq, None).unwrap();
+        let mut by_rows =
+            PartitionedEngine::new(c.clone(), PlanConfig::default(), intake.clone(), 4, "name")
+                .unwrap();
+        let mut a = by_rows.push_rows(&batch, &rows);
+        a.extend(by_rows.flush());
+
+        let sub = batch.select(&rows);
+        let mut by_columns =
+            PartitionedEngine::new(c, PlanConfig::default(), intake, 4, "name").unwrap();
+        let mut b = by_columns.push_columns(&sub);
+        b.extend(by_columns.flush());
+
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.start_ts(), y.start_ts());
+            assert_eq!(x.end_ts(), y.end_ts());
+        }
+        assert_eq!(by_rows.metrics().events_in, rows.len() as u64);
+    }
+
+    #[test]
+    fn push_rows_without_field_drops_and_matches_nothing() {
+        let src = "PATTERN A; B WHERE A.name = B.name WITHIN 100";
+        let c = compiled(src);
+        let intake = build_intake(&c.aq, None).unwrap();
+        let mut pe = PartitionedEngine::new(c, PlanConfig::default(), intake, 4, "name").unwrap();
+        // A batch whose schema has no `name` field: every selected row is
+        // dropped, no partition materializes.
+        let mut wb = EventBatch::builder(zstream_events::Schema::weblog(), 2);
+        for ts in [1u64, 2] {
+            use zstream_events::Value;
+            wb.push_row(ts, &[Value::str("1.2.3.4"), Value::str("/a"), Value::str("Course")])
+                .unwrap();
+        }
+        let weblog = wb.finish();
+        assert!(pe.push_rows(&weblog, &[0, 1]).is_empty());
+        assert_eq!(pe.num_partitions(), 0);
+        assert_eq!(pe.metrics().events_in, 2, "dropped rows still count as offered");
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //!   `Slot::None` represents the `(NULL, Rr)` rows emitted by NSEQ,
 //! * [`Batcher`] — splits an ordered event stream into fixed-size batches for
 //!   the batch-iterator model of §4.3,
-//! * [`shard_of`] / [`split_by_field`] / [`split_batch_by_field`] — stable
-//!   hash routing of batches to worker shards for scale-out ingest
-//!   (generalizing the §4.1 hash partitioning to a fixed shard count).
+//! * [`shard_of`] / [`split_by_field`] / [`split_batch_by_field`] /
+//!   [`split_batch_rows`] — stable hash routing of batches to worker shards
+//!   for scale-out ingest (generalizing the §4.1 hash partitioning to a
+//!   fixed shard count); the row-index form is the zero-copy fan-out used by
+//!   the runtime's columnar ingest.
 
 mod batch;
 mod error;
@@ -41,7 +43,9 @@ pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
 pub use record::{Record, Slot};
 pub use reorder::{ReorderBuffer, ReorderOutcome};
-pub use route::{shard_of, split_batch_by_field, split_by_field, ShardSplit};
+pub use route::{
+    shard_of, split_batch_by_field, split_batch_rows, split_by_field, RowSplit, ShardSplit,
+};
 pub use schema::{Field, Schema, SchemaBuilder};
 pub use soa::{BatchBuilder, BatchData, Column, EventBatch};
 pub use sym::{symbol_stats, Sym, SymbolStats};

@@ -40,6 +40,19 @@ pub struct ShardSplit {
     pub dropped: u64,
 }
 
+/// Result of [`split_batch_rows`]: per-shard **selection vectors** (row
+/// indices into the routed batch, ascending) plus the count of rows that
+/// lacked the routing field. This is the zero-copy form of [`ShardSplit`]:
+/// shipping `(Arc<BatchData>, selection)` to a shard costs one refcount bump
+/// and one index vector — no event handles, no column gathers.
+#[derive(Debug)]
+pub struct RowSplit {
+    /// One ascending row-index vector per shard (same index as the shard id).
+    pub shards: Vec<Vec<u32>>,
+    /// Rows whose schema has no `field` attribute; they route nowhere.
+    pub dropped: u64,
+}
+
 /// Splits a time-ordered batch into `num_shards` per-shard sub-batches by
 /// hash of each event's `field` value. Within a shard, events keep their
 /// stream order (and therefore stay time-ordered); events missing the field
@@ -76,15 +89,16 @@ pub fn split_by_field(events: &[EventRef], field: &str, num_shards: usize) -> Sh
     ShardSplit { shards, dropped }
 }
 
-/// Columnar variant of [`split_by_field`]: routes a whole [`EventBatch`] by
-/// scanning the key column once and handing out row handles — the field
-/// index resolves once per batch and string keys route via their cached
-/// symbol digests. Rows route identically to the per-event path.
-pub fn split_batch_by_field(batch: &EventBatch, field: &str, num_shards: usize) -> ShardSplit {
+/// Columnar routing that stops at **row indices**: scans the key column once
+/// (field index resolved once per batch, string keys routed via memoized
+/// symbol digests) and returns per-shard selection vectors. Rows route
+/// identically to [`split_by_field`] over the same events; within a shard,
+/// indices are ascending, so the selected sub-stream stays time-ordered.
+pub fn split_batch_rows(batch: &EventBatch, field: &str, num_shards: usize) -> RowSplit {
     assert!(num_shards >= 1, "at least one shard required");
-    let mut shards: Vec<Vec<EventRef>> = vec![Vec::new(); num_shards];
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
     let Ok(idx) = batch.schema().field_index(field) else {
-        return ShardSplit { shards, dropped: batch.len() as u64 };
+        return RowSplit { shards, dropped: batch.len() as u64 };
     };
     let col = batch.column(idx);
     if let Some(syms) = col.as_syms() {
@@ -93,15 +107,32 @@ pub fn split_batch_by_field(batch: &EventBatch, field: &str, num_shards: usize) 
         let mut digests: HashMap<Sym, u64> = HashMap::new();
         for (row, sym) in syms.iter().enumerate() {
             let digest = *digests.entry(*sym).or_insert_with(|| HashableValue::Str(*sym).digest());
-            shards[(digest % num_shards as u64) as usize].push(batch.event(row));
+            shards[(digest % num_shards as u64) as usize].push(row as u32);
         }
     } else {
         for row in 0..batch.len() {
             let shard = shard_of(&col.value(row).hash_key(), num_shards);
-            shards[shard].push(batch.event(row));
+            shards[shard].push(row as u32);
         }
     }
-    ShardSplit { shards, dropped: 0 }
+    RowSplit { shards, dropped: 0 }
+}
+
+/// Columnar variant of [`split_by_field`]: routes a whole [`EventBatch`] by
+/// scanning the key column once and handing out row handles. Rows route
+/// identically to the per-event path. Implemented over [`split_batch_rows`];
+/// prefer that function when the consumer can work from selection vectors —
+/// materializing handles here costs one `Arc` bump per routed row.
+pub fn split_batch_by_field(batch: &EventBatch, field: &str, num_shards: usize) -> ShardSplit {
+    let rows = split_batch_rows(batch, field, num_shards);
+    ShardSplit {
+        shards: rows
+            .shards
+            .into_iter()
+            .map(|sel| sel.into_iter().map(|row| batch.event(row as usize)).collect())
+            .collect(),
+        dropped: rows.dropped,
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +205,35 @@ mod tests {
                 assert_eq!(xs, ys, "batch and per-event routing must agree at {n} shards");
             }
         }
+    }
+
+    #[test]
+    fn row_split_agrees_with_event_split_and_stays_ordered() {
+        let names = ["IBM", "Sun", "Oracle", "HP", "Dell"];
+        let events: Vec<EventRef> =
+            (0..50u64).map(|i| stock(i, i as i64, names[i as usize % 5], 1.0, 1)).collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        for n in [1usize, 2, 3, 7] {
+            let by_event = split_batch_by_field(&batch, "name", n);
+            let by_row = split_batch_rows(&batch, "name", n);
+            assert_eq!(by_event.dropped, by_row.dropped);
+            for (evs, rows) in by_event.shards.iter().zip(&by_row.shards) {
+                assert!(rows.windows(2).all(|w| w[0] < w[1]), "selection must ascend");
+                let gathered: Vec<String> =
+                    rows.iter().map(|r| batch.event(*r as usize).to_string()).collect();
+                let direct: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
+                assert_eq!(gathered, direct, "row and event routing must agree at {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn row_split_without_field_drops_all() {
+        let events: Vec<EventRef> = (0..5u64).map(|i| stock(i, 0, "IBM", 1.0, 1)).collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        let split = split_batch_rows(&batch, "no_such_field", 2);
+        assert_eq!(split.dropped, 5);
+        assert!(split.shards.iter().all(Vec::is_empty));
     }
 
     #[test]

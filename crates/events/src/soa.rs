@@ -223,6 +223,13 @@ impl EventBatch {
         self.data.ts_column()
     }
 
+    /// Timestamp of the last (latest) row, if any. Batches are time-ordered,
+    /// so this is the batch's high watermark.
+    #[inline]
+    pub fn last_ts(&self) -> Option<Ts> {
+        self.data.ts_column().last().copied()
+    }
+
     /// The column of field `field`.
     #[inline]
     pub fn column(&self, field: usize) -> &Column {
@@ -364,6 +371,8 @@ mod tests {
         let batch = stock_batch();
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.ts_column(), &[1, 2, 3]);
+        assert_eq!(batch.last_ts(), Some(3));
+        assert_eq!(EventBatch::builder(Schema::stocks(), 0).finish().last_ts(), None);
         assert_eq!(batch.column(2).value(1), Value::Float(20.0));
         assert_eq!(batch.column(1).as_syms().unwrap()[0], Sym::intern("IBM"));
         assert!(batch.column(0).as_syms().is_none());

@@ -11,11 +11,11 @@
 //! ## Architecture
 //!
 //! ```text
-//!           ingest(events)                 bounded channels (backpressure)
+//!     ingest_columns(&EventBatch)          bounded channels (backpressure)
 //!  caller ───────────────► router ──┬────► shard 0 (PartitionedEngine / Engine per query)
-//!                                   ├────► shard 1        …
-//!                                   └────► shard N-1      …
-//!                                              │ matches + watermarks
+//!        one key-column scan,       ├────► shard 1        …
+//!        Arc<batch> + selection     └────► shard N-1      …
+//!        vectors per shard                     │ matches + watermarks
 //!                           ordered merge ◄────┘
 //!                     (end_ts, shard, seq) ──► finalized matches
 //! ```
@@ -23,6 +23,15 @@
 //! * **Registry** — several compiled queries ([`zstream_core::CompiledParts`])
 //!   share the one ingest path; each has its own [`Partitioning`] policy
 //!   and [`QueryId`].
+//! * **Columnar ingest** — [`Runtime::ingest_columns`] routes a whole
+//!   [`zstream_events::EventBatch`] with one scan of each hash query's key
+//!   column ([`zstream_events::split_batch_rows`], memoized symbol
+//!   digests), then ships the batch to each owning shard as an `Arc` bump
+//!   plus a row-selection vector — zero copies, no per-event handles on the
+//!   router. Shards evaluate through
+//!   [`zstream_core::PartitionedEngine::push_rows`] /
+//!   [`zstream_core::Engine::push_columns`]. The record path
+//!   ([`Runtime::ingest`]) remains for callers holding event slices.
 //! * **Routing** — for a query whose equality predicates connect all
 //!   classes on a field ([`zstream_core::can_partition_by`]), each event
 //!   goes to `hash(key) mod N` ([`zstream_events::shard_of`]); the shard
@@ -32,11 +41,21 @@
 //!   for that query.
 //! * **Backpressure** — shard input channels are bounded
 //!   ([`RuntimeBuilder::channel_capacity`] batches); a slow shard blocks
-//!   [`Runtime::ingest`] instead of buffering unboundedly.
+//!   ingest instead of buffering unboundedly.
+//! * **Watermarks ride traffic** — shards learn the stream watermark from
+//!   their own batch messages; shards a chunk skips get an explicit
+//!   heartbeat only every [`RuntimeBuilder::heartbeat_interval`] chunks
+//!   (idle shards cost ~nothing, and nothing is broadcast per chunk), and
+//!   [`Runtime::poll`] heartbeats lagging shards on demand so finality
+//!   never waits for more ingest.
 //! * **Ordered merge** — shards report matches asynchronously; the merger
 //!   restores a deterministic total order (composite end-timestamp, then
 //!   shard id, then per-shard sequence) and releases a match only once
 //!   every live shard's watermark has passed its end timestamp.
+//! * **Worker failure** — a panicking shard engine is contained: the shard
+//!   reports a final `Done` and leaves the pool; its metrics are kept, its
+//!   buffered matches finalize (it can no longer hold the frontier), later
+//!   events routed to it count as dropped, and shutdown completes normally.
 //! * **Shutdown** — [`Runtime::shutdown`] drains in-flight batches (channel
 //!   FIFO), flushes every engine, joins the workers, and returns the
 //!   remaining matches plus per-query [`zstream_core::EngineMetrics`]
@@ -48,7 +67,7 @@
 //! use std::sync::Arc;
 //! use zstream_core::EngineBuilder;
 //! use zstream_runtime::{Partitioning, Runtime};
-//! use zstream_events::stock;
+//! use zstream_events::{stock, EventBatch};
 //!
 //! let mut builder = Runtime::builder().workers(2).batch_size(64);
 //! let q = builder.register(
@@ -60,13 +79,15 @@
 //! );
 //! let mut runtime = builder.build().unwrap();
 //!
-//! let events = vec![
+//! // Columnar fast path: one batch, one routing scan, zero-copy fan-out.
+//! let batch = EventBatch::from_events(&[
 //!     stock(1, 1, "IBM", 10.0, 1),
 //!     stock(2, 2, "Sun", 11.0, 1),
 //!     stock(3, 3, "IBM", 12.0, 1),
 //!     stock(4, 4, "Sun", 13.0, 1),
-//! ];
-//! let mut matches = runtime.ingest(&events).unwrap();
+//! ])
+//! .unwrap();
+//! let mut matches = runtime.ingest_columns(&batch).unwrap();
 //! let report = runtime.shutdown().unwrap();
 //! matches.extend(report.matches);
 //! assert_eq!(matches.len(), 2); // IBM;IBM and Sun;Sun

@@ -101,6 +101,19 @@ impl OrderedMerge {
         self.watermarks[shard] = None;
     }
 
+    /// True when the shard has finished (left the pool). The runtime treats
+    /// this as the single source of truth for pool membership: finished
+    /// shards receive no further messages and are not waited for at
+    /// shutdown.
+    pub fn is_finished(&self, shard: usize) -> bool {
+        self.watermarks[shard].is_none()
+    }
+
+    /// Number of shards that have finished.
+    pub fn finished_count(&self) -> usize {
+        self.watermarks.iter().filter(|w| w.is_none()).count()
+    }
+
     /// The finality frontier: matches ending strictly before it are safe to
     /// emit. `None` means every shard has finished (everything is final).
     pub fn frontier(&self) -> Option<Ts> {
@@ -193,5 +206,20 @@ mod tests {
         assert_eq!(merge.frontier(), None);
         assert_eq!(merge.drain_ready().len(), 1);
         assert_eq!(merge.pending(), 0);
+    }
+
+    #[test]
+    fn tracks_finished_membership() {
+        let mut merge = OrderedMerge::new(3);
+        assert_eq!(merge.finished_count(), 0);
+        assert!(!merge.is_finished(1));
+        merge.finish(1);
+        assert!(merge.is_finished(1));
+        assert_eq!(merge.finished_count(), 1);
+        // Finishing is idempotent and advance on a finished shard is a no-op.
+        merge.finish(1);
+        merge.advance(1, 99);
+        assert!(merge.is_finished(1));
+        assert_eq!(merge.finished_count(), 1);
     }
 }

@@ -8,6 +8,11 @@
 //! that each own a disjoint set of keys. Queries that fail the condition
 //! fall back to a single *home* shard that sees the whole stream for that
 //! query (correct, just not parallel for that query).
+//!
+//! A [`Route`] also fixes how the columnar ingest fans a batch out:
+//! `Route::Hash` queries get one key-column scan into per-shard selection
+//! vectors, `Route::Single` queries ship the whole batch (one `Arc` bump)
+//! to their home shard.
 
 use std::fmt;
 

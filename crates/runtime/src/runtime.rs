@@ -1,15 +1,17 @@
 //! The runtime proper: router, worker pool, merger, lifecycle.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use zstream_core::{CompiledParts, Engine, EngineMetrics};
-use zstream_events::{split_by_field, EventRef, Record, Ts};
+use zstream_events::{split_batch_rows, split_by_field, EventBatch, EventRef, Record, Ts};
 
 use crate::error::RuntimeError;
 use crate::merge::{OrderedMerge, RuntimeMatch};
 use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
-use crate::shard::{build_engines, run_shard, ShardMsg, ShardReply};
+use crate::shard::{build_engines, run_shard, RowSel, ShardMsg, ShardReply};
 
 /// Configures and constructs a [`Runtime`].
 ///
@@ -33,6 +35,7 @@ pub struct RuntimeBuilder {
     workers: usize,
     batch_size: usize,
     channel_capacity: usize,
+    heartbeat_interval: usize,
     defs: Vec<(CompiledParts, Partitioning)>,
 }
 
@@ -42,6 +45,7 @@ impl Default for RuntimeBuilder {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             batch_size: 512,
             channel_capacity: 4,
+            heartbeat_interval: 8,
             defs: Vec::new(),
         }
     }
@@ -49,7 +53,8 @@ impl Default for RuntimeBuilder {
 
 impl RuntimeBuilder {
     /// Starts from the defaults: one worker per available core, batch size
-    /// 512, four batches of channel slack per shard.
+    /// 512, four batches of channel slack per shard, a watermark heartbeat
+    /// to idle shards every 8 chunks.
     pub fn new() -> RuntimeBuilder {
         RuntimeBuilder::default()
     }
@@ -61,9 +66,9 @@ impl RuntimeBuilder {
     }
 
     /// Events per routed batch: each call to [`Runtime::ingest`] is chopped
-    /// into chunks of this size, and every chunk costs one message per
-    /// shard. Larger batches amortize messaging; smaller batches lower
-    /// match latency (≥ 1).
+    /// into chunks of this size. Larger batches amortize messaging; smaller
+    /// batches lower match latency (≥ 1). [`Runtime::ingest_columns`] is not
+    /// re-chunked — the caller's batch is the unit of work.
     pub fn batch_size(mut self, n: usize) -> Self {
         self.batch_size = n;
         self
@@ -74,6 +79,18 @@ impl RuntimeBuilder {
     /// behind, [`Runtime::ingest`] blocks instead of buffering further.
     pub fn channel_capacity(mut self, n: usize) -> Self {
         self.channel_capacity = n;
+        self
+    }
+
+    /// How often idle shards hear about watermark progress, in ingested
+    /// chunks (≥ 1). Shards with routed traffic learn the watermark from
+    /// their batch messages (piggybacked); shards a chunk skips get an
+    /// explicit heartbeat only every `n` chunks. Smaller values finalize
+    /// cross-shard matches sooner; larger values cut idle messaging. Matches
+    /// held by a lagging frontier are never lost — [`Runtime::shutdown`]
+    /// finalizes everything.
+    pub fn heartbeat_interval(mut self, n: usize) -> Self {
+        self.heartbeat_interval = n;
         self
     }
 
@@ -93,9 +110,9 @@ impl RuntimeBuilder {
         if self.workers == 0 {
             return Err(RuntimeError::InvalidConfig("workers must be >= 1".into()));
         }
-        if self.batch_size == 0 || self.channel_capacity == 0 {
+        if self.batch_size == 0 || self.channel_capacity == 0 || self.heartbeat_interval == 0 {
             return Err(RuntimeError::InvalidConfig(
-                "batch_size and channel_capacity must be >= 1".into(),
+                "batch_size, channel_capacity and heartbeat_interval must be >= 1".into(),
             ));
         }
         if self.defs.is_empty() {
@@ -123,6 +140,7 @@ impl RuntimeBuilder {
             handles.push(handle);
         }
         let dropped = vec![0u64; defs.len()];
+        let query_metrics = vec![EngineMetrics::default(); defs.len()];
         let merge = OrderedMerge::new(self.workers);
         Ok(Runtime {
             senders,
@@ -132,8 +150,12 @@ impl RuntimeBuilder {
             templates,
             merge,
             batch_size: self.batch_size,
+            heartbeat_interval: self.heartbeat_interval,
+            chunks_since_heartbeat: 0,
+            shard_sent: vec![0; self.workers],
             watermark: 0,
             dropped,
+            query_metrics,
         })
     }
 }
@@ -150,7 +172,13 @@ pub struct RuntimeReport {
     pub query_metrics: Vec<EngineMetrics>,
     /// Grand total across queries.
     pub metrics: EngineMetrics,
-    /// Per-query count of ingested events that lacked the routing field.
+    /// Per-query count of ingested events the **router** could not deliver:
+    /// their schema lacked the routing field, or their shard had already
+    /// been observed leaving the pool after a worker failure. Best-effort
+    /// around failures: events accepted into a shard's bounded channel just
+    /// before it died are lost with the shard and are *not* counted here
+    /// (the router cannot distinguish evaluated from queued once the
+    /// receiver is gone).
     pub dropped: Vec<u64>,
     /// Number of worker shards that ran.
     pub workers: usize,
@@ -160,12 +188,15 @@ pub struct RuntimeReport {
 /// queries.
 ///
 /// See the [crate documentation](crate) for the architecture. Lifecycle:
-/// [`RuntimeBuilder::register`] queries, [`RuntimeBuilder::build`],
-/// [`ingest`] time-ordered events (returning finalized matches as they
-/// become safe to emit), and [`shutdown`] to drain in-flight batches, stop
-/// the workers, and collect the remaining matches plus aggregated metrics.
+/// [`RuntimeBuilder::register`] queries, [`RuntimeBuilder::build`], feed
+/// time-ordered events — columnar batches through [`ingest_columns`] (the
+/// fast path: one routing scan, zero-copy fan-out) or event slices through
+/// [`ingest`] — collecting finalized matches as they become safe to emit,
+/// and [`shutdown`] to drain in-flight batches, stop the workers, and
+/// collect the remaining matches plus aggregated metrics.
 ///
 /// [`ingest`]: Runtime::ingest
+/// [`ingest_columns`]: Runtime::ingest_columns
 /// [`shutdown`]: Runtime::shutdown
 #[derive(Debug)]
 pub struct Runtime {
@@ -176,8 +207,18 @@ pub struct Runtime {
     templates: Vec<Engine>,
     merge: OrderedMerge,
     batch_size: usize,
+    heartbeat_interval: usize,
+    /// Chunks dispatched since the last idle-shard heartbeat round.
+    chunks_since_heartbeat: usize,
+    /// Last watermark each shard has been told about (piggybacked on its
+    /// traffic or heartbeated); heartbeats are skipped when current.
+    shard_sent: Vec<Ts>,
     watermark: Ts,
     dropped: Vec<u64>,
+    /// Per-query metrics accumulated from every `Done` reply — shards that
+    /// leave the pool early (worker failure) are accounted exactly like
+    /// shards that finish at shutdown.
+    query_metrics: Vec<EngineMetrics>,
 }
 
 impl Runtime {
@@ -189,6 +230,12 @@ impl Runtime {
     /// Number of worker shards.
     pub fn workers(&self) -> usize {
         self.senders.len()
+    }
+
+    /// Number of shards still in the pool (not finished after a worker
+    /// failure).
+    pub fn live_workers(&self) -> usize {
+        self.senders.len() - self.merge.finished_count()
     }
 
     /// Number of registered queries.
@@ -223,11 +270,40 @@ impl Runtime {
         self.templates[query.0].format_match(record)
     }
 
+    /// Routes one time-ordered **columnar** batch to the worker shards and
+    /// returns every match that became final, in deterministic
+    /// `(end_ts, shard, seq)` order.
+    ///
+    /// This is the scale-out fast path: each hash-routed query's key column
+    /// is scanned once (memoized symbol digests), shards receive the shared
+    /// batch by `Arc` plus a per-query selection vector (no event handles,
+    /// no copies), and only shards owning rows get a message — idle shards
+    /// learn the watermark from periodic heartbeats
+    /// ([`RuntimeBuilder::heartbeat_interval`]) instead of per-chunk
+    /// broadcasts. The caller's batch is the unit of work (one evaluation
+    /// round per shard); it is not re-chunked to
+    /// [`RuntimeBuilder::batch_size`].
+    ///
+    /// Blocks when a shard's input channel is full — that is the
+    /// backpressure contract, not an error. Batches must arrive in global
+    /// time order across calls, and produce exactly the match set of
+    /// [`Runtime::ingest`] over the same rows.
+    pub fn ingest_columns(
+        &mut self,
+        batch: &EventBatch,
+    ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        self.dispatch_columns(batch)?;
+        self.drain_replies()?;
+        Ok(self.merge.drain_ready())
+    }
+
     /// Routes a time-ordered slice of events to the worker shards (in
     /// chunks of the configured batch size) and returns every match that
     /// became final, in deterministic `(end_ts, shard, seq)` order.
     ///
-    /// Blocks when a shard's input channel is full — that is the
+    /// Prefer [`Runtime::ingest_columns`] when events already live in
+    /// columnar batches — this record path re-routes event handles one by
+    /// one. Blocks when a shard's input channel is full — that is the
     /// backpressure contract, not an error. Events must arrive in global
     /// time order across calls.
     pub fn ingest(&mut self, events: &[EventRef]) -> Result<Vec<RuntimeMatch>, RuntimeError> {
@@ -242,35 +318,65 @@ impl Runtime {
 
     /// Collects any matches that have become final since the last call,
     /// without ingesting anything. Non-blocking.
+    ///
+    /// A poll is an explicit finality request, so it also heartbeats any
+    /// live shard still lagging the stream watermark — without this,
+    /// matches could stay buffered until the next ingest-driven heartbeat
+    /// (or shutdown) once the caller stops ingesting. Heartbeats here use a
+    /// non-blocking send: a shard whose input queue is full is skipped and
+    /// caught up on a later poll.
     pub fn poll(&mut self) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        for shard in 0..self.senders.len() {
+            if self.merge.is_finished(shard) || self.shard_sent[shard] >= self.watermark {
+                continue;
+            }
+            // On failure — Full: queued traffic is ahead anyway, retry next
+            // poll; Disconnected: the shard left the pool and the drain
+            // below picks up its premature `Done`.
+            let hb = ShardMsg::Heartbeat { watermark: self.watermark };
+            if self.senders[shard].try_send(hb).is_ok() {
+                self.shard_sent[shard] = self.watermark;
+            }
+        }
         self.drain_replies()?;
         Ok(self.merge.drain_ready())
+    }
+
+    /// Failure injection (test/chaos hook): asks a shard to behave exactly
+    /// as if one of its engines had panicked — it reports a premature
+    /// `Done` (metrics up to the failure) and exits. The runtime then
+    /// treats the shard as having left the pool: its buffered matches
+    /// finalize, subsequent events routed to it count as dropped, and
+    /// [`Runtime::shutdown`] neither signals nor waits for it. Queued
+    /// messages ahead of the injection are still processed (channel FIFO).
+    pub fn inject_worker_failure(&mut self, shard: usize) -> Result<(), RuntimeError> {
+        if shard >= self.senders.len() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "no such shard {shard} (workers: {})",
+                self.senders.len()
+            )));
+        }
+        // send_to_shard handles every departure race: already finished, or
+        // exited (naturally panicked) with the premature `Done` still
+        // undrained — both are a graceful no-op, not an error.
+        self.send_to_shard(shard, ShardMsg::Fail).map(|_| ())
     }
 
     /// Drains in-flight batches, flushes every engine, stops the workers,
     /// and returns the remaining matches plus aggregated metrics.
     pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
-        for (shard, tx) in self.senders.iter().enumerate() {
-            tx.send(ShardMsg::Shutdown).map_err(|_| RuntimeError::WorkerLost(shard))?;
-        }
         let workers = self.senders.len();
-        let mut query_metrics = vec![EngineMetrics::default(); self.defs.len()];
-        let mut done = 0usize;
-        while done < workers {
+        for (shard, tx) in self.senders.iter().enumerate() {
+            if !self.merge.is_finished(shard) {
+                // A send failure means the shard just left the pool on the
+                // failure path; its premature `Done` is (or will be) in the
+                // reply queue and the loop below accounts for it.
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
+        }
+        while self.merge.finished_count() < workers {
             match self.replies.recv() {
-                Ok(ShardReply::Output { shard, watermark, matches }) => {
-                    for m in matches {
-                        self.merge.offer(m);
-                    }
-                    self.merge.advance(shard, watermark);
-                }
-                Ok(ShardReply::Done { shard, metrics }) => {
-                    for (agg, m) in query_metrics.iter_mut().zip(&metrics) {
-                        agg.merge(m);
-                    }
-                    self.merge.finish(shard);
-                    done += 1;
-                }
+                Ok(reply) => self.handle_reply(reply),
                 Err(_) => return Err(RuntimeError::ChannelClosed),
             }
         }
@@ -280,6 +386,7 @@ impl Runtime {
         }
         let matches = self.merge.drain_ready();
         debug_assert_eq!(self.merge.pending(), 0, "all matches final after shutdown");
+        let query_metrics = std::mem::take(&mut self.query_metrics);
         let mut metrics = EngineMetrics::default();
         for m in &query_metrics {
             metrics.merge(m);
@@ -293,54 +400,252 @@ impl Runtime {
         })
     }
 
-    /// Routes one chunk: per shard, per query, the events it owns. Every
-    /// shard gets a message for every chunk — an empty one still carries
-    /// the watermark that lets the merger finalize other shards' matches.
+    /// Routes one columnar chunk: per distinct hash field, **one** scan of
+    /// the key column into per-shard selection vectors (shared by `Arc`
+    /// among every query hash-routed on that field); per single-home query,
+    /// an `All` selection to its home shard. Shards owning no rows of this
+    /// chunk receive nothing (heartbeats cover their watermark).
+    fn dispatch_columns(&mut self, batch: &EventBatch) -> Result<(), RuntimeError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let last_ts = batch.last_ts().expect("non-empty batch");
+        debug_assert!(
+            batch.ts_column()[0] >= self.watermark
+                && batch.ts_column().windows(2).all(|w| w[0] <= w[1]),
+            "ingest must be time-ordered"
+        );
+        self.watermark = self.watermark.max(last_ts);
+        let workers = self.senders.len();
+        let nq = self.defs.len();
+        // Lazily-allocated per-shard message payloads: only shards that own
+        // rows pay for a message this chunk.
+        let mut per_shard: Vec<Option<Vec<RowSel>>> = Vec::new();
+        per_shard.resize_with(workers, || None);
+        let select =
+            |shard: usize, q: usize, sel: RowSel, per_shard: &mut Vec<Option<Vec<RowSel>>>| {
+                per_shard[shard].get_or_insert_with(|| {
+                    let mut v = Vec::with_capacity(nq);
+                    v.resize_with(nq, || RowSel::Skip);
+                    v
+                })[q] = sel;
+            };
+        // Key-column scans memoized per field: several queries hash-routed
+        // on one field share a single scan and its selection vectors.
+        /// Per-shard shared selections plus the field's dropped-row count.
+        type FieldSplit = (Vec<Arc<Vec<u32>>>, u64);
+        let mut field_splits: HashMap<&str, FieldSplit> = HashMap::new();
+        for (q, def) in self.defs.iter().enumerate() {
+            match &def.route {
+                Route::Hash(field) => {
+                    let (shards, split_dropped) =
+                        field_splits.entry(field.as_str()).or_insert_with(|| {
+                            let split = split_batch_rows(batch, field, workers);
+                            (split.shards.into_iter().map(Arc::new).collect(), split.dropped)
+                        });
+                    self.dropped[q] += *split_dropped;
+                    for (shard, rows) in shards.iter().enumerate() {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        if self.merge.is_finished(shard) {
+                            self.dropped[q] += rows.len() as u64;
+                            continue;
+                        }
+                        select(shard, q, RowSel::Rows(Arc::clone(rows)), &mut per_shard);
+                    }
+                }
+                Route::Single(home) => {
+                    if self.merge.is_finished(*home) {
+                        self.dropped[q] += batch.len() as u64;
+                    } else {
+                        select(*home, q, RowSel::All, &mut per_shard);
+                    }
+                }
+            }
+        }
+        drop(field_splits);
+        let mut sent = vec![false; workers];
+        for (shard, payload) in per_shard.into_iter().enumerate() {
+            let Some(per_query) = payload else { continue };
+            let msg =
+                ShardMsg::Columns { watermark: self.watermark, batch: batch.clone(), per_query };
+            match self.send_to_shard(shard, msg)? {
+                None => {
+                    self.shard_sent[shard] = self.watermark;
+                    sent[shard] = true;
+                }
+                // The shard left the pool mid-chunk: account its rows as
+                // dropped, from the returned (undelivered) message.
+                Some(ShardMsg::Columns { per_query, .. }) => {
+                    for (q, sel) in per_query.iter().enumerate() {
+                        self.dropped[q] += match sel {
+                            RowSel::Skip => 0,
+                            RowSel::All => batch.len() as u64,
+                            RowSel::Rows(rows) => rows.len() as u64,
+                        };
+                    }
+                }
+                Some(_) => unreachable!("send_to_shard returns the message it was given"),
+            }
+        }
+        self.heartbeat_idle(&sent)
+    }
+
+    /// Routes one record-path chunk: per shard, per query, the events it
+    /// owns. Only shards owning events receive a message; idle shards are
+    /// covered by periodic heartbeats.
     fn dispatch(&mut self, chunk: &[EventRef]) -> Result<(), RuntimeError> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
         let workers = self.senders.len();
         let nq = self.defs.len();
         for event in chunk {
             debug_assert!(event.ts() >= self.watermark, "ingest must be time-ordered");
             self.watermark = self.watermark.max(event.ts());
         }
-        let mut per_shard: Vec<Vec<Vec<EventRef>>> = vec![vec![Vec::new(); nq]; workers];
+        let mut per_shard: Vec<Option<Vec<Vec<EventRef>>>> = Vec::new();
+        per_shard.resize_with(workers, || None);
         for (q, def) in self.defs.iter().enumerate() {
             match &def.route {
                 Route::Hash(field) => {
                     let split = split_by_field(chunk, field, workers);
                     self.dropped[q] += split.dropped;
                     for (shard, events) in split.shards.into_iter().enumerate() {
-                        per_shard[shard][q] = events;
+                        if events.is_empty() {
+                            continue;
+                        }
+                        if self.merge.is_finished(shard) {
+                            self.dropped[q] += events.len() as u64;
+                            continue;
+                        }
+                        per_shard[shard].get_or_insert_with(|| vec![Vec::new(); nq])[q] = events;
                     }
                 }
-                Route::Single(home) => per_shard[*home][q] = chunk.to_vec(),
+                Route::Single(home) => {
+                    if self.merge.is_finished(*home) {
+                        self.dropped[q] += chunk.len() as u64;
+                    } else {
+                        per_shard[*home].get_or_insert_with(|| vec![Vec::new(); nq])[q] =
+                            chunk.to_vec();
+                    }
+                }
             }
         }
-        for (shard, per_query) in per_shard.into_iter().enumerate() {
-            self.senders[shard]
-                .send(ShardMsg::Batch { watermark: self.watermark, per_query })
-                .map_err(|_| RuntimeError::WorkerLost(shard))?;
+        let mut sent = vec![false; workers];
+        for (shard, payload) in per_shard.into_iter().enumerate() {
+            let Some(per_query) = payload else { continue };
+            let msg = ShardMsg::Batch { watermark: self.watermark, per_query };
+            match self.send_to_shard(shard, msg)? {
+                None => {
+                    self.shard_sent[shard] = self.watermark;
+                    sent[shard] = true;
+                }
+                Some(ShardMsg::Batch { per_query, .. }) => {
+                    for (q, events) in per_query.iter().enumerate() {
+                        self.dropped[q] += events.len() as u64;
+                    }
+                }
+                Some(_) => unreachable!("send_to_shard returns the message it was given"),
+            }
+        }
+        self.heartbeat_idle(&sent)
+    }
+
+    /// Periodic watermark heartbeat: every `heartbeat_interval` chunks, any
+    /// live shard that saw no traffic and lags the stream watermark gets a
+    /// watermark-only message so the merge frontier keeps moving.
+    fn heartbeat_idle(&mut self, sent: &[bool]) -> Result<(), RuntimeError> {
+        self.chunks_since_heartbeat += 1;
+        if self.chunks_since_heartbeat < self.heartbeat_interval {
+            return Ok(());
+        }
+        self.chunks_since_heartbeat = 0;
+        for (shard, had_traffic) in sent.iter().enumerate() {
+            if *had_traffic
+                || self.merge.is_finished(shard)
+                || self.shard_sent[shard] >= self.watermark
+            {
+                continue;
+            }
+            let msg = ShardMsg::Heartbeat { watermark: self.watermark };
+            if self.send_to_shard(shard, msg)?.is_none() {
+                self.shard_sent[shard] = self.watermark;
+            }
         }
         Ok(())
+    }
+
+    /// Sends one message to a live shard. `Ok(None)` means delivered;
+    /// `Ok(Some(msg))` returns the undelivered message because the shard
+    /// has left the pool — either it was already finished, or the send
+    /// failed and draining the reply channel confirmed a premature `Done`
+    /// (callers derive dropped-row accounting from the returned message
+    /// on that rare path, keeping the delivery path allocation-free). A
+    /// send failure without a `Done` is a genuinely lost worker.
+    fn send_to_shard(
+        &mut self,
+        shard: usize,
+        msg: ShardMsg,
+    ) -> Result<Option<ShardMsg>, RuntimeError> {
+        if self.merge.is_finished(shard) {
+            return Ok(Some(msg));
+        }
+        let msg = match self.senders[shard].send(msg) {
+            Ok(()) => return Ok(None),
+            Err(undelivered) => undelivered.0,
+        };
+        self.drain_replies()?;
+        if self.merge.is_finished(shard) {
+            Ok(Some(msg))
+        } else {
+            Err(RuntimeError::WorkerLost(shard))
+        }
     }
 
     /// Non-blocking drain of the reply channel into the merger.
     fn drain_replies(&mut self) -> Result<(), RuntimeError> {
         loop {
             match self.replies.try_recv() {
-                Ok(ShardReply::Output { shard, watermark, matches }) => {
-                    for m in matches {
-                        self.merge.offer(m);
-                    }
-                    self.merge.advance(shard, watermark);
+                Ok(reply) => self.handle_reply(reply),
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => {
+                    // Every worker is gone. If each one reported a `Done`
+                    // first, this is the fully-degraded-but-valid state the
+                    // failure contract documents (every event drops, all
+                    // matches are final) — not an error. A disconnect with
+                    // a shard unaccounted for is a genuinely lost worker.
+                    return if self.merge.finished_count() == self.senders.len() {
+                        Ok(())
+                    } else {
+                        Err(RuntimeError::ChannelClosed)
+                    };
                 }
-                Ok(ShardReply::Done { shard, .. }) => {
-                    // Only possible after a worker-side failure path; treat
-                    // as the shard leaving the pool.
+            }
+        }
+    }
+
+    /// The one reply handler shared by [`Runtime::poll`], ingest drains and
+    /// [`Runtime::shutdown`]: `Output` feeds the merger; `Done` — terminal
+    /// or premature after a worker failure — records the shard's metrics
+    /// and retires it from the pool, so a dead shard can never wedge the
+    /// watermark frontier.
+    fn handle_reply(&mut self, reply: ShardReply) {
+        match reply {
+            ShardReply::Output { shard, watermark, matches } => {
+                for m in matches {
+                    self.merge.offer(m);
+                }
+                self.merge.advance(shard, watermark);
+            }
+            ShardReply::Done { shard, metrics } => {
+                if !self.merge.is_finished(shard) {
+                    for (agg, m) in self.query_metrics.iter_mut().zip(&metrics) {
+                        agg.merge(m);
+                    }
                     self.merge.finish(shard);
                 }
-                Err(TryRecvError::Empty) => return Ok(()),
-                Err(TryRecvError::Disconnected) => return Err(RuntimeError::ChannelClosed),
             }
         }
     }

@@ -3,33 +3,67 @@
 //! Each shard is one OS thread owning one engine per registered query —
 //! a [`PartitionedEngine`] over the shard's key subset for hash-routed
 //! queries, a plain [`Engine`] on the query's home shard otherwise. Shards
-//! receive [`ShardMsg::Batch`] messages over a **bounded** channel (the
-//! backpressure point: a slow shard blocks the router instead of buffering
-//! unboundedly), evaluate, and reply with matches plus the batch watermark
-//! on the shared reply channel.
+//! receive columnar [`ShardMsg::Columns`] messages (a shared `Arc`'d batch
+//! plus per-query row selections — the zero-copy fan-out) or record-path
+//! [`ShardMsg::Batch`] messages over a **bounded** channel (the backpressure
+//! point: a slow shard blocks the router instead of buffering unboundedly),
+//! evaluate, and reply with matches plus the batch watermark on the shared
+//! reply channel.
 //!
-//! The finality invariant the merger relies on: a batch message forces an
+//! The finality invariant the merger relies on: a traffic message forces an
 //! evaluation round in every engine that received events, so once the shard
 //! echoes watermark `w`, every match it later produces ends at or after
-//! `w`. Shutdown is a terminal [`ShardMsg::Shutdown`] message — channel
-//! FIFO order guarantees all in-flight batches are drained first — answered
-//! by a final flush, a [`ShardReply::Done`] with per-query metrics, and
-//! thread exit.
+//! `w`. Idle shards receive no per-chunk messages; the router sends them
+//! periodic [`ShardMsg::Heartbeat`]s instead, which they echo without
+//! evaluating (sound: a shard that received no events since its last round
+//! can only produce future matches from future events, whose timestamps are
+//! at or past the heartbeat watermark).
+//!
+//! A panicking engine does not wedge the pool: evaluation runs under
+//! `catch_unwind`, and on panic the shard reports a final
+//! [`ShardReply::Done`] (its metrics up to the failure) and exits — the
+//! runtime then treats it as having left the pool. Shutdown is a terminal
+//! [`ShardMsg::Shutdown`] message — channel FIFO order guarantees all
+//! in-flight batches are drained first — answered by a final flush, a
+//! [`ShardReply::Done`] with per-query metrics, and thread exit.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 
 use zstream_core::{CoreError, Engine, EngineMetrics, PartitionedEngine};
-use zstream_events::{EventRef, Record, Ts};
+use zstream_events::{EventBatch, EventRef, Record, Ts};
 
 use crate::merge::RuntimeMatch;
 use crate::registry::{QueryDef, QueryId, Route};
 
+/// One query's share of a routed columnar batch.
+pub(crate) enum RowSel {
+    /// No rows of this batch route here for this query.
+    Skip,
+    /// Every row (single-home queries: the home shard sees the whole
+    /// stream).
+    All,
+    /// Exactly these rows (ascending indices into the batch) — the hash
+    /// route's per-shard selection vector. `Arc`'d so several queries
+    /// hash-routed on the same field share one vector per shard.
+    Rows(std::sync::Arc<Vec<u32>>),
+}
+
 /// Control-to-shard messages.
 pub(crate) enum ShardMsg {
-    /// One routed batch: per registered query, the events this shard owns
-    /// (possibly empty — the message still carries the stream watermark so
-    /// idle shards keep the merge frontier moving).
+    /// One routed **columnar** batch: shared storage (an `Arc` bump per
+    /// shard, never a copy) plus, per registered query, the selection of
+    /// rows this shard owns.
+    Columns { watermark: Ts, batch: EventBatch, per_query: Vec<RowSel> },
+    /// One routed record-path batch: per registered query, the events this
+    /// shard owns.
     Batch { watermark: Ts, per_query: Vec<Vec<EventRef>> },
+    /// Watermark-only message for idle shards: echo it so the merge
+    /// frontier advances; no evaluation.
+    Heartbeat { watermark: Ts },
+    /// Failure injection (test/chaos hook): behave exactly as if an engine
+    /// panicked — report a terminal [`ShardReply::Done`] and exit.
+    Fail,
     /// Flush every engine, report metrics, and exit.
     Shutdown,
 }
@@ -39,7 +73,9 @@ pub(crate) enum ShardReply {
     /// Matches produced by one batch (or the final flush), plus the
     /// watermark the shard has now fully processed.
     Output { shard: usize, watermark: Ts, matches: Vec<RuntimeMatch> },
-    /// Terminal reply: per-query metrics, in registration order.
+    /// Terminal reply: per-query metrics, in registration order. Sent on
+    /// shutdown — or prematurely after a worker-side failure, in which case
+    /// the shard has left the pool.
     Done { shard: usize, metrics: Vec<EngineMetrics> },
 }
 
@@ -56,6 +92,20 @@ impl ShardEngine {
         match self {
             ShardEngine::Partitioned(e) => e.push_batch(events),
             ShardEngine::Flat(e) => e.push_batch(events),
+        }
+    }
+
+    fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        match self {
+            ShardEngine::Partitioned(e) => e.push_columns(batch),
+            ShardEngine::Flat(e) => e.push_columns(batch),
+        }
+    }
+
+    fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+        match self {
+            ShardEngine::Partitioned(e) => e.push_rows(batch, rows),
+            ShardEngine::Flat(e) => e.push_rows(batch, rows),
         }
     }
 
@@ -93,8 +143,46 @@ pub(crate) fn build_engines(
         .collect()
 }
 
-/// The shard thread body. Exits when told to shut down or when either
-/// channel disconnects (the runtime was dropped).
+/// Reports the shard's terminal [`ShardReply::Done`] with per-query
+/// metrics (the normal shutdown reply, or the premature one after a
+/// worker-side failure).
+fn send_done(shard: usize, engines: &[Option<ShardEngine>], tx: &Sender<ShardReply>) {
+    let metrics =
+        engines.iter().map(|e| e.as_ref().map(ShardEngine::metrics).unwrap_or_default()).collect();
+    let _ = tx.send(ShardReply::Done { shard, metrics });
+}
+
+/// Shared evaluation plumbing for every traffic arm of the shard loop: run
+/// `eval` under `catch_unwind`, tag its per-query records into sequenced
+/// [`RuntimeMatch`]es, and reply with one batched [`ShardReply::Output`].
+/// Returns `false` when the thread must exit (engine panic — a premature
+/// `Done` was sent — or a disconnected reply channel).
+fn eval_and_reply(
+    shard: usize,
+    seq: &mut u64,
+    engines: &mut Vec<Option<ShardEngine>>,
+    tx: &Sender<ShardReply>,
+    watermark: Ts,
+    eval: impl FnOnce(&mut Vec<Option<ShardEngine>>) -> Vec<(usize, Vec<Record>)>,
+) -> bool {
+    let Ok(per_q) = catch_unwind(AssertUnwindSafe(|| eval(engines))) else {
+        send_done(shard, engines, tx);
+        return false;
+    };
+    let mut matches = Vec::new();
+    for (q, records) in per_q {
+        for record in records {
+            matches.push(RuntimeMatch { query: QueryId(q), shard, seq: *seq, record });
+            *seq += 1;
+        }
+    }
+    tx.send(ShardReply::Output { shard, watermark, matches }).is_ok()
+}
+
+/// The shard thread body. Exits when told to shut down, when either channel
+/// disconnects (the runtime was dropped), or after a worker-side failure
+/// (engine panic or injected [`ShardMsg::Fail`]) — the latter after
+/// reporting a premature [`ShardReply::Done`].
 pub(crate) fn run_shard(
     shard: usize,
     mut engines: Vec<Option<ShardEngine>>,
@@ -102,40 +190,65 @@ pub(crate) fn run_shard(
     tx: Sender<ShardReply>,
 ) {
     let mut seq = 0u64;
-    let mut tag = |q: usize, records: Vec<Record>, matches: &mut Vec<RuntimeMatch>| {
-        for record in records {
-            matches.push(RuntimeMatch { query: QueryId(q), shard, seq, record });
-            seq += 1;
-        }
-    };
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Batch { watermark, per_query } => {
-                let mut matches = Vec::new();
-                for (q, events) in per_query.iter().enumerate() {
-                    if events.is_empty() {
-                        continue;
+            ShardMsg::Columns { watermark, batch, per_query } => {
+                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, watermark, |engines| {
+                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                    for (q, sel) in per_query.iter().enumerate() {
+                        let Some(engine) = engines[q].as_mut() else { continue };
+                        let records = match sel {
+                            RowSel::Skip => continue,
+                            RowSel::All => engine.push_columns(&batch),
+                            RowSel::Rows(rows) if rows.is_empty() => continue,
+                            RowSel::Rows(rows) => engine.push_rows(&batch, rows),
+                        };
+                        per_q.push((q, records));
                     }
-                    let Some(engine) = engines[q].as_mut() else { continue };
-                    tag(q, engine.push_batch(events), &mut matches);
-                }
-                if tx.send(ShardReply::Output { shard, watermark, matches }).is_err() {
+                    per_q
+                });
+                if !ok {
                     return;
                 }
             }
-            ShardMsg::Shutdown => {
-                let mut matches = Vec::new();
-                for (q, engine) in engines.iter_mut().enumerate() {
-                    if let Some(engine) = engine {
-                        tag(q, engine.flush(), &mut matches);
+            ShardMsg::Batch { watermark, per_query } => {
+                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, watermark, |engines| {
+                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                    for (q, events) in per_query.iter().enumerate() {
+                        if events.is_empty() {
+                            continue;
+                        }
+                        let Some(engine) = engines[q].as_mut() else { continue };
+                        per_q.push((q, engine.push_batch(events)));
                     }
+                    per_q
+                });
+                if !ok {
+                    return;
                 }
-                let metrics = engines
-                    .iter()
-                    .map(|e| e.as_ref().map(ShardEngine::metrics).unwrap_or_default())
-                    .collect();
-                let _ = tx.send(ShardReply::Output { shard, watermark: Ts::MAX, matches });
-                let _ = tx.send(ShardReply::Done { shard, metrics });
+            }
+            ShardMsg::Heartbeat { watermark } => {
+                if tx.send(ShardReply::Output { shard, watermark, matches: Vec::new() }).is_err() {
+                    return;
+                }
+            }
+            ShardMsg::Fail => {
+                send_done(shard, &engines, &tx);
+                return;
+            }
+            ShardMsg::Shutdown => {
+                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, Ts::MAX, |engines| {
+                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                    for (q, engine) in engines.iter_mut().enumerate() {
+                        if let Some(engine) = engine {
+                            per_q.push((q, engine.flush()));
+                        }
+                    }
+                    per_q
+                });
+                if ok {
+                    send_done(shard, &engines, &tx);
+                }
                 return;
             }
         }

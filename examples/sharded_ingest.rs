@@ -2,9 +2,11 @@
 //!
 //! Registers two patterns with the scale-out runtime — one whose `name`
 //! equalities make it hash-partitionable across shards, and one that falls
-//! back to a single home shard — then pushes a synthetic stock stream
-//! through the shared ingest path and prints routed matches as they become
-//! final, followed by the aggregated per-query metrics.
+//! back to a single home shard — then streams synthetic stock data as
+//! **columnar batches** through the shared `ingest_columns` path (one
+//! key-column scan per chunk, `Arc`'d batches plus selection vectors to the
+//! shards — no per-event routing anywhere) and prints routed matches as
+//! they become final, followed by the aggregated per-query metrics.
 //!
 //! ```sh
 //! cargo run --release --example sharded_ingest
@@ -43,8 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let names = ["IBM", "Sun", "Oracle", "Google", "HP", "Dell", "AMD", "Intel"];
     let rates: Vec<(&str, f64)> = names.iter().map(|n| (*n, 1.0)).collect();
-    let events = StockGenerator::generate(StockConfig::with_rates(&rates, 4_000, 7));
-    println!("\nStreaming {} events through 4 shards...\n", events.len());
+    let batches = StockGenerator::generate_batches(StockConfig::with_rates(&rates, 4_000, 7), 256);
+    let total_events: usize = batches.iter().map(|b| b.len()).sum();
+    println!("\nStreaming {total_events} events (columnar batches) through 4 shards...\n");
 
     let mut shown = 0usize;
     let mut total = 0usize;
@@ -62,9 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     };
-    for chunk in events.chunks(1_000) {
-        let batch = runtime.ingest(chunk)?;
-        emit(&runtime, &batch);
+    for batch in &batches {
+        let ready = runtime.ingest_columns(batch)?;
+        emit(&runtime, &ready);
     }
     let report = runtime.shutdown()?;
     total += report.matches.len();
@@ -97,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         syms.bytes,
         syms.intern_calls,
         report.metrics.symbol_bytes_saved,
-        events.len(),
+        total_events,
     );
     Ok(())
 }

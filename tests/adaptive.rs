@@ -2,11 +2,14 @@
 //! invisible in the output — no duplicates, no losses — and the controller
 //! must actually switch plans when the stream's statistics flip.
 
+mod common;
+
+use common::rebatch;
 use zstream::core::{
     build_intake, AdaptiveConfig, AdaptiveEngine, CompiledQuery, Engine, EngineBuilder,
     EngineConfig, NegStrategy, PlanConfig, PlanShape, Statistics,
 };
-use zstream::events::{EventRef, Schema};
+use zstream::events::{EventBatch, EventRef, Schema};
 use zstream::lang::{Query, SchemaMap};
 use zstream::workload::{StockConfig, StockGenerator};
 
@@ -69,6 +72,37 @@ fn adaptive_run(src: &str, events: &[EventRef], batch: usize) -> (Vec<Signature>
     (sigs, m.replans, m.plan_switches)
 }
 
+/// The columnar twin of [`adaptive_run`]: same controller configuration,
+/// but events arrive as [`EventBatch`]es through
+/// [`AdaptiveEngine::push_columns`] — the vectorized intake path.
+fn adaptive_run_columns(src: &str, batches: &[EventBatch]) -> (Vec<Signature>, u64, u64) {
+    let query = Query::parse(src).unwrap();
+    let schemas = SchemaMap::uniform(Schema::stocks());
+    let compiled = CompiledQuery::optimize(&query, &schemas, None).unwrap();
+    let plan = compiled.physical_plan(PlanConfig::default()).unwrap();
+    let intake = build_intake(&compiled.aq, Some("name")).unwrap();
+    let engine = Engine::new(compiled.aq.clone(), plan, intake, 16);
+    let mut adaptive = AdaptiveEngine::new(
+        engine,
+        compiled.spec.clone(),
+        compiled.stats.clone(),
+        AdaptiveConfig { check_interval: 4, ..Default::default() },
+    );
+    let mut out = Vec::new();
+    for batch in batches {
+        out.extend(adaptive.push_columns(batch));
+    }
+    out.extend(adaptive.flush());
+    let mut sigs: Vec<Signature> =
+        out.iter().map(|r| adaptive.engine().record_signature(r)).collect();
+    let n = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(n, sigs.len(), "adaptive columnar engine emitted duplicates");
+    let m = adaptive.engine().metrics();
+    (sigs, m.replans, m.plan_switches)
+}
+
 fn static_run(src: &str, shape: PlanShape, events: &[EventRef], batch: usize) -> Vec<Signature> {
     let mut engine = EngineBuilder::parse(src)
         .unwrap()
@@ -107,6 +141,39 @@ fn adaptive_engine_switches_plans_on_drift() {
     let (_, replans, switches) = adaptive_run(src, &events, 16);
     assert!(replans >= 1, "drifting rates should trigger re-planning");
     assert!(switches >= 1, "the optimal shape changes across phases");
+}
+
+/// The columnar intake path is a first-class citizen of the adaptive
+/// engine: identical output to the static plans, and the controller still
+/// measures drift and switches plans on round boundaries.
+#[test]
+fn adaptive_columnar_intake_equals_static_and_still_switches() {
+    let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
+    for seed in [0, 7] {
+        let events = three_phase_stream(seed, 300);
+        let batches = rebatch(&events, &[16]);
+        // Handles into the rebatched storage: static and columnar paths
+        // share event identities.
+        let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+        let (columnar_sigs, replans, switches) = adaptive_run_columns(src, &batches);
+        let static_sigs = static_run(src, PlanShape::left_deep(3), &events, 16);
+        assert_eq!(columnar_sigs, static_sigs, "seed {seed}");
+        assert!(replans >= 1, "drifting rates should trigger re-planning (seed {seed})");
+        assert!(switches >= 1, "the optimal shape changes across phases (seed {seed})");
+    }
+}
+
+/// Record and columnar intake drive the adaptive controller identically:
+/// same match set for the same stream, whichever path carries it.
+#[test]
+fn adaptive_columnar_equals_adaptive_record_path() {
+    let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 35";
+    let events = three_phase_stream(42, 200);
+    let batches = rebatch(&events, &[8]);
+    let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+    let (columnar_sigs, _, _) = adaptive_run_columns(src, &batches);
+    let (record_sigs, _, _) = adaptive_run(src, &events, 8);
+    assert_eq!(columnar_sigs, record_sigs);
 }
 
 #[test]

@@ -9,6 +9,9 @@
 //! [`Engine::push`]: zstream::core::Engine::push
 //! [`PartitionedEngine::push_columns`]: zstream::core::PartitionedEngine::push_columns
 
+mod common;
+
+use common::rebatch;
 use proptest::prelude::*;
 
 use zstream::core::reference::reference_signatures;
@@ -19,24 +22,6 @@ use zstream::runtime::{Partitioning, Runtime};
 use zstream::workload::{StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
 
 type Signature = Vec<Vec<usize>>;
-
-/// Chops one stream of row handles into columnar batches at the given
-/// boundaries (sizes cycle; remainder becomes the last batch). The rows are
-/// gathered into fresh storage, so paths that must agree on event
-/// *identities* all consume handles flattened back out of these batches.
-fn rebatch(events: &[EventRef], sizes: &[usize]) -> Vec<EventBatch> {
-    let mut out = Vec::new();
-    let mut pos = 0;
-    let mut i = 0;
-    while pos < events.len() {
-        let size = sizes[i % sizes.len()].max(1);
-        let end = (pos + size).min(events.len());
-        out.push(EventBatch::from_events(&events[pos..end]).expect("uniform schema"));
-        pos = end;
-        i += 1;
-    }
-    out
-}
 
 /// The record-at-a-time path: one event per push (the pre-refactor intake).
 fn record_path(parts: &CompiledParts, events: &[EventRef]) -> (Vec<Signature>, Vec<String>) {

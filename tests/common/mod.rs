@@ -1,0 +1,22 @@
+//! Shared helpers for the integration-test suite (not a test binary —
+//! `tests/common/mod.rs` is the cargo convention for test support code).
+
+use zstream::events::{EventBatch, EventRef};
+
+/// Chops one stream of row handles into columnar batches at the given
+/// boundaries (sizes cycle; remainder becomes the last batch). The rows are
+/// gathered into fresh storage, so paths that must agree on event
+/// *identities* all consume handles flattened back out of these batches.
+pub fn rebatch(events: &[EventRef], sizes: &[usize]) -> Vec<EventBatch> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < events.len() {
+        let size = sizes[i % sizes.len()].max(1);
+        let end = (pos + size).min(events.len());
+        out.push(EventBatch::from_events(&events[pos..end]).expect("uniform schema"));
+        pos = end;
+        i += 1;
+    }
+    out
+}

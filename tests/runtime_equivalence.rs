@@ -2,13 +2,22 @@
 //! multi-threaded runtime's match set must equal the brute-force oracle's
 //! and the single-threaded engine's, regardless of worker count, batch
 //! size, and where batch boundaries fall — and its output must come out in
-//! the documented deterministic order `(end_ts, shard, seq)`.
+//! the documented deterministic order `(end_ts, shard, seq)`. The columnar
+//! ingest path ([`Runtime::ingest_columns`]) is driven against the record
+//! path ([`Runtime::ingest`]) and the oracle under the same matrix,
+//! asserting byte-identical merged match streams.
+//!
+//! [`Runtime::ingest`]: zstream::runtime::Runtime::ingest
+//! [`Runtime::ingest_columns`]: zstream::runtime::Runtime::ingest_columns
 
+mod common;
+
+use common::rebatch;
 use proptest::prelude::*;
 
 use zstream::core::reference::reference_signatures;
 use zstream::core::{build_intake, CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
-use zstream::events::{stock, EventRef, Schema};
+use zstream::events::{stock, EventBatch, EventRef, Schema};
 use zstream::lang::{analyze, Query, SchemaMap};
 use zstream::runtime::{Partitioning, Route, Runtime, RuntimeMatch};
 use zstream::workload::{StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
@@ -81,6 +90,58 @@ fn runtime_matches(
         "aggregated metrics disagree with delivered match count"
     );
     matches
+}
+
+/// Runs the sharded runtime over the **columnar** ingest path (one
+/// [`EventBatch`] per call) and returns every match in delivery order,
+/// after asserting merge-order delivery and consistent accounting.
+fn runtime_matches_columns(
+    parts: CompiledParts,
+    partitioning: Partitioning,
+    workers: usize,
+    batches: &[EventBatch],
+) -> Vec<RuntimeMatch> {
+    let mut builder = Runtime::builder().workers(workers).batch_size(64).channel_capacity(2);
+    let q = builder.register(parts, partitioning);
+    let mut runtime = builder.build().unwrap();
+    let mut matches: Vec<RuntimeMatch> = Vec::new();
+    for batch in batches {
+        matches.extend(runtime.ingest_columns(batch).unwrap());
+    }
+    matches.extend(runtime.poll().unwrap());
+    let report = runtime.shutdown().unwrap();
+    matches.extend(report.matches);
+    assert!(
+        matches.windows(2).all(|w| w[0].key() <= w[1].key()),
+        "columnar runtime output not in (end_ts, shard, seq) order"
+    );
+    assert!(matches.iter().all(|m| m.query == q));
+    assert_eq!(report.workers, workers);
+    assert_eq!(
+        report.metrics.matches_out,
+        matches.len() as u64,
+        "aggregated metrics disagree with delivered match count"
+    );
+    matches
+}
+
+/// Sorted, deduplicated signatures of columnar-ingest runtime matches,
+/// asserting exactly-once emission on the way.
+fn runtime_sigs_columns(
+    parts: CompiledParts,
+    partitioning: Partitioning,
+    workers: usize,
+    batches: &[EventBatch],
+) -> Vec<Signature> {
+    let template = parts.engine().unwrap();
+    let matches = runtime_matches_columns(parts, partitioning, workers, batches);
+    let mut sigs: Vec<Signature> =
+        matches.iter().map(|m| template.record_signature(&m.record)).collect();
+    let n = sigs.len();
+    sigs.sort();
+    sigs.dedup();
+    assert_eq!(n, sigs.len(), "columnar runtime emitted duplicate matches");
+    sigs
 }
 
 /// Sorted, deduplicated signatures of runtime matches, asserting
@@ -163,6 +224,61 @@ proptest! {
             workers,
             chunk,
             &events,
+        );
+        prop_assert_eq!(&got, &expected);
+    }
+
+    /// The columnar ingest path against the record path and the oracle:
+    /// same match set, for 1–8 workers, mixed columnar batch sizes, and
+    /// record chunk sizes that fall on different boundaries.
+    #[test]
+    fn columnar_ingest_matches_record_ingest_and_oracle(
+        events in stream_strategy(26),
+        workers in 1usize..9,
+        sizes in prop::collection::vec(1usize..9, 1..4),
+        chunk in 1usize..9,
+        engine_batch in 1usize..6,
+    ) {
+        let parts = compile(PARTITIONABLE, engine_batch);
+        // Rebatch first; every path consumes handles into the same storage
+        // so signatures (event identities) are comparable across paths.
+        let batches = rebatch(&events, &sizes);
+        let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+        let expected = oracle_sigs(PARTITIONABLE, &events);
+        let record = runtime_sigs(
+            parts.clone(),
+            Partitioning::Auto("name".into()),
+            workers,
+            chunk,
+            &events,
+        );
+        prop_assert_eq!(&record, &expected);
+        let columnar = runtime_sigs_columns(
+            parts,
+            Partitioning::Auto("name".into()),
+            workers,
+            &batches,
+        );
+        prop_assert_eq!(&columnar, &expected);
+    }
+
+    /// Broadcast (home-shard) queries ride the columnar path too: the home
+    /// shard receives the whole batch as an `All` selection.
+    #[test]
+    fn columnar_broadcast_fallback_matches_oracle(
+        events in stream_strategy(24),
+        workers in 1usize..5,
+        sizes in prop::collection::vec(1usize..9, 1..4),
+    ) {
+        let parts = compile(BROADCAST, 4);
+        let batches = rebatch(&events, &sizes);
+        let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+        let expected = oracle_sigs(BROADCAST, &events);
+        let got = runtime_sigs_columns(
+            parts,
+            Partitioning::Auto("name".into()), // no equalities -> home shard
+            workers,
+            &batches,
         );
         prop_assert_eq!(&got, &expected);
     }
@@ -263,6 +379,152 @@ fn weblog_workload_output_is_byte_identical_to_engine() {
     runtime_lines.sort();
     assert!(!runtime_lines.is_empty());
     assert_eq!(runtime_lines, engine_lines);
+}
+
+/// Acceptance: on the stock workload, the columnar ingest path's merged
+/// match stream is byte-identical (formatted through the RETURN clause) to
+/// the record ingest path's and the single-threaded engine's, across
+/// worker counts.
+#[test]
+fn stock_columnar_ingest_is_byte_identical_to_record_ingest() {
+    let src = "PATTERN A; B; C WHERE A.name = B.name AND B.name = C.name \
+               WITHIN 30 RETURN A, B, C";
+    let batches = StockGenerator::generate_batches(
+        StockConfig::with_rates(
+            &[("IBM", 1.0), ("Sun", 1.0), ("Oracle", 1.0), ("HP", 1.0), ("Dell", 1.0)],
+            600,
+            21,
+        ),
+        64,
+    );
+    let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+    let parts = compile(src, 16);
+
+    let mut engine = parts.engine().unwrap();
+    let mut records = Vec::new();
+    for e in &events {
+        records.extend(engine.push(e.clone()));
+    }
+    records.extend(engine.flush());
+    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
+    engine_lines.sort();
+    assert!(!engine_lines.is_empty());
+
+    for workers in [1, 2, 4, 8] {
+        let template = parts.engine().unwrap();
+        let record_matches =
+            runtime_matches(parts.clone(), Partitioning::Auto("name".into()), workers, 32, &events);
+        let columnar_matches = runtime_matches_columns(
+            parts.clone(),
+            Partitioning::Auto("name".into()),
+            workers,
+            &batches,
+        );
+        let mut record_lines: Vec<String> =
+            record_matches.iter().map(|m| template.format_match(&m.record)).collect();
+        let mut columnar_lines: Vec<String> =
+            columnar_matches.iter().map(|m| template.format_match(&m.record)).collect();
+        record_lines.sort();
+        columnar_lines.sort();
+        assert_eq!(columnar_lines, record_lines, "columnar vs record at {workers} workers");
+        assert_eq!(columnar_lines, engine_lines, "columnar vs engine at {workers} workers");
+    }
+}
+
+/// Acceptance: same byte-identity on the web-log workload (Query 8 shape),
+/// columnar vs record ingest vs single-threaded engine.
+#[test]
+fn weblog_columnar_ingest_is_byte_identical_to_record_ingest() {
+    let src = "PATTERN Publication; Project; Course \
+               WHERE Publication.ip = Project.ip AND Project.ip = Course.ip \
+               WITHIN 10 hours RETURN Publication, Project, Course";
+    let (batches, _) = WeblogGenerator::generate_batches(&WeblogConfig::scaled(20_000, 11), 128);
+    let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+    let parts = EngineBuilder::parse(src)
+        .unwrap()
+        .schemas(SchemaMap::uniform(Schema::weblog()))
+        .route_by_field("category")
+        .config(EngineConfig { batch_size: 64, plan: PlanConfig::default() })
+        .compile()
+        .unwrap();
+
+    let mut engine = parts.engine().unwrap();
+    let mut records = Vec::new();
+    for e in &events {
+        records.extend(engine.push(e.clone()));
+    }
+    records.extend(engine.flush());
+    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
+    engine_lines.sort();
+    assert!(!engine_lines.is_empty());
+
+    let template = parts.engine().unwrap();
+    let record_matches =
+        runtime_matches(parts.clone(), Partitioning::Field("ip".into()), 4, 128, &events);
+    let columnar_matches =
+        runtime_matches_columns(parts, Partitioning::Field("ip".into()), 4, &batches);
+    let mut record_lines: Vec<String> =
+        record_matches.iter().map(|m| template.format_match(&m.record)).collect();
+    let mut columnar_lines: Vec<String> =
+        columnar_matches.iter().map(|m| template.format_match(&m.record)).collect();
+    record_lines.sort();
+    columnar_lines.sort();
+    assert_eq!(columnar_lines, record_lines, "columnar vs record ingest");
+    assert_eq!(columnar_lines, engine_lines, "columnar ingest vs engine");
+}
+
+/// Two queries hash-routed on the **same field** share one key-column scan
+/// per columnar chunk (`Arc`-shared selection vectors); each must still
+/// produce exactly its solo match set.
+#[test]
+fn multi_query_same_field_shares_columnar_routing() {
+    let batches = StockGenerator::generate_batches(
+        StockConfig::with_rates(
+            &[("IBM", 1.0), ("Sun", 1.0), ("Oracle", 1.0), ("HP", 1.0)],
+            300,
+            3,
+        ),
+        32,
+    );
+    const PAIR: &str = "PATTERN A; B WHERE A.name = B.name WITHIN 8";
+    let triple_parts = compile(PARTITIONABLE, 8);
+    let pair_parts = compile(PAIR, 8);
+    let solo_triple =
+        runtime_sigs_columns(triple_parts.clone(), Partitioning::Auto("name".into()), 3, &batches);
+    let solo_pair =
+        runtime_sigs_columns(pair_parts.clone(), Partitioning::Auto("name".into()), 3, &batches);
+
+    let triple_template = triple_parts.engine().unwrap();
+    let pair_template = pair_parts.engine().unwrap();
+    let mut builder = Runtime::builder().workers(3).batch_size(16);
+    let q_triple = builder.register(triple_parts, Partitioning::Auto("name".into()));
+    let q_pair = builder.register(pair_parts, Partitioning::Auto("name".into()));
+    let mut runtime = builder.build().unwrap();
+    assert_eq!(runtime.route(q_triple), &Route::Hash("name".into()));
+    assert_eq!(runtime.route(q_pair), &Route::Hash("name".into()));
+
+    let mut matches = Vec::new();
+    for batch in &batches {
+        matches.extend(runtime.ingest_columns(batch).unwrap());
+    }
+    let report = runtime.shutdown().unwrap();
+    matches.extend(report.matches);
+
+    let mut got_triple: Vec<Signature> = matches
+        .iter()
+        .filter(|m| m.query == q_triple)
+        .map(|m| triple_template.record_signature(&m.record))
+        .collect();
+    let mut got_pair: Vec<Signature> = matches
+        .iter()
+        .filter(|m| m.query == q_pair)
+        .map(|m| pair_template.record_signature(&m.record))
+        .collect();
+    got_triple.sort();
+    got_pair.sort();
+    assert!(!got_triple.is_empty() && !got_pair.is_empty());
+    assert_eq!(got_triple, solo_triple);
+    assert_eq!(got_pair, solo_pair);
 }
 
 /// The multi-query registry: a partitioned and a broadcast query sharing
