@@ -305,9 +305,15 @@ impl Engine {
             None => (0usize, n - 1),
             Some(rows) => (rows[0] as usize, rows[rows.len() - 1] as usize),
         };
-        debug_assert!(
-            ts_col[first] >= self.watermark && ts_col.windows(2).all(|w| w[0] <= w[1]),
-            "input must be time-ordered"
+        // Hard check, not a debug assert: arrival-order (unsorted) batches
+        // are an ordinary product of the events API now and must never feed
+        // an engine directly — they silently corrupt window semantics. The
+        // flag is O(1); a reorder stage upstream is the supported path.
+        assert!(
+            batch.is_sorted() && ts_col[first] >= self.watermark,
+            "engine input must be time-ordered: place a reorder stage \
+             (events::ColumnarReorder / RuntimeBuilder::slack) in front of \
+             disordered streams"
         );
         debug_assert!(
             input.is_none_or(|rows| rows.windows(2).all(|w| w[0] < w[1])),

@@ -34,6 +34,14 @@ pub struct EngineMetrics {
     /// per-value `Arc<str>` representation would have copied). Global, like
     /// `symbols_interned`.
     pub symbol_bytes_saved: u64,
+    /// Events rejected by an upstream reorder stage as arriving beyond its
+    /// slack window (§4.1 disordered streams). Zero unless a reorder stage
+    /// fronts this engine (the scale-out runtime stamps it).
+    pub late_events: u64,
+    /// Peak number of events the upstream reorder stage held back at once —
+    /// the memory cost of the slack. One global stage feeds every engine,
+    /// so [`EngineMetrics::merge`] takes the maximum.
+    pub reorder_buffered_peak: u64,
 }
 
 impl EngineMetrics {
@@ -69,6 +77,8 @@ impl EngineMetrics {
         self.plan_switches += other.plan_switches;
         self.symbols_interned = self.symbols_interned.max(other.symbols_interned);
         self.symbol_bytes_saved = self.symbol_bytes_saved.max(other.symbol_bytes_saved);
+        self.late_events += other.late_events;
+        self.reorder_buffered_peak = self.reorder_buffered_peak.max(other.reorder_buffered_peak);
     }
 
     /// Stamps the process-wide symbol-table statistics onto this snapshot.
@@ -106,6 +116,8 @@ mod tests {
             plan_switches: 1,
             symbols_interned: 10,
             symbol_bytes_saved: 100,
+            late_events: 3,
+            reorder_buffered_peak: 40,
         };
         let b = EngineMetrics {
             events_in: 5,
@@ -118,6 +130,8 @@ mod tests {
             plan_switches: 0,
             symbols_interned: 25,
             symbol_bytes_saved: 60,
+            late_events: 2,
+            reorder_buffered_peak: 15,
         };
         a.merge(&b);
         assert_eq!(a.events_in, 15);
@@ -131,6 +145,9 @@ mod tests {
         // Symbol stats describe one global table: max, not sum.
         assert_eq!(a.symbols_interned, 25);
         assert_eq!(a.symbol_bytes_saved, 100);
+        // Late events sum; the reorder peak describes one global stage: max.
+        assert_eq!(a.late_events, 5);
+        assert_eq!(a.reorder_buffered_peak, 40);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   `Slot::None` represents the `(NULL, Rr)` rows emitted by NSEQ,
 //! * [`Batcher`] — splits an ordered event stream into fixed-size batches for
 //!   the batch-iterator model of §4.3,
+//! * [`ReorderBuffer`] / [`ColumnarReorder`] — the §4.1 reordering operator
+//!   for disordered streams: bounded-slack buffering with per-source
+//!   watermarks, lateness detection at the slack boundary, and (columnar
+//!   form) time-ordered re-packed [`EventBatch`] output with a zero-copy
+//!   pass-through for already-ordered input,
 //! * [`shard_of`] / [`split_by_field`] / [`split_batch_by_field`] /
 //!   [`split_batch_rows`] — stable hash routing of batches to worker shards
 //!   for scale-out ingest (generalizing the §4.1 hash partitioning to a
@@ -42,7 +47,7 @@ pub use batch::Batcher;
 pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
 pub use record::{Record, Slot};
-pub use reorder::{ReorderBuffer, ReorderOutcome};
+pub use reorder::{repack_events, BatchRelease, ColumnarReorder, ReorderBuffer, ReorderOutcome};
 pub use route::{
     shard_of, split_batch_by_field, split_batch_rows, split_by_field, RowSplit, ShardSplit,
 };

@@ -1,59 +1,311 @@
-//! Reordering of slightly-disordered streams.
+//! Reordering of disordered streams.
 //!
 //! §4.1 of the paper: *"ZStream assumes that primitive events from data
 //! sources continuously stream into leaf buffers in time order. If disorder
 //! is a problem, a reordering operator may be placed just after the leaf
-//! buffer."* [`ReorderBuffer`] is that operator: it holds back events inside
-//! a bounded *slack* window and releases them in timestamp order. An event
-//! arriving more than `slack` time units behind the stream's high-water mark
-//! cannot be ordered anymore and is reported as late.
+//! buffer."* Two implementations of that operator live here:
+//!
+//! * [`ReorderBuffer`] — the per-event form: holds back events inside a
+//!   bounded *slack* window and releases them in timestamp order. An event
+//!   arriving more than `slack` time units behind the stream's high-water
+//!   mark cannot be ordered anymore and is reported as late.
+//! * [`ColumnarReorder`] — the columnar, multi-source form the scale-out
+//!   runtime puts in front of its ingest: it buffers cheap
+//!   `(Arc<BatchData>, row)` handles (no per-event allocation), tracks one
+//!   high-water mark **per source**, and releases rows up to the *global*
+//!   frontier `min(high-water over sources) − slack`, re-packed into fresh
+//!   time-ordered [`EventBatch`]es so everything downstream keeps the
+//!   sorted-batch invariant and the zero-copy selection-vector fan-out. A
+//!   fully in-order batch that is immediately releasable passes through as
+//!   an `Arc` bump of the original storage — zero copies on the sorted
+//!   fast path.
+//!
+//! Per-source watermarks make multi-source merging exact: an event from
+//! source `s` is late only against *its own* source's high-water mark, while
+//! release waits for every source — so interleaving several individually
+//! ordered streams with arbitrary skew between them produces zero late
+//! events (even at `slack = 0`) and a correctly merged output.
+//!
+//! ## Boundary semantics (pinned)
+//!
+//! An event is rejected as late exactly when `ts + slack < high_water` —
+//! an event exactly `slack` behind the high-water mark is still accepted,
+//! and `slack = 0` means "strictly in order" (equal timestamps are fine,
+//! going backwards is not). The addition saturates, so a huge slack can
+//! never overflow into spurious lateness.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::soa::EventBatch;
 use crate::time::Ts;
 use crate::EventRef;
 
-/// Outcome of offering one event to the reorder buffer.
+/// Outcome of offering one event to a reorder operator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReorderOutcome {
     /// The event was accepted; zero or more events became releasable.
     Accepted,
     /// The event arrived beyond the slack window and was rejected; the
-    /// caller decides whether to drop it or fail.
+    /// caller decides whether to drop it, surface it, or fail.
     TooLate,
 }
 
 /// Buffers out-of-order events and emits them in timestamp order, tolerating
 /// disorder up to a fixed slack.
+///
+/// A thin per-event facade over a single-source [`ColumnarReorder`] — the
+/// lateness boundary and release semantics live in exactly one place, so
+/// the two operators cannot diverge.
 #[derive(Debug)]
 pub struct ReorderBuffer {
-    slack: Ts,
-    /// Pending events keyed by (ts, arrival tiebreak) so equal timestamps
-    /// release in arrival order.
-    pending: BTreeMap<(Ts, u64), EventRef>,
-    arrivals: u64,
-    high_water: Ts,
-    late: u64,
+    inner: ColumnarReorder,
 }
 
 impl ReorderBuffer {
     /// Creates a buffer tolerating disorder up to `slack` time units.
     pub fn new(slack: Ts) -> ReorderBuffer {
-        ReorderBuffer { slack, pending: BTreeMap::new(), arrivals: 0, high_water: 0, late: 0 }
+        ReorderBuffer { inner: ColumnarReorder::new(slack) }
     }
 
     /// Offers one event; releasable events (timestamp at or below the new
     /// high-water mark minus slack) are appended to `out` in order.
+    ///
+    /// Rejects exactly when `ts + slack < high_water` (saturating), so an
+    /// event exactly `slack` late is still accepted and `slack = 0` accepts
+    /// only non-decreasing timestamps.
     pub fn offer(&mut self, event: EventRef, out: &mut Vec<EventRef>) -> ReorderOutcome {
+        self.inner.offer_from(0, event, out)
+    }
+
+    /// Releases everything still pending, in order (end of stream).
+    pub fn flush(&mut self, out: &mut Vec<EventRef>) {
+        self.inner.flush_events(out);
+    }
+
+    /// Events currently held back.
+    pub fn pending_len(&self) -> usize {
+        self.inner.pending_len()
+    }
+
+    /// Events rejected as too late so far.
+    pub fn late_count(&self) -> u64 {
+        self.inner.late_count()
+    }
+}
+
+/// Rows released by one [`ColumnarReorder::offer_batch_from`] call.
+#[derive(Debug)]
+pub struct BatchRelease {
+    /// Released rows, re-packed into time-ordered batches (one per maximal
+    /// run of rows sharing a schema). On the sorted fast path this is the
+    /// offered batch itself — an `Arc` bump, not a copy.
+    pub batches: Vec<EventBatch>,
+    /// Rows rejected as too late, in arrival order. Counted in
+    /// [`ColumnarReorder::late_count`]; the caller applies its lateness
+    /// policy (drop, dead-letter, error).
+    pub late: Vec<EventRef>,
+}
+
+impl BatchRelease {
+    fn empty() -> BatchRelease {
+        BatchRelease { batches: Vec::new(), late: Vec::new() }
+    }
+
+    /// Total rows across the released batches.
+    pub fn released_rows(&self) -> usize {
+        self.batches.iter().map(EventBatch::len).sum()
+    }
+}
+
+/// Columnar, multi-source reordering operator: accepts batches whose rows
+/// are in **arrival order**, buffers row handles within a slack window, and
+/// releases time-ordered batches as the per-source watermarks advance.
+///
+/// One high-water mark is kept per source; an event is late only against
+/// its own source's mark (`ts + slack < high_water[source]`, saturating),
+/// while rows release once they fall at or below the global frontier
+/// `min(high_water) − slack`. With a single source this is exactly
+/// [`ReorderBuffer`] over batches.
+#[derive(Debug)]
+pub struct ColumnarReorder {
+    slack: Ts,
+    high_water: Vec<Ts>,
+    /// Pending row handles keyed by (ts, arrival tiebreak): cheap
+    /// `(Arc<BatchData>, row)` pairs, no per-event allocation.
+    pending: BTreeMap<(Ts, u64), EventRef>,
+    arrivals: u64,
+    late: u64,
+    buffered_peak: usize,
+}
+
+impl ColumnarReorder {
+    /// Single-source operator tolerating disorder up to `slack` time units.
+    pub fn new(slack: Ts) -> ColumnarReorder {
+        ColumnarReorder::with_sources(slack, 1)
+    }
+
+    /// Multi-source operator: one independent high-water mark per source.
+    pub fn with_sources(slack: Ts, sources: usize) -> ColumnarReorder {
+        assert!(sources >= 1, "at least one source required");
+        ColumnarReorder {
+            slack,
+            high_water: vec![0; sources],
+            pending: BTreeMap::new(),
+            arrivals: 0,
+            late: 0,
+            buffered_peak: 0,
+        }
+    }
+
+    /// Number of sources this operator merges.
+    pub fn num_sources(&self) -> usize {
+        self.high_water.len()
+    }
+
+    /// The configured slack.
+    pub fn slack(&self) -> Ts {
+        self.slack
+    }
+
+    /// One source's high-water mark (largest accepted timestamp).
+    pub fn high_water(&self, source: usize) -> Ts {
+        self.high_water[source]
+    }
+
+    /// The global release frontier: `min(high-water over sources) − slack`
+    /// (saturating). Every released row's timestamp is at or below it, and
+    /// every future accepted row's timestamp is at or above it — the
+    /// downstream watermark may safely advance to this point.
+    pub fn frontier(&self) -> Ts {
+        self.high_water.iter().copied().min().unwrap_or(0).saturating_sub(self.slack)
+    }
+
+    /// Index, timestamp and earliest acceptable timestamp of the first
+    /// offering in `ts` that the source's watermark would reject, without
+    /// mutating anything — the all-or-nothing pre-check behind a strict
+    /// lateness policy.
+    pub fn first_late_in(
+        &self,
+        source: usize,
+        ts: impl IntoIterator<Item = Ts>,
+    ) -> Option<(usize, Ts, Ts)> {
+        let mut hw = self.high_water[source];
+        for (i, t) in ts.into_iter().enumerate() {
+            if t.saturating_add(self.slack) < hw {
+                return Some((i, t, hw.saturating_sub(self.slack)));
+            }
+            hw = hw.max(t);
+        }
+        None
+    }
+
+    /// Offers one event from `source`; releasable events are appended to
+    /// `out` in timestamp order. The record-path twin of
+    /// [`ColumnarReorder::offer_batch_from`] — both feed one pending set,
+    /// so the two granularities may be mixed freely.
+    pub fn offer_from(
+        &mut self,
+        source: usize,
+        event: EventRef,
+        out: &mut Vec<EventRef>,
+    ) -> ReorderOutcome {
         let ts = event.ts();
-        if ts + self.slack < self.high_water {
+        if ts.saturating_add(self.slack) < self.high_water[source] {
             self.late += 1;
             return ReorderOutcome::TooLate;
         }
-        self.high_water = self.high_water.max(ts);
+        self.high_water[source] = self.high_water[source].max(ts);
         self.arrivals += 1;
         self.pending.insert((ts, self.arrivals), event);
-        let release_upto = self.high_water.saturating_sub(self.slack);
+        self.buffered_peak = self.buffered_peak.max(self.pending.len());
+        self.release_into(out);
+        ReorderOutcome::Accepted
+    }
+
+    /// Offers one arrival-order batch from `source`; returns the rows that
+    /// became releasable (re-packed into time-ordered batches) and the rows
+    /// rejected as late.
+    ///
+    /// Fast path: when nothing is pending and the offered batch is already
+    /// time-ordered and immediately releasable in full (its last row is at
+    /// or below the updated global frontier), the original batch is
+    /// returned as-is — one `Arc` bump, zero copies.
+    pub fn offer_batch_from(&mut self, source: usize, batch: &EventBatch) -> BatchRelease {
+        if batch.is_empty() {
+            return BatchRelease::empty();
+        }
+        let ts_col = batch.ts_column();
+        if self.pending.is_empty()
+            && batch.is_sorted()
+            && ts_col[0].saturating_add(self.slack) >= self.high_water[source]
+        {
+            let last = *ts_col.last().expect("non-empty batch");
+            let hw = self.high_water[source].max(last);
+            let frontier = self
+                .high_water
+                .iter()
+                .enumerate()
+                .map(|(s, w)| if s == source { hw } else { *w })
+                .min()
+                .expect("at least one source")
+                .saturating_sub(self.slack);
+            if frontier >= last {
+                self.high_water[source] = hw;
+                return BatchRelease { batches: vec![batch.clone()], late: Vec::new() };
+            }
+        }
+        let mut late = Vec::new();
+        for (row, &ts) in ts_col.iter().enumerate() {
+            if ts.saturating_add(self.slack) < self.high_water[source] {
+                self.late += 1;
+                late.push(batch.event(row));
+                continue;
+            }
+            self.high_water[source] = self.high_water[source].max(ts);
+            self.arrivals += 1;
+            self.pending.insert((ts, self.arrivals), batch.event(row));
+        }
+        self.buffered_peak = self.buffered_peak.max(self.pending.len());
+        let mut released = Vec::new();
+        self.release_into(&mut released);
+        BatchRelease { batches: repack(&released), late }
+    }
+
+    /// Releases everything still pending as time-ordered batches (end of
+    /// stream).
+    pub fn flush(&mut self) -> Vec<EventBatch> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        self.flush_events(&mut out);
+        repack(&out)
+    }
+
+    /// Releases everything still pending as the **original** row handles,
+    /// appended to `out` in timestamp order — no re-packing, identities
+    /// preserved (the form [`ReorderBuffer::flush`] exposes).
+    pub fn flush_events(&mut self, out: &mut Vec<EventRef>) {
+        while let Some(entry) = self.pending.first_entry() {
+            out.push(entry.remove());
+        }
+    }
+
+    /// Rows currently held back.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Rows rejected as too late so far.
+    pub fn late_count(&self) -> u64 {
+        self.late
+    }
+
+    /// Peak number of rows buffered at once — the memory cost of the slack.
+    pub fn buffered_peak(&self) -> usize {
+        self.buffered_peak
+    }
+
+    fn release_into(&mut self, out: &mut Vec<EventRef>) {
+        let release_upto = self.frontier();
         while let Some(entry) = self.pending.first_entry() {
             if entry.key().0 <= release_upto {
                 out.push(entry.remove());
@@ -61,25 +313,48 @@ impl ReorderBuffer {
                 break;
             }
         }
-        ReorderOutcome::Accepted
     }
+}
 
-    /// Releases everything still pending, in order (end of stream).
-    pub fn flush(&mut self, out: &mut Vec<EventRef>) {
-        while let Some(entry) = self.pending.first_entry() {
-            out.push(entry.remove());
+/// True when an event of schema `b` can be appended to a batch of schema
+/// `a` — structural equality (name + fields incl. types, everything
+/// [`crate::BatchBuilder::push_event`] validates), so a run grouped by
+/// this predicate can never fail to pack. Distinct `Arc` instances of one
+/// logical schema (each generator call allocates its own) compare equal
+/// via the structural fallback behind the cheap pointer check.
+fn schemas_compatible(a: &crate::Schema, b: &crate::Schema) -> bool {
+    std::ptr::eq(a, b) || a == b
+}
+
+/// Copies row handles into fresh batches, one per maximal run of events
+/// sharing a compatible schema. The returned handles point into the new
+/// compact storage — the originals (and the source batches they pin) can
+/// be dropped, which is what makes this the right tool for retaining a
+/// few rows (e.g. dead-lettered late events) out of large batches.
+pub fn repack_events(events: &[EventRef]) -> Vec<EventBatch> {
+    repack(events)
+}
+
+/// Gathers released row handles into fresh time-ordered batches, one per
+/// maximal run of rows sharing a compatible schema, so handles from
+/// different storage batches of one logical schema pack together.
+fn repack(events: &[EventRef]) -> Vec<EventBatch> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < events.len() {
+        let schema = Arc::clone(events[start].schema());
+        let mut end = start + 1;
+        while end < events.len() && schemas_compatible(&schema, events[end].schema()) {
+            end += 1;
         }
+        let mut builder = EventBatch::builder(schema, end - start);
+        for e in &events[start..end] {
+            builder.push_event(e).expect("run shares a compatible schema");
+        }
+        out.push(builder.finish());
+        start = end;
     }
-
-    /// Events currently held back.
-    pub fn pending_len(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Events rejected as too late so far.
-    pub fn late_count(&self) -> u64 {
-        self.late
-    }
+    out
 }
 
 #[cfg(test)]
@@ -124,6 +399,53 @@ mod tests {
     }
 
     #[test]
+    fn boundary_exactly_slack_late_is_accepted() {
+        // high_water = 100, slack = 7: ts 93 is exactly slack late and must
+        // be accepted; ts 92 is one past and must be rejected.
+        let mut rb = ReorderBuffer::new(7);
+        let mut out = Vec::new();
+        rb.offer(stock(100, 0, "A", 1.0, 1), &mut out);
+        assert_eq!(rb.offer(stock(93, 1, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        assert_eq!(rb.offer(stock(92, 2, "A", 1.0, 1), &mut out), ReorderOutcome::TooLate);
+        assert_eq!(rb.late_count(), 1);
+    }
+
+    #[test]
+    fn zero_slack_means_strictly_in_order() {
+        // slack = 0: equal timestamps are fine, going backwards is late.
+        let mut rb = ReorderBuffer::new(0);
+        let mut out = Vec::new();
+        assert_eq!(rb.offer(stock(5, 0, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        assert_eq!(rb.offer(stock(5, 1, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        assert_eq!(rb.offer(stock(4, 2, "A", 1.0, 1), &mut out), ReorderOutcome::TooLate);
+        assert_eq!(rb.offer(stock(6, 3, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        assert_eq!(rb.late_count(), 1);
+        // In-order events release immediately at zero slack.
+        let ts: Vec<_> = out.iter().map(|e| e.ts()).collect();
+        assert_eq!(ts, vec![5, 5, 6]);
+    }
+
+    #[test]
+    fn huge_slack_never_overflows_into_lateness() {
+        // ts + slack would overflow u64; saturation must keep the event
+        // acceptable instead of wrapping around into spurious lateness.
+        let mut rb = ReorderBuffer::new(Ts::MAX);
+        let mut out = Vec::new();
+        rb.offer(stock(Ts::MAX - 1, 0, "A", 1.0, 1), &mut out);
+        assert_eq!(rb.offer(stock(0, 1, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        let mut rb = ReorderBuffer::new(10);
+        rb.offer(stock(Ts::MAX, 0, "A", 1.0, 1), &mut out);
+        assert_eq!(
+            rb.offer(stock(Ts::MAX - 10, 1, "A", 1.0, 1), &mut out),
+            ReorderOutcome::Accepted
+        );
+        assert_eq!(
+            rb.offer(stock(Ts::MAX - 11, 2, "A", 1.0, 1), &mut out),
+            ReorderOutcome::TooLate
+        );
+    }
+
+    #[test]
     fn releases_eagerly_as_watermark_advances() {
         let mut rb = ReorderBuffer::new(2);
         let mut out = Vec::new();
@@ -156,5 +478,162 @@ mod tests {
         let (out, late) = drain(&mut rb, events);
         assert_eq!(out.len(), 5);
         assert_eq!(late, 0);
+    }
+
+    // --- ColumnarReorder ---
+
+    fn batch_of(ts: &[Ts]) -> EventBatch {
+        let events: Vec<EventRef> =
+            ts.iter().enumerate().map(|(i, t)| stock(*t, i as i64, "A", 1.0, 1)).collect();
+        // Build through the builder (not from_events) so arrival-order rows
+        // are representable.
+        let mut b = EventBatch::builder(events[0].schema().clone(), events.len());
+        for e in &events {
+            b.push_event(e).unwrap();
+        }
+        b.finish()
+    }
+
+    fn released_ts(release: &BatchRelease) -> Vec<Ts> {
+        release.batches.iter().flat_map(|b| b.ts_column().iter().copied()).collect()
+    }
+
+    #[test]
+    fn sorted_fast_path_is_zero_copy_at_zero_slack() {
+        let mut cr = ColumnarReorder::new(0);
+        let batch = batch_of(&[1, 2, 3, 4]);
+        let release = cr.offer_batch_from(0, &batch);
+        assert_eq!(release.batches.len(), 1);
+        // Same storage, not a re-pack: the batch id is the proof.
+        assert_eq!(release.batches[0].data().id(), batch.data().id());
+        assert!(release.late.is_empty());
+        assert_eq!(cr.pending_len(), 0);
+        assert_eq!(cr.buffered_peak(), 0, "fast path buffers nothing");
+    }
+
+    #[test]
+    fn positive_slack_holds_back_the_tail() {
+        let mut cr = ColumnarReorder::new(2);
+        let release = cr.offer_batch_from(0, &batch_of(&[1, 2, 3, 4, 5]));
+        // Frontier is 5 - 2 = 3: rows 1..=3 release, 4 and 5 stay pending.
+        assert_eq!(released_ts(&release), vec![1, 2, 3]);
+        assert_eq!(cr.pending_len(), 2);
+        assert_eq!(cr.frontier(), 3);
+        let flushed: Vec<Ts> =
+            cr.flush().iter().flat_map(|b| b.ts_column().iter().copied()).collect();
+        assert_eq!(flushed, vec![4, 5]);
+        assert_eq!(cr.pending_len(), 0);
+    }
+
+    #[test]
+    fn disordered_batches_release_in_time_order() {
+        let mut cr = ColumnarReorder::new(4);
+        let r1 = cr.offer_batch_from(0, &batch_of(&[3, 1, 7, 5]));
+        assert_eq!(released_ts(&r1), vec![1, 3], "frontier 7-4=3");
+        let r2 = cr.offer_batch_from(0, &batch_of(&[6, 12]));
+        assert_eq!(released_ts(&r2), vec![5, 6, 7], "frontier 12-4=8");
+        for b in &r2.batches {
+            assert!(b.is_sorted(), "released batches must be time-ordered");
+        }
+        assert_eq!(cr.buffered_peak(), 4, "at most {{5,7}} then {{5,6,7,12}} were pending");
+    }
+
+    #[test]
+    fn late_rows_are_returned_in_arrival_order() {
+        let mut cr = ColumnarReorder::new(1);
+        cr.offer_batch_from(0, &batch_of(&[10]));
+        let release = cr.offer_batch_from(0, &batch_of(&[4, 9, 2]));
+        let late_ts: Vec<Ts> = release.late.iter().map(|e| e.ts()).collect();
+        assert_eq!(late_ts, vec![4, 2], "ts 9 is exactly slack late and accepted");
+        assert_eq!(cr.late_count(), 2);
+    }
+
+    #[test]
+    fn per_source_watermarks_merge_skewed_in_order_sources() {
+        // Two individually ordered sources with heavy skew: no lateness
+        // even at slack 0, and release waits for the slower source.
+        let mut cr = ColumnarReorder::with_sources(0, 2);
+        let r = cr.offer_batch_from(0, &batch_of(&[100, 200]));
+        assert_eq!(released_ts(&r), Vec::<Ts>::new(), "source 1 still at 0");
+        let r = cr.offer_batch_from(1, &batch_of(&[50, 150]));
+        assert_eq!(released_ts(&r), vec![50, 100, 150], "frontier = min(200, 150)");
+        assert_eq!(cr.late_count(), 0);
+        let r = cr.offer_batch_from(1, &batch_of(&[400]));
+        assert_eq!(released_ts(&r), vec![200], "frontier = min(200, 400) = 200");
+        assert_eq!(cr.frontier(), 200);
+        assert_eq!(cr.pending_len(), 1, "400 waits for source 0 to catch up");
+        assert_eq!(cr.high_water(0), 200);
+        assert_eq!(cr.high_water(1), 400);
+    }
+
+    #[test]
+    fn lateness_is_judged_per_source() {
+        // Source 0 races ahead; source 1's old-but-in-order event must not
+        // be judged against source 0's high-water mark.
+        let mut cr = ColumnarReorder::with_sources(3, 2);
+        cr.offer_batch_from(0, &batch_of(&[1000]));
+        let r = cr.offer_batch_from(1, &batch_of(&[5]));
+        assert!(r.late.is_empty(), "in-order per its own source");
+        // But within source 0, the usual slack rule applies.
+        let r = cr.offer_batch_from(0, &batch_of(&[10]));
+        assert_eq!(r.late.len(), 1);
+    }
+
+    #[test]
+    fn first_late_in_predicts_offer_without_mutating() {
+        let mut cr = ColumnarReorder::new(2);
+        cr.offer_batch_from(0, &batch_of(&[20]));
+        // Row 1 (ts 5) is the first the watermark would reject; the check
+        // simulates the running high-water mark within the probe itself.
+        assert_eq!(cr.first_late_in(0, [19, 5, 30].into_iter()), Some((1, 5, 18)));
+        // A row late only against an earlier row of the same probe.
+        assert_eq!(cr.first_late_in(0, [40, 21].into_iter()), Some((1, 21, 38)));
+        assert_eq!(cr.first_late_in(0, [18, 19, 30].into_iter()), None);
+        assert_eq!(cr.high_water(0), 20, "probing must not move the watermark");
+        assert_eq!(cr.late_count(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut cr = ColumnarReorder::new(5);
+        let empty = EventBatch::builder(crate::Schema::stocks(), 0).finish();
+        let r = cr.offer_batch_from(0, &empty);
+        assert!(r.batches.is_empty() && r.late.is_empty());
+        assert_eq!(r.released_rows(), 0);
+    }
+
+    #[test]
+    fn repack_splits_same_name_schemas_with_different_types() {
+        use crate::value::ValueType;
+        use crate::{Event, Schema};
+        // Same name, same arity, different field types: push_event would
+        // reject mixing them, so the run grouping must split here instead
+        // of panicking.
+        let sa = Arc::new(Schema::builder("S").field("x", ValueType::Int).build().unwrap());
+        let sb = Arc::new(Schema::builder("S").field("x", ValueType::Str).build().unwrap());
+        let ea = Event::builder(sa, 1).value(7i64).build_ref().unwrap();
+        let eb = Event::builder(sb, 2).value("seven").build_ref().unwrap();
+        let mut cr = ColumnarReorder::new(10);
+        let mut out = Vec::new();
+        cr.offer_from(0, ea, &mut out);
+        cr.offer_from(0, eb, &mut out);
+        assert!(out.is_empty());
+        let batches = cr.flush();
+        assert_eq!(batches.len(), 2, "incompatible schemas must not share a batch");
+        assert_eq!(batches[0].ts_column(), &[1]);
+        assert_eq!(batches[1].ts_column(), &[2]);
+    }
+
+    #[test]
+    fn mixed_granularity_shares_one_pending_set() {
+        let mut cr = ColumnarReorder::new(3);
+        let mut out = Vec::new();
+        assert_eq!(cr.offer_from(0, stock(4, 0, "A", 1.0, 1), &mut out), ReorderOutcome::Accepted);
+        let r = cr.offer_batch_from(0, &batch_of(&[2, 8]));
+        // Frontier 8-3=5 releases the record-path row (4) and the batch row
+        // (2) interleaved in time order.
+        assert_eq!(released_ts(&r), vec![2, 4]);
+        assert!(out.is_empty());
+        assert_eq!(cr.pending_len(), 1);
     }
 }

@@ -113,6 +113,13 @@ pub struct BatchData {
     schema: Arc<Schema>,
     ts: Vec<Ts>,
     cols: Vec<Column>,
+    /// Whether `ts` is non-decreasing. Sorted batches are the engine-facing
+    /// invariant; unsorted batches model **arrival order** of a disordered
+    /// stream and must pass through a reorder stage before evaluation.
+    sorted: bool,
+    /// Largest timestamp in the batch (0 when empty). For sorted batches
+    /// this equals the last row's timestamp.
+    max_ts: Ts,
 }
 
 impl BatchData {
@@ -154,6 +161,19 @@ impl BatchData {
         self.ts[row]
     }
 
+    /// True when the timestamp column is non-decreasing (the engine-facing
+    /// invariant; false for arrival-order batches of a disordered stream).
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Largest timestamp in the batch (0 when empty).
+    #[inline]
+    pub fn max_ts(&self) -> Ts {
+        self.max_ts
+    }
+
     /// Value of field `field` at `row`.
     #[inline]
     pub fn value(&self, row: usize, field: usize) -> Value {
@@ -180,7 +200,7 @@ impl EventBatch {
     /// Starts building a batch for `schema` with room for `capacity` rows.
     pub fn builder(schema: Arc<Schema>, capacity: usize) -> BatchBuilder {
         let cols = schema.fields().iter().map(|f| Column::with_capacity(f.ty, capacity)).collect();
-        BatchBuilder { schema, ts: Vec::with_capacity(capacity), cols }
+        BatchBuilder { schema, ts: Vec::with_capacity(capacity), cols, sorted: true, max_ts: 0 }
     }
 
     /// Builds a batch from a slice of events (gathering their values into
@@ -223,11 +243,25 @@ impl EventBatch {
         self.data.ts_column()
     }
 
-    /// Timestamp of the last (latest) row, if any. Batches are time-ordered,
-    /// so this is the batch's high watermark.
+    /// Timestamp of the last row, if any. For sorted batches (the common
+    /// case) this is the batch's high watermark; for arrival-order batches
+    /// prefer [`EventBatch::max_ts`].
     #[inline]
     pub fn last_ts(&self) -> Option<Ts> {
         self.data.ts_column().last().copied()
+    }
+
+    /// True when rows are in non-decreasing timestamp order.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.data.is_sorted()
+    }
+
+    /// Largest timestamp in the batch (0 when empty) — the high watermark
+    /// even when rows are in arrival order rather than time order.
+    #[inline]
+    pub fn max_ts(&self) -> Ts {
+        self.data.max_ts()
     }
 
     /// The column of field `field`.
@@ -257,7 +291,7 @@ impl EventBatch {
     pub fn select(&self, rows: &[u32]) -> EventBatch {
         let mut b = EventBatch::builder(Arc::clone(self.schema()), rows.len());
         for &row in rows {
-            b.ts.push(self.data.ts(row as usize));
+            b.note_ts(self.data.ts(row as usize));
             for (col, src) in b.cols.iter_mut().zip(&self.data.cols) {
                 col.push(src.value(row as usize)).expect("same schema");
             }
@@ -266,13 +300,19 @@ impl EventBatch {
     }
 }
 
-/// Incremental [`EventBatch`] constructor. Rows must be appended in
-/// non-decreasing timestamp order; values are validated against the schema.
+/// Incremental [`EventBatch`] constructor. Values are validated against the
+/// schema. Rows are normally appended in non-decreasing timestamp order;
+/// appending out of order is allowed — it models the **arrival order** of a
+/// disordered stream — and marks the finished batch unsorted
+/// ([`EventBatch::is_sorted`]), which only a reorder stage may consume.
 #[derive(Debug)]
 pub struct BatchBuilder {
     schema: Arc<Schema>,
     ts: Vec<Ts>,
     cols: Vec<Column>,
+    /// Maintained incrementally per appended row (see [`BatchBuilder::note_ts`]).
+    sorted: bool,
+    max_ts: Ts,
 }
 
 impl BatchBuilder {
@@ -286,7 +326,15 @@ impl BatchBuilder {
         self.ts.is_empty()
     }
 
-    /// Appends one row, validating arity, field types and time order.
+    /// Appends a timestamp, updating the sortedness flag and running
+    /// maximum — O(1) per row instead of re-scanning the column at finish.
+    fn note_ts(&mut self, ts: Ts) {
+        self.sorted &= self.ts.last().is_none_or(|last| *last <= ts);
+        self.max_ts = self.max_ts.max(ts);
+        self.ts.push(ts);
+    }
+
+    /// Appends one row, validating arity and field types.
     pub fn push_row(&mut self, ts: Ts, values: &[Value]) -> Result<(), EventError> {
         if values.len() != self.schema.arity() {
             return Err(EventError::ArityMismatch {
@@ -294,10 +342,6 @@ impl BatchBuilder {
                 found: values.len(),
             });
         }
-        debug_assert!(
-            self.ts.last().is_none_or(|last| *last <= ts),
-            "batch rows must be time-ordered"
-        );
         // Validate all fields before mutating any column so a failed row
         // leaves the builder unchanged.
         for (field, value) in self.schema.fields().iter().zip(values) {
@@ -309,7 +353,7 @@ impl BatchBuilder {
                 });
             }
         }
-        self.ts.push(ts);
+        self.note_ts(ts);
         for (col, value) in self.cols.iter_mut().zip(values) {
             col.push(*value).expect("types validated above");
         }
@@ -326,13 +370,21 @@ impl BatchBuilder {
                 self.schema.name()
             )));
         }
-        self.ts.push(e.ts());
+        // Validate all field types before mutating anything so a failed row
+        // leaves the builder unchanged (same contract as push_row).
+        for (field, spec) in self.schema.fields().iter().enumerate() {
+            let found = e.value(field).value_type();
+            if spec.ty != found {
+                return Err(EventError::FieldTypeMismatch {
+                    field: spec.name.clone(),
+                    expected: spec.ty,
+                    found,
+                });
+            }
+        }
+        self.note_ts(e.ts());
         for (field, col) in self.cols.iter_mut().enumerate() {
-            col.push(e.value(field)).map_err(|found| EventError::FieldTypeMismatch {
-                field: self.schema.fields()[field].name.clone(),
-                expected: self.schema.fields()[field].ty,
-                found,
-            })?;
+            col.push(e.value(field)).expect("types validated above");
         }
         Ok(())
     }
@@ -345,7 +397,14 @@ impl BatchBuilder {
         // distinct events' identities.
         assert!(id < u64::from(u32::MAX), "batch id space exhausted (2^32 batches created)");
         EventBatch {
-            data: Arc::new(BatchData { id, schema: self.schema, ts: self.ts, cols: self.cols }),
+            data: Arc::new(BatchData {
+                id,
+                schema: self.schema,
+                ts: self.ts,
+                cols: self.cols,
+                sorted: self.sorted,
+                max_ts: self.max_ts,
+            }),
         }
     }
 }
@@ -372,6 +431,8 @@ mod tests {
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.ts_column(), &[1, 2, 3]);
         assert_eq!(batch.last_ts(), Some(3));
+        assert!(batch.is_sorted());
+        assert_eq!(batch.max_ts(), 3);
         assert_eq!(EventBatch::builder(Schema::stocks(), 0).finish().last_ts(), None);
         assert_eq!(batch.column(2).value(1), Value::Float(20.0));
         assert_eq!(batch.column(1).as_syms().unwrap()[0], Sym::intern("IBM"));
@@ -411,6 +472,23 @@ mod tests {
         assert_eq!(sub.ts_column(), &[1, 3]);
         assert_eq!(sub.column(2).value(1), Value::Float(30.0));
         assert_ne!(sub.data().id(), batch.data().id());
+    }
+
+    #[test]
+    fn arrival_order_batches_are_marked_unsorted() {
+        let mut b = EventBatch::builder(Schema::stocks(), 3);
+        for (ts, price) in [(5u64, 10.0), (2, 20.0), (9, 30.0)] {
+            b.push_row(ts, &[Value::Int(0), Value::str("IBM"), Value::Float(price), Value::Int(1)])
+                .unwrap();
+        }
+        let batch = b.finish();
+        assert!(!batch.is_sorted());
+        assert_eq!(batch.max_ts(), 9, "max_ts is the high watermark even out of order");
+        assert_eq!(batch.last_ts(), Some(9));
+        // An empty batch is trivially sorted with a zero watermark.
+        let empty = EventBatch::builder(Schema::stocks(), 0).finish();
+        assert!(empty.is_sorted());
+        assert_eq!(empty.max_ts(), 0);
     }
 
     #[test]

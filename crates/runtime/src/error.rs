@@ -3,6 +3,7 @@
 use std::fmt;
 
 use zstream_core::CoreError;
+use zstream_events::Ts;
 
 /// Errors raised by the scale-out runtime.
 #[derive(Debug)]
@@ -18,6 +19,20 @@ pub enum RuntimeError {
     /// The reply channel closed with shards still outstanding — every
     /// worker is gone.
     ChannelClosed,
+    /// An event arrived beyond the reorder slack window while the lateness
+    /// policy is [`Strict`](crate::LatenessPolicy::Strict). The offending
+    /// ingest call was rejected **whole** (all-or-nothing: nothing from it
+    /// reached the reorder stage or the shards) and the runtime stays
+    /// fully usable — re-ingest without the late rows to continue.
+    TooLate {
+        /// The source whose watermark the event violated.
+        source: usize,
+        /// The late event's timestamp.
+        ts: Ts,
+        /// Earliest timestamp the source's watermark still accepts
+        /// (`high_water − slack`).
+        acceptable: Ts,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -27,6 +42,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid runtime configuration: {msg}"),
             RuntimeError::WorkerLost(shard) => write!(f, "worker shard {shard} hung up"),
             RuntimeError::ChannelClosed => write!(f, "all worker shards hung up"),
+            RuntimeError::TooLate { source, ts, acceptable } => write!(
+                f,
+                "event at ts {ts} from source {source} is beyond the reorder slack \
+                 (earliest acceptable: {acceptable}) under the strict lateness policy"
+            ),
         }
     }
 }

@@ -42,6 +42,15 @@
 //! * **Backpressure** — shard input channels are bounded
 //!   ([`RuntimeBuilder::channel_capacity`] batches); a slow shard blocks
 //!   ingest instead of buffering unboundedly.
+//! * **Event time & disorder** — with [`RuntimeBuilder::slack`] set, a
+//!   columnar §4.1 reordering stage ([`zstream_events::ColumnarReorder`])
+//!   fronts the router: events may arrive out of order (batches may even be
+//!   unsorted), are buffered within the slack window, and release to the
+//!   shards in time order as the per-source watermarks advance
+//!   ([`RuntimeBuilder::sources`]). Events beyond the slack are *late* and
+//!   handled per [`LatenessPolicy`] (drop / dead-letter / strict error);
+//!   the merge frontier is driven by the reorder release frontier
+//!   `min(per-source high-water) − slack` instead of raw arrival order.
 //! * **Watermarks ride traffic** — shards learn the stream watermark from
 //!   their own batch messages; shards a chunk skips get an explicit
 //!   heartbeat only every [`RuntimeBuilder::heartbeat_interval`] chunks
@@ -103,4 +112,4 @@ mod shard;
 pub use error::RuntimeError;
 pub use merge::RuntimeMatch;
 pub use registry::{Partitioning, QueryId, Route};
-pub use runtime::{Runtime, RuntimeBuilder, RuntimeReport};
+pub use runtime::{LatenessPolicy, Runtime, RuntimeBuilder, RuntimeReport};

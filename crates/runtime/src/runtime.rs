@@ -6,12 +6,40 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use zstream_core::{CompiledParts, Engine, EngineMetrics};
-use zstream_events::{split_batch_rows, split_by_field, EventBatch, EventRef, Record, Ts};
+use zstream_events::{
+    repack_events, split_batch_rows, split_by_field, ColumnarReorder, EventBatch, EventRef, Record,
+    ReorderOutcome, Ts,
+};
 
 use crate::error::RuntimeError;
 use crate::merge::{OrderedMerge, RuntimeMatch};
 use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
 use crate::shard::{build_engines, run_shard, RowSel, ShardMsg, ShardReply};
+
+/// What to do with an event that arrives beyond the reorder slack window
+/// (§4.1: it can no longer be placed in time order).
+///
+/// Under `Drop` and `DeadLetter`, late events are counted (`late_events`
+/// in [`EngineMetrics`] / [`RuntimeReport`]) and the policy decides what
+/// else happens. `Strict` rejects the whole ingest call *before* anything
+/// reaches the reorder stage, so its rejections surface as
+/// [`RuntimeError::TooLate`] errors, not counter increments (the caller
+/// may re-ingest the call minus the late rows; counting here would then
+/// double-book). Only meaningful together with [`RuntimeBuilder::slack`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LatenessPolicy {
+    /// Discard late events (the default): counted, then dropped.
+    #[default]
+    Drop,
+    /// Keep late events for the caller: counted, then retained in arrival
+    /// order until drained with [`Runtime::take_late_events`] — a
+    /// dead-letter queue for out-of-band handling.
+    DeadLetter,
+    /// Fail fast: the ingest call carrying a late event returns
+    /// [`RuntimeError::TooLate`] and is rejected **whole** (all-or-nothing);
+    /// the runtime itself is not poisoned — subsequent ingest calls work.
+    Strict,
+}
 
 /// Configures and constructs a [`Runtime`].
 ///
@@ -36,6 +64,9 @@ pub struct RuntimeBuilder {
     batch_size: usize,
     channel_capacity: usize,
     heartbeat_interval: usize,
+    slack: Option<Ts>,
+    lateness: LatenessPolicy,
+    sources: usize,
     defs: Vec<(CompiledParts, Partitioning)>,
 }
 
@@ -46,6 +77,9 @@ impl Default for RuntimeBuilder {
             batch_size: 512,
             channel_capacity: 4,
             heartbeat_interval: 8,
+            slack: None,
+            lateness: LatenessPolicy::Drop,
+            sources: 1,
             defs: Vec::new(),
         }
     }
@@ -94,6 +128,47 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the §4.1 reordering stage in front of ingest, tolerating
+    /// out-of-order arrival up to `slack` time units.
+    ///
+    /// With slack set, [`Runtime::ingest`] / [`Runtime::ingest_columns`]
+    /// accept events in **arrival order** (batches may be unsorted): events
+    /// are held back in a bounded buffer, released to the shards in time
+    /// order once they fall behind the release frontier
+    /// `min(per-source high-water) − slack`, and events arriving more than
+    /// `slack` behind their source's high-water mark are *late* — counted
+    /// and handled per [`RuntimeBuilder::lateness`]. `slack = 0` means
+    /// "strictly in order" (equal timestamps fine, going backwards late).
+    ///
+    /// The trade-off: larger slack tolerates more disorder but buffers more
+    /// rows (`reorder_buffered_peak`) and delays finality by `slack` time
+    /// units, since the merge frontier now trails the high-water mark by
+    /// exactly the slack. Without this knob the runtime requires perfectly
+    /// time-ordered input, as before.
+    pub fn slack(mut self, slack: Ts) -> Self {
+        self.slack = Some(slack);
+        self
+    }
+
+    /// What to do with events beyond the slack window (default:
+    /// [`LatenessPolicy::Drop`]). Requires [`RuntimeBuilder::slack`].
+    pub fn lateness(mut self, policy: LatenessPolicy) -> Self {
+        self.lateness = policy;
+        self
+    }
+
+    /// Number of independent ingest sources (default 1). Each source `s`
+    /// feeds [`Runtime::ingest_from`] / [`Runtime::ingest_columns_from`]
+    /// and gets its **own** reorder watermark: an event is judged late only
+    /// against its own source's high-water mark, while release waits for
+    /// every source — so several individually ordered streams merge exactly
+    /// no matter the skew between them. Requires [`RuntimeBuilder::slack`]
+    /// when > 1.
+    pub fn sources(mut self, n: usize) -> Self {
+        self.sources = n;
+        self
+    }
+
     /// Registers a compiled query; returns its id (assigned in
     /// registration order). Routing soundness is checked at [`build`].
     ///
@@ -117,6 +192,23 @@ impl RuntimeBuilder {
         }
         if self.defs.is_empty() {
             return Err(RuntimeError::InvalidConfig("no queries registered".into()));
+        }
+        if self.sources == 0 {
+            return Err(RuntimeError::InvalidConfig("sources must be >= 1".into()));
+        }
+        if self.slack.is_none() {
+            if self.sources > 1 {
+                return Err(RuntimeError::InvalidConfig(
+                    "multiple sources require the reorder stage: set slack(..) \
+                     (per-source watermarks only exist there)"
+                        .into(),
+                ));
+            }
+            if self.lateness != LatenessPolicy::Drop {
+                return Err(RuntimeError::InvalidConfig(
+                    "a lateness policy requires the reorder stage: set slack(..)".into(),
+                ));
+            }
         }
         let defs = resolve_routes(self.defs, self.workers)?;
         // One template engine per query stays on the control thread; it
@@ -142,6 +234,7 @@ impl RuntimeBuilder {
         let dropped = vec![0u64; defs.len()];
         let query_metrics = vec![EngineMetrics::default(); defs.len()];
         let merge = OrderedMerge::new(self.workers);
+        let reorder = self.slack.map(|s| ColumnarReorder::with_sources(s, self.sources));
         Ok(Runtime {
             senders,
             replies,
@@ -156,6 +249,9 @@ impl RuntimeBuilder {
             watermark: 0,
             dropped,
             query_metrics,
+            reorder,
+            lateness: self.lateness,
+            dead_letters: Vec::new(),
         })
     }
 }
@@ -182,6 +278,19 @@ pub struct RuntimeReport {
     pub dropped: Vec<u64>,
     /// Number of worker shards that ran.
     pub workers: usize,
+    /// Events rejected by the reorder stage as beyond the slack window
+    /// (0 without [`RuntimeBuilder::slack`]). Also stamped into
+    /// [`RuntimeReport::metrics`]. Under [`LatenessPolicy::DeadLetter`],
+    /// counts events surfaced through [`Runtime::take_late_events`] too.
+    pub late_events: u64,
+    /// Peak number of rows the reorder stage held back at once — the
+    /// memory cost of the configured slack (0 without a reorder stage).
+    pub reorder_buffered_peak: u64,
+    /// Late events retained under [`LatenessPolicy::DeadLetter`] that the
+    /// caller had not drained with [`Runtime::take_late_events`] before
+    /// shutdown, in arrival order — they are surfaced here rather than
+    /// silently destroyed. Empty under any other policy.
+    pub dead_letters: Vec<EventRef>,
 }
 
 /// A sharded, multi-threaded execution runtime for one or more compiled
@@ -219,6 +328,14 @@ pub struct Runtime {
     /// leave the pool early (worker failure) are accounted exactly like
     /// shards that finish at shutdown.
     query_metrics: Vec<EngineMetrics>,
+    /// The §4.1 reordering stage in front of routing, when
+    /// [`RuntimeBuilder::slack`] was set: disordered arrivals buffer here
+    /// and the watermark is driven by its release frontier.
+    reorder: Option<ColumnarReorder>,
+    lateness: LatenessPolicy,
+    /// Late events retained under [`LatenessPolicy::DeadLetter`], in
+    /// arrival order, until the caller drains them.
+    dead_letters: Vec<EventRef>,
 }
 
 impl Runtime {
@@ -248,9 +365,30 @@ impl Runtime {
         &self.defs[query.0].route
     }
 
-    /// Latest event timestamp ingested.
+    /// The stream watermark: without a reorder stage, the latest event
+    /// timestamp ingested; with one ([`RuntimeBuilder::slack`]), the
+    /// reorder release frontier `min(per-source high-water) − slack` —
+    /// what drives shard watermarks and match finality.
     pub fn watermark(&self) -> Ts {
         self.watermark
+    }
+
+    /// Events rejected by the reorder stage as beyond the slack window so
+    /// far (0 without [`RuntimeBuilder::slack`]).
+    pub fn late_events(&self) -> u64 {
+        self.reorder.as_ref().map(ColumnarReorder::late_count).unwrap_or(0)
+    }
+
+    /// Rows currently held back by the reorder stage awaiting release.
+    pub fn reorder_pending(&self) -> usize {
+        self.reorder.as_ref().map(ColumnarReorder::pending_len).unwrap_or(0)
+    }
+
+    /// Drains the late events retained under
+    /// [`LatenessPolicy::DeadLetter`], in arrival order. Empty under any
+    /// other policy.
+    pub fn take_late_events(&mut self) -> Vec<EventRef> {
+        std::mem::take(&mut self.dead_letters)
     }
 
     /// Number of matches buffered in the merger, awaiting finality.
@@ -285,34 +423,152 @@ impl Runtime {
     /// [`RuntimeBuilder::batch_size`].
     ///
     /// Blocks when a shard's input channel is full — that is the
-    /// backpressure contract, not an error. Batches must arrive in global
-    /// time order across calls, and produce exactly the match set of
+    /// backpressure contract, not an error. Without a reorder stage
+    /// ([`RuntimeBuilder::slack`]), batches must arrive in global time
+    /// order across calls; with one, rows may arrive in any order within
+    /// the slack window. Either way this produces exactly the match set of
     /// [`Runtime::ingest`] over the same rows.
     pub fn ingest_columns(
         &mut self,
         batch: &EventBatch,
     ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
-        self.dispatch_columns(batch)?;
+        self.ingest_columns_from(0, batch)
+    }
+
+    /// [`Runtime::ingest_columns`] for one of several registered ingest
+    /// sources ([`RuntimeBuilder::sources`]): the batch is judged against
+    /// `source`'s own reorder watermark, and rows release to the shards
+    /// once **every** source's watermark has passed them — the exact merge
+    /// of independently ordered (or mildly disordered) streams.
+    pub fn ingest_columns_from(
+        &mut self,
+        source: usize,
+        batch: &EventBatch,
+    ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        let (release, frontier) = match self.reorder.as_mut() {
+            None => {
+                Self::check_source(source, 1)?;
+                // Hard check, not a debug assert: arrival-order batches are
+                // an ordinary product of the API now (DisorderSpec,
+                // unsorted builders) and must never reach the engines
+                // without a reorder stage in front.
+                if !batch.is_sorted()
+                    || batch.ts_column().first().is_some_and(|first| *first < self.watermark)
+                {
+                    return Err(RuntimeError::InvalidConfig(
+                        "out-of-order columnar ingest requires the reorder stage: \
+                         set RuntimeBuilder::slack(..)"
+                            .into(),
+                    ));
+                }
+                self.dispatch_columns(batch)?;
+                self.drain_replies()?;
+                return Ok(self.merge.drain_ready());
+            }
+            Some(reorder) => {
+                Self::check_source(source, reorder.num_sources())?;
+                // Borrow note: `check_source` is an associated fn so the
+                // `reorder` borrow stays live across it.
+                if self.lateness == LatenessPolicy::Strict {
+                    if let Some((_, ts, acceptable)) =
+                        reorder.first_late_in(source, batch.ts_column().iter().copied())
+                    {
+                        return Err(RuntimeError::TooLate { source, ts, acceptable });
+                    }
+                }
+                let release = reorder.offer_batch_from(source, batch);
+                (release, reorder.frontier())
+            }
+        };
+        if self.lateness == LatenessPolicy::DeadLetter {
+            self.retain_dead_letters(&release.late);
+        }
+        for released in &release.batches {
+            self.dispatch_columns(released)?;
+        }
+        self.watermark = self.watermark.max(frontier);
         self.drain_replies()?;
         Ok(self.merge.drain_ready())
     }
 
-    /// Routes a time-ordered slice of events to the worker shards (in
-    /// chunks of the configured batch size) and returns every match that
-    /// became final, in deterministic `(end_ts, shard, seq)` order.
+    /// Routes a slice of events to the worker shards (in chunks of the
+    /// configured batch size) and returns every match that became final,
+    /// in deterministic `(end_ts, shard, seq)` order.
     ///
     /// Prefer [`Runtime::ingest_columns`] when events already live in
     /// columnar batches — this record path re-routes event handles one by
     /// one. Blocks when a shard's input channel is full — that is the
-    /// backpressure contract, not an error. Events must arrive in global
-    /// time order across calls.
+    /// backpressure contract, not an error. Without a reorder stage
+    /// ([`RuntimeBuilder::slack`]), events must arrive in global time
+    /// order across calls; with one, arrival order may be disordered
+    /// within the slack window.
     pub fn ingest(&mut self, events: &[EventRef]) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        self.ingest_from(0, events)
+    }
+
+    /// [`Runtime::ingest`] for one of several registered ingest sources —
+    /// the record-path twin of [`Runtime::ingest_columns_from`].
+    pub fn ingest_from(
+        &mut self,
+        source: usize,
+        events: &[EventRef],
+    ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        let (released, late, frontier) = match self.reorder.as_mut() {
+            None => {
+                Self::check_source(source, 1)?;
+                // Hard check mirroring the columnar path: disordered slices
+                // must never reach the engines without a reorder stage.
+                let mut last = self.watermark;
+                for event in events {
+                    if event.ts() < last {
+                        return Err(RuntimeError::InvalidConfig(
+                            "out-of-order ingest requires the reorder stage: \
+                             set RuntimeBuilder::slack(..)"
+                                .into(),
+                        ));
+                    }
+                    last = event.ts();
+                }
+                let mut ready = Vec::new();
+                for chunk in events.chunks(self.batch_size) {
+                    self.dispatch(chunk)?;
+                    self.drain_replies()?;
+                    ready.append(&mut self.merge.drain_ready());
+                }
+                return Ok(ready);
+            }
+            Some(reorder) => {
+                Self::check_source(source, reorder.num_sources())?;
+                if self.lateness == LatenessPolicy::Strict {
+                    if let Some((_, ts, acceptable)) =
+                        reorder.first_late_in(source, events.iter().map(|e| e.ts()))
+                    {
+                        return Err(RuntimeError::TooLate { source, ts, acceptable });
+                    }
+                }
+                let mut released = Vec::new();
+                let mut late = Vec::new();
+                for event in events {
+                    let outcome = reorder.offer_from(source, event.clone(), &mut released);
+                    if outcome == ReorderOutcome::TooLate {
+                        late.push(event.clone());
+                    }
+                }
+                (released, late, reorder.frontier())
+            }
+        };
+        if self.lateness == LatenessPolicy::DeadLetter {
+            self.retain_dead_letters(&late);
+        }
         let mut ready = Vec::new();
-        for chunk in events.chunks(self.batch_size) {
+        for chunk in released.chunks(self.batch_size) {
             self.dispatch(chunk)?;
             self.drain_replies()?;
             ready.append(&mut self.merge.drain_ready());
         }
+        self.watermark = self.watermark.max(frontier);
+        self.drain_replies()?;
+        ready.append(&mut self.merge.drain_ready());
         Ok(ready)
     }
 
@@ -363,9 +619,18 @@ impl Runtime {
     }
 
     /// Drains in-flight batches, flushes every engine, stops the workers,
-    /// and returns the remaining matches plus aggregated metrics.
+    /// and returns the remaining matches plus aggregated metrics. Rows
+    /// still held back by the reorder stage are released to the shards
+    /// first (end of stream: nothing can arrive before them anymore).
     pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
         let workers = self.senders.len();
+        let tail = match self.reorder.as_mut() {
+            Some(reorder) => reorder.flush(),
+            None => Vec::new(),
+        };
+        for batch in &tail {
+            self.dispatch_columns(batch)?;
+        }
         for (shard, tx) in self.senders.iter().enumerate() {
             if !self.merge.is_finished(shard) {
                 // A send failure means the shard just left the pool on the
@@ -391,13 +656,49 @@ impl Runtime {
         for m in &query_metrics {
             metrics.merge(m);
         }
+        // The reorder stage sits upstream of per-query routing, so its
+        // counters are stamped onto the grand total only (shard engines
+        // report theirs as zero).
+        let (late_events, reorder_buffered_peak) = self
+            .reorder
+            .as_ref()
+            .map(|r| (r.late_count(), r.buffered_peak() as u64))
+            .unwrap_or((0, 0));
+        metrics.late_events += late_events;
+        metrics.reorder_buffered_peak = metrics.reorder_buffered_peak.max(reorder_buffered_peak);
         Ok(RuntimeReport {
             matches,
             query_metrics,
             metrics,
             dropped: std::mem::take(&mut self.dropped),
             workers,
+            late_events,
+            reorder_buffered_peak,
+            dead_letters: std::mem::take(&mut self.dead_letters),
         })
+    }
+
+    /// Retains late events for [`Runtime::take_late_events`], compacted
+    /// into fresh storage first — a retained raw handle would pin its
+    /// entire source batch (every row, every column) for as long as the
+    /// dead letter lives, turning a 0.1% straggler rate into a footprint
+    /// approaching the whole stream.
+    fn retain_dead_letters(&mut self, late: &[EventRef]) {
+        if late.is_empty() {
+            return;
+        }
+        self.dead_letters.extend(repack_events(late).iter().flat_map(EventBatch::iter));
+    }
+
+    /// Validates an ingest source index against the configured source
+    /// count (associated fn: callable while the reorder stage is borrowed).
+    fn check_source(source: usize, sources: usize) -> Result<(), RuntimeError> {
+        if source >= sources {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "no such ingest source {source} (sources: {sources})"
+            )));
+        }
+        Ok(())
     }
 
     /// Routes one columnar chunk: per distinct hash field, **one** scan of

@@ -1,0 +1,194 @@
+//! Disorder model for workload streams.
+//!
+//! Real traffic never arrives perfectly time-ordered (the paper's §4.1
+//! prescribes a reordering operator exactly because of this). This module
+//! turns any generated time-ordered stream into a realistic **arrival
+//! order**: each event draws a delivery delay, and events are emitted in
+//! order of `event time + delay`. Two properties make the model useful for
+//! differential testing:
+//!
+//! * With `late_fraction = 0`, disorder is **bounded**: at any arrival
+//!   position, the event's timestamp is at most `max_delay` behind the
+//!   largest timestamp already arrived (proof: if `a` overtakes `b` with
+//!   `ts_b > ts_a`, then `ts_a + d_a ≥ ts_b + d_b`, so
+//!   `ts_b − ts_a ≤ d_a ≤ max_delay`). A reorder stage with
+//!   `slack ≥ max_delay` therefore rejects **nothing** and reproduces the
+//!   sorted stream exactly.
+//! * With `late_fraction > 0`, the chosen fraction of events additionally
+//!   draws a delay beyond `max_delay` — straggler traffic that a
+//!   `slack = max_delay` reorder stage may reject, driving the lateness
+//!   policies.
+//!
+//! Shuffling is deterministic per seed and preserves the multiset of
+//! events — only arrival positions change. Ties in arrival key keep event
+//! order (stable sort), so `max_delay = 0, late_fraction = 0` is the
+//! identity.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use zstream_events::{EventBatch, EventRef, Ts};
+
+/// How a generated stream's arrival order deviates from time order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisorderSpec {
+    /// Maximum delivery delay of ordinary events: bounds the disorder
+    /// (arrival lag behind the running high-water mark never exceeds it).
+    pub max_delay: Ts,
+    /// Fraction of events (in `[0, 1]`) that additionally draw a delay
+    /// beyond `max_delay` — stragglers that arrive *late* for a reorder
+    /// stage whose slack equals `max_delay`.
+    pub late_fraction: f64,
+    /// RNG seed (shuffling is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl DisorderSpec {
+    /// Bounded disorder only: delays up to `max_delay`, no stragglers.
+    pub fn bounded(max_delay: Ts, seed: u64) -> DisorderSpec {
+        DisorderSpec { max_delay, late_fraction: 0.0, seed }
+    }
+
+    /// Adds straggler traffic: `fraction` of events draw delays beyond
+    /// `max_delay`.
+    pub fn late_fraction(mut self, fraction: f64) -> DisorderSpec {
+        assert!((0.0..=1.0).contains(&fraction), "late fraction must be in [0, 1]");
+        self.late_fraction = fraction;
+        self
+    }
+
+    /// Returns the arrival-order permutation of a time-ordered stream.
+    pub fn shuffle_events(&self, events: &[EventRef]) -> Vec<EventRef> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut keyed: Vec<(Ts, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let delay =
+                    if self.max_delay == 0 { 0 } else { rng.random_range(0..=self.max_delay) };
+                let straggle =
+                    if self.late_fraction > 0.0 && rng.random::<f64>() < self.late_fraction {
+                        // Strictly beyond max_delay, spread over a few multiples
+                        // so stragglers are not all equally late.
+                        let beyond = self.max_delay.saturating_mul(3).max(8);
+                        rng.random_range(1..=beyond).saturating_add(self.max_delay)
+                    } else {
+                        0
+                    };
+                (e.ts().saturating_add(delay).saturating_add(straggle), i)
+            })
+            .collect();
+        // Stable by construction: ties on the arrival key keep stream order
+        // because the original index is the secondary key.
+        keyed.sort_by_key(|&(arrival, i)| (arrival, i));
+        keyed.into_iter().map(|(_, i)| events[i].clone()).collect()
+    }
+
+    /// Shuffles the rows of time-ordered batches into arrival order,
+    /// re-packed into batches of `batch_size` rows. The resulting batches
+    /// generally carry rows **out of timestamp order**
+    /// ([`EventBatch::is_sorted`] is false) — exactly what a reorder-staged
+    /// runtime ingests.
+    pub fn shuffle_batches(&self, batches: &[EventBatch], batch_size: usize) -> Vec<EventBatch> {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
+        let arrivals = self.shuffle_events(&events);
+        let mut out = Vec::with_capacity(arrivals.len().div_ceil(batch_size));
+        for chunk in arrivals.chunks(batch_size) {
+            let mut builder = EventBatch::builder(chunk[0].schema().clone(), chunk.len());
+            for e in chunk {
+                builder.push_event(e).expect("one generator, one schema");
+            }
+            out.push(builder.finish());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstream_events::stock;
+
+    fn stream(n: u64) -> Vec<EventRef> {
+        (1..=n).map(|t| stock(t, t as i64, "IBM", 1.0, 1)).collect()
+    }
+
+    /// Largest lag of an arrival stream behind its running high-water mark.
+    fn max_lag(events: &[EventRef]) -> Ts {
+        let mut hw: Ts = 0;
+        let mut lag: Ts = 0;
+        for e in events {
+            lag = lag.max(hw.saturating_sub(e.ts()));
+            hw = hw.max(e.ts());
+        }
+        lag
+    }
+
+    #[test]
+    fn bounded_disorder_never_exceeds_max_delay() {
+        let events = stream(500);
+        for max_delay in [0u64, 1, 5, 32] {
+            let shuffled = DisorderSpec::bounded(max_delay, 7).shuffle_events(&events);
+            assert_eq!(shuffled.len(), events.len());
+            assert!(
+                max_lag(&shuffled) <= max_delay,
+                "lag {} exceeds max_delay {max_delay}",
+                max_lag(&shuffled)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_disorder_is_the_identity() {
+        let events = stream(50);
+        let shuffled = DisorderSpec::bounded(0, 3).shuffle_events(&events);
+        let a: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+        let b: Vec<String> = shuffled.iter().map(|e| e.to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_preserves_the_multiset_and_is_deterministic() {
+        let events = stream(300);
+        let spec = DisorderSpec::bounded(10, 42).late_fraction(0.1);
+        let a = spec.shuffle_events(&events);
+        let b = spec.shuffle_events(&events);
+        let lines = |v: &[EventRef]| v.iter().map(|e| e.to_string()).collect::<Vec<_>>();
+        assert_eq!(lines(&a), lines(&b), "same seed, same arrival order");
+        let mut sorted_a = lines(&a);
+        let mut sorted_orig = lines(&events);
+        sorted_a.sort();
+        sorted_orig.sort();
+        assert_eq!(sorted_a, sorted_orig, "only positions change");
+        assert_ne!(lines(&a), lines(&events), "disorder actually happened");
+        let c = DisorderSpec::bounded(10, 43).late_fraction(0.1).shuffle_events(&events);
+        assert_ne!(lines(&a), lines(&c), "different seed, different arrival order");
+    }
+
+    #[test]
+    fn stragglers_exceed_the_bound() {
+        let events = stream(2000);
+        let spec = DisorderSpec::bounded(4, 11).late_fraction(0.2);
+        let shuffled = spec.shuffle_events(&events);
+        assert!(max_lag(&shuffled) > 4, "late fraction should break the max_delay bound");
+    }
+
+    #[test]
+    fn shuffled_batches_flatten_to_the_shuffled_stream() {
+        let events = stream(200);
+        let batch = EventBatch::from_events(&events).unwrap();
+        let spec = DisorderSpec::bounded(16, 5);
+        let shuffled_batches = spec.shuffle_batches(std::slice::from_ref(&batch), 64);
+        assert_eq!(shuffled_batches.iter().map(EventBatch::len).sum::<usize>(), events.len());
+        assert!(
+            shuffled_batches.iter().any(|b| !b.is_sorted()),
+            "arrival-order batches should be unsorted"
+        );
+        let flat: Vec<String> =
+            shuffled_batches.iter().flat_map(|b| b.iter()).map(|e| e.to_string()).collect();
+        let direct: Vec<String> =
+            spec.shuffle_events(&events).iter().map(|e| e.to_string()).collect();
+        assert_eq!(flat, direct);
+    }
+}

@@ -8,12 +8,17 @@
 //!   of the paper's real MIT DB-group trace (Table 4 class frequencies,
 //!   Zipf-distributed IPs, one month of arrivals) — the substitution for the
 //!   proprietary data set, documented in `DESIGN.md`,
-//! * [`Zipf`] — the skewed sampler used for IP addresses.
+//! * [`Zipf`] — the skewed sampler used for IP addresses,
+//! * [`DisorderSpec`] — an arrival-order disorder model (bounded delivery
+//!   delays plus an optional straggler fraction) applicable to both
+//!   generators, driving the §4.1 reorder stage and its lateness policies.
 
+mod disorder;
 mod stock;
 mod weblog;
 mod zipf;
 
+pub use disorder::DisorderSpec;
 pub use stock::{price_factor_for_selectivity, StockConfig, StockGenerator};
 pub use weblog::{WeblogConfig, WeblogGenerator, WeblogStats};
 pub use zipf::Zipf;

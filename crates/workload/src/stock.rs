@@ -17,6 +17,8 @@ use rand::{RngExt, SeedableRng};
 
 use zstream_events::{Event, EventBatch, EventRef, Schema, Sym, Ts, Value};
 
+use crate::disorder::DisorderSpec;
+
 /// Configuration of a synthetic stock stream.
 #[derive(Debug, Clone)]
 pub struct StockConfig {
@@ -34,6 +36,9 @@ pub struct StockConfig {
     /// `f·s` — how the evaluation varies predicate selectivity without
     /// changing the query (§6.2, Figure 12/14 regimes).
     pub price_scales: Vec<f64>,
+    /// Arrival-order disorder applied to the generated stream (default
+    /// `None` — perfectly time-ordered output). See [`DisorderSpec`].
+    pub disorder: Option<DisorderSpec>,
 }
 
 impl StockConfig {
@@ -45,6 +50,7 @@ impl StockConfig {
             seed,
             ts_step: 1,
             price_scales: vec![1.0; names.len()],
+            disorder: None,
         }
     }
 
@@ -56,7 +62,16 @@ impl StockConfig {
             seed,
             ts_step: 1,
             price_scales: vec![1.0; names.len()],
+            disorder: None,
         }
+    }
+
+    /// Emits the stream in disordered **arrival order** (see
+    /// [`DisorderSpec`]); batches from
+    /// [`StockGenerator::generate_batches`] then carry unsorted rows.
+    pub fn disordered(mut self, spec: DisorderSpec) -> StockConfig {
+        self.disorder = Some(spec);
+        self
     }
 
     /// Sets one name's price scale (see `price_scales`).
@@ -132,9 +147,12 @@ impl StockGenerator {
     /// Generates the stream directly as struct-of-arrays [`EventBatch`]es of
     /// `batch_size` rows (the last batch may be shorter). The row values are
     /// identical to [`StockGenerator::generate`] for the same config — the
-    /// two only differ in batch boundaries.
+    /// two only differ in batch boundaries. With
+    /// [`StockConfig::disordered`] set, rows are emitted in the spec's
+    /// arrival order instead of time order (batches may be unsorted).
     pub fn generate_batches(config: StockConfig, batch_size: usize) -> Vec<EventBatch> {
         assert!(batch_size >= 1, "batch size must be at least 1");
+        let disorder = config.disorder;
         let mut g = StockGenerator::new(config);
         // Intern each name once; every generated row reuses the symbol.
         let name_syms: Vec<Sym> = g.config.names.iter().map(|(n, _)| Sym::intern(n)).collect();
@@ -162,7 +180,10 @@ impl StockGenerator {
         if !builder.is_empty() {
             out.push(builder.finish());
         }
-        out
+        match disorder {
+            Some(spec) => spec.shuffle_batches(&out, batch_size),
+            None => out,
+        }
     }
 
     /// Draws the next row's raw values (shared by the streaming and the

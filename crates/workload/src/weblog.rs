@@ -16,6 +16,7 @@ use rand::{RngExt, SeedableRng};
 
 use zstream_events::{EventBatch, EventRef, Schema, Ts, Value};
 
+use crate::disorder::DisorderSpec;
 use crate::zipf::Zipf;
 
 /// Paper's Table 4: accesses per category in 1.5 M records.
@@ -37,11 +38,20 @@ pub struct WeblogConfig {
     pub ip_skew: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Arrival-order disorder applied to the generated log (default `None`
+    /// — time-ordered output). See [`DisorderSpec`].
+    pub disorder: Option<DisorderSpec>,
 }
 
 impl Default for WeblogConfig {
     fn default() -> Self {
-        WeblogConfig { total: PAPER_TOTAL, num_ips: 20_000, ip_skew: 1.1, seed: 2009 }
+        WeblogConfig {
+            total: PAPER_TOTAL,
+            num_ips: 20_000,
+            ip_skew: 1.1,
+            seed: 2009,
+            disorder: None,
+        }
     }
 }
 
@@ -49,7 +59,21 @@ impl WeblogConfig {
     /// A configuration scaled to `total` records, keeping Table 4's class
     /// frequencies proportional.
     pub fn scaled(total: u64, seed: u64) -> WeblogConfig {
-        WeblogConfig { total, num_ips: ((total / 75).max(10)) as usize, ip_skew: 1.1, seed }
+        WeblogConfig {
+            total,
+            num_ips: ((total / 75).max(10)) as usize,
+            ip_skew: 1.1,
+            seed,
+            disorder: None,
+        }
+    }
+
+    /// Emits the log in disordered **arrival order** (see [`DisorderSpec`]);
+    /// batches from [`WeblogGenerator::generate_batches`] then carry
+    /// unsorted rows.
+    pub fn disordered(mut self, spec: DisorderSpec) -> WeblogConfig {
+        self.disorder = Some(spec);
+        self
     }
 }
 
@@ -160,6 +184,10 @@ impl WeblogGenerator {
         if !builder.is_empty() {
             batches.push(builder.finish());
         }
+        let batches = match config.disorder {
+            Some(spec) => spec.shuffle_batches(&batches, batch_size),
+            None => batches,
+        };
         (batches, stats)
     }
 }

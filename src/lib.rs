@@ -75,6 +75,9 @@ pub mod prelude {
     pub use zstream_events::Value;
     /// A parsed PATTERN/WHERE/WITHIN/RETURN query.
     pub use zstream_lang::Query;
+    /// What to do with events beyond the reorder slack window
+    /// (drop / dead-letter / strict error).
+    pub use zstream_runtime::LatenessPolicy;
     /// Shard routing policy of a registered query (auto / forced / broadcast).
     pub use zstream_runtime::Partitioning;
     /// Identifier of a query registered with the runtime.
@@ -87,6 +90,8 @@ pub mod prelude {
     pub use zstream_runtime::RuntimeMatch;
     /// Final accounting returned by [`Runtime::shutdown`].
     pub use zstream_runtime::RuntimeReport;
+    /// Arrival-order disorder model for generated workload streams.
+    pub use zstream_workload::DisorderSpec;
     /// Configuration of a synthetic stock stream (rates, prices, length).
     pub use zstream_workload::StockConfig;
     /// Deterministic generator of synthetic stock-trade events.
