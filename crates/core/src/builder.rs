@@ -241,6 +241,42 @@ impl CompiledParts {
             field,
         )
     }
+
+    /// Instantiates an engine restored from a snapshot stream, the
+    /// checkpoint-recovery twin of [`CompiledParts::engine`]. This
+    /// compilation must match the one the snapshotted engine ran.
+    pub fn restore_engine(
+        &self,
+        r: &mut zstream_events::SnapshotReader<'_>,
+    ) -> Result<Engine, zstream_events::SnapshotError> {
+        let plan = self.compiled.physical_plan(self.config.plan.clone()).map_err(|e| {
+            zstream_events::SnapshotError::Corrupt(format!("plan rebuild failed: {e}"))
+        })?;
+        Engine::restore_snapshot(
+            self.compiled.aq.clone(),
+            plan,
+            self.intake.clone(),
+            self.config.batch_size,
+            r,
+        )
+    }
+
+    /// Instantiates a partitioned engine restored from a snapshot stream,
+    /// the checkpoint-recovery twin of [`CompiledParts::partitioned_engine`].
+    pub fn restore_partitioned_engine(
+        &self,
+        field: &str,
+        r: &mut zstream_events::SnapshotReader<'_>,
+    ) -> Result<PartitionedEngine, zstream_events::SnapshotError> {
+        PartitionedEngine::restore_snapshot(
+            self.compiled.clone(),
+            self.config.plan.clone(),
+            self.intake.clone(),
+            self.config.batch_size,
+            field,
+            r,
+        )
+    }
 }
 
 /// Per-class intake predicates: analyzed single-class predicates plus the
@@ -334,6 +370,82 @@ mod tests {
         assert!(engine.push(stock(2, 1, "Sun", 1.0, 1)).is_empty());
         let out = engine.flush();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn engine_snapshot_round_trips_mid_stream() {
+        use zstream_events::{Snapshot, SnapshotReader, SnapshotWriter};
+        let parts = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 200")
+            .unwrap()
+            .stock_routing()
+            .config(EngineConfig { batch_size: 2, ..Default::default() })
+            .compile()
+            .unwrap();
+        let mut engine = parts.engine().unwrap();
+        let names = ["IBM", "Sun", "Oracle", "IBM", "Sun"];
+        let mut head_matches = 0;
+        for (i, name) in names.iter().enumerate() {
+            head_matches += engine.push(stock(i as u64 + 1, i as i64, name, 10.0, 1)).len();
+        }
+        assert_eq!(head_matches, 1, "IBM@1;Sun@2;Oracle@3 completed pre-snapshot");
+
+        // Snapshot mid-stream: batch_size 2 with 5 events leaves one event
+        // pending, buffers partially consumed.
+        let mut w = SnapshotWriter::new();
+        engine.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut restored = parts.restore_engine(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.watermark(), engine.watermark());
+        assert_eq!(restored.metrics().events_in, engine.metrics().events_in);
+        assert_eq!(restored.metrics().matches_out, engine.metrics().matches_out);
+        assert_eq!(restored.class_counters(), engine.class_counters());
+
+        // The tail completes matches whose prefixes straddle the boundary;
+        // both engines must emit the same matches in the same order, and
+        // neither may re-emit the pre-snapshot match.
+        let tail: Vec<_> = ["Oracle", "IBM", "Sun", "Oracle"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| stock(i as u64 + 6, i as i64, name, 10.0, 1))
+            .collect();
+        let fmt = |e: &Engine, recs: &[zstream_events::Record]| {
+            recs.iter().map(|r| e.format_match(r)).collect::<Vec<_>>()
+        };
+        for e in &tail {
+            let a = engine.push(e.clone());
+            let b = restored.push(e.clone());
+            assert_eq!(fmt(&engine, &a), fmt(&restored, &b));
+        }
+        let (a, b) = (engine.flush(), restored.flush());
+        assert_eq!(fmt(&engine, &a), fmt(&restored, &b));
+        assert_eq!(restored.metrics().matches_out, engine.metrics().matches_out);
+        assert!(engine.metrics().matches_out > 1, "tail produced matches");
+    }
+
+    #[test]
+    fn engine_restore_rejects_wrong_query_shape() {
+        use zstream_events::{Snapshot, SnapshotReader, SnapshotWriter};
+        let two = EngineBuilder::parse("PATTERN IBM; Sun WITHIN 100")
+            .unwrap()
+            .stock_routing()
+            .compile()
+            .unwrap();
+        let three = EngineBuilder::parse("PATTERN IBM; Sun; Oracle WITHIN 100")
+            .unwrap()
+            .stock_routing()
+            .compile()
+            .unwrap();
+        let mut engine = two.engine().unwrap();
+        engine.push(stock(1, 0, "IBM", 1.0, 1));
+        let mut w = SnapshotWriter::new();
+        engine.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        assert!(
+            three.restore_engine(&mut SnapshotReader::new(&bytes)).is_err(),
+            "a two-class snapshot must not restore into a three-class plan"
+        );
     }
 
     #[test]

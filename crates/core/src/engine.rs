@@ -15,7 +15,10 @@
 
 use std::sync::Arc;
 
-use zstream_events::{EventBatch, EventRef, Record, Sym, Ts, Value};
+use zstream_events::{
+    EventBatch, EventRef, Record, Snapshot, SnapshotError, SnapshotReader, SnapshotResult,
+    SnapshotWriter, Sym, Ts, Value,
+};
 use zstream_lang::{AnalyzedQuery, BinOp, ClassId, EventBinding, TypedExpr};
 
 use crate::metrics::EngineMetrics;
@@ -562,5 +565,94 @@ impl Engine {
         new_plan.reset_for_switch(leaves);
         self.plan = new_plan;
         self.metrics.plan_switches += 1;
+    }
+
+    /// Rebuilds an engine from a [`Snapshot`] stream. `aq`, `plan` and
+    /// `intake` must come from compiling the same query with the same plan
+    /// configuration the snapshotted engine ran (checkpoints carry state,
+    /// not code — the caller re-derives the plan and this injects the
+    /// buffers, cursors, watermark and counters into it). Hash indexes are
+    /// *not* snapshotted: they are derived state and re-sync incrementally
+    /// from the restored buffers on the next probe.
+    pub fn restore_snapshot(
+        aq: Arc<AnalyzedQuery>,
+        plan: PhysicalPlan,
+        intake: Vec<Vec<TypedExpr>>,
+        batch_size: usize,
+        r: &mut SnapshotReader<'_>,
+    ) -> SnapshotResult<Engine> {
+        let mut engine = Engine::new(aq, plan, intake, batch_size);
+        engine.watermark = r.u64()?;
+        engine.metrics = EngineMetrics::restore_snapshot(r)?;
+        let n_classes = engine.aq.num_classes();
+        let read_counters = |r: &mut SnapshotReader<'_>| -> SnapshotResult<Vec<u64>> {
+            let n = r.len()?;
+            if n != n_classes {
+                return Err(SnapshotError::Corrupt(format!(
+                    "class counter arity {n} does not match query ({n_classes} classes)"
+                )));
+            }
+            (0..n).map(|_| r.u64()).collect()
+        };
+        engine.offered = read_counters(r)?;
+        engine.admitted = read_counters(r)?;
+        let n_pending = r.len()?;
+        engine.pending = (0..n_pending).map(|_| r.event()).collect::<SnapshotResult<_>>()?;
+        let n_nodes = r.len()?;
+        if n_nodes != engine.plan.nodes.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_nodes} plan nodes, compiled plan has {}",
+                engine.plan.nodes.len()
+            )));
+        }
+        for node in &mut engine.plan.nodes {
+            let n_recs = r.len()?;
+            for _ in 0..n_recs {
+                node.buf.push(r.record()?);
+            }
+            let consumed = usize::try_from(r.u64()?)
+                .map_err(|_| SnapshotError::Corrupt("consumed cursor exceeds usize".into()))?;
+            if consumed > node.buf.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "consumed cursor {consumed} past buffer length {}",
+                    node.buf.len()
+                )));
+            }
+            node.buf.set_consumed(consumed);
+        }
+        Ok(engine)
+    }
+}
+
+impl Snapshot for Engine {
+    /// Serializes the evolving state: watermark, metrics, per-class intake
+    /// counters, events pending a full batch, and every node buffer with
+    /// its consumed cursor. The query, plan shape and intake predicates are
+    /// **not** written — [`Engine::restore_snapshot`] re-derives them from
+    /// the compiled query, which also makes the snapshot independent of
+    /// process-local symbol ids and compiled-predicate layout.
+    fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.u64(self.watermark);
+        self.metrics.write_snapshot(w);
+        w.len(self.offered.len());
+        for &c in &self.offered {
+            w.u64(c);
+        }
+        w.len(self.admitted.len());
+        for &c in &self.admitted {
+            w.u64(c);
+        }
+        w.len(self.pending.len());
+        for e in &self.pending {
+            w.event(e);
+        }
+        w.len(self.plan.nodes.len());
+        for node in &self.plan.nodes {
+            w.len(node.buf.len());
+            for rec in node.buf.iter() {
+                w.record(rec);
+            }
+            w.len(node.buf.consumed());
+        }
     }
 }

@@ -7,6 +7,8 @@
 //! logical footprint of all buffers and hash indexes sampled at the end of
 //! every round.
 
+use zstream_events::{Snapshot, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter};
+
 /// Counters maintained by an [`crate::Engine`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineMetrics {
@@ -86,6 +88,43 @@ impl EngineMetrics {
         let s = zstream_events::symbol_stats();
         self.symbols_interned = s.symbols;
         self.symbol_bytes_saved = s.bytes_saved;
+    }
+
+    /// Rebuilds metrics from a [`Snapshot`] stream, so throughput and
+    /// peak-memory accounting span a checkpoint/restore boundary.
+    pub fn restore_snapshot(r: &mut SnapshotReader<'_>) -> SnapshotResult<EngineMetrics> {
+        Ok(EngineMetrics {
+            events_in: r.u64()?,
+            events_admitted: r.u64()?,
+            matches_out: r.u64()?,
+            assembly_rounds: r.u64()?,
+            idle_rounds: r.u64()?,
+            peak_bytes: usize::try_from(r.u64()?)
+                .map_err(|_| SnapshotError::Corrupt("peak bytes exceeds usize".into()))?,
+            replans: r.u64()?,
+            plan_switches: r.u64()?,
+            symbols_interned: r.u64()?,
+            symbol_bytes_saved: r.u64()?,
+            late_events: r.u64()?,
+            reorder_buffered_peak: r.u64()?,
+        })
+    }
+}
+
+impl Snapshot for EngineMetrics {
+    fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.u64(self.events_in);
+        w.u64(self.events_admitted);
+        w.u64(self.matches_out);
+        w.u64(self.assembly_rounds);
+        w.u64(self.idle_rounds);
+        w.u64(self.peak_bytes as u64);
+        w.u64(self.replans);
+        w.u64(self.plan_switches);
+        w.u64(self.symbols_interned);
+        w.u64(self.symbol_bytes_saved);
+        w.u64(self.late_events);
+        w.u64(self.reorder_buffered_peak);
     }
 }
 

@@ -38,6 +38,7 @@ mod record;
 mod reorder;
 mod route;
 mod schema;
+mod snapshot;
 mod soa;
 mod sym;
 mod time;
@@ -52,6 +53,7 @@ pub use route::{
     shard_of, split_batch_by_field, split_batch_rows, split_by_field, RowSplit, ShardSplit,
 };
 pub use schema::{Field, Schema, SchemaBuilder};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter};
 pub use soa::{BatchBuilder, BatchData, Column, EventBatch};
 pub use sym::{symbol_stats, Sym, SymbolStats};
 pub use time::{span_within, Ts};

@@ -37,6 +37,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter};
 use crate::soa::EventBatch;
 use crate::time::Ts;
 use crate::EventRef;
@@ -312,6 +313,63 @@ impl ColumnarReorder {
             } else {
                 break;
             }
+        }
+    }
+
+    /// Rebuilds an operator from a [`Snapshot`] stream: per-source
+    /// high-water marks, the pending tree (with arrival tiebreaks, so
+    /// equal-timestamp release order survives the restart) and the
+    /// late/peak counters.
+    pub fn restore_snapshot(r: &mut SnapshotReader<'_>) -> SnapshotResult<ColumnarReorder> {
+        let slack = r.u64()?;
+        let sources = r.len()?;
+        if sources == 0 {
+            return Err(SnapshotError::Corrupt("reorder snapshot has zero sources".into()));
+        }
+        let mut high_water = Vec::with_capacity(sources);
+        for _ in 0..sources {
+            high_water.push(r.u64()?);
+        }
+        let arrivals = r.u64()?;
+        let late = r.u64()?;
+        let buffered_peak = usize::try_from(r.u64()?)
+            .map_err(|_| SnapshotError::Corrupt("buffered peak exceeds usize".into()))?;
+        let n = r.len()?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..n {
+            let ts = r.u64()?;
+            let arrival = r.u64()?;
+            if arrival > arrivals {
+                return Err(SnapshotError::Corrupt(format!(
+                    "pending arrival {arrival} exceeds arrival counter {arrivals}"
+                )));
+            }
+            let event = r.event()?;
+            if pending.insert((ts, arrival), event).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate pending key ({ts}, {arrival})"
+                )));
+            }
+        }
+        Ok(ColumnarReorder { slack, high_water, pending, arrivals, late, buffered_peak })
+    }
+}
+
+impl Snapshot for ColumnarReorder {
+    fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.u64(self.slack);
+        w.len(self.high_water.len());
+        for &hw in &self.high_water {
+            w.u64(hw);
+        }
+        w.u64(self.arrivals);
+        w.u64(self.late);
+        w.u64(self.buffered_peak as u64);
+        w.len(self.pending.len());
+        for ((ts, arrival), event) in &self.pending {
+            w.u64(*ts);
+            w.u64(*arrival);
+            w.event(event);
         }
     }
 }
@@ -622,6 +680,100 @@ mod tests {
         assert_eq!(batches.len(), 2, "incompatible schemas must not share a batch");
         assert_eq!(batches[0].ts_column(), &[1]);
         assert_eq!(batches[1].ts_column(), &[2]);
+    }
+
+    #[test]
+    fn repack_events_empty_input_yields_no_batches() {
+        assert!(repack_events(&[]).is_empty());
+    }
+
+    #[test]
+    fn repack_events_groups_maximal_compatible_runs() {
+        // Stocks / WebLog / Stocks: three runs, even though the two stock
+        // runs share a schema — repacking preserves order, so only
+        // *adjacent* compatible rows share a batch.
+        let web = crate::Event::builder(crate::Schema::weblog(), 2)
+            .value("1.2.3.4")
+            .value("/a")
+            .value("news")
+            .build_ref()
+            .unwrap();
+        let events = vec![stock(1, 1, "IBM", 1.0, 1), web, stock(3, 2, "Sun", 2.0, 1)];
+        let batches = repack_events(&events);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].schema().name(), "Stocks");
+        assert_eq!(batches[1].schema().name(), "WebLog");
+        assert_eq!(batches[2].schema().name(), "Stocks");
+        // Fresh storage: repacked handles do not pin the original batches.
+        assert_ne!(batches[0].event(0).identity(), events[0].identity());
+        assert_eq!(batches[0].event(0).to_string(), events[0].to_string());
+    }
+
+    #[test]
+    fn repack_events_packs_sym_columns_across_source_batches() {
+        // Rows from *different* storage batches of one logical schema pack
+        // into a single batch, and the interned string column survives.
+        let events = vec![stock(1, 1, "IBM", 1.0, 1), stock(2, 2, "Sun", 2.0, 1)];
+        let batches = repack_events(&events);
+        assert_eq!(batches.len(), 1, "distinct Arc schemas of one layout share a run");
+        assert_eq!(batches[0].len(), 2);
+        let syms = batches[0].column(1).as_syms().expect("name column must stay interned").to_vec();
+        assert_eq!(syms, vec![crate::Sym::intern("IBM"), crate::Sym::intern("Sun")]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_pending_and_watermarks() {
+        let mut cr = ColumnarReorder::with_sources(4, 2);
+        cr.offer_batch_from(0, &batch_of(&[3, 1, 7, 5]));
+        cr.offer_batch_from(1, &batch_of(&[2]));
+        cr.offer_batch_from(0, &batch_of(&[0])); // late: counted
+                                                 // Equal-timestamp entries check the arrival tiebreak survives.
+        let mut out = Vec::new();
+        cr.offer_from(0, stock(5, 99, "B", 9.0, 9), &mut out);
+        assert!(out.is_empty());
+
+        let mut w = SnapshotWriter::new();
+        cr.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut back = ColumnarReorder::restore_snapshot(&mut r).unwrap();
+        assert!(r.is_exhausted());
+
+        assert_eq!(back.slack(), cr.slack());
+        assert_eq!(back.num_sources(), 2);
+        assert_eq!(back.high_water(0), cr.high_water(0));
+        assert_eq!(back.high_water(1), cr.high_water(1));
+        assert_eq!(back.late_count(), cr.late_count());
+        assert_eq!(back.buffered_peak(), cr.buffered_peak());
+        assert_eq!(back.pending_len(), cr.pending_len());
+        // Both drain identically — same order, same row contents.
+        let drain = |c: &mut ColumnarReorder| {
+            let mut out = Vec::new();
+            c.flush_events(&mut out);
+            out.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(drain(&mut back), drain(&mut cr));
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_streams() {
+        let cr = ColumnarReorder::with_sources(1, 1);
+        let mut w = SnapshotWriter::new();
+        cr.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        assert!(ColumnarReorder::restore_snapshot(&mut SnapshotReader::new(
+            &bytes[..bytes.len() - 1]
+        ))
+        .is_err());
+        // Zero sources is structurally invalid.
+        let mut w = SnapshotWriter::new();
+        w.u64(0); // slack
+        w.len(0); // sources
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ColumnarReorder::restore_snapshot(&mut SnapshotReader::new(&bytes)),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Durable state: the versioned checkpoint container and configuration
+//! fingerprint.
+//!
+//! A checkpoint captures the full runtime — per-shard engine buffers, the
+//! reorder stage's pending tree and per-source high-water marks, the
+//! merger's frontier and buffered matches, dead-letter queues, and
+//! aggregated metrics — as one self-describing file:
+//!
+//! ```text
+//! "ZSTCKPT\0"  magic            (8 bytes)
+//! version      u32 little-endian (currently 1)
+//! payload      one zstream_events::Snapshot stream:
+//!   checkpoint sequence  u64
+//!   CONFIG   fingerprint of the producing configuration (validated on
+//!            restore: workers, batch size, heartbeat interval, slack,
+//!            sources, lateness policy, per-query route/shape)
+//!   RUNTIME  watermark, per-shard sent-watermarks, dropped counts,
+//!            heartbeat phase, aggregated metrics, dead letters, per-source
+//!            last-chunk digests (the idempotent-replay guard)
+//!   MERGE    per-shard frontier watermarks + buffered matches
+//!   REORDER  presence flag + pending tree / high-water marks
+//!   SHARDS   per shard: alive flag; if alive, emission seq + a
+//!            length-prefixed self-contained engine blob
+//!   END      closing tag
+//! ```
+//!
+//! Checkpoints are **self-contained** (a file restores on its own — no
+//! chain of deltas to replay) and incremental in *stream position*: the
+//! cost of a checkpoint is proportional to the state the window still
+//! holds, O(window), never to the length of the stream already processed.
+//!
+//! The quiesce protocol is channel FIFO: the control thread sends
+//! [`crate::shard::ShardMsg::Snapshot`] down each live shard's bounded
+//! input channel, so each shard serializes only after evaluating every
+//! batch sent before the marker — no pause flag, no barrier, in-flight
+//! `Output` replies are simply folded into the merger (not emitted) while
+//! the control thread awaits the snapshot replies.
+
+use std::fmt;
+
+use zstream_events::{SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter, Ts};
+
+use crate::registry::{QueryDef, Route};
+use crate::runtime::LatenessPolicy;
+
+/// File magic: identifies a ZStream checkpoint.
+pub(crate) const MAGIC: [u8; 8] = *b"ZSTCKPT\0";
+
+/// Current checkpoint format version. Bump on any incompatible layout
+/// change; [`crate::RuntimeBuilder::restore`] rejects versions it cannot
+/// read. A checked-in golden fixture (`tests/checkpoint_golden.rs`) makes
+/// silent format breakage a CI failure.
+pub(crate) const VERSION: u32 = 1;
+
+/// Section tags: cheap structural redundancy so a desynchronized reader
+/// fails with "expected section X" instead of decoding garbage.
+pub(crate) const TAG_CONFIG: u8 = 1;
+pub(crate) const TAG_RUNTIME: u8 = 2;
+pub(crate) const TAG_MERGE: u8 = 3;
+pub(crate) const TAG_REORDER: u8 = 4;
+pub(crate) const TAG_SHARDS: u8 = 5;
+pub(crate) const TAG_END: u8 = 6;
+
+/// Identifier of one completed checkpoint: the runtime's monotone
+/// checkpoint sequence number. Carried inside the file, so a checkpoint of
+/// a restored runtime continues the sequence instead of restarting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckpointId(pub(crate) u64);
+
+impl CheckpointId {
+    /// The monotone sequence number of this checkpoint.
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CheckpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ckpt-{}", self.0)
+    }
+}
+
+/// The scalar half of the configuration fingerprint (the per-query half
+/// comes from the resolved [`QueryDef`]s).
+pub(crate) struct Fingerprint {
+    pub workers: usize,
+    pub batch_size: usize,
+    pub heartbeat_interval: usize,
+    pub slack: Option<Ts>,
+    pub sources: usize,
+    pub lateness: LatenessPolicy,
+}
+
+fn lateness_tag(p: LatenessPolicy) -> u8 {
+    match p {
+        LatenessPolicy::Drop => 0,
+        LatenessPolicy::DeadLetter => 1,
+        LatenessPolicy::Strict => 2,
+    }
+}
+
+/// Serializes the configuration fingerprint. Everything that shapes what a
+/// shard's state *means* is covered — worker count (key → shard mapping),
+/// batch size (chunking determinism), routing, per-query class count and
+/// window — while knobs that only affect scheduling (channel capacity) are
+/// deliberately free to differ across restore.
+pub(crate) fn write_fingerprint(w: &mut SnapshotWriter, fp: &Fingerprint, defs: &[QueryDef]) {
+    w.u64(fp.workers as u64);
+    w.u64(fp.batch_size as u64);
+    w.u64(fp.heartbeat_interval as u64);
+    w.opt_u64(fp.slack);
+    w.u64(fp.sources as u64);
+    w.u8(lateness_tag(fp.lateness));
+    w.len(defs.len());
+    for def in defs {
+        match &def.route {
+            Route::Hash(field) => {
+                w.u8(0);
+                w.str(field);
+            }
+            Route::Single(home) => {
+                w.u8(1);
+                w.u64(*home as u64);
+            }
+        }
+        let aq = def.parts.analyzed();
+        w.u64(aq.num_classes() as u64);
+        w.u64(aq.window);
+    }
+}
+
+/// Validates the restoring configuration against a checkpoint's
+/// fingerprint, field by field, with a message naming the first mismatch.
+pub(crate) fn check_fingerprint(
+    r: &mut SnapshotReader<'_>,
+    fp: &Fingerprint,
+    defs: &[QueryDef],
+) -> SnapshotResult<()> {
+    fn expect<T: PartialEq + fmt::Debug>(what: &str, stored: T, ours: T) -> SnapshotResult<()> {
+        if stored == ours {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "configuration mismatch: checkpoint has {what} {stored:?}, \
+                 restoring runtime has {ours:?}"
+            )))
+        }
+    }
+    expect("workers", r.u64()?, fp.workers as u64)?;
+    expect("batch_size", r.u64()?, fp.batch_size as u64)?;
+    expect("heartbeat_interval", r.u64()?, fp.heartbeat_interval as u64)?;
+    expect("slack", r.opt_u64()?, fp.slack)?;
+    expect("sources", r.u64()?, fp.sources as u64)?;
+    expect("lateness policy", r.u8()?, lateness_tag(fp.lateness))?;
+    expect("registered queries", r.len()? as u64, defs.len() as u64)?;
+    for (q, def) in defs.iter().enumerate() {
+        let tag = r.u8()?;
+        match (&def.route, tag) {
+            (Route::Hash(field), 0) => {
+                expect(&format!("query {q} hash field"), r.str()?, field.clone())?;
+            }
+            (Route::Single(home), 1) => {
+                expect(&format!("query {q} home shard"), r.u64()?, *home as u64)?;
+            }
+            (route, tag) => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "configuration mismatch: query {q} route kind {tag} in checkpoint \
+                     vs {route:?} in restoring runtime"
+                )));
+            }
+        }
+        let aq = def.parts.analyzed();
+        expect(&format!("query {q} classes"), r.u64()?, aq.num_classes() as u64)?;
+        expect(&format!("query {q} window"), r.u64()?, aq.window)?;
+    }
+    Ok(())
+}
+
+/// Reads and checks one section tag.
+pub(crate) fn expect_tag(r: &mut SnapshotReader<'_>, tag: u8, name: &str) -> SnapshotResult<()> {
+    let got = r.u8()?;
+    if got != tag {
+        return Err(SnapshotError::Corrupt(format!(
+            "expected {name} section (tag {tag}), found tag {got}"
+        )));
+    }
+    Ok(())
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use zstream_core::CoreError;
-use zstream_events::Ts;
+use zstream_events::{SnapshotError, Ts};
 
 /// Errors raised by the scale-out runtime.
 #[derive(Debug)]
@@ -33,6 +33,11 @@ pub enum RuntimeError {
         /// (`high_water − slack`).
         acceptable: Ts,
     },
+    /// A checkpoint could not be written, or a snapshot could not be
+    /// restored: I/O failure, bad magic/version, a corrupt or truncated
+    /// stream, or a restore configuration that does not match the
+    /// checkpoint's fingerprint.
+    Checkpoint(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -47,6 +52,7 @@ impl fmt::Display for RuntimeError {
                 "event at ts {ts} from source {source} is beyond the reorder slack \
                  (earliest acceptable: {acceptable}) under the strict lateness policy"
             ),
+            RuntimeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -63,5 +69,11 @@ impl std::error::Error for RuntimeError {
 impl From<CoreError> for RuntimeError {
     fn from(e: CoreError) -> Self {
         RuntimeError::Core(e)
+    }
+}
+
+impl From<SnapshotError> for RuntimeError {
+    fn from(e: SnapshotError) -> Self {
+        RuntimeError::Checkpoint(e.to_string())
     }
 }

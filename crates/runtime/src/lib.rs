@@ -103,12 +103,14 @@
 //! assert!(matches.iter().all(|m| m.query == q));
 //! ```
 
+mod checkpoint;
 mod error;
 mod merge;
 mod registry;
 mod runtime;
 mod shard;
 
+pub use checkpoint::CheckpointId;
 pub use error::RuntimeError;
 pub use merge::RuntimeMatch;
 pub use registry::{Partitioning, QueryId, Route};

@@ -13,7 +13,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use zstream_events::{Record, Ts};
+use zstream_events::{Record, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter, Ts};
 
 use crate::registry::QueryId;
 
@@ -109,6 +109,11 @@ impl OrderedMerge {
         self.watermarks[shard].is_none()
     }
 
+    /// Number of shards the merger tracks (live or finished).
+    pub fn num_shards(&self) -> usize {
+        self.watermarks.len()
+    }
+
     /// Number of shards that have finished.
     pub fn finished_count(&self) -> usize {
         self.watermarks.iter().filter(|w| w.is_none()).count()
@@ -123,6 +128,56 @@ impl OrderedMerge {
     /// Number of buffered (not yet final) matches.
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Serializes the frontier state and every buffered match. Entries are
+    /// written in merge-key order (the heap's internal order is arbitrary),
+    /// so serializing the same state twice is byte-identical.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.len(self.watermarks.len());
+        for wm in &self.watermarks {
+            w.opt_u64(*wm);
+        }
+        let mut entries: Vec<&RuntimeMatch> = self.heap.iter().map(|Reverse(e)| &e.m).collect();
+        entries.sort_by_key(|m| m.key());
+        w.len(entries.len());
+        for m in entries {
+            w.u64(m.query.0 as u64);
+            w.u64(m.shard as u64);
+            w.u64(m.seq);
+            w.record(&m.record);
+        }
+    }
+
+    /// Rebuilds a merger from a [`zstream_events::Snapshot`] stream:
+    /// buffered matches re-enter the heap and release under the restored
+    /// per-shard watermarks exactly once, after restore.
+    pub fn restore_snapshot(
+        r: &mut SnapshotReader<'_>,
+        num_queries: usize,
+    ) -> SnapshotResult<OrderedMerge> {
+        let shards = r.len()?;
+        let mut watermarks = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            watermarks.push(r.opt_u64()?);
+        }
+        let n = r.len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let query =
+                usize::try_from(r.u64()?).ok().filter(|q| *q < num_queries).ok_or_else(|| {
+                    SnapshotError::Corrupt("buffered match query out of range".into())
+                })?;
+            let shard =
+                usize::try_from(r.u64()?).ok().filter(|s| *s < shards).ok_or_else(|| {
+                    SnapshotError::Corrupt("buffered match shard out of range".into())
+                })?;
+            let seq = r.u64()?;
+            let record = r.record()?;
+            let m = RuntimeMatch { query: QueryId(query), shard, seq, record };
+            heap.push(Reverse(Entry { key: m.key(), m }));
+        }
+        Ok(OrderedMerge { heap, watermarks })
     }
 
     /// Pops every final match, in `(end_ts, shard, seq)` order.

@@ -8,13 +8,17 @@ use std::thread::JoinHandle;
 use zstream_core::{CompiledParts, Engine, EngineMetrics};
 use zstream_events::{
     repack_events, split_batch_rows, split_by_field, ColumnarReorder, EventBatch, EventRef, Record,
-    ReorderOutcome, Ts,
+    ReorderOutcome, Snapshot, SnapshotReader, SnapshotWriter, Ts,
 };
 
+use crate::checkpoint::{
+    check_fingerprint, expect_tag, write_fingerprint, CheckpointId, Fingerprint, MAGIC, TAG_CONFIG,
+    TAG_END, TAG_MERGE, TAG_REORDER, TAG_RUNTIME, TAG_SHARDS, VERSION,
+};
 use crate::error::RuntimeError;
 use crate::merge::{OrderedMerge, RuntimeMatch};
 use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
-use crate::shard::{build_engines, run_shard, RowSel, ShardMsg, ShardReply};
+use crate::shard::{build_engines, restore_engines, run_shard, RowSel, ShardMsg, ShardReply};
 
 /// What to do with an event that arrives beyond the reorder slack window
 /// (§4.1: it can no longer be placed in time order).
@@ -179,9 +183,11 @@ impl RuntimeBuilder {
         id
     }
 
-    /// Validates the configuration, resolves every query's routing, spawns
-    /// the worker shards, and returns the running [`Runtime`].
-    pub fn build(self) -> Result<Runtime, RuntimeError> {
+    /// The configuration checks shared by [`build`] and [`restore`].
+    ///
+    /// [`build`]: RuntimeBuilder::build
+    /// [`restore`]: RuntimeBuilder::restore
+    fn validate(&self) -> Result<(), RuntimeError> {
         if self.workers == 0 {
             return Err(RuntimeError::InvalidConfig("workers must be >= 1".into()));
         }
@@ -210,6 +216,13 @@ impl RuntimeBuilder {
                 ));
             }
         }
+        Ok(())
+    }
+
+    /// Validates the configuration, resolves every query's routing, spawns
+    /// the worker shards, and returns the running [`Runtime`].
+    pub fn build(self) -> Result<Runtime, RuntimeError> {
+        self.validate()?;
         let defs = resolve_routes(self.defs, self.workers)?;
         // One template engine per query stays on the control thread; it
         // never sees events and exists to interpret records (signatures,
@@ -226,7 +239,7 @@ impl RuntimeBuilder {
             let reply_tx = reply_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("zstream-shard-{shard}"))
-                .spawn(move || run_shard(shard, engines, rx, reply_tx))
+                .spawn(move || run_shard(shard, engines, rx, reply_tx, 0))
                 .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?;
             senders.push(tx);
             handles.push(handle);
@@ -250,8 +263,226 @@ impl RuntimeBuilder {
             dropped,
             query_metrics,
             reorder,
+            slack: self.slack,
+            sources: self.sources,
             lateness: self.lateness,
             dead_letters: Vec::new(),
+            checkpoint_seq: 0,
+            last_chunk_digest: vec![None; self.sources],
+            replay_guard: vec![None; self.sources],
+            snapshot_stash: Vec::new(),
+        })
+    }
+
+    /// Rebuilds a runtime from a checkpoint written by
+    /// [`Runtime::checkpoint`], instead of starting empty.
+    ///
+    /// The builder must describe **the same logical deployment** that wrote
+    /// the checkpoint: same worker count, batch size, heartbeat interval,
+    /// slack/sources/lateness, and the same queries registered in the same
+    /// order with the same partitioning — the checkpoint's configuration
+    /// fingerprint is validated field by field and any mismatch is a
+    /// [`RuntimeError::Checkpoint`] naming the first difference (a
+    /// different `channel_capacity` is allowed: it only shapes
+    /// backpressure, not state). Shards that had left the pool (worker
+    /// failure) before the checkpoint are restored as already-departed:
+    /// their matches are final, events routed to them count as dropped.
+    ///
+    /// After restore the runtime is **replay-armed**: if the first ingest
+    /// call a source makes is byte-identical in content to the last chunk
+    /// that source ingested before the checkpoint, it is recognized (by
+    /// content digest) and skipped, so an at-least-once upstream that
+    /// replays its unacknowledged tail does not double-count a chunk whose
+    /// effects the checkpoint already captured. Any other first ingest
+    /// disarms the guard for that source.
+    pub fn restore<R: std::io::Read>(self, input: &mut R) -> Result<Runtime, RuntimeError> {
+        let mut data = Vec::new();
+        input
+            .read_to_end(&mut data)
+            .map_err(|e| RuntimeError::Checkpoint(format!("reading checkpoint: {e}")))?;
+        if data.len() < MAGIC.len() + 4 || data[..MAGIC.len()] != MAGIC {
+            return Err(RuntimeError::Checkpoint("not a ZStream checkpoint (bad magic)".into()));
+        }
+        let version =
+            u32::from_le_bytes(data[MAGIC.len()..MAGIC.len() + 4].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(RuntimeError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (this build reads version {VERSION})"
+            )));
+        }
+        self.validate()?;
+        let workers = self.workers;
+        let fp = Fingerprint {
+            workers,
+            batch_size: self.batch_size,
+            heartbeat_interval: self.heartbeat_interval,
+            slack: self.slack,
+            sources: self.sources,
+            lateness: self.lateness,
+        };
+        let defs = resolve_routes(self.defs, workers)?;
+        let templates: Vec<Engine> =
+            defs.iter().map(|d| d.parts.engine()).collect::<Result<_, _>>()?;
+
+        let mut r = SnapshotReader::new(&data[MAGIC.len() + 4..]);
+        let checkpoint_seq = r.u64()?;
+        expect_tag(&mut r, TAG_CONFIG, "CONFIG")?;
+        check_fingerprint(&mut r, &fp, &defs)?;
+
+        expect_tag(&mut r, TAG_RUNTIME, "RUNTIME")?;
+        let watermark = r.u64()?;
+        let n = r.len()?;
+        if n != workers {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {n} shard watermarks, expected {workers}"
+            )));
+        }
+        let mut shard_sent = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            shard_sent.push(r.u64()?);
+        }
+        let n = r.len()?;
+        if n != defs.len() {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {n} dropped counters, expected {}",
+                defs.len()
+            )));
+        }
+        let mut dropped = Vec::with_capacity(defs.len());
+        for _ in 0..defs.len() {
+            dropped.push(r.u64()?);
+        }
+        let chunks_since_heartbeat = usize::try_from(r.u64()?)
+            .map_err(|_| RuntimeError::Checkpoint("heartbeat phase exceeds usize".into()))?;
+        let n = r.len()?;
+        if n != defs.len() {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {n} metric sets, expected {}",
+                defs.len()
+            )));
+        }
+        let mut query_metrics = Vec::with_capacity(defs.len());
+        for _ in 0..defs.len() {
+            query_metrics.push(EngineMetrics::restore_snapshot(&mut r)?);
+        }
+        let n = r.len()?;
+        let mut dead_letters = Vec::with_capacity(n);
+        for _ in 0..n {
+            dead_letters.push(r.event()?);
+        }
+        let n = r.len()?;
+        if n != self.sources {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {n} source digests, expected {}",
+                self.sources
+            )));
+        }
+        let mut last_chunk_digest = Vec::with_capacity(self.sources);
+        for _ in 0..self.sources {
+            last_chunk_digest.push(r.opt_u64()?);
+        }
+
+        expect_tag(&mut r, TAG_MERGE, "MERGE")?;
+        let merge = OrderedMerge::restore_snapshot(&mut r, defs.len())?;
+        if merge.num_shards() != workers {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint merger tracks {} shards, expected {workers}",
+                merge.num_shards()
+            )));
+        }
+
+        expect_tag(&mut r, TAG_REORDER, "REORDER")?;
+        let reorder = match (r.bool()?, self.slack.is_some()) {
+            (true, true) => Some(ColumnarReorder::restore_snapshot(&mut r)?),
+            (false, false) => None,
+            (present, _) => {
+                // The fingerprint already pins slack; reaching here means
+                // the stream itself is inconsistent.
+                return Err(RuntimeError::Checkpoint(format!(
+                    "reorder section presence ({present}) contradicts the fingerprint"
+                )));
+            }
+        };
+        if let Some(ro) = &reorder {
+            if ro.num_sources() != self.sources {
+                return Err(RuntimeError::Checkpoint(format!(
+                    "restored reorder stage has {} sources, expected {}",
+                    ro.num_sources(),
+                    self.sources
+                )));
+            }
+        }
+
+        expect_tag(&mut r, TAG_SHARDS, "SHARDS")?;
+        let n = r.len()?;
+        if n != workers {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {n} shard entries, expected {workers}"
+            )));
+        }
+        let (reply_tx, replies) = channel::<ShardReply>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let alive = r.bool()?;
+            if alive == merge.is_finished(shard) {
+                return Err(RuntimeError::Checkpoint(format!(
+                    "shard {shard}: alive flag contradicts the merger's frontier state"
+                )));
+            }
+            let (tx, rx) = sync_channel::<ShardMsg>(self.channel_capacity);
+            let handle = if alive {
+                let seq = r.u64()?;
+                let blob = r.blob()?;
+                let engines = restore_engines(&defs, shard, blob)?;
+                let reply_tx = reply_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("zstream-shard-{shard}"))
+                    .spawn(move || run_shard(shard, engines, rx, reply_tx, seq))
+                    .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?
+            } else {
+                // The shard had left the pool before the checkpoint. Restore
+                // it as already-departed: the thread exits immediately, so
+                // any (guarded-against) send fails exactly like a send to a
+                // failed worker, and handle indices stay shard-aligned.
+                std::thread::Builder::new()
+                    .name(format!("zstream-shard-{shard}-departed"))
+                    .spawn(move || drop(rx))
+                    .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?
+            };
+            senders.push(tx);
+            handles.push(handle);
+        }
+        expect_tag(&mut r, TAG_END, "END")?;
+        if !r.is_exhausted() {
+            return Err(RuntimeError::Checkpoint(format!(
+                "checkpoint has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Runtime {
+            senders,
+            replies,
+            handles,
+            defs,
+            templates,
+            merge,
+            batch_size: self.batch_size,
+            heartbeat_interval: self.heartbeat_interval,
+            chunks_since_heartbeat,
+            shard_sent,
+            watermark,
+            dropped,
+            query_metrics,
+            reorder,
+            slack: self.slack,
+            sources: self.sources,
+            lateness: self.lateness,
+            dead_letters,
+            checkpoint_seq,
+            replay_guard: last_chunk_digest.clone(),
+            last_chunk_digest,
+            snapshot_stash: Vec::new(),
         })
     }
 }
@@ -332,10 +563,32 @@ pub struct Runtime {
     /// [`RuntimeBuilder::slack`] was set: disordered arrivals buffer here
     /// and the watermark is driven by its release frontier.
     reorder: Option<ColumnarReorder>,
+    /// The configured slack ([`RuntimeBuilder::slack`]), kept for the
+    /// checkpoint fingerprint.
+    slack: Option<Ts>,
+    /// The configured ingest source count, kept for the checkpoint
+    /// fingerprint and replay-guard sizing.
+    sources: usize,
     lateness: LatenessPolicy,
     /// Late events retained under [`LatenessPolicy::DeadLetter`], in
     /// arrival order, until the caller drains them.
     dead_letters: Vec<EventRef>,
+    /// Monotone checkpoint counter; carried across restore so checkpoint
+    /// ids keep increasing over the runtime's whole (durable) lifetime.
+    checkpoint_seq: u64,
+    /// Per-source content digest of the last non-empty chunk ingested —
+    /// persisted in checkpoints so a restored runtime can recognize an
+    /// at-least-once replay of the final pre-checkpoint chunk.
+    last_chunk_digest: Vec<Option<u64>>,
+    /// One-shot per-source replay guard, armed only by
+    /// [`RuntimeBuilder::restore`]: the first post-restore ingest from a
+    /// source is skipped iff its content digest equals the persisted
+    /// last-chunk digest; any first ingest disarms the source's guard.
+    replay_guard: Vec<Option<u64>>,
+    /// Snapshot replies picked up outside [`Runtime::checkpoint`]'s own
+    /// await loop (a `drain_replies` racing the protocol); the checkpoint
+    /// drains this stash before blocking on the reply channel.
+    snapshot_stash: Vec<(usize, u64, Vec<u8>)>,
 }
 
 impl Runtime {
@@ -445,6 +698,24 @@ impl Runtime {
         source: usize,
         batch: &EventBatch,
     ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        let digest = (!batch.is_empty()).then(|| chunk_digest(batch.len(), batch.iter()));
+        if self.skip_replayed_chunk(source, digest)? {
+            return Ok(self.merge.drain_ready());
+        }
+        let out = self.ingest_columns_inner(source, batch);
+        if out.is_ok() {
+            if let Some(d) = digest {
+                self.last_chunk_digest[source] = Some(d);
+            }
+        }
+        out
+    }
+
+    fn ingest_columns_inner(
+        &mut self,
+        source: usize,
+        batch: &EventBatch,
+    ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
         let (release, frontier) = match self.reorder.as_mut() {
             None => {
                 Self::check_source(source, 1)?;
@@ -509,6 +780,25 @@ impl Runtime {
     /// [`Runtime::ingest`] for one of several registered ingest sources —
     /// the record-path twin of [`Runtime::ingest_columns_from`].
     pub fn ingest_from(
+        &mut self,
+        source: usize,
+        events: &[EventRef],
+    ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
+        let digest =
+            (!events.is_empty()).then(|| chunk_digest(events.len(), events.iter().cloned()));
+        if self.skip_replayed_chunk(source, digest)? {
+            return Ok(self.merge.drain_ready());
+        }
+        let out = self.ingest_inner(source, events);
+        if out.is_ok() {
+            if let Some(d) = digest {
+                self.last_chunk_digest[source] = Some(d);
+            }
+        }
+        out
+    }
+
+    fn ingest_inner(
         &mut self,
         source: usize,
         events: &[EventRef],
@@ -616,6 +906,153 @@ impl Runtime {
         // exited (naturally panicked) with the premature `Done` still
         // undrained — both are a graceful no-op, not an error.
         self.send_to_shard(shard, ShardMsg::Fail).map(|_| ())
+    }
+
+    /// Writes a consistent snapshot of the full runtime — per-shard engine
+    /// state, reorder stage, merger frontier and buffered matches, metrics,
+    /// dead letters — to `out`, and returns its [`CheckpointId`]. Restore
+    /// with [`RuntimeBuilder::restore`] under the same configuration.
+    ///
+    /// Consistency comes from channel FIFO, not a global pause: a snapshot
+    /// marker is sent down each live shard's input channel, so each shard
+    /// serializes exactly after the batches dispatched before the marker.
+    /// In-flight match output received while collecting the snapshots is
+    /// folded into the merger and **serialized rather than emitted** —
+    /// matches not yet returned to the caller at checkpoint time re-emerge
+    /// exactly once from the restored runtime. The runtime continues
+    /// normally afterwards; checkpointing is not a barrier for ingest
+    /// correctness, only a blocking call while shard replies are collected.
+    ///
+    /// A shard that fails during the protocol degrades exactly like a
+    /// worker failure during ingest: it is recorded in the checkpoint as
+    /// already-departed.
+    pub fn checkpoint<W: std::io::Write>(
+        &mut self,
+        out: &mut W,
+    ) -> Result<CheckpointId, RuntimeError> {
+        let workers = self.senders.len();
+        let mut blobs: Vec<Option<(u64, Vec<u8>)>> = (0..workers).map(|_| None).collect();
+        let mut awaiting = vec![false; workers];
+        let mut outstanding = 0usize;
+        for (shard, pending) in awaiting.iter_mut().enumerate() {
+            if !self.merge.is_finished(shard)
+                && self.send_to_shard(shard, ShardMsg::Snapshot)?.is_none()
+            {
+                *pending = true;
+                outstanding += 1;
+            }
+        }
+        while outstanding > 0 {
+            if self.snapshot_stash.is_empty() {
+                match self.replies.recv() {
+                    // Snapshot replies land in the stash; Output from
+                    // batches queued ahead of the marker feeds the merger
+                    // (buffered, not emitted); a premature Done is a shard
+                    // dying mid-protocol — it leaves the pool as usual.
+                    Ok(reply) => {
+                        let done_shard = match &reply {
+                            ShardReply::Done { shard, .. } => Some(*shard),
+                            _ => None,
+                        };
+                        self.handle_reply(reply);
+                        if let Some(shard) = done_shard {
+                            if std::mem::replace(&mut awaiting[shard], false) {
+                                outstanding -= 1;
+                            }
+                        }
+                    }
+                    Err(_) => return Err(RuntimeError::ChannelClosed),
+                }
+            }
+            for (shard, seq, bytes) in std::mem::take(&mut self.snapshot_stash) {
+                if std::mem::replace(&mut awaiting[shard], false) {
+                    outstanding -= 1;
+                }
+                blobs[shard] = Some((seq, bytes));
+            }
+        }
+        self.checkpoint_seq += 1;
+        let mut w = SnapshotWriter::new();
+        w.u64(self.checkpoint_seq);
+        w.u8(TAG_CONFIG);
+        let fp = Fingerprint {
+            workers,
+            batch_size: self.batch_size,
+            heartbeat_interval: self.heartbeat_interval,
+            slack: self.slack,
+            sources: self.sources,
+            lateness: self.lateness,
+        };
+        write_fingerprint(&mut w, &fp, &self.defs);
+        w.u8(TAG_RUNTIME);
+        w.u64(self.watermark);
+        w.len(self.shard_sent.len());
+        for ts in &self.shard_sent {
+            w.u64(*ts);
+        }
+        w.len(self.dropped.len());
+        for d in &self.dropped {
+            w.u64(*d);
+        }
+        w.u64(self.chunks_since_heartbeat as u64);
+        w.len(self.query_metrics.len());
+        for m in &self.query_metrics {
+            m.write_snapshot(&mut w);
+        }
+        w.len(self.dead_letters.len());
+        for e in &self.dead_letters {
+            w.event(e);
+        }
+        w.len(self.last_chunk_digest.len());
+        for d in &self.last_chunk_digest {
+            w.opt_u64(*d);
+        }
+        w.u8(TAG_MERGE);
+        self.merge.write_snapshot(&mut w);
+        w.u8(TAG_REORDER);
+        match &self.reorder {
+            Some(ro) => {
+                w.bool(true);
+                ro.write_snapshot(&mut w);
+            }
+            None => w.bool(false),
+        }
+        w.u8(TAG_SHARDS);
+        w.len(workers);
+        for (shard, blob) in blobs.iter().enumerate() {
+            match (blob, self.merge.is_finished(shard)) {
+                (Some((seq, bytes)), false) => {
+                    w.bool(true);
+                    w.u64(*seq);
+                    w.blob(bytes);
+                }
+                // No blob (the shard had already left the pool), or the
+                // shard died between its snapshot reply and now: persist it
+                // as departed either way.
+                _ => w.bool(false),
+            }
+        }
+        w.u8(TAG_END);
+        out.write_all(&MAGIC)
+            .and_then(|()| out.write_all(&VERSION.to_le_bytes()))
+            .and_then(|()| out.write_all(w.bytes()))
+            .and_then(|()| out.flush())
+            .map_err(|e| RuntimeError::Checkpoint(format!("writing checkpoint: {e}")))?;
+        Ok(CheckpointId(self.checkpoint_seq))
+    }
+
+    /// Validates the source index and applies the one-shot replay guard:
+    /// returns `true` when this chunk is a recognized replay of the last
+    /// pre-checkpoint chunk and must be skipped. Empty chunks neither
+    /// consult nor disarm the guard.
+    fn skip_replayed_chunk(
+        &mut self,
+        source: usize,
+        digest: Option<u64>,
+    ) -> Result<bool, RuntimeError> {
+        Self::check_source(source, self.sources)?;
+        let Some(d) = digest else { return Ok(false) };
+        Ok(self.replay_guard[source].take() == Some(d))
     }
 
     /// Drains in-flight batches, flushes every engine, stops the workers,
@@ -948,6 +1385,9 @@ impl Runtime {
                     self.merge.finish(shard);
                 }
             }
+            ShardReply::Snapshot { shard, seq, bytes } => {
+                self.snapshot_stash.push((shard, seq, bytes));
+            }
         }
     }
 }
@@ -962,4 +1402,29 @@ impl Drop for Runtime {
             let _ = handle.join();
         }
     }
+}
+
+/// Folds one u64 into an FNV-1a hash, byte by byte.
+fn fnv_mix(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Content digest of one ingest chunk: length, per-row timestamp, and every
+/// field value folded via its canonical [`zstream_events::HashableValue`]
+/// digest. Stable across processes — symbol ids never enter, string values
+/// fold via content digests — which is what lets a restored runtime
+/// recognize a replayed chunk it never saw in this process.
+fn chunk_digest(len: usize, events: impl Iterator<Item = EventRef>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_mix(&mut h, len as u64);
+    for e in events {
+        fnv_mix(&mut h, e.ts());
+        for i in 0..e.schema().fields().len() {
+            fnv_mix(&mut h, e.value(i).hash_key().digest());
+        }
+    }
+    h
 }

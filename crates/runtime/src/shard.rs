@@ -31,7 +31,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 
 use zstream_core::{CoreError, Engine, EngineMetrics, PartitionedEngine};
-use zstream_events::{EventBatch, EventRef, Record, Ts};
+use zstream_events::{
+    EventBatch, EventRef, Record, Snapshot, SnapshotError, SnapshotReader, SnapshotResult,
+    SnapshotWriter, Ts,
+};
 
 use crate::merge::RuntimeMatch;
 use crate::registry::{QueryDef, QueryId, Route};
@@ -64,6 +67,12 @@ pub(crate) enum ShardMsg {
     /// Failure injection (test/chaos hook): behave exactly as if an engine
     /// panicked — report a terminal [`ShardReply::Done`] and exit.
     Fail,
+    /// Serialize every engine's state and reply with
+    /// [`ShardReply::Snapshot`]. Channel FIFO order is the quiesce
+    /// protocol: every batch sent before this message has been evaluated
+    /// (and its `Output` sent) by the time the snapshot reply is produced,
+    /// so the blob captures a consistent point in the shard's sub-stream.
+    Snapshot,
     /// Flush every engine, report metrics, and exit.
     Shutdown,
 }
@@ -77,6 +86,10 @@ pub(crate) enum ShardReply {
     /// shutdown — or prematurely after a worker-side failure, in which case
     /// the shard has left the pool.
     Done { shard: usize, metrics: Vec<EngineMetrics> },
+    /// Answer to [`ShardMsg::Snapshot`]: the shard's emission sequence
+    /// counter plus a self-contained engine-state blob (serialized on the
+    /// shard thread, so the control thread never touches engine state).
+    Snapshot { shard: usize, seq: u64, bytes: Vec<u8> },
 }
 
 /// One query's evaluation state on one shard.
@@ -143,6 +156,75 @@ pub(crate) fn build_engines(
         .collect()
 }
 
+/// Serializes a shard's engine states into one self-contained blob: per
+/// query a presence/kind tag (0 = not hosted here, 1 = flat, 2 =
+/// partitioned) followed by the engine's [`Snapshot`] stream. The blob
+/// carries its own symbol/schema/event dictionaries, so shards serialize
+/// concurrently without sharing writer state.
+fn snapshot_engines(engines: &[Option<ShardEngine>]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.len(engines.len());
+    for engine in engines {
+        match engine {
+            None => w.u8(0),
+            Some(ShardEngine::Flat(e)) => {
+                w.u8(1);
+                e.write_snapshot(&mut w);
+            }
+            Some(ShardEngine::Partitioned(e)) => {
+                w.u8(2);
+                e.write_snapshot(&mut w);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Rebuilds a shard's engines from a [`snapshot_engines`] blob, checking
+/// each against the routing the restoring configuration resolved: a blob
+/// whose engine kinds disagree with the routes (different queries, a
+/// different worker count reassigning home shards) is rejected as corrupt.
+pub(crate) fn restore_engines(
+    defs: &[QueryDef],
+    shard: usize,
+    bytes: &[u8],
+) -> SnapshotResult<Vec<Option<ShardEngine>>> {
+    let mut r = SnapshotReader::new(bytes);
+    let n = r.len()?;
+    if n != defs.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "shard {shard} blob has {n} engines, registry has {}",
+            defs.len()
+        )));
+    }
+    let mut engines = Vec::with_capacity(n);
+    for (q, def) in defs.iter().enumerate() {
+        let tag = r.u8()?;
+        let engine = match (&def.route, tag) {
+            (Route::Hash(field), 2) => {
+                Some(ShardEngine::Partitioned(def.parts.restore_partitioned_engine(field, &mut r)?))
+            }
+            (Route::Single(home), 1) if *home == shard => {
+                Some(ShardEngine::Flat(def.parts.restore_engine(&mut r)?))
+            }
+            (Route::Single(home), 0) if *home != shard => None,
+            (route, tag) => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "shard {shard} query {q}: engine kind {tag} does not match route {route:?}"
+                )));
+            }
+        };
+        engines.push(engine);
+    }
+    if !r.is_exhausted() {
+        return Err(SnapshotError::Corrupt(format!(
+            "shard {shard} blob has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(engines)
+}
+
 /// Reports the shard's terminal [`ShardReply::Done`] with per-query
 /// metrics (the normal shutdown reply, or the premature one after a
 /// worker-side failure).
@@ -188,8 +270,9 @@ pub(crate) fn run_shard(
     mut engines: Vec<Option<ShardEngine>>,
     rx: Receiver<ShardMsg>,
     tx: Sender<ShardReply>,
+    initial_seq: u64,
 ) {
-    let mut seq = 0u64;
+    let mut seq = initial_seq;
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Columns { watermark, batch, per_query } => {
@@ -235,6 +318,22 @@ pub(crate) fn run_shard(
             ShardMsg::Fail => {
                 send_done(shard, &engines, &tx);
                 return;
+            }
+            ShardMsg::Snapshot => {
+                // Serialization runs under catch_unwind like evaluation: a
+                // panicking engine must degrade to the worker-failure path,
+                // not leave the checkpoint protocol waiting forever.
+                match catch_unwind(AssertUnwindSafe(|| snapshot_engines(&engines))) {
+                    Ok(bytes) => {
+                        if tx.send(ShardReply::Snapshot { shard, seq, bytes }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        send_done(shard, &engines, &tx);
+                        return;
+                    }
+                }
             }
             ShardMsg::Shutdown => {
                 let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, Ts::MAX, |engines| {

@@ -75,6 +75,8 @@ pub mod prelude {
     pub use zstream_events::Value;
     /// A parsed PATTERN/WHERE/WITHIN/RETURN query.
     pub use zstream_lang::Query;
+    /// Identity of one durable snapshot written by [`Runtime::checkpoint`].
+    pub use zstream_runtime::CheckpointId;
     /// What to do with events beyond the reorder slack window
     /// (drop / dead-letter / strict error).
     pub use zstream_runtime::LatenessPolicy;

@@ -11,17 +11,14 @@
 
 mod common;
 
-use common::rebatch;
+use common::{compile_stock, lines_record, oracle_sigs, rebatch, Signature};
 use proptest::prelude::*;
 
-use zstream::core::reference::reference_signatures;
 use zstream::core::{CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
 use zstream::events::{EventBatch, EventRef, Schema};
 use zstream::lang::SchemaMap;
-use zstream::runtime::{Partitioning, Runtime};
+use zstream::runtime::{LatenessPolicy, Partitioning};
 use zstream::workload::{StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
-
-type Signature = Vec<Vec<usize>>;
 
 /// The record-at-a-time path: one event per push (the pre-refactor intake).
 fn record_path(parts: &CompiledParts, events: &[EventRef]) -> (Vec<Signature>, Vec<String>) {
@@ -60,24 +57,15 @@ fn runtime_lines(
     workers: usize,
     events: &[EventRef],
 ) -> Vec<String> {
-    let template = parts.engine().unwrap();
-    let mut builder = Runtime::builder().workers(workers).batch_size(16).channel_capacity(2);
-    builder.register(parts.clone(), Partitioning::Auto(field.into()));
-    let mut runtime = builder.build().unwrap();
-    let mut matches = runtime.ingest(events).unwrap();
-    matches.extend(runtime.shutdown().unwrap().matches);
-    let mut lines: Vec<String> = matches.iter().map(|m| template.format_match(&m.record)).collect();
-    lines.sort();
+    let (lines, _) = lines_record(
+        parts,
+        Partitioning::Auto(field.into()),
+        workers,
+        None,
+        LatenessPolicy::Drop,
+        events,
+    );
     lines
-}
-
-fn stock_parts(src: &str, batch: usize) -> CompiledParts {
-    EngineBuilder::parse(src)
-        .unwrap()
-        .stock_routing()
-        .config(EngineConfig { batch_size: batch, plan: PlanConfig::default() })
-        .compile()
-        .unwrap()
 }
 
 /// A stream over a small alphabet with prices/volumes in a narrow range so
@@ -138,7 +126,7 @@ proptest! {
         engine_batch in 1usize..6,
     ) {
         let src = STOCK_QUERIES[query_idx];
-        let parts = stock_parts(src, engine_batch);
+        let parts = compile_stock(src, engine_batch);
         let batches = rebatch(&events, &sizes);
         // Handles into the rebatched storage: every path below sees the
         // same event identities.
@@ -150,12 +138,7 @@ proptest! {
         prop_assert_eq!(&col_lines, &rec_lines, "columnar vs record lines ({})", src);
 
         // Brute-force oracle over the same handles (route-by-name intake).
-        let aq = zstream::lang::analyze(
-            &zstream::lang::Query::parse(src).unwrap(),
-            &SchemaMap::uniform(Schema::stocks()),
-        ).unwrap();
-        let intake = zstream::core::build_intake(&aq, Some("name")).unwrap();
-        let mut oracle = reference_signatures(&aq, &intake, &events);
+        let mut oracle = oracle_sigs(src, Some("name"), &events);
         oracle.sort();
         oracle.dedup();
         let mut deduped = rec_sigs.clone();

@@ -2,8 +2,11 @@
 //! baseline and the brute-force oracle must agree on every match, over
 //! generated workloads from the `zstream-workload` crate.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::Signature;
 use zstream::core::reference::reference_signatures;
 use zstream::core::{
     build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape,
@@ -12,8 +15,6 @@ use zstream::events::{EventRef, Schema};
 use zstream::lang::{analyze, Query, SchemaMap};
 use zstream::nfa::NfaEngine;
 use zstream::workload::{StockConfig, StockGenerator};
-
-type Signature = Vec<Vec<usize>>;
 
 fn run_tree(
     src: &str,
@@ -61,10 +62,10 @@ fn run_nfa(src: &str, events: &[EventRef]) -> Vec<Signature> {
     sigs
 }
 
+/// The brute-force oracle with route-by-name intake (the classes here are
+/// stock symbols).
 fn oracle(src: &str, events: &[EventRef]) -> Vec<Signature> {
-    let aq = analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
-    let intake = build_intake(&aq, Some("name")).unwrap();
-    reference_signatures(&aq, &intake, events)
+    common::oracle_sigs(src, Some("name"), events)
 }
 
 fn stream(seed: u64, len: usize, rates: &[(&str, f64)]) -> Vec<EventRef> {

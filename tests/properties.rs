@@ -7,47 +7,26 @@
 //! 4. output records are emitted in end-timestamp order within a round,
 //! 5. plan shape, batch size and hashing never change the result set.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{stream_strategy, Signature};
 use proptest::prelude::*;
 
-use zstream::core::reference::reference_signatures;
 use zstream::core::{
     build_intake, EngineBuilder, EngineConfig, NegStrategy, PlanConfig, PlanShape,
 };
-use zstream::events::{stock, EventRef};
+use zstream::events::EventRef;
 use zstream::lang::{analyze, Query, SchemaMap};
 
-type Signature = Vec<Vec<usize>>;
+/// Three names with small domains so predicates and equalities hit often.
+const NAMES: &[&str] = &["IBM", "Sun", "Oracle"];
 
-/// Strategy: a time-ordered stream over three names with small domains so
-/// predicates and equalities hit often.
-fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRef>> {
-    prop::collection::vec(
-        (0u64..3, 0usize..3, 0i64..6, 1i64..4), // ts-gap, name, price-ish, volume
-        1..max_len,
-    )
-    .prop_map(|rows| {
-        let mut ts = 0u64;
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (gap, name_idx, price, volume))| {
-                ts += gap;
-                let name = ["IBM", "Sun", "Oracle"][name_idx];
-                stock(ts, i as i64, name, price as f64, volume)
-            })
-            .collect()
-    })
-}
-
+/// The brute-force oracle with route-by-name intake (the classes here are
+/// stock symbols).
 fn oracle_sigs(src: &str, events: &[EventRef]) -> Vec<Signature> {
-    let aq = analyze(
-        &Query::parse(src).unwrap(),
-        &SchemaMap::uniform(zstream::events::Schema::stocks()),
-    )
-    .unwrap();
-    let intake = build_intake(&aq, Some("name")).unwrap();
-    reference_signatures(&aq, &intake, events)
+    common::oracle_sigs(src, Some("name"), events)
 }
 
 fn engine_run(
@@ -106,7 +85,7 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
-    fn sequence_matches_oracle(events in stream_strategy(28), batch in 1usize..12, hash: bool) {
+    fn sequence_matches_oracle(events in stream_strategy(28, NAMES), batch in 1usize..12, hash: bool) {
         let src = "PATTERN IBM; Sun; Oracle WITHIN 12";
         let expected = oracle_sigs(src, &events);
         for shape in PlanShape::enumerate_all(3) {
@@ -116,7 +95,7 @@ proptest! {
     }
 
     #[test]
-    fn predicate_sequence_matches_oracle(events in stream_strategy(26), batch in 1usize..10) {
+    fn predicate_sequence_matches_oracle(events in stream_strategy(26, NAMES), batch in 1usize..10) {
         let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 14";
         let expected = oracle_sigs(src, &events);
         let got = engine_run(src, None, batch, true, &events);
@@ -124,7 +103,7 @@ proptest! {
     }
 
     #[test]
-    fn equality_sequence_matches_oracle(events in stream_strategy(26), hash: bool) {
+    fn equality_sequence_matches_oracle(events in stream_strategy(26, NAMES), hash: bool) {
         // Small volume domain (1..4) makes the equality selective but non-trivial.
         let src = "PATTERN IBM; Sun WHERE IBM.volume = Sun.volume WITHIN 15";
         let expected = oracle_sigs(src, &events);
@@ -133,7 +112,7 @@ proptest! {
     }
 
     #[test]
-    fn negation_matches_oracle(events in stream_strategy(30), batch in 1usize..10) {
+    fn negation_matches_oracle(events in stream_strategy(30, NAMES), batch in 1usize..10) {
         let src = "PATTERN IBM; !Sun; Oracle WITHIN 12";
         let expected = oracle_sigs(src, &events);
         let pushdown = engine_run(src, None, batch, true, &events);
@@ -153,7 +132,7 @@ proptest! {
     }
 
     #[test]
-    fn kleene_matches_oracle(events in stream_strategy(22), batch in 1usize..8) {
+    fn kleene_matches_oracle(events in stream_strategy(22, NAMES), batch in 1usize..8) {
         for src in [
             "PATTERN IBM; Sun^2; Oracle WITHIN 12",
             "PATTERN IBM; Sun*; Oracle WITHIN 10",
@@ -166,7 +145,7 @@ proptest! {
     }
 
     #[test]
-    fn conjunction_disjunction_match_oracle(events in stream_strategy(20), batch in 1usize..8) {
+    fn conjunction_disjunction_match_oracle(events in stream_strategy(20, NAMES), batch in 1usize..8) {
         for src in [
             "PATTERN IBM & Sun WITHIN 8",
             "PATTERN (IBM | Sun); Oracle WITHIN 8",
@@ -178,7 +157,7 @@ proptest! {
     }
 
     #[test]
-    fn nfa_agrees_with_oracle(events in stream_strategy(26)) {
+    fn nfa_agrees_with_oracle(events in stream_strategy(26, NAMES)) {
         let src = "PATTERN IBM; Sun; Oracle WHERE IBM.price > Sun.price WITHIN 12";
         let aq = Arc::new(analyze(
             &Query::parse(src).unwrap(),

@@ -21,91 +21,19 @@ mod common;
 
 use std::time::{Duration, Instant};
 
-use common::rebatch;
+use common::{compile, lines_columns, lines_record, rebatch, sorted_counterpart, stream_strategy};
 use proptest::prelude::*;
 
-use zstream::core::{CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
+use zstream::core::{EngineBuilder, EngineConfig, PlanConfig};
 use zstream::events::{shard_of, stock, EventBatch, EventRef, Schema, Ts, Value};
 use zstream::lang::SchemaMap;
-use zstream::runtime::{LatenessPolicy, Partitioning, Runtime, RuntimeError, RuntimeReport};
+use zstream::runtime::{LatenessPolicy, Partitioning, Runtime, RuntimeError};
 use zstream::workload::{DisorderSpec, StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
 
 const PARTITIONABLE: &str = "PATTERN A; B; C WHERE A.name = B.name AND B.name = C.name WITHIN 12";
 const PAIR: &str = "PATTERN A; B WHERE A.name = B.name WITHIN 12 RETURN A, B";
 
-fn compile(src: &str, batch: usize) -> CompiledParts {
-    EngineBuilder::parse(src)
-        .unwrap()
-        .config(EngineConfig { batch_size: batch, plan: PlanConfig::default() })
-        .compile()
-        .unwrap()
-}
-
-fn builder_with(
-    workers: usize,
-    slack: Option<Ts>,
-    lateness: LatenessPolicy,
-) -> zstream::runtime::RuntimeBuilder {
-    let mut b = Runtime::builder().workers(workers).batch_size(16).channel_capacity(2);
-    if let Some(s) = slack {
-        b = b.slack(s).lateness(lateness);
-    }
-    b
-}
-
-/// Sorted formatted lines + shutdown report, columnar ingest path.
-fn lines_columns(
-    parts: &CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    slack: Option<Ts>,
-    lateness: LatenessPolicy,
-    batches: &[EventBatch],
-) -> (Vec<String>, RuntimeReport) {
-    let template = parts.engine().unwrap();
-    let mut builder = builder_with(workers, slack, lateness);
-    builder.register(parts.clone(), partitioning);
-    let mut runtime = builder.build().unwrap();
-    let mut matches = Vec::new();
-    for batch in batches {
-        matches.extend(runtime.ingest_columns(batch).unwrap());
-    }
-    let report = runtime.shutdown().unwrap();
-    matches.extend(report.matches.iter().cloned());
-    let mut lines: Vec<String> = matches.iter().map(|m| template.format_match(&m.record)).collect();
-    lines.sort();
-    (lines, report)
-}
-
-/// Sorted formatted lines + shutdown report, record ingest path.
-fn lines_record(
-    parts: &CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    slack: Option<Ts>,
-    lateness: LatenessPolicy,
-    events: &[EventRef],
-) -> (Vec<String>, RuntimeReport) {
-    let template = parts.engine().unwrap();
-    let mut builder = builder_with(workers, slack, lateness);
-    builder.register(parts.clone(), partitioning);
-    let mut runtime = builder.build().unwrap();
-    let mut matches = runtime.ingest(events).unwrap();
-    let report = runtime.shutdown().unwrap();
-    matches.extend(report.matches.iter().cloned());
-    let mut lines: Vec<String> = matches.iter().map(|m| template.format_match(&m.record)).collect();
-    lines.sort();
-    (lines, report)
-}
-
-/// The arrival stream's sorted counterpart: stable sort by timestamp
-/// (equal timestamps keep arrival order — exactly the reorder release
-/// order).
-fn sorted_counterpart(arrival: &[EventRef]) -> Vec<EventRef> {
-    let mut sorted = arrival.to_vec();
-    sorted.sort_by_key(EventRef::ts);
-    sorted
-}
+const NAMES: &[&str] = &["IBM", "Sun", "Oracle", "HP"];
 
 /// Reference model of the reorder acceptance rule over one source:
 /// survivors (in arrival order) and late events (in arrival order).
@@ -124,26 +52,6 @@ fn simulate_acceptance(arrival: &[EventRef], slack: Ts) -> (Vec<EventRef>, Vec<E
     (survivors, late)
 }
 
-/// Strategy: a time-ordered stream over a small name alphabet (equal
-/// timestamps included) so partition keys collide and predicates hit.
-fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRef>> {
-    prop::collection::vec(
-        (0u64..3, 0usize..4, 0i64..6, 1i64..4), // ts-gap, name, price-ish, volume
-        1..max_len,
-    )
-    .prop_map(|rows| {
-        let mut ts = 0u64;
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (gap, name_idx, price, volume))| {
-                ts += gap;
-                let name = ["IBM", "Sun", "Oracle", "HP"][name_idx];
-                stock(ts, i as i64, name, price as f64, volume)
-            })
-            .collect()
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16 })]
 
@@ -152,7 +60,7 @@ proptest! {
     /// workers.
     #[test]
     fn disorder_within_slack_is_byte_identical(
-        events in stream_strategy(26),
+        events in stream_strategy(26, NAMES),
         workers in 1usize..9,
         max_delay in 0u64..6,
         seed in 0u64..1000,
@@ -188,7 +96,7 @@ proptest! {
     /// the excess.
     #[test]
     fn disorder_beyond_slack_drops_exactly_the_excess(
-        events in stream_strategy(26),
+        events in stream_strategy(26, NAMES),
         workers in 1usize..5,
         slack in 0u64..3,
         max_delay in 3u64..10,
@@ -227,7 +135,7 @@ proptest! {
     /// even at slack 0.
     #[test]
     fn skewed_in_order_sources_merge_exactly(
-        events in stream_strategy(24),
+        events in stream_strategy(24, NAMES),
         workers in 1usize..5,
         block in 1usize..7,
     ) {

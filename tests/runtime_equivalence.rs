@@ -12,17 +12,17 @@
 
 mod common;
 
-use common::rebatch;
+use common::{
+    compile, engine_lines, engine_sigs, oracle_sigs, rebatch, runtime_matches,
+    runtime_matches_columns, runtime_sigs, runtime_sigs_columns, stream_strategy, Signature,
+};
 use proptest::prelude::*;
 
-use zstream::core::reference::reference_signatures;
-use zstream::core::{build_intake, CompiledParts, EngineBuilder, EngineConfig, PlanConfig};
-use zstream::events::{stock, EventBatch, EventRef, Schema};
-use zstream::lang::{analyze, Query, SchemaMap};
-use zstream::runtime::{Partitioning, Route, Runtime, RuntimeMatch};
+use zstream::core::{EngineBuilder, EngineConfig, PlanConfig};
+use zstream::events::{EventBatch, EventRef, Schema};
+use zstream::lang::SchemaMap;
+use zstream::runtime::{Partitioning, Route, Runtime};
 use zstream::workload::{StockConfig, StockGenerator, WeblogConfig, WeblogGenerator};
-
-type Signature = Vec<Vec<usize>>;
 
 /// Classes named A/B/C match any stock event (no route-by-name intake), so
 /// the `name` equality predicates are what connect — and partition — them.
@@ -31,173 +31,20 @@ const PARTITIONABLE: &str = "PATTERN A; B; C WHERE A.name = B.name AND B.name = 
 /// home shard.
 const BROADCAST: &str = "PATTERN A; B WHERE A.price > B.price WITHIN 9";
 
-fn compile(src: &str, batch: usize) -> CompiledParts {
-    EngineBuilder::parse(src)
-        .unwrap()
-        .config(EngineConfig { batch_size: batch, plan: PlanConfig::default() })
-        .compile()
-        .unwrap()
-}
-
-fn oracle_sigs(src: &str, events: &[EventRef]) -> Vec<Signature> {
-    let aq = analyze(&Query::parse(src).unwrap(), &SchemaMap::uniform(Schema::stocks())).unwrap();
-    let intake = build_intake(&aq, None).unwrap();
-    reference_signatures(&aq, &intake, events)
-}
-
-fn engine_sigs(parts: &CompiledParts, events: &[EventRef]) -> Vec<Signature> {
-    let mut engine = parts.engine().unwrap();
-    let mut out = Vec::new();
-    for e in events {
-        out.extend(engine.push(e.clone()));
-    }
-    out.extend(engine.flush());
-    let mut sigs: Vec<Signature> = out.iter().map(|r| engine.record_signature(r)).collect();
-    sigs.sort();
-    sigs.dedup();
-    sigs
-}
-
-/// Runs the sharded runtime end to end and returns every match in delivery
-/// order, after asserting merge-order delivery and consistent accounting.
-fn runtime_matches(
-    parts: CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    chunk: usize,
-    events: &[EventRef],
-) -> Vec<RuntimeMatch> {
-    let mut builder = Runtime::builder().workers(workers).batch_size(chunk).channel_capacity(2);
-    let q = builder.register(parts, partitioning);
-    let mut runtime = builder.build().unwrap();
-    let mut matches: Vec<RuntimeMatch> = Vec::new();
-    // Ingest in two slices so slice boundaries also fall mid-stream.
-    let split = events.len() / 2;
-    matches.extend(runtime.ingest(&events[..split]).unwrap());
-    matches.extend(runtime.poll().unwrap());
-    matches.extend(runtime.ingest(&events[split..]).unwrap());
-    let report = runtime.shutdown().unwrap();
-    matches.extend(report.matches);
-    assert!(
-        matches.windows(2).all(|w| w[0].key() <= w[1].key()),
-        "runtime output not in (end_ts, shard, seq) order"
-    );
-    assert!(matches.iter().all(|m| m.query == q));
-    assert_eq!(report.workers, workers);
-    assert_eq!(
-        report.metrics.matches_out,
-        matches.len() as u64,
-        "aggregated metrics disagree with delivered match count"
-    );
-    matches
-}
-
-/// Runs the sharded runtime over the **columnar** ingest path (one
-/// [`EventBatch`] per call) and returns every match in delivery order,
-/// after asserting merge-order delivery and consistent accounting.
-fn runtime_matches_columns(
-    parts: CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    batches: &[EventBatch],
-) -> Vec<RuntimeMatch> {
-    let mut builder = Runtime::builder().workers(workers).batch_size(64).channel_capacity(2);
-    let q = builder.register(parts, partitioning);
-    let mut runtime = builder.build().unwrap();
-    let mut matches: Vec<RuntimeMatch> = Vec::new();
-    for batch in batches {
-        matches.extend(runtime.ingest_columns(batch).unwrap());
-    }
-    matches.extend(runtime.poll().unwrap());
-    let report = runtime.shutdown().unwrap();
-    matches.extend(report.matches);
-    assert!(
-        matches.windows(2).all(|w| w[0].key() <= w[1].key()),
-        "columnar runtime output not in (end_ts, shard, seq) order"
-    );
-    assert!(matches.iter().all(|m| m.query == q));
-    assert_eq!(report.workers, workers);
-    assert_eq!(
-        report.metrics.matches_out,
-        matches.len() as u64,
-        "aggregated metrics disagree with delivered match count"
-    );
-    matches
-}
-
-/// Sorted, deduplicated signatures of columnar-ingest runtime matches,
-/// asserting exactly-once emission on the way.
-fn runtime_sigs_columns(
-    parts: CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    batches: &[EventBatch],
-) -> Vec<Signature> {
-    let template = parts.engine().unwrap();
-    let matches = runtime_matches_columns(parts, partitioning, workers, batches);
-    let mut sigs: Vec<Signature> =
-        matches.iter().map(|m| template.record_signature(&m.record)).collect();
-    let n = sigs.len();
-    sigs.sort();
-    sigs.dedup();
-    assert_eq!(n, sigs.len(), "columnar runtime emitted duplicate matches");
-    sigs
-}
-
-/// Sorted, deduplicated signatures of runtime matches, asserting
-/// exactly-once emission on the way.
-fn runtime_sigs(
-    parts: CompiledParts,
-    partitioning: Partitioning,
-    workers: usize,
-    chunk: usize,
-    events: &[EventRef],
-) -> Vec<Signature> {
-    // A template engine from the same compiled parts interprets records
-    // identically to the runtime's shard engines (same plan layout).
-    let template = parts.engine().unwrap();
-    let matches = runtime_matches(parts, partitioning, workers, chunk, events);
-    let mut sigs: Vec<Signature> =
-        matches.iter().map(|m| template.record_signature(&m.record)).collect();
-    let n = sigs.len();
-    sigs.sort();
-    sigs.dedup();
-    assert_eq!(n, sigs.len(), "runtime emitted duplicate matches");
-    sigs
-}
-
-/// Strategy: a time-ordered stream over a small name alphabet so partition
-/// keys collide often and predicates hit.
-fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<EventRef>> {
-    prop::collection::vec(
-        (0u64..3, 0usize..4, 0i64..6, 1i64..4), // ts-gap, name, price-ish, volume
-        1..max_len,
-    )
-    .prop_map(|rows| {
-        let mut ts = 0u64;
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (gap, name_idx, price, volume))| {
-                ts += gap;
-                let name = ["IBM", "Sun", "Oracle", "HP"][name_idx];
-                stock(ts, i as i64, name, price as f64, volume)
-            })
-            .collect()
-    })
-}
+const NAMES: &[&str] = &["IBM", "Sun", "Oracle", "HP"];
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 20 })]
 
     #[test]
     fn sharded_runtime_matches_oracle_and_engine(
-        events in stream_strategy(26),
+        events in stream_strategy(26, NAMES),
         workers in 1usize..4,
         chunk in 1usize..9,
         engine_batch in 1usize..6,
     ) {
         let parts = compile(PARTITIONABLE, engine_batch);
-        let expected = oracle_sigs(PARTITIONABLE, &events);
+        let expected = oracle_sigs(PARTITIONABLE, None, &events);
         prop_assert_eq!(&engine_sigs(&parts, &events), &expected);
         let got = runtime_sigs(
             parts,
@@ -211,12 +58,12 @@ proptest! {
 
     #[test]
     fn broadcast_fallback_matches_oracle_and_engine(
-        events in stream_strategy(24),
+        events in stream_strategy(24, NAMES),
         workers in 1usize..4,
         chunk in 1usize..9,
     ) {
         let parts = compile(BROADCAST, 4);
-        let expected = oracle_sigs(BROADCAST, &events);
+        let expected = oracle_sigs(BROADCAST, None, &events);
         prop_assert_eq!(&engine_sigs(&parts, &events), &expected);
         let got = runtime_sigs(
             parts,
@@ -233,7 +80,7 @@ proptest! {
     /// record chunk sizes that fall on different boundaries.
     #[test]
     fn columnar_ingest_matches_record_ingest_and_oracle(
-        events in stream_strategy(26),
+        events in stream_strategy(26, NAMES),
         workers in 1usize..9,
         sizes in prop::collection::vec(1usize..9, 1..4),
         chunk in 1usize..9,
@@ -244,7 +91,7 @@ proptest! {
         // so signatures (event identities) are comparable across paths.
         let batches = rebatch(&events, &sizes);
         let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
-        let expected = oracle_sigs(PARTITIONABLE, &events);
+        let expected = oracle_sigs(PARTITIONABLE, None, &events);
         let record = runtime_sigs(
             parts.clone(),
             Partitioning::Auto("name".into()),
@@ -266,14 +113,14 @@ proptest! {
     /// shard receives the whole batch as an `All` selection.
     #[test]
     fn columnar_broadcast_fallback_matches_oracle(
-        events in stream_strategy(24),
+        events in stream_strategy(24, NAMES),
         workers in 1usize..5,
         sizes in prop::collection::vec(1usize..9, 1..4),
     ) {
         let parts = compile(BROADCAST, 4);
         let batches = rebatch(&events, &sizes);
         let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
-        let expected = oracle_sigs(BROADCAST, &events);
+        let expected = oracle_sigs(BROADCAST, None, &events);
         let got = runtime_sigs_columns(
             parts,
             Partitioning::Auto("name".into()), // no equalities -> home shard
@@ -321,14 +168,11 @@ fn stock_workload_output_is_byte_identical_to_engine() {
         21,
     ));
     let parts = compile(src, 16);
-
-    let mut engine = parts.engine().unwrap();
-    let mut records = Vec::new();
-    for e in &events {
-        records.extend(engine.push(e.clone()));
-    }
-    records.extend(engine.flush());
-    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
+    // Both outputs are deterministic; equal end-ts ties may order
+    // differently between one engine and N shards, so compare under the
+    // shared canonical sorted order (end_ts is the line's `..end]` prefix,
+    // and the full line disambiguates ties).
+    let expected = engine_lines(&parts, &events);
 
     for workers in [2, 4] {
         let template = parts.engine().unwrap();
@@ -336,14 +180,9 @@ fn stock_workload_output_is_byte_identical_to_engine() {
             runtime_matches(parts.clone(), Partitioning::Auto("name".into()), workers, 32, &events);
         let mut runtime_lines: Vec<String> =
             matches.iter().map(|m| template.format_match(&m.record)).collect();
-        // Both outputs are deterministic; equal end-ts ties may order
-        // differently between one engine and N shards, so compare under the
-        // shared canonical order (end_ts is the line's `..end]` prefix, and
-        // the full line disambiguates ties).
-        engine_lines.sort();
         runtime_lines.sort();
         assert!(!runtime_lines.is_empty());
-        assert_eq!(runtime_lines, engine_lines, "workers={workers}");
+        assert_eq!(runtime_lines, expected, "workers={workers}");
     }
 }
 
@@ -362,15 +201,7 @@ fn weblog_workload_output_is_byte_identical_to_engine() {
         .config(EngineConfig { batch_size: 64, plan: PlanConfig::default() })
         .compile()
         .unwrap();
-
-    let mut engine = parts.engine().unwrap();
-    let mut records = Vec::new();
-    for e in &events {
-        records.extend(engine.push(e.clone()));
-    }
-    records.extend(engine.flush());
-    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
-    engine_lines.sort();
+    let expected = engine_lines(&parts, &events);
 
     let template = parts.engine().unwrap();
     let matches = runtime_matches(parts, Partitioning::Field("ip".into()), 4, 128, &events);
@@ -378,7 +209,7 @@ fn weblog_workload_output_is_byte_identical_to_engine() {
         matches.iter().map(|m| template.format_match(&m.record)).collect();
     runtime_lines.sort();
     assert!(!runtime_lines.is_empty());
-    assert_eq!(runtime_lines, engine_lines);
+    assert_eq!(runtime_lines, expected);
 }
 
 /// Acceptance: on the stock workload, the columnar ingest path's merged
@@ -399,16 +230,8 @@ fn stock_columnar_ingest_is_byte_identical_to_record_ingest() {
     );
     let events: Vec<EventRef> = batches.iter().flat_map(EventBatch::iter).collect();
     let parts = compile(src, 16);
-
-    let mut engine = parts.engine().unwrap();
-    let mut records = Vec::new();
-    for e in &events {
-        records.extend(engine.push(e.clone()));
-    }
-    records.extend(engine.flush());
-    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
-    engine_lines.sort();
-    assert!(!engine_lines.is_empty());
+    let expected = engine_lines(&parts, &events);
+    assert!(!expected.is_empty());
 
     for workers in [1, 2, 4, 8] {
         let template = parts.engine().unwrap();
@@ -427,7 +250,7 @@ fn stock_columnar_ingest_is_byte_identical_to_record_ingest() {
         record_lines.sort();
         columnar_lines.sort();
         assert_eq!(columnar_lines, record_lines, "columnar vs record at {workers} workers");
-        assert_eq!(columnar_lines, engine_lines, "columnar vs engine at {workers} workers");
+        assert_eq!(columnar_lines, expected, "columnar vs engine at {workers} workers");
     }
 }
 
@@ -447,16 +270,8 @@ fn weblog_columnar_ingest_is_byte_identical_to_record_ingest() {
         .config(EngineConfig { batch_size: 64, plan: PlanConfig::default() })
         .compile()
         .unwrap();
-
-    let mut engine = parts.engine().unwrap();
-    let mut records = Vec::new();
-    for e in &events {
-        records.extend(engine.push(e.clone()));
-    }
-    records.extend(engine.flush());
-    let mut engine_lines: Vec<String> = records.iter().map(|r| engine.format_match(r)).collect();
-    engine_lines.sort();
-    assert!(!engine_lines.is_empty());
+    let expected = engine_lines(&parts, &events);
+    assert!(!expected.is_empty());
 
     let template = parts.engine().unwrap();
     let record_matches =
@@ -470,7 +285,7 @@ fn weblog_columnar_ingest_is_byte_identical_to_record_ingest() {
     record_lines.sort();
     columnar_lines.sort();
     assert_eq!(columnar_lines, record_lines, "columnar vs record ingest");
-    assert_eq!(columnar_lines, engine_lines, "columnar ingest vs engine");
+    assert_eq!(columnar_lines, expected, "columnar ingest vs engine");
 }
 
 /// Two queries hash-routed on the **same field** share one key-column scan

@@ -11,14 +11,16 @@
 //! * the [`proptest!`] macro, [`ProptestConfig`], and the
 //!   `prop_assert*` macros.
 //!
-//! Unlike real proptest there is **no shrinking** and no persisted failure
-//! file: each test runs `cases` deterministic random cases (seeded per case
-//! index, so failures reproduce across runs). Failures report the case index
-//! via the standard panic message.
+//! Unlike real proptest there is **no shrinking**: each test runs `cases`
+//! deterministic random cases (seeded per case index, so failures reproduce
+//! across runs). Failures report the case index via the standard panic
+//! message — and are persisted to `proptest-regressions/<file>.txt` (see
+//! [`regressions`]), which is replayed before the fresh cases on every run.
 
 pub mod arbitrary;
 pub mod prelude;
 pub mod prop;
+pub mod regressions;
 pub mod strategy;
 pub mod test_runner;
 
@@ -65,6 +67,31 @@ macro_rules! __proptest_tests {
         $(#[$attr])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
+            // Replay the persisted corpus first: failures found in past (or
+            // longer) runs stay covered even when their index lies beyond
+            // this run's `cases`.
+            let __persisted = $crate::regressions::persisted_cases(
+                ::std::env!("CARGO_MANIFEST_DIR"),
+                ::std::file!(),
+                stringify!($name),
+            );
+            for &__case in &__persisted {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                let __run = || {
+                    $crate::__proptest_bind! { __rng; $($params)* }
+                    $body
+                };
+                if let Err(__panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                ) {
+                    eprintln!(
+                        "PERSISTED regression `cc {} {__case}` \
+                         (proptest-regressions/) failed again",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
             for __case in 0..__config.cases {
                 let mut __rng = $crate::test_runner::TestRng::for_case(__case);
                 let __run = || {
@@ -78,6 +105,12 @@ macro_rules! __proptest_tests {
                         "proptest case {__case}/{} failed for property `{}`",
                         __config.cases,
                         stringify!($name),
+                    );
+                    $crate::regressions::persist_case(
+                        ::std::env!("CARGO_MANIFEST_DIR"),
+                        ::std::file!(),
+                        stringify!($name),
+                        __case,
                     );
                     ::std::panic::resume_unwind(__panic);
                 }

@@ -1,0 +1,112 @@
+//! Persisted failure corpus (`proptest-regressions/`).
+//!
+//! Real proptest records every shrunk failure as a `cc <seed>` line under
+//! `proptest-regressions/<source>.txt` and replays the file before running
+//! fresh cases. This shim generates inputs deterministically from the case
+//! *index*, so the persisted unit is the index itself:
+//!
+//! ```text
+//! # comment
+//! cc <property_name> <case_index>
+//! ```
+//!
+//! Indices may lie beyond the property's configured `cases` count — that is
+//! the point: a failure found in a long exploratory run (`cases: 10_000`)
+//! stays covered forever even though CI only runs the short configuration.
+//!
+//! Corpus files live at `<CARGO_MANIFEST_DIR>/proptest-regressions/<file
+//! stem>.txt`, one per test source file, and are meant to be checked in.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The corpus file for a test source file: `proptest-regressions/<stem>.txt`
+/// under the crate root.
+fn corpus_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    let stem = Path::new(source_file).file_stem()?.to_str()?;
+    Some(Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt")))
+}
+
+/// The persisted case indices for one property, sorted and deduplicated.
+/// Missing or unreadable corpus files yield an empty list — a fresh checkout
+/// without a corpus must not fail.
+pub fn persisted_cases(manifest_dir: &str, source_file: &str, property: &str) -> Vec<u32> {
+    let Some(path) = corpus_path(manifest_dir, source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut cases: Vec<u32> = text
+        .lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            (parts.next() == Some("cc") && parts.next() == Some(property))
+                .then(|| parts.next()?.parse().ok())
+                .flatten()
+        })
+        .collect();
+    cases.sort_unstable();
+    cases.dedup();
+    cases
+}
+
+/// Appends a freshly failing case to the corpus, best-effort: corpus
+/// bookkeeping must never mask the underlying test failure, so every I/O
+/// error is swallowed. Duplicates are skipped.
+pub fn persist_case(manifest_dir: &str, source_file: &str, property: &str, case: u32) {
+    let Some(path) = corpus_path(manifest_dir, source_file) else {
+        return;
+    };
+    if persisted_cases(manifest_dir, source_file, property).contains(&case) {
+        return;
+    }
+    let Some(dir) = path.parent() else {
+        return;
+    };
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if writeln!(file, "cc {property} {case}").is_ok() {
+            eprintln!(
+                "persisted failing case `cc {property} {case}` to {} — commit it to keep \
+                 the regression covered",
+                path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_corpus_is_empty() {
+        assert!(persisted_cases("/nonexistent", "tests/foo.rs", "prop").is_empty());
+    }
+
+    #[test]
+    fn parses_only_matching_cc_lines() {
+        let dir = std::env::temp_dir().join("zstream-proptest-regressions-test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        fs::write(
+            dir.join("proptest-regressions/foo.txt"),
+            "# comment\ncc mine 7\ncc other 1\ncc mine 3\ncc mine 3\ncc mine not-a-number\n",
+        )
+        .unwrap();
+        let manifest = dir.to_str().unwrap();
+        assert_eq!(persisted_cases(manifest, "tests/foo.rs", "mine"), vec![3, 7]);
+        assert_eq!(persisted_cases(manifest, "tests/foo.rs", "other"), vec![1]);
+        assert!(persisted_cases(manifest, "tests/foo.rs", "absent").is_empty());
+
+        // persist_case appends once, then dedups.
+        persist_case(manifest, "tests/foo.rs", "mine", 9);
+        persist_case(manifest, "tests/foo.rs", "mine", 9);
+        assert_eq!(persisted_cases(manifest, "tests/foo.rs", "mine"), vec![3, 7, 9]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
