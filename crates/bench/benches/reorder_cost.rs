@@ -89,7 +89,8 @@ fn main() {
         "PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 60, 64 names, 2 shards",
     );
     let record = |series: &str, tput: f64, matches: u64| {
-        let m = Measurement { throughput: tput, matches, peak_mb: 0.0, peak_bytes: 0 };
+        let m =
+            Measurement { throughput: tput, matches, peak_mb: 0.0, peak_bytes: 0, latency: None };
         record_json("reorder_cost", series, &m);
     };
 

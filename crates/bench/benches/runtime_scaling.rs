@@ -88,39 +88,67 @@ fn measure_partitioned(batches: &[EventBatch], reps: usize) -> (f64, u64) {
 }
 
 /// The sharded runtime at `workers` shards over the **record** ingest path.
-fn measure_runtime_record(workers: usize, events: &[EventRef], reps: usize) -> (f64, u64) {
-    median_run(reps, || {
+fn measure_runtime_record(
+    workers: usize,
+    events: &[EventRef],
+    reps: usize,
+) -> (f64, u64, Option<LatencySummary>) {
+    median_lat_run(reps, || {
         let mut builder = Runtime::builder().workers(workers).batch_size(CHUNK).channel_capacity(4);
         builder.register(compile(), Partitioning::Field("name".into()));
         let mut runtime = builder.build().expect("runtime builds");
+        let hub = runtime.obs_handle();
         let t0 = Instant::now();
         let mut matches = runtime.ingest(events).expect("ingest").len() as u64;
         matches += runtime.shutdown().expect("shutdown").matches.len() as u64;
-        (events.len() as f64 / t0.elapsed().as_secs_f64(), matches)
+        let tput = events.len() as f64 / t0.elapsed().as_secs_f64();
+        (tput, matches, service_latency(&hub))
     })
 }
 
 /// The sharded runtime at `workers` shards over the **columnar** ingest
 /// path: one key-column scan per chunk, `Arc`'d batches plus selection
 /// vectors over the channels.
-fn measure_runtime_columns(workers: usize, batches: &[EventBatch], reps: usize) -> (f64, u64) {
+fn measure_runtime_columns(
+    workers: usize,
+    batches: &[EventBatch],
+    reps: usize,
+) -> (f64, u64, Option<LatencySummary>) {
     let total = total_events(batches);
-    median_run(reps, || {
+    median_lat_run(reps, || {
         let mut builder = Runtime::builder().workers(workers).batch_size(CHUNK).channel_capacity(4);
         builder.register(compile(), Partitioning::Field("name".into()));
         let mut runtime = builder.build().expect("runtime builds");
+        let hub = runtime.obs_handle();
         let t0 = Instant::now();
         let mut matches = 0u64;
         for batch in batches {
             matches += runtime.ingest_columns(batch).expect("ingest_columns").len() as u64;
         }
         matches += runtime.shutdown().expect("shutdown").matches.len() as u64;
-        (total as f64 / t0.elapsed().as_secs_f64(), matches)
+        (total as f64 / t0.elapsed().as_secs_f64(), matches, service_latency(&hub))
     })
+}
+
+/// Folds the run's per-shard service histograms into one latency summary.
+fn service_latency(hub: &std::sync::Arc<zstream_obs::Obs>) -> Option<LatencySummary> {
+    let h = hub.snapshot().histogram_total("zstream_shard_service_ns")?;
+    LatencySummary::from_ns_hist(&h)
 }
 
 fn median_run(reps: usize, mut run: impl FnMut() -> (f64, u64)) -> (f64, u64) {
     let mut samples: Vec<(f64, u64)> = (0..reps.max(1)).map(|_| run()).collect();
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    samples[samples.len() / 2]
+}
+
+/// [`median_run`] carrying the median sample's latency summary along.
+fn median_lat_run(
+    reps: usize,
+    mut run: impl FnMut() -> (f64, u64, Option<LatencySummary>),
+) -> (f64, u64, Option<LatencySummary>) {
+    let mut samples: Vec<(f64, u64, Option<LatencySummary>)> =
+        (0..reps.max(1)).map(|_| run()).collect();
     samples.sort_by(|a, b| a.0.total_cmp(&b.0));
     samples[samples.len() / 2]
 }
@@ -139,8 +167,8 @@ fn main() {
         "PATTERN A; B; C WHERE A.name = B.name = C.name WITHIN 60, 64 names, uniform rates",
     );
     let shard_counts = [1usize, 2, 4, 8];
-    let record = |series: &str, tput: f64, matches: u64| {
-        let m = Measurement { throughput: tput, matches, peak_mb: 0.0, peak_bytes: 0 };
+    let record = |series: &str, tput: f64, matches: u64, latency: Option<LatencySummary>| {
+        let m = Measurement { throughput: tput, matches, peak_mb: 0.0, peak_bytes: 0, latency };
         record_json("runtime_scaling", series, &m);
     };
 
@@ -149,28 +177,28 @@ fn main() {
     let (part_tput, part_matches) = measure_partitioned(&batches, reps);
     assert_eq!(record_matches, engine_matches, "columnar engine changed the match set");
     assert_eq!(engine_matches, part_matches, "partitioned engine changed the match set");
-    record("single-record", record_tput, record_matches);
-    record("single", engine_tput, engine_matches);
-    record("part-1thr", part_tput, part_matches);
+    record("single-record", record_tput, record_matches, None);
+    record("single", engine_tput, engine_matches, None);
+    record("part-1thr", part_tput, part_matches, None);
 
     let mut col_tputs = Vec::new();
     let mut rec_tputs = Vec::new();
     for &workers in &shard_counts {
-        let (rec, rec_matches) = measure_runtime_record(workers, &events, reps);
+        let (rec, rec_matches, rec_lat) = measure_runtime_record(workers, &events, reps);
         assert_eq!(
             engine_matches, rec_matches,
             "{workers}-shard record ingest changed the match set"
         );
-        record(&format!("{workers}-shards-record"), rec, rec_matches);
+        record(&format!("{workers}-shards-record"), rec, rec_matches, rec_lat);
         rec_tputs.push(rec);
 
-        let (col, col_matches) = measure_runtime_columns(workers, &batches, reps);
+        let (col, col_matches, col_lat) = measure_runtime_columns(workers, &batches, reps);
         assert_eq!(
             engine_matches, col_matches,
             "{workers}-shard columnar ingest changed the match set \
              (record and columnar paths disagree)"
         );
-        record(&format!("{workers}-shards-col"), col, col_matches);
+        record(&format!("{workers}-shards-col"), col, col_matches, col_lat);
         col_tputs.push(col);
     }
 

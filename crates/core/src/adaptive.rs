@@ -18,8 +18,11 @@
 //! cursors are preserved, so no duplicates or losses occur (§5.3's two-step
 //! switch protocol).
 
+use std::sync::Arc;
+
 use zstream_events::{EventBatch, EventRef, Record, Ts};
-use zstream_lang::EventBinding;
+use zstream_lang::{AnalyzedQuery, EventBinding};
+use zstream_obs::{Counter, Obs, PlanCandidate, ReplanDecision, StatSeries, TraceKind};
 
 use crate::cost::dp::{plan_cost, search_optimal, PlanSpec};
 use crate::cost::stats::Statistics;
@@ -62,6 +65,19 @@ struct CounterSnapshot {
     watermark: Ts,
 }
 
+/// Decision-log wiring for one adaptive controller (see
+/// [`AdaptiveEngine::attach_obs`]).
+#[derive(Debug)]
+struct AdaptiveObs {
+    hub: Arc<Obs>,
+    query: String,
+    /// `zstream_replans_total{query}`.
+    replans: Counter,
+    /// Decision awaiting post-hoc actuals: back-filled from the next
+    /// measurement window that closes.
+    pending_actuals: Option<u64>,
+}
+
 /// An [`Engine`] wrapped with the §5.3 adaptive controller.
 #[derive(Debug)]
 pub struct AdaptiveEngine {
@@ -74,6 +90,7 @@ pub struct AdaptiveEngine {
     current_spec: Option<PlanSpec>,
     last_snapshot: CounterSnapshot,
     rounds_since_check: u64,
+    obs: Option<AdaptiveObs>,
 }
 
 impl AdaptiveEngine {
@@ -98,7 +115,20 @@ impl AdaptiveEngine {
             current_spec: initial_spec,
             last_snapshot,
             rounds_since_check: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability hub: every replan from here on is
+    /// recorded in `hub.decisions` (sampled statistics, per-candidate cost
+    /// estimates, the chosen operator tree) and its post-hoc actuals are
+    /// back-filled when the next measurement window closes. Also registers
+    /// the `zstream_replans_total{query}` counter.
+    pub fn attach_obs(&mut self, hub: Arc<Obs>, query: impl Into<String>) {
+        let query = query.into();
+        let replans =
+            hub.metrics.counter("zstream_replans_total", zstream_obs::labels(&[("query", &query)]));
+        self.obs = Some(AdaptiveObs { hub, query, replans, pending_actuals: None });
     }
 
     /// The wrapped engine.
@@ -154,19 +184,24 @@ impl AdaptiveEngine {
         let Some(measured) = self.measure() else {
             return Ok(false);
         };
+        let aq = self.engine.analyzed().clone();
+        // A closed measurement window is the post-hoc truth for the
+        // previous decision, drift or not — back-fill before deciding.
+        self.backfill_actuals(&aq, &measured);
         let drift = self.current_stats.max_relative_change(&measured);
         if drift <= self.config.error_threshold {
             return Ok(false);
         }
-        self.engine.metrics_mut().replans += 1;
-        let aq = self.engine.analyzed().clone();
         let new_spec = search_optimal(&aq, &measured)?;
+        self.engine.metrics_mut().replans += 1;
         // Compare both plans under the *measured* statistics.
         let current_spec_cost = match &self.current_spec {
             Some(spec) => plan_cost(&aq, &measured, spec),
             None => f64::INFINITY,
         };
-        if current_spec_cost / new_spec.est_cost < self.config.improvement_threshold {
+        let switched = current_spec_cost / new_spec.est_cost >= self.config.improvement_threshold;
+        self.record_decision(&aq, &measured, drift, current_spec_cost, &new_spec, switched);
+        if !switched {
             self.current_stats = measured;
             return Ok(false);
         }
@@ -175,6 +210,72 @@ impl AdaptiveEngine {
         self.current_spec = Some(new_spec);
         self.current_stats = measured;
         Ok(true)
+    }
+
+    /// Closes the estimate-vs-actual loop without waiting for the next
+    /// check interval: measures once more and back-fills the latest
+    /// decision's actuals. Call at end of stream (a decision taken in the
+    /// final window would otherwise never see its observed statistics).
+    pub fn finalize_observations(&mut self) {
+        if let Some(measured) = self.measure() {
+            let aq = self.engine.analyzed().clone();
+            self.backfill_actuals(&aq, &measured);
+        }
+    }
+
+    /// Back-fills the pending decision's post-hoc observed statistics.
+    fn backfill_actuals(&mut self, aq: &AnalyzedQuery, measured: &Statistics) {
+        if let Some(obs) = &mut self.obs {
+            if let Some(seq) = obs.pending_actuals.take() {
+                obs.hub.decisions.record_actuals(seq, stat_series(aq, measured));
+            }
+        }
+    }
+
+    /// Records one replan in the decision log (and the trace ring) and
+    /// arms the post-hoc actuals back-fill.
+    fn record_decision(
+        &mut self,
+        aq: &AnalyzedQuery,
+        measured: &Statistics,
+        drift: f64,
+        current_cost: f64,
+        new_spec: &PlanSpec,
+        switched: bool,
+    ) {
+        let Some(obs) = &mut self.obs else { return };
+        obs.replans.inc();
+        let incumbent = match &self.current_spec {
+            Some(spec) => spec.describe(aq),
+            None => "(none)".to_string(),
+        };
+        let proposed = new_spec.describe(aq);
+        let at = self.engine.watermark();
+        let seq = obs.hub.decisions.record(ReplanDecision {
+            seq: 0, // assigned by the log
+            query: obs.query.clone(),
+            at,
+            drift,
+            measured: stat_series(aq, measured),
+            candidates: vec![
+                PlanCandidate { plan: incumbent, est_cost: current_cost, chosen: !switched },
+                PlanCandidate {
+                    plan: proposed.clone(),
+                    est_cost: new_spec.est_cost,
+                    chosen: switched,
+                },
+            ],
+            switched,
+            actuals: None,
+        });
+        obs.pending_actuals = Some(seq);
+        obs.hub.trace.emit(
+            at,
+            None,
+            Some(&obs.query),
+            TraceKind::Replan,
+            format!("switched={switched} drift={drift:.3} plan={proposed}"),
+        );
     }
 
     /// Windowed statistics measurement: rates and single-class
@@ -271,6 +372,21 @@ impl AdaptiveEngine {
 /// `bi = 0`, length-10 for `bi = 1`, …) it degenerates to sampling index 0
 /// only, silently biasing the multi-class selectivity estimate toward
 /// whatever single pair sits at the buffer heads.
+/// Renders statistics as the decision log's generic named series:
+/// `rate.<class>` and `sel.<class>` per pattern class, `pred.<i>` per
+/// multi-class predicate.
+fn stat_series(aq: &AnalyzedQuery, stats: &Statistics) -> StatSeries {
+    let mut out = Vec::with_capacity(2 * aq.num_classes() + aq.multi_preds.len());
+    for (c, class) in aq.classes.iter().enumerate() {
+        out.push((format!("rate.{}", class.name), stats.rate(c)));
+        out.push((format!("sel.{}", class.name), stats.single_sel(c)));
+    }
+    for i in 0..aq.multi_preds.len() {
+        out.push((format!("pred.{i}"), stats.pred_sel(i)));
+    }
+    out
+}
+
 fn sample_index(s: usize, bi: usize, len: usize) -> usize {
     if len <= 1 {
         return 0;

@@ -22,6 +22,7 @@ use zstream_events::{
 use zstream_lang::{AnalyzedQuery, BinOp, ClassId, EventBinding, TypedExpr};
 
 use crate::metrics::EngineMetrics;
+use crate::obs::EngineObs;
 use crate::physical::plan::PhysicalPlan;
 
 /// Binding of a single event to a single class (intake predicates).
@@ -163,6 +164,8 @@ pub struct Engine {
     /// Per-class counters for the adaptive statistics sampler (§5.3).
     offered: Vec<u64>,
     admitted: Vec<u64>,
+    /// Observability instruments; `None` (the default) records nothing.
+    obs: Option<EngineObs>,
 }
 
 impl Engine {
@@ -191,6 +194,7 @@ impl Engine {
             metrics: EngineMetrics::default(),
             offered: vec![0; n],
             admitted: vec![0; n],
+            obs: None,
         }
     }
 
@@ -204,12 +208,24 @@ impl Engine {
         &self.plan
     }
 
-    /// Metrics snapshot (with the process-wide symbol-table stats stamped
-    /// in at snapshot time).
+    /// Metrics snapshot. Process-global values (symbol-table stats, the
+    /// reorder peak) are **not** stamped here — they belong to the scrape
+    /// layer (`zstream_obs` gauges / the runtime's report), not to
+    /// per-engine counters, so merging engines never double-counts them.
     pub fn metrics(&self) -> EngineMetrics {
-        let mut m = self.metrics;
-        m.stamp_symbol_stats();
-        m
+        self.metrics
+    }
+
+    /// Attaches observability instruments. Per-query counters, the
+    /// assembly-round histogram and batch-level trace events flow into
+    /// the handles from this point on.
+    pub fn set_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached instruments, if any.
+    pub fn obs(&self) -> Option<&EngineObs> {
+        self.obs.as_ref()
     }
 
     /// Mutable access to metrics (the adaptive controller records replans).
@@ -393,7 +409,7 @@ impl Engine {
         // `events_admitted` counts input rows admitted into at least one
         // class: the whole input if any class kept everything, otherwise
         // the size of the union of the (ascending, distinct) selections.
-        self.metrics.events_admitted += if class_sels.iter().any(|(_, sel)| sel.is_none()) {
+        let admitted_delta = if class_sels.iter().any(|(_, sel)| sel.is_none()) {
             n_input as u64
         } else {
             match class_sels.as_slice() {
@@ -411,6 +427,10 @@ impl Engine {
                 }
             }
         };
+        self.metrics.events_admitted += admitted_delta;
+        if let Some(obs) = &self.obs {
+            obs.admitted.add(admitted_delta);
+        }
         // Phase 2: materialize leaf records for the surviving rows, in the
         // same class-then-row order as the per-event path fills buffers.
         for (c, sel) in class_sels {
@@ -468,6 +488,9 @@ impl Engine {
         }
         if admitted_any {
             self.metrics.events_admitted += 1;
+            if let Some(obs) = &self.obs {
+                obs.admitted.inc();
+            }
         }
     }
 
@@ -480,9 +503,14 @@ impl Engine {
         };
         let eat = earliest.saturating_sub(self.plan.window);
         self.metrics.assembly_rounds += 1;
+        let start = self.obs.as_ref().map(|_| std::time::Instant::now());
         let out = self.plan.assemble(eat);
         self.metrics.matches_out += out.len() as u64;
         self.metrics.sample_memory(self.plan.total_bytes());
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs.record_round(self.watermark, ns, out.len() as u64);
+        }
         out
     }
 

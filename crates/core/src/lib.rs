@@ -23,6 +23,7 @@ pub mod engine;
 pub mod error;
 pub mod logical;
 pub mod metrics;
+pub mod obs;
 pub mod partition;
 pub mod physical;
 pub mod reference;
@@ -36,6 +37,7 @@ pub use cost::stats::Statistics;
 pub use engine::Engine;
 pub use error::CoreError;
 pub use metrics::EngineMetrics;
+pub use obs::EngineObs;
 pub use partition::{can_partition_by, PartitionedEngine};
 pub use physical::{PhysicalPlan, PlanConfig};
 pub use reference::{reference_signatures, Signature};

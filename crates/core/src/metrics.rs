@@ -28,21 +28,26 @@ pub struct EngineMetrics {
     pub replans: u64,
     /// Plan switches actually installed.
     pub plan_switches: u64,
-    /// Distinct strings interned in the **process-wide** symbol table at
-    /// snapshot time (see [`zstream_events::symbol_stats`]). Global, not
-    /// per-engine: [`EngineMetrics::merge`] takes the maximum.
+    /// Distinct strings interned in the **process-wide** symbol table (see
+    /// [`zstream_events::symbol_stats`]). A *report-level* field: live
+    /// engines keep it at zero — the value is stamped exactly once, at
+    /// scrape time, by whoever assembles the final report (the runtime's
+    /// shutdown path, or [`EngineMetrics::stamp_symbol_stats`]). The
+    /// live-queryable form is the `zstream_symbols_interned` gauge in the
+    /// observability registry.
     pub symbols_interned: u64,
     /// Bytes the symbol table's intern hits avoided re-allocating (what a
-    /// per-value `Arc<str>` representation would have copied). Global, like
-    /// `symbols_interned`.
+    /// per-value `Arc<str>` representation would have copied). Report-level,
+    /// like `symbols_interned`; live form: `zstream_symbol_bytes_saved`.
     pub symbol_bytes_saved: u64,
     /// Events rejected by an upstream reorder stage as arriving beyond its
     /// slack window (§4.1 disordered streams). Zero unless a reorder stage
     /// fronts this engine (the scale-out runtime stamps it).
     pub late_events: u64,
     /// Peak number of events the upstream reorder stage held back at once —
-    /// the memory cost of the slack. One global stage feeds every engine,
-    /// so [`EngineMetrics::merge`] takes the maximum.
+    /// the memory cost of the slack. Report-level: stamped once at scrape
+    /// from the reorder stage; live form: the `zstream_reorder_buffered_peak`
+    /// gauge.
     pub reorder_buffered_peak: u64,
 }
 
@@ -63,11 +68,18 @@ impl EngineMetrics {
     /// [`crate::PartitionedEngine`] and the scale-out runtime to report one
     /// aggregated snapshot across per-partition / per-shard engines.
     ///
-    /// All counters sum. `peak_bytes` also sums: the constituent engines
-    /// hold their buffers simultaneously, so the sum of per-engine peaks is
-    /// an upper bound on the true simultaneous peak. The symbol-table stats
-    /// describe one process-global table, so they take the maximum instead
-    /// of double counting.
+    /// Per-field semantics:
+    /// * `events_in`, `events_admitted`, `matches_out`, `assembly_rounds`,
+    ///   `idle_rounds`, `replans`, `plan_switches`, `late_events` — true
+    ///   per-engine counters: **sum**.
+    /// * `peak_bytes` — **sum**: the constituent engines hold their buffers
+    ///   simultaneously, so the sum of per-engine peaks is an upper bound
+    ///   on the true simultaneous peak.
+    /// * `symbols_interned`, `symbol_bytes_saved`, `reorder_buffered_peak`
+    ///   — report-level fields describing one process-global source, zero
+    ///   on live engines (stamped once at scrape, never per engine):
+    ///   **max**, so a stamped report merged with unstamped engines keeps
+    ///   its value and two stamped reports never double-count.
     pub fn merge(&mut self, other: &EngineMetrics) {
         self.events_in += other.events_in;
         self.events_admitted += other.events_admitted;
@@ -84,6 +96,9 @@ impl EngineMetrics {
     }
 
     /// Stamps the process-wide symbol-table statistics onto this snapshot.
+    /// Call exactly once, on the final aggregated report — never on
+    /// per-engine metrics (merging stamped engines would smuggle a global
+    /// value through per-engine counters; see [`EngineMetrics::merge`]).
     pub fn stamp_symbol_stats(&mut self) {
         let s = zstream_events::symbol_stats();
         self.symbols_interned = s.symbols;

@@ -97,6 +97,9 @@ pub struct PartitionedEngine {
     partitions: HashMap<HashableValue, Engine>,
     events_in: u64,
     dropped: u64,
+    /// Instrument template cloned into each partition engine (cells are
+    /// shared across partitions; see [`PartitionedEngine::set_obs`]).
+    obs: Option<crate::obs::EngineObs>,
 }
 
 impl PartitionedEngine {
@@ -125,6 +128,7 @@ impl PartitionedEngine {
             partitions: HashMap::new(),
             events_in: 0,
             dropped: 0,
+            obs: None,
         })
     }
 
@@ -262,8 +266,11 @@ impl PartitionedEngine {
                 .compiled
                 .physical_plan(self.plan_config.clone())
                 .expect("template plan was validated at construction");
-            let engine =
+            let mut engine =
                 Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
+            if let Some(obs) = &self.obs {
+                engine.set_obs(obs.clone());
+            }
             self.partitions.insert(key, engine);
         }
         self.partitions.get_mut(&key).expect("inserted above")
@@ -284,15 +291,27 @@ impl PartitionedEngine {
     /// [`EngineMetrics::merge`]; `peak_bytes` is the sum of per-partition
     /// peaks (an upper bound on the true simultaneous peak). `events_in`
     /// counts every event offered to this engine, including ones dropped
-    /// for lacking the partition attribute.
+    /// for lacking the partition attribute. Process-global stats are left
+    /// unstamped (see [`EngineMetrics::merge`] — they belong to the final
+    /// report, not per-engine snapshots).
     pub fn metrics(&self) -> EngineMetrics {
         let mut m = EngineMetrics::default();
         for e in self.partitions.values() {
             m.merge(&e.metrics());
         }
         m.events_in = self.events_in;
-        m.stamp_symbol_stats();
         m
+    }
+
+    /// Attaches observability instruments. Every existing and future
+    /// partition engine records into clones of the same handles — the
+    /// cells are shared, so per-query totals fold across partition keys
+    /// without extra registry entries.
+    pub fn set_obs(&mut self, obs: crate::obs::EngineObs) {
+        for e in self.partitions.values_mut() {
+            e.set_obs(obs.clone());
+        }
+        self.obs = Some(obs);
     }
 
     /// Signature of a record (delegates to any partition's engine — the

@@ -48,7 +48,9 @@ pub use batch::Batcher;
 pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
 pub use record::{Record, Slot};
-pub use reorder::{repack_events, BatchRelease, ColumnarReorder, ReorderBuffer, ReorderOutcome};
+pub use reorder::{
+    repack_events, BatchRelease, ColumnarReorder, ReorderBuffer, ReorderOutcome, ReorderStats,
+};
 pub use route::{
     shard_of, split_batch_by_field, split_batch_rows, split_by_field, RowSplit, ShardSplit,
 };

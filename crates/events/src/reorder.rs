@@ -119,6 +119,22 @@ impl BatchRelease {
     }
 }
 
+/// Point-in-time pressure counters of a [`ColumnarReorder`] (see
+/// [`ColumnarReorder::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Number of ingest sources (per-source high-water marks).
+    pub sources: usize,
+    /// Rows currently held back within the slack window.
+    pub pending: usize,
+    /// Peak rows held back at once since construction.
+    pub buffered_peak: usize,
+    /// Rows rejected as too late so far (all sources).
+    pub late: u64,
+    /// Current release frontier: `min(high_water) − slack`, saturating.
+    pub frontier: Ts,
+}
+
 /// Columnar, multi-source reordering operator: accepts batches whose rows
 /// are in **arrival order**, buffers row handles within a slack window, and
 /// releases time-ordered batches as the per-source watermarks advance.
@@ -303,6 +319,20 @@ impl ColumnarReorder {
     /// Peak number of rows buffered at once — the memory cost of the slack.
     pub fn buffered_peak(&self) -> usize {
         self.buffered_peak
+    }
+
+    /// One coherent view of the operator's pressure counters, cheap enough
+    /// to read after every ingest call. This is the scrape surface an
+    /// observability layer publishes (buffered depth, peak, late drops,
+    /// frontier) without reaching into the operator's internals.
+    pub fn stats(&self) -> ReorderStats {
+        ReorderStats {
+            sources: self.high_water.len(),
+            pending: self.pending.len(),
+            buffered_peak: self.buffered_peak,
+            late: self.late,
+            frontier: self.frontier(),
+        }
     }
 
     fn release_into(&mut self, out: &mut Vec<EventRef>) {
@@ -787,5 +817,23 @@ mod tests {
         assert_eq!(released_ts(&r), vec![2, 4]);
         assert!(out.is_empty());
         assert_eq!(cr.pending_len(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_pressure_counters() {
+        let mut cr = ColumnarReorder::with_sources(5, 2);
+        let _ = cr.offer_batch_from(0, &batch_of(&[10, 12]));
+        let s = cr.stats();
+        assert_eq!(s.sources, 2);
+        assert_eq!(s.pending, 2, "source 1 still at 0 holds the frontier");
+        assert_eq!(s.buffered_peak, 2);
+        assert_eq!(s.late, 0);
+        assert_eq!(s.frontier, 0);
+        let _ = cr.offer_batch_from(1, &batch_of(&[20]));
+        let s = cr.stats();
+        assert_eq!(s.frontier, 12 - 5);
+        assert_eq!(s.pending, 3, "rows 10, 12, 20 are all above frontier 7");
+        let _ = cr.offer_batch_from(0, &batch_of(&[1]));
+        assert_eq!(cr.stats().late, 1, "ts 1 + slack 5 < high_water 12");
     }
 }

@@ -1,0 +1,179 @@
+//! The planner decision log: every §5.3 replan as a queryable record.
+//!
+//! Each [`ReplanDecision`] captures what the adaptive controller *saw*
+//! (sampled rates and selectivities, measured drift), what it *considered*
+//! (cost-model estimates per candidate plan), what it *chose* (the
+//! operator tree installed, or kept), and — back-filled at the next
+//! measurement window — what actually *happened*, so estimate-vs-actual
+//! error is a first-class series rather than something reconstructed from
+//! logs. Statistics are stored as generic named series (`rate.IBM`,
+//! `sel.Oracle`, `pred.2`) so this crate stays a dependency-free leaf.
+
+use std::sync::Mutex;
+
+/// One candidate plan the controller costed.
+#[derive(Debug, Clone)]
+pub struct PlanCandidate {
+    /// Human-readable operator tree (one line).
+    pub plan: String,
+    /// The cost model's unit-cost estimate under the measured statistics.
+    pub est_cost: f64,
+    /// Whether this candidate was installed (exactly one per decision).
+    pub chosen: bool,
+}
+
+/// Named statistic series sampled at a decision point, e.g.
+/// `("rate.IBM", 0.33)` or `("sel.Sun", 0.9)`.
+pub type StatSeries = Vec<(String, f64)>;
+
+/// One replan decision.
+#[derive(Debug, Clone)]
+pub struct ReplanDecision {
+    /// Monotonic decision number (unique per log).
+    pub seq: u64,
+    /// The query the decision is about (e.g. `"q0"`).
+    pub query: String,
+    /// Engine watermark (event time) when the decision was taken.
+    pub at: u64,
+    /// Measured relative statistics drift that triggered the check.
+    pub drift: f64,
+    /// Statistics sampled over the window that closed at this decision.
+    pub measured: StatSeries,
+    /// Candidate plans with cost estimates (the incumbent and the
+    /// optimizer's proposal; the DP search space is summarized by its
+    /// winner).
+    pub candidates: Vec<PlanCandidate>,
+    /// Whether a new plan was installed (`false` = incumbent kept).
+    pub switched: bool,
+    /// Statistics observed over the *next* window, back-filled when that
+    /// window closes — `None` until then. Comparing `measured` estimates
+    /// with these actuals gives the estimate-vs-actual error series.
+    pub actuals: Option<StatSeries>,
+}
+
+/// A bounded, append-only log of replan decisions.
+pub struct DecisionLog {
+    capacity: usize,
+    inner: Mutex<LogInner>,
+}
+
+struct LogInner {
+    decisions: Vec<ReplanDecision>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for DecisionLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionLog").field("capacity", &self.capacity).finish()
+    }
+}
+
+/// Default decision-log capacity. Replans are rare (at most one per
+/// adaptation window), so a small bound holds hours of history.
+pub const DEFAULT_DECISION_CAPACITY: usize = 256;
+
+impl Default for DecisionLog {
+    fn default() -> DecisionLog {
+        DecisionLog::with_capacity(DEFAULT_DECISION_CAPACITY)
+    }
+}
+
+impl DecisionLog {
+    pub fn with_capacity(capacity: usize) -> DecisionLog {
+        DecisionLog {
+            capacity,
+            inner: Mutex::new(LogInner { decisions: Vec::new(), next_seq: 0, dropped: 0 }),
+        }
+    }
+
+    /// Appends a decision (its `seq` field is assigned here) and returns
+    /// the sequence number, for later [`DecisionLog::record_actuals`].
+    pub fn record(&self, mut decision: ReplanDecision) -> u64 {
+        let mut log = self.inner.lock().expect("decision log poisoned");
+        let seq = log.next_seq;
+        log.next_seq += 1;
+        decision.seq = seq;
+        if log.decisions.len() == self.capacity {
+            log.decisions.remove(0);
+            log.dropped += 1;
+        }
+        log.decisions.push(decision);
+        seq
+    }
+
+    /// Back-fills the observed statistics for decision `seq`. Returns
+    /// false when the decision has been evicted (or never existed).
+    pub fn record_actuals(&self, seq: u64, actuals: StatSeries) -> bool {
+        let mut log = self.inner.lock().expect("decision log poisoned");
+        match log.decisions.iter_mut().find(|d| d.seq == seq) {
+            Some(d) => {
+                d.actuals = Some(actuals);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `(decisions oldest-first, number evicted)`.
+    pub fn snapshot(&self) -> (Vec<ReplanDecision>, u64) {
+        let log = self.inner.lock().expect("decision log poisoned");
+        (log.decisions.clone(), log.dropped)
+    }
+
+    /// Number of decisions currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("decision log poisoned").decisions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(query: &str) -> ReplanDecision {
+        ReplanDecision {
+            seq: 0,
+            query: query.to_string(),
+            at: 10,
+            drift: 0.5,
+            measured: vec![("rate.A".into(), 0.25)],
+            candidates: vec![
+                PlanCandidate { plan: "((A B) C)".into(), est_cost: 10.0, chosen: false },
+                PlanCandidate { plan: "(A (B C))".into(), est_cost: 7.0, chosen: true },
+            ],
+            switched: true,
+            actuals: None,
+        }
+    }
+
+    #[test]
+    fn assigns_monotonic_seqs_and_backfills_actuals() {
+        let log = DecisionLog::default();
+        let a = log.record(decision("q0"));
+        let b = log.record(decision("q0"));
+        assert_eq!((a, b), (0, 1));
+        assert!(log.record_actuals(a, vec![("rate.A".into(), 0.5)]));
+        let (ds, dropped) = log.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(ds[0].actuals.as_ref().unwrap()[0].1, 0.5);
+        assert!(ds[1].actuals.is_none());
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest() {
+        let log = DecisionLog::with_capacity(2);
+        for _ in 0..3 {
+            log.record(decision("q0"));
+        }
+        let (ds, dropped) = log.snapshot();
+        assert_eq!(ds.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(dropped, 1);
+        // Back-filling an evicted decision reports failure.
+        assert!(!log.record_actuals(0, vec![]));
+    }
+}

@@ -1,0 +1,435 @@
+//! Scrape snapshots and their JSON / Prometheus-text renderings.
+//!
+//! Both renderings are **deterministic** for a given snapshot: metrics
+//! are emitted in registry order (sorted by name, then labels), histogram
+//! buckets ascending, map keys in insertion order of the sorted label
+//! set. That makes the output diffable and lets CI pin the exported
+//! schema (names / label keys / types) as a golden fixture.
+//!
+//! The JSON renderer emits one metric, trace event, or decision per line
+//! so the schema can be validated with a line scanner — no JSON parser
+//! dependency needed downstream.
+
+use crate::decision::ReplanDecision;
+use crate::hist::{bucket_upper_bound, HistSnapshot};
+use crate::registry::{Labels, MetricSample, MetricValue};
+use crate::trace::TraceEvent;
+
+/// A point-in-time view of the whole observability plane.
+#[derive(Debug, Clone)]
+pub struct ObsSnapshot {
+    /// Folded instruments, sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSample>,
+    /// Recent trace events, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Trace events evicted from the bounded ring before this scrape.
+    pub trace_dropped: u64,
+    /// Replan decisions, oldest first.
+    pub decisions: Vec<ReplanDecision>,
+    /// Decisions evicted from the bounded log before this scrape.
+    pub decisions_dropped: u64,
+}
+
+impl ObsSnapshot {
+    /// The sample with this exact name + label set.
+    pub fn sample(&self, name: &str, labels: &Labels) -> Option<&MetricSample> {
+        self.metrics.iter().find(|s| s.name == name && &s.labels == labels)
+    }
+
+    /// Sum of a counter across all label sets (0 when absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The folded value of a gauge (first label set under `name`).
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find(|s| s.name == name).and_then(|s| match &s.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// All label-set histograms under `name`, folded into one.
+    pub fn histogram_total(&self, name: &str) -> Option<HistSnapshot> {
+        let mut out: Option<HistSnapshot> = None;
+        for s in self.metrics.iter().filter(|s| s.name == name) {
+            if let MetricValue::Histogram(h) = &s.value {
+                let acc = out.get_or_insert_with(HistSnapshot::empty);
+                for (i, n) in h.buckets.iter().enumerate() {
+                    acc.buckets[i] += n;
+                }
+                acc.count += h.count;
+                acc.sum = acc.sum.wrapping_add(h.sum);
+                acc.max = acc.max.max(h.max);
+            }
+        }
+        out
+    }
+
+    /// Renders the full snapshot as JSON (one metric / trace event /
+    /// decision per line; deterministic ordering).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"metrics\": [\n");
+        for (i, s) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            render_metric_json(&mut out, s);
+        }
+        out.push_str("\n],\n");
+        out.push_str(&format!("\"trace_dropped\": {},\n\"trace\": [\n", self.trace_dropped));
+        for (i, t) in self.trace.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            render_trace_json(&mut out, t);
+        }
+        out.push_str("\n],\n");
+        out.push_str(&format!(
+            "\"decisions_dropped\": {},\n\"decisions\": [\n",
+            self.decisions_dropped
+        ));
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            render_decision_json(&mut out, d);
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+
+    /// Renders the metric plane in Prometheus text exposition format.
+    /// Trace and decisions have no Prometheus form and are omitted.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut last_name: Option<&str> = None;
+        for s in &self.metrics {
+            if last_name != Some(s.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", s.name, s.value.kind()));
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&s.name);
+                    render_prom_labels(&mut out, &s.labels, None);
+                    out.push_str(&format!(" {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        out.push_str(&format!("{}_bucket", s.name));
+                        let le = bucket_upper_bound(i);
+                        let le = if le == u64::MAX { "+Inf".to_string() } else { le.to_string() };
+                        render_prom_labels(&mut out, &s.labels, Some(&le));
+                        out.push_str(&format!(" {cum}\n"));
+                    }
+                    out.push_str(&format!("{}_bucket", s.name));
+                    render_prom_labels(&mut out, &s.labels, Some("+Inf"));
+                    out.push_str(&format!(" {}\n", h.count));
+                    out.push_str(&format!("{}_sum", s.name));
+                    render_prom_labels(&mut out, &s.labels, None);
+                    out.push_str(&format!(" {}\n", h.sum));
+                    out.push_str(&format!("{}_count", s.name));
+                    render_prom_labels(&mut out, &s.labels, None);
+                    out.push_str(&format!(" {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for a JSON string literal (without the quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number for `v`: NaN and infinities (invalid JSON) render as
+/// `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_labels_json(out: &mut String, labels: &Labels) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push('}');
+}
+
+fn render_series_json(out: &mut String, series: &[(String, f64)]) {
+    out.push('{');
+    for (i, (k, v)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(k), json_f64(*v)));
+    }
+    out.push('}');
+}
+
+fn render_metric_json(out: &mut String, s: &MetricSample) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"type\":\"{}\",\"labels\":",
+        json_escape(&s.name),
+        s.value.kind()
+    ));
+    render_labels_json(out, &s.labels);
+    match &s.value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+            out.push_str(&format!(",\"value\":{v}}}"));
+        }
+        MetricValue::Histogram(h) => {
+            let p = |q: f64| match h.percentile(q) {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.max,
+                p(0.50),
+                p(0.95),
+                p(0.99),
+            ));
+            for (i, (idx, n)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{idx},{n}]"));
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn render_trace_json(out: &mut String, t: &TraceEvent) {
+    let shard = match t.shard {
+        Some(s) => s.to_string(),
+        None => "null".to_string(),
+    };
+    let query = match &t.query {
+        Some(q) => format!("\"{}\"", json_escape(q)),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!(
+        "{{\"ts\":{},\"shard\":{},\"query\":{},\"kind\":\"{}\",\"payload\":\"{}\"}}",
+        t.ts,
+        shard,
+        query,
+        t.kind.as_str(),
+        json_escape(&t.payload)
+    ));
+}
+
+fn render_decision_json(out: &mut String, d: &ReplanDecision) {
+    out.push_str(&format!(
+        "{{\"seq\":{},\"query\":\"{}\",\"at\":{},\"drift\":{},\"switched\":{},\"measured\":",
+        d.seq,
+        json_escape(&d.query),
+        d.at,
+        json_f64(d.drift),
+        d.switched
+    ));
+    render_series_json(out, &d.measured);
+    out.push_str(",\"candidates\":[");
+    for (i, c) in d.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"plan\":\"{}\",\"est_cost\":{},\"chosen\":{}}}",
+            json_escape(&c.plan),
+            json_f64(c.est_cost),
+            c.chosen
+        ));
+    }
+    out.push_str("],\"actuals\":");
+    match &d.actuals {
+        Some(a) => render_series_json(out, a),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn render_prom_labels(out: &mut String, labels: &Labels, le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", k, prom_escape(v)));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{labels, GaugeFold};
+    use crate::trace::{TraceKind, TraceRing};
+    use crate::Obs;
+
+    #[test]
+    fn json_escaping_covers_quotes_backslashes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prom_escaping_covers_label_values() {
+        assert_eq!(prom_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_output_is_deterministic_and_ordered() {
+        let obs = Obs::new();
+        obs.metrics.counter("zz", labels(&[])).add(1);
+        obs.metrics.counter("aa", labels(&[("q", "x\"y")])).add(2);
+        obs.metrics.gauge("mid", labels(&[]), GaugeFold::Sum).set(3);
+        let a = obs.snapshot().to_json();
+        let b = obs.snapshot().to_json();
+        assert_eq!(a, b, "same state must render byte-identically");
+        let aa = a.find("\"name\":\"aa\"").unwrap();
+        let mid = a.find("\"name\":\"mid\"").unwrap();
+        let zz = a.find("\"name\":\"zz\"").unwrap();
+        assert!(aa < mid && mid < zz, "metrics must be name-sorted");
+        assert!(a.contains("x\\\"y"), "label values must be escaped");
+    }
+
+    #[test]
+    fn histogram_json_has_percentiles_and_sparse_buckets() {
+        let obs = Obs::new();
+        let h = obs.metrics.histogram("lat", labels(&[]));
+        h.observe(1);
+        h.observe(1000);
+        let json = obs.snapshot().to_json();
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"p99\":1000"));
+        assert!(json.contains("\"buckets\":[[1,1],[10,1]]"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_null_percentiles() {
+        let obs = Obs::new();
+        let _ = obs.metrics.histogram("lat", labels(&[]));
+        let json = obs.snapshot().to_json();
+        assert!(json.contains("\"p50\":null,\"p95\":null,\"p99\":null"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let obs = Obs::new();
+        obs.metrics.counter("c_total", labels(&[("s", "0")])).add(5);
+        let h = obs.metrics.histogram("lat", labels(&[]));
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        let text = obs.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE c_total counter\n"));
+        assert!(text.contains("c_total{s=\"0\"} 5\n"));
+        assert!(text.contains("# TYPE lat histogram\n"));
+        // Bucket 1 (le=1): 1 obs; bucket 2 (le=3): cumulative 3.
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 6\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn trace_and_decisions_appear_in_json() {
+        let obs = Obs::new();
+        obs.trace.emit(7, Some(1), Some("q0"), TraceKind::Ingest, "rows=10".into());
+        let json = obs.snapshot().to_json();
+        assert!(json.contains(
+            "{\"ts\":7,\"shard\":1,\"query\":\"q0\",\"kind\":\"ingest\",\"payload\":\"rows=10\"}"
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_ring_snapshot_is_clean() {
+        let ring = TraceRing::with_capacity(0);
+        ring.emit(1, None, None, TraceKind::MergeEmit, String::new());
+        let (events, dropped) = ring.snapshot();
+        assert!(events.is_empty() && dropped == 0);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let obs = Obs::new();
+        obs.metrics.counter("c", labels(&[("s", "0")])).add(1);
+        obs.metrics.counter("c", labels(&[("s", "1")])).add(2);
+        obs.metrics.gauge("g", labels(&[]), GaugeFold::Max).raise(9);
+        let h0 = obs.metrics.histogram("h", labels(&[("s", "0")]));
+        let h1 = obs.metrics.histogram("h", labels(&[("s", "1")]));
+        h0.observe(4);
+        h1.observe(8);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("c"), 3);
+        assert_eq!(snap.gauge_value("g"), Some(9));
+        let h = snap.histogram_total("h").unwrap();
+        assert_eq!((h.count, h.max), (2, 8));
+        assert!(snap.sample("c", &labels(&[("s", "1")])).is_some());
+        assert!(snap.sample("c", &labels(&[("s", "2")])).is_none());
+    }
+}

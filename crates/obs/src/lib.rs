@@ -1,0 +1,128 @@
+//! # zstream-obs — observability for the ZStream pipeline
+//!
+//! A dependency-free leaf crate providing the three observability planes
+//! the rest of the workspace wires into:
+//!
+//! * a **metric registry** ([`Registry`]) — monotonic [`Counter`]s,
+//!   [`Gauge`]s and log-bucketed [`Histogram`]s, registered by name +
+//!   label set. Registration appends a fresh atomic cell per worker
+//!   thread (cold path, short mutex); the hot path is relaxed atomic
+//!   adds on thread-private cells, folded only at scrape time — ingest
+//!   never contends with a scrape;
+//! * a bounded **structured trace ring** ([`TraceRing`]) of batch-level
+//!   pipeline events ([`TraceEvent`]): ingest, reorder release, shard
+//!   dispatch, assembly round, merge emit, checkpoint quiesce;
+//! * a **planner decision log** ([`DecisionLog`]) recording every §5.3
+//!   replan — sampled statistics, cost estimates per candidate plan, the
+//!   chosen operator tree, and back-filled post-hoc actuals, making
+//!   estimate-vs-actual error a first-class series.
+//!
+//! [`Obs`] bundles the three planes behind one `Arc`-shareable hub;
+//! [`Obs::snapshot`] produces an [`ObsSnapshot`] that renders to JSON
+//! ([`ObsSnapshot::to_json`]) or Prometheus text
+//! ([`ObsSnapshot::to_prometheus`]), both with deterministic ordering.
+//!
+//! Observability state is deliberately **not** part of checkpoints: a
+//! restored runtime starts its counters from zero (see the runtime's
+//! checkpoint docs for the rationale).
+
+mod decision;
+mod export;
+mod hist;
+mod registry;
+mod trace;
+
+pub use decision::{
+    DecisionLog, PlanCandidate, ReplanDecision, StatSeries, DEFAULT_DECISION_CAPACITY,
+};
+pub use export::{json_escape, prom_escape, ObsSnapshot};
+pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, NUM_BUCKETS};
+pub use registry::{
+    labels, Counter, Gauge, GaugeFold, Labels, MetricSample, MetricValue, Registry,
+};
+pub use trace::{TraceEvent, TraceKind, TraceRing, Ts, DEFAULT_TRACE_CAPACITY};
+
+/// The observability hub: one per runtime (or standalone engine),
+/// shared by `Arc` across the control thread, worker shards, and any
+/// scraping thread.
+///
+/// The trace ring is itself behind an `Arc` so worker threads can hold a
+/// handle to the ring alone (e.g. [`TraceRing`] inside a shard's engine
+/// instruments) without referencing the whole hub.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Counters, gauges, histograms.
+    pub metrics: Registry,
+    /// Batch-level pipeline trace.
+    pub trace: std::sync::Arc<TraceRing>,
+    /// Replan decisions with estimate-vs-actual series.
+    pub decisions: DecisionLog,
+}
+
+impl Obs {
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// A cheap point-in-time scrape of all three planes. Callable from
+    /// any thread mid-stream: metric cells are read with atomic loads,
+    /// the trace ring and decision log each take one short mutex — no
+    /// shard is paused or quiesced.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let metrics = self.metrics.scrape();
+        let (trace, trace_dropped) = self.trace.snapshot();
+        let (decisions, decisions_dropped) = self.decisions.snapshot();
+        ObsSnapshot { metrics, trace, trace_dropped, decisions, decisions_dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_snapshot_covers_all_planes() {
+        let obs = Obs::new();
+        obs.metrics.counter("c", labels(&[])).inc();
+        obs.trace.emit(1, None, None, TraceKind::Ingest, "rows=1".into());
+        obs.decisions.record(ReplanDecision {
+            seq: 0,
+            query: "q0".into(),
+            at: 1,
+            drift: 0.0,
+            measured: vec![],
+            candidates: vec![],
+            switched: false,
+            actuals: None,
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter_total("c"), 1);
+        assert_eq!(snap.trace.len(), 1);
+        assert_eq!(snap.decisions.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_scrape_during_writes_is_safe() {
+        use std::sync::Arc;
+        let obs = Arc::new(Obs::new());
+        let c = obs.metrics.counter("c", labels(&[]));
+        let writer = {
+            let h = obs.metrics.histogram("h", labels(&[]));
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    c.inc();
+                    h.observe(i);
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..100 {
+            let snap = obs.snapshot();
+            let v = snap.counter_total("c");
+            assert!(v >= last, "counter must be monotone across scrapes");
+            last = v;
+        }
+        writer.join().unwrap();
+        assert_eq!(obs.snapshot().counter_total("c"), 50_000);
+    }
+}

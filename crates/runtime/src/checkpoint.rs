@@ -35,6 +35,22 @@
 //! batch sent before the marker — no pause flag, no barrier, in-flight
 //! `Output` replies are simply folded into the merger (not emitted) while
 //! the control thread awaits the snapshot replies.
+//!
+//! **Observability is deliberately not checkpoint state.** The metric
+//! registry, trace ring, and decision log (`zstream_obs`) describe a
+//! *process*, not the *stream*: counters answer "what has this runtime
+//! done since it started", and resuming them from a checkpoint would
+//! conflate two processes' work, double-count the replayed tail (replayed
+//! chunks are re-ingested and re-counted), and make scrape deltas
+//! nonsensical across the restore boundary. A restored runtime therefore
+//! starts a fresh hub with every instrument at zero — exactly what a
+//! Prometheus-style collector expects after a process restart (counter
+//! resets are its native signal). Only the *report-level* aggregated
+//! [`zstream_core::EngineMetrics`] — part of the durable accounting — are
+//! carried in the RUNTIME section. The fingerprint hashes nothing from the
+//! observability plane for the same reason: two runtimes that differ only
+//! in attached instruments are interchangeable for restore. Asserted by
+//! `tests/observability.rs::restore_restarts_observability_from_zero`.
 
 use std::fmt;
 

@@ -105,6 +105,7 @@
 
 mod checkpoint;
 mod error;
+mod instruments;
 mod merge;
 mod registry;
 mod runtime;

@@ -7,15 +7,17 @@ use std::thread::JoinHandle;
 
 use zstream_core::{CompiledParts, Engine, EngineMetrics};
 use zstream_events::{
-    repack_events, split_batch_rows, split_by_field, ColumnarReorder, EventBatch, EventRef, Record,
-    ReorderOutcome, Snapshot, SnapshotReader, SnapshotWriter, Ts,
+    repack_events, split_batch_rows, split_by_field, BatchRelease, ColumnarReorder, EventBatch,
+    EventRef, Record, ReorderOutcome, Snapshot, SnapshotReader, SnapshotWriter, Ts,
 };
+use zstream_obs::{labels, Obs, ObsSnapshot, TraceKind};
 
 use crate::checkpoint::{
     check_fingerprint, expect_tag, write_fingerprint, CheckpointId, Fingerprint, MAGIC, TAG_CONFIG,
     TAG_END, TAG_MERGE, TAG_REORDER, TAG_RUNTIME, TAG_SHARDS, VERSION,
 };
 use crate::error::RuntimeError;
+use crate::instruments::RtInstruments;
 use crate::merge::{OrderedMerge, RuntimeMatch};
 use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
 use crate::shard::{build_engines, restore_engines, run_shard, RowSel, ShardMsg, ShardReply};
@@ -72,6 +74,7 @@ pub struct RuntimeBuilder {
     lateness: LatenessPolicy,
     sources: usize,
     defs: Vec<(CompiledParts, Partitioning)>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -85,6 +88,7 @@ impl Default for RuntimeBuilder {
             lateness: LatenessPolicy::Drop,
             sources: 1,
             defs: Vec::new(),
+            obs: None,
         }
     }
 }
@@ -173,6 +177,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attaches an observability hub: the runtime registers its pipeline
+    /// instruments there and every shard records into it. Pass a shared
+    /// hub to aggregate several runtimes into one scrape, or to scrape
+    /// from another thread while this one ingests
+    /// ([`Runtime::obs_handle`] returns the hub either way). Without this
+    /// the runtime creates a private hub — observability is always on;
+    /// the hot-path cost is relaxed atomic ops on thread-private cells.
+    pub fn obs(mut self, hub: Arc<Obs>) -> Self {
+        self.obs = Some(hub);
+        self
+    }
+
     /// Registers a compiled query; returns its id (assigned in
     /// registration order). Routing soundness is checked at [`build`].
     ///
@@ -223,6 +239,8 @@ impl RuntimeBuilder {
     /// the worker shards, and returns the running [`Runtime`].
     pub fn build(self) -> Result<Runtime, RuntimeError> {
         self.validate()?;
+        let obs = self.obs.clone().unwrap_or_default();
+        let inst = RtInstruments::register(&obs, self.sources, self.workers);
         let defs = resolve_routes(self.defs, self.workers)?;
         // One template engine per query stays on the control thread; it
         // never sees events and exists to interpret records (signatures,
@@ -234,12 +252,15 @@ impl RuntimeBuilder {
         let mut senders = Vec::with_capacity(self.workers);
         let mut handles = Vec::with_capacity(self.workers);
         for shard in 0..self.workers {
-            let engines = build_engines(&defs, shard)?;
+            let engines = build_engines(&defs, shard, &obs)?;
+            let service_ns = obs
+                .metrics
+                .histogram("zstream_shard_service_ns", labels(&[("shard", &shard.to_string())]));
             let (tx, rx) = sync_channel::<ShardMsg>(self.channel_capacity);
             let reply_tx = reply_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("zstream-shard-{shard}"))
-                .spawn(move || run_shard(shard, engines, rx, reply_tx, 0))
+                .spawn(move || run_shard(shard, engines, rx, reply_tx, 0, service_ns))
                 .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?;
             senders.push(tx);
             handles.push(handle);
@@ -252,6 +273,8 @@ impl RuntimeBuilder {
             senders,
             replies,
             handles,
+            obs,
+            inst,
             defs,
             templates,
             merge,
@@ -311,6 +334,11 @@ impl RuntimeBuilder {
             )));
         }
         self.validate()?;
+        // Fresh hub and instruments: observability is deliberately not
+        // checkpoint state, so a restored runtime's counters start from
+        // zero (see the checkpoint module docs for why).
+        let obs = self.obs.clone().unwrap_or_default();
+        let inst = RtInstruments::register(&obs, self.sources, self.workers);
         let workers = self.workers;
         let fp = Fingerprint {
             workers,
@@ -431,14 +459,19 @@ impl RuntimeBuilder {
                 )));
             }
             let (tx, rx) = sync_channel::<ShardMsg>(self.channel_capacity);
+            // Registered for departed shards too, so the instrument
+            // family has one entry per configured shard either way.
+            let service_ns = obs
+                .metrics
+                .histogram("zstream_shard_service_ns", labels(&[("shard", &shard.to_string())]));
             let handle = if alive {
                 let seq = r.u64()?;
                 let blob = r.blob()?;
-                let engines = restore_engines(&defs, shard, blob)?;
+                let engines = restore_engines(&defs, shard, blob, &obs)?;
                 let reply_tx = reply_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("zstream-shard-{shard}"))
-                    .spawn(move || run_shard(shard, engines, rx, reply_tx, seq))
+                    .spawn(move || run_shard(shard, engines, rx, reply_tx, seq, service_ns))
                     .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?
             } else {
                 // The shard had left the pool before the checkpoint. Restore
@@ -464,6 +497,8 @@ impl RuntimeBuilder {
             senders,
             replies,
             handles,
+            obs,
+            inst,
             defs,
             templates,
             merge,
@@ -543,6 +578,15 @@ pub struct Runtime {
     senders: Vec<SyncSender<ShardMsg>>,
     replies: Receiver<ShardReply>,
     handles: Vec<JoinHandle<()>>,
+    /// The observability hub every layer records into — shared with the
+    /// shard threads and with any scraping thread
+    /// ([`Runtime::obs_handle`]).
+    obs: Arc<Obs>,
+    /// Pipeline-level instrument handles (per-source ingest counters,
+    /// reorder pressure, shard queue depths, merge frontier, checkpoint
+    /// accounting), pre-registered so the hot path never touches the
+    /// registry.
+    inst: RtInstruments,
     defs: Vec<QueryDef>,
     templates: Vec<Engine>,
     merge: OrderedMerge,
@@ -600,6 +644,23 @@ impl Runtime {
     /// Number of worker shards.
     pub fn workers(&self) -> usize {
         self.senders.len()
+    }
+
+    /// The observability hub, for sharing with a scraping thread: clone
+    /// the `Arc`, move it to the scraper, and call
+    /// [`zstream_obs::Obs::snapshot`] there at any time — including while
+    /// this thread is blocked in an ingest call. Nothing quiesces.
+    pub fn obs_handle(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// A cheap point-in-time scrape of metrics, trace ring, and decision
+    /// log. Safe to call mid-stream: metric cells are read with relaxed
+    /// atomic loads and the trace/decision planes each take one short
+    /// mutex — no shard is paused, no channel is drained, ingest and
+    /// evaluation continue untouched.
+    pub fn observe(&self) -> ObsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Number of shards still in the pool (not finished after a worker
@@ -700,7 +761,7 @@ impl Runtime {
     ) -> Result<Vec<RuntimeMatch>, RuntimeError> {
         let digest = (!batch.is_empty()).then(|| chunk_digest(batch.len(), batch.iter()));
         if self.skip_replayed_chunk(source, digest)? {
-            return Ok(self.merge.drain_ready());
+            return Ok(self.emit_ready());
         }
         let out = self.ingest_columns_inner(source, batch);
         if out.is_ok() {
@@ -732,9 +793,10 @@ impl Runtime {
                             .into(),
                     ));
                 }
+                self.record_ingest(source, batch.len());
                 self.dispatch_columns(batch)?;
                 self.drain_replies()?;
-                return Ok(self.merge.drain_ready());
+                return Ok(self.emit_ready());
             }
             Some(reorder) => {
                 Self::check_source(source, reorder.num_sources())?;
@@ -751,6 +813,8 @@ impl Runtime {
                 (release, reorder.frontier())
             }
         };
+        self.record_ingest(source, batch.len());
+        self.record_release(source, &release, frontier);
         if self.lateness == LatenessPolicy::DeadLetter {
             self.retain_dead_letters(&release.late);
         }
@@ -758,8 +822,9 @@ impl Runtime {
             self.dispatch_columns(released)?;
         }
         self.watermark = self.watermark.max(frontier);
+        self.publish_reorder();
         self.drain_replies()?;
-        Ok(self.merge.drain_ready())
+        Ok(self.emit_ready())
     }
 
     /// Routes a slice of events to the worker shards (in chunks of the
@@ -787,7 +852,7 @@ impl Runtime {
         let digest =
             (!events.is_empty()).then(|| chunk_digest(events.len(), events.iter().cloned()));
         if self.skip_replayed_chunk(source, digest)? {
-            return Ok(self.merge.drain_ready());
+            return Ok(self.emit_ready());
         }
         let out = self.ingest_inner(source, events);
         if out.is_ok() {
@@ -819,11 +884,12 @@ impl Runtime {
                     }
                     last = event.ts();
                 }
+                self.record_ingest(source, events.len());
                 let mut ready = Vec::new();
                 for chunk in events.chunks(self.batch_size) {
                     self.dispatch(chunk)?;
                     self.drain_replies()?;
-                    ready.append(&mut self.merge.drain_ready());
+                    ready.append(&mut self.emit_ready());
                 }
                 return Ok(ready);
             }
@@ -847,6 +913,23 @@ impl Runtime {
                 (released, late, reorder.frontier())
             }
         };
+        self.record_ingest(source, events.len());
+        if !late.is_empty() {
+            self.inst.reorder_late[source].add(late.len() as u64);
+        }
+        if let Some(newest) = released.last() {
+            // Batch-level instruments, mirroring the columnar path: total
+            // released rows, plus one lag observation for the newest row.
+            self.inst.reorder_released_rows.add(released.len() as u64);
+            self.inst.release_lag.observe(frontier.saturating_sub(newest.ts()));
+            self.obs.trace.emit(
+                frontier,
+                None,
+                None,
+                TraceKind::ReorderRelease,
+                format!("rows={}", released.len()),
+            );
+        }
         if self.lateness == LatenessPolicy::DeadLetter {
             self.retain_dead_letters(&late);
         }
@@ -854,11 +937,12 @@ impl Runtime {
         for chunk in released.chunks(self.batch_size) {
             self.dispatch(chunk)?;
             self.drain_replies()?;
-            ready.append(&mut self.merge.drain_ready());
+            ready.append(&mut self.emit_ready());
         }
         self.watermark = self.watermark.max(frontier);
+        self.publish_reorder();
         self.drain_replies()?;
-        ready.append(&mut self.merge.drain_ready());
+        ready.append(&mut self.emit_ready());
         Ok(ready)
     }
 
@@ -882,10 +966,11 @@ impl Runtime {
             let hb = ShardMsg::Heartbeat { watermark: self.watermark };
             if self.senders[shard].try_send(hb).is_ok() {
                 self.shard_sent[shard] = self.watermark;
+                self.inst.queue_depth[shard].add(1);
             }
         }
         self.drain_replies()?;
-        Ok(self.merge.drain_ready())
+        Ok(self.emit_ready())
     }
 
     /// Failure injection (test/chaos hook): asks a shard to behave exactly
@@ -930,6 +1015,7 @@ impl Runtime {
         &mut self,
         out: &mut W,
     ) -> Result<CheckpointId, RuntimeError> {
+        let start = std::time::Instant::now();
         let workers = self.senders.len();
         let mut blobs: Vec<Option<(u64, Vec<u8>)>> = (0..workers).map(|_| None).collect();
         let mut awaiting = vec![false; workers];
@@ -1033,11 +1119,22 @@ impl Runtime {
             }
         }
         w.u8(TAG_END);
+        let total_bytes = (MAGIC.len() + 4 + w.bytes().len()) as u64;
         out.write_all(&MAGIC)
             .and_then(|()| out.write_all(&VERSION.to_le_bytes()))
             .and_then(|()| out.write_all(w.bytes()))
             .and_then(|()| out.flush())
             .map_err(|e| RuntimeError::Checkpoint(format!("writing checkpoint: {e}")))?;
+        self.inst.checkpoints.inc();
+        self.inst.checkpoint_bytes.add(total_bytes);
+        self.inst.checkpoint_ns.observe(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.obs.trace.emit(
+            self.watermark,
+            None,
+            None,
+            TraceKind::CheckpointQuiesce,
+            format!("id={} bytes={total_bytes}", self.checkpoint_seq),
+        );
         Ok(CheckpointId(self.checkpoint_seq))
     }
 
@@ -1093,9 +1190,13 @@ impl Runtime {
         for m in &query_metrics {
             metrics.merge(m);
         }
-        // The reorder stage sits upstream of per-query routing, so its
-        // counters are stamped onto the grand total only (shard engines
-        // report theirs as zero).
+        // Report-level stamping, exactly once on the grand total: the
+        // symbol-table stats describe one process-global source (live
+        // engines keep the fields at zero — the live-queryable forms are
+        // the `zstream_symbols_interned` / `zstream_symbol_bytes_saved`
+        // gauges), and the reorder stage sits upstream of per-query
+        // routing, so its counters also land on the grand total only.
+        metrics.stamp_symbol_stats();
         let (late_events, reorder_buffered_peak) = self
             .reorder
             .as_ref()
@@ -1113,6 +1214,80 @@ impl Runtime {
             reorder_buffered_peak,
             dead_letters: std::mem::take(&mut self.dead_letters),
         })
+    }
+
+    /// Records one admitted ingest call on the source's counters plus a
+    /// batch-level trace event. Called after source validation (the
+    /// per-source handle vectors are indexed by source id) and after a
+    /// `Strict` rejection would have returned — rejected calls leave no
+    /// ingest footprint, matching their all-or-nothing contract.
+    fn record_ingest(&self, source: usize, rows: usize) {
+        self.inst.ingest_batches[source].inc();
+        self.inst.ingest_events[source].add(rows as u64);
+        self.obs.trace.emit(
+            self.watermark,
+            None,
+            None,
+            TraceKind::Ingest,
+            format!("source={source} rows={rows}"),
+        );
+    }
+
+    /// Records a columnar reorder-release outcome: late rows attributed
+    /// to the delivering source, released row count, per-batch release
+    /// lag (frontier minus the batch's newest timestamp — how far behind
+    /// the frontier rows leave the buffer), and a trace event.
+    fn record_release(&self, source: usize, release: &BatchRelease, frontier: Ts) {
+        if !release.late.is_empty() {
+            self.inst.reorder_late[source].add(release.late.len() as u64);
+        }
+        let rows = release.released_rows() as u64;
+        if rows == 0 {
+            return;
+        }
+        self.inst.reorder_released_rows.add(rows);
+        for batch in &release.batches {
+            if let Some(last) = batch.last_ts() {
+                self.inst.release_lag.observe(frontier.saturating_sub(last));
+            }
+        }
+        self.obs.trace.emit(
+            frontier,
+            None,
+            None,
+            TraceKind::ReorderRelease,
+            format!("rows={rows} batches={}", release.batches.len()),
+        );
+    }
+
+    /// Publishes the reorder stage's pressure gauges from its scrape
+    /// surface ([`ColumnarReorder::stats`]). No-op without a stage.
+    fn publish_reorder(&self) {
+        if let Some(reorder) = &self.reorder {
+            let stats = reorder.stats();
+            self.inst.reorder_pending.set(stats.pending as u64);
+            self.inst.reorder_peak.raise(stats.buffered_peak as u64);
+        }
+    }
+
+    /// Drains finality-released matches from the merger, publishing the
+    /// merge-plane gauges (and a trace event when matches emit) on the
+    /// way out — every public path that surfaces matches funnels here.
+    fn emit_ready(&mut self) -> Vec<RuntimeMatch> {
+        let out = self.merge.drain_ready();
+        self.inst.merge_pending.set(self.merge.pending() as u64);
+        let lag = self.merge.frontier().map_or(0, |f| self.watermark.saturating_sub(f));
+        self.inst.merge_frontier_lag.set(lag);
+        if !out.is_empty() {
+            self.obs.trace.emit(
+                self.watermark,
+                None,
+                None,
+                TraceKind::MergeEmit,
+                format!("matches={}", out.len()),
+            );
+        }
+        out
     }
 
     /// Retains late events for [`Runtime::take_late_events`], compacted
@@ -1206,12 +1381,27 @@ impl Runtime {
         let mut sent = vec![false; workers];
         for (shard, payload) in per_shard.into_iter().enumerate() {
             let Some(per_query) = payload else { continue };
+            let sel_rows: u64 = per_query
+                .iter()
+                .map(|sel| match sel {
+                    RowSel::Skip => 0,
+                    RowSel::All => batch.len() as u64,
+                    RowSel::Rows(rows) => rows.len() as u64,
+                })
+                .sum();
             let msg =
                 ShardMsg::Columns { watermark: self.watermark, batch: batch.clone(), per_query };
             match self.send_to_shard(shard, msg)? {
                 None => {
                     self.shard_sent[shard] = self.watermark;
                     sent[shard] = true;
+                    self.obs.trace.emit(
+                        self.watermark,
+                        Some(shard as u32),
+                        None,
+                        TraceKind::ShardDispatch,
+                        format!("rows={sel_rows}"),
+                    );
                 }
                 // The shard left the pool mid-chunk: account its rows as
                 // dropped, from the returned (undelivered) message.
@@ -1274,11 +1464,19 @@ impl Runtime {
         let mut sent = vec![false; workers];
         for (shard, payload) in per_shard.into_iter().enumerate() {
             let Some(per_query) = payload else { continue };
+            let sel_rows: u64 = per_query.iter().map(|events| events.len() as u64).sum();
             let msg = ShardMsg::Batch { watermark: self.watermark, per_query };
             match self.send_to_shard(shard, msg)? {
                 None => {
                     self.shard_sent[shard] = self.watermark;
                     sent[shard] = true;
+                    self.obs.trace.emit(
+                        self.watermark,
+                        Some(shard as u32),
+                        None,
+                        TraceKind::ShardDispatch,
+                        format!("rows={sel_rows}"),
+                    );
                 }
                 Some(ShardMsg::Batch { per_query, .. }) => {
                     for (q, events) in per_query.iter().enumerate() {
@@ -1330,8 +1528,21 @@ impl Runtime {
         if self.merge.is_finished(shard) {
             return Ok(Some(msg));
         }
+        // Traffic messages are answered with exactly one `Output`, so the
+        // queue-depth gauge pairs this increment with the decrement in
+        // `handle_reply`. Snapshot markers answer on another reply arm and
+        // are not traffic.
+        let traffic = matches!(
+            msg,
+            ShardMsg::Columns { .. } | ShardMsg::Batch { .. } | ShardMsg::Heartbeat { .. }
+        );
         let msg = match self.senders[shard].send(msg) {
-            Ok(()) => return Ok(None),
+            Ok(()) => {
+                if traffic {
+                    self.inst.queue_depth[shard].add(1);
+                }
+                return Ok(None);
+            }
             Err(undelivered) => undelivered.0,
         };
         self.drain_replies()?;
@@ -1372,12 +1583,16 @@ impl Runtime {
     fn handle_reply(&mut self, reply: ShardReply) {
         match reply {
             ShardReply::Output { shard, watermark, matches } => {
+                self.inst.queue_depth[shard].sub(1);
                 for m in matches {
                     self.merge.offer(m);
                 }
                 self.merge.advance(shard, watermark);
             }
             ShardReply::Done { shard, metrics } => {
+                // The shard left the pool; whatever was still queued to it
+                // will never be evaluated, so its depth gauge reads zero.
+                self.inst.queue_depth[shard].set(0);
                 if !self.merge.is_finished(shard) {
                     for (agg, m) in self.query_metrics.iter_mut().zip(&metrics) {
                         agg.merge(m);

@@ -30,11 +30,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
 
-use zstream_core::{CoreError, Engine, EngineMetrics, PartitionedEngine};
+use zstream_core::{CoreError, Engine, EngineMetrics, EngineObs, PartitionedEngine};
 use zstream_events::{
     EventBatch, EventRef, Record, Snapshot, SnapshotError, SnapshotReader, SnapshotResult,
     SnapshotWriter, Ts,
 };
+use zstream_obs::{Histogram, Obs};
 
 use crate::merge::RuntimeMatch;
 use crate::registry::{QueryDef, QueryId, Route};
@@ -137,13 +138,32 @@ impl ShardEngine {
     }
 }
 
+/// Registers this shard's per-query engine instruments in `hub` (cells
+/// private to the shard thread) and attaches them. The query label is the
+/// registration-order id (`q0`, `q1`, …) — the same label every scrape
+/// and the decision log use.
+fn attach_obs(engines: &mut [Option<ShardEngine>], shard: usize, hub: &Obs) {
+    for (q, engine) in engines.iter_mut().enumerate() {
+        let Some(engine) = engine else { continue };
+        let obs =
+            EngineObs::register(hub, &format!("q{q}"), Some(shard as u32), Some(hub.trace.clone()));
+        match engine {
+            ShardEngine::Partitioned(e) => e.set_obs(obs),
+            ShardEngine::Flat(e) => e.set_obs(obs),
+        }
+    }
+}
+
 /// Instantiates this shard's engines: one per query that can route events
-/// here (`None` for single-shard queries homed elsewhere).
+/// here (`None` for single-shard queries homed elsewhere), each wired to
+/// the hub's per-query instruments.
 pub(crate) fn build_engines(
     defs: &[QueryDef],
     shard: usize,
+    hub: &Obs,
 ) -> Result<Vec<Option<ShardEngine>>, CoreError> {
-    defs.iter()
+    let mut engines: Vec<Option<ShardEngine>> = defs
+        .iter()
         .map(|def| match &def.route {
             Route::Hash(field) => {
                 def.parts.partitioned_engine(field).map(|e| Some(ShardEngine::Partitioned(e)))
@@ -153,7 +173,9 @@ pub(crate) fn build_engines(
             }
             Route::Single(_) => Ok(None),
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    attach_obs(&mut engines, shard, hub);
+    Ok(engines)
 }
 
 /// Serializes a shard's engine states into one self-contained blob: per
@@ -188,6 +210,7 @@ pub(crate) fn restore_engines(
     defs: &[QueryDef],
     shard: usize,
     bytes: &[u8],
+    hub: &Obs,
 ) -> SnapshotResult<Vec<Option<ShardEngine>>> {
     let mut r = SnapshotReader::new(bytes);
     let n = r.len()?;
@@ -222,6 +245,9 @@ pub(crate) fn restore_engines(
             r.remaining()
         )));
     }
+    // Fresh instruments, not restored state: observability deliberately
+    // starts from zero after a restore (see the checkpoint module docs).
+    attach_obs(&mut engines, shard, hub);
     Ok(engines)
 }
 
@@ -235,7 +261,8 @@ fn send_done(shard: usize, engines: &[Option<ShardEngine>], tx: &Sender<ShardRep
 }
 
 /// Shared evaluation plumbing for every traffic arm of the shard loop: run
-/// `eval` under `catch_unwind`, tag its per-query records into sequenced
+/// `eval` under `catch_unwind` (timed into the shard's service-time
+/// histogram), tag its per-query records into sequenced
 /// [`RuntimeMatch`]es, and reply with one batched [`ShardReply::Output`].
 /// Returns `false` when the thread must exit (engine panic — a premature
 /// `Done` was sent — or a disconnected reply channel).
@@ -244,10 +271,14 @@ fn eval_and_reply(
     seq: &mut u64,
     engines: &mut Vec<Option<ShardEngine>>,
     tx: &Sender<ShardReply>,
+    service_ns: &Histogram,
     watermark: Ts,
     eval: impl FnOnce(&mut Vec<Option<ShardEngine>>) -> Vec<(usize, Vec<Record>)>,
 ) -> bool {
-    let Ok(per_q) = catch_unwind(AssertUnwindSafe(|| eval(engines))) else {
+    let start = std::time::Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| eval(engines)));
+    service_ns.observe(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    let Ok(per_q) = result else {
         send_done(shard, engines, tx);
         return false;
     };
@@ -271,41 +302,45 @@ pub(crate) fn run_shard(
     rx: Receiver<ShardMsg>,
     tx: Sender<ShardReply>,
     initial_seq: u64,
+    service_ns: Histogram,
 ) {
     let mut seq = initial_seq;
+    let svc = &service_ns;
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Columns { watermark, batch, per_query } => {
-                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, watermark, |engines| {
-                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
-                    for (q, sel) in per_query.iter().enumerate() {
-                        let Some(engine) = engines[q].as_mut() else { continue };
-                        let records = match sel {
-                            RowSel::Skip => continue,
-                            RowSel::All => engine.push_columns(&batch),
-                            RowSel::Rows(rows) if rows.is_empty() => continue,
-                            RowSel::Rows(rows) => engine.push_rows(&batch, rows),
-                        };
-                        per_q.push((q, records));
-                    }
-                    per_q
-                });
+                let ok =
+                    eval_and_reply(shard, &mut seq, &mut engines, &tx, svc, watermark, |engines| {
+                        let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                        for (q, sel) in per_query.iter().enumerate() {
+                            let Some(engine) = engines[q].as_mut() else { continue };
+                            let records = match sel {
+                                RowSel::Skip => continue,
+                                RowSel::All => engine.push_columns(&batch),
+                                RowSel::Rows(rows) if rows.is_empty() => continue,
+                                RowSel::Rows(rows) => engine.push_rows(&batch, rows),
+                            };
+                            per_q.push((q, records));
+                        }
+                        per_q
+                    });
                 if !ok {
                     return;
                 }
             }
             ShardMsg::Batch { watermark, per_query } => {
-                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, watermark, |engines| {
-                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
-                    for (q, events) in per_query.iter().enumerate() {
-                        if events.is_empty() {
-                            continue;
+                let ok =
+                    eval_and_reply(shard, &mut seq, &mut engines, &tx, svc, watermark, |engines| {
+                        let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                        for (q, events) in per_query.iter().enumerate() {
+                            if events.is_empty() {
+                                continue;
+                            }
+                            let Some(engine) = engines[q].as_mut() else { continue };
+                            per_q.push((q, engine.push_batch(events)));
                         }
-                        let Some(engine) = engines[q].as_mut() else { continue };
-                        per_q.push((q, engine.push_batch(events)));
-                    }
-                    per_q
-                });
+                        per_q
+                    });
                 if !ok {
                     return;
                 }
@@ -336,15 +371,16 @@ pub(crate) fn run_shard(
                 }
             }
             ShardMsg::Shutdown => {
-                let ok = eval_and_reply(shard, &mut seq, &mut engines, &tx, Ts::MAX, |engines| {
-                    let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
-                    for (q, engine) in engines.iter_mut().enumerate() {
-                        if let Some(engine) = engine {
-                            per_q.push((q, engine.flush()));
+                let ok =
+                    eval_and_reply(shard, &mut seq, &mut engines, &tx, svc, Ts::MAX, |engines| {
+                        let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
+                        for (q, engine) in engines.iter_mut().enumerate() {
+                            if let Some(engine) = engine {
+                                per_q.push((q, engine.flush()));
+                            }
                         }
-                    }
-                    per_q
-                });
+                        per_q
+                    });
                 if ok {
                     send_done(shard, &engines, &tx);
                 }

@@ -11,6 +11,9 @@
 //! * [`core`] — tree-based plans, the cost model, the dynamic-programming
 //!   optimizer, the physical operators and the adaptive engine,
 //! * [`nfa`] — the SASE-style NFA baseline used for comparison,
+//! * [`obs`] — live observability: the metric registry (counters, gauges,
+//!   latency histograms), the batch-level trace ring and the planner
+//!   decision log, scraped mid-stream via [`runtime::Runtime::observe`],
 //! * [`runtime`] — the sharded, multi-threaded execution runtime (hash-routed
 //!   worker shards, ordered match merge, multi-query registry),
 //! * [`workload`] — synthetic workload generators for the paper's evaluation.
@@ -37,6 +40,7 @@ pub use zstream_core as core;
 pub use zstream_events as events;
 pub use zstream_lang as lang;
 pub use zstream_nfa as nfa;
+pub use zstream_obs as obs;
 pub use zstream_runtime as runtime;
 pub use zstream_workload as workload;
 
@@ -75,6 +79,10 @@ pub mod prelude {
     pub use zstream_events::Value;
     /// A parsed PATTERN/WHERE/WITHIN/RETURN query.
     pub use zstream_lang::Query;
+    /// The observability hub: metric registry + trace ring + decision log.
+    pub use zstream_obs::Obs;
+    /// A point-in-time scrape of the hub (JSON / Prometheus renderable).
+    pub use zstream_obs::ObsSnapshot;
     /// Identity of one durable snapshot written by [`Runtime::checkpoint`].
     pub use zstream_runtime::CheckpointId;
     /// What to do with events beyond the reorder slack window

@@ -185,6 +185,79 @@ fn adaptive_with_predicates_stays_correct() {
     assert_eq!(adaptive_sigs, static_sigs);
 }
 
+/// Every replan the controller takes must land in the decision log with
+/// both sides of the loop: the sampled statistics and cost estimates it
+/// decided on, and the post-hoc observed actuals back-filled once the
+/// next measurement window closed ([`AdaptiveEngine::finalize_observations`]
+/// closes the final window at end of stream).
+#[test]
+fn every_replan_is_logged_with_estimates_and_actuals() {
+    use std::sync::Arc;
+    use zstream::obs::Obs;
+
+    let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
+    let events = three_phase_stream(7, 400);
+    let query = Query::parse(src).unwrap();
+    let schemas = SchemaMap::uniform(Schema::stocks());
+    let compiled = CompiledQuery::optimize(&query, &schemas, None).unwrap();
+    let plan = compiled.physical_plan(PlanConfig::default()).unwrap();
+    let intake = build_intake(&compiled.aq, Some("name")).unwrap();
+    let engine = Engine::new(compiled.aq.clone(), plan, intake, 16);
+    let mut adaptive = AdaptiveEngine::new(
+        engine,
+        compiled.spec.clone(),
+        compiled.stats.clone(),
+        AdaptiveConfig { check_interval: 4, ..Default::default() },
+    );
+    let hub = Arc::new(Obs::new());
+    adaptive.attach_obs(hub.clone(), "q0");
+    for chunk in events.chunks(16) {
+        adaptive.push_batch(chunk);
+    }
+    adaptive.finalize_observations();
+    adaptive.flush();
+
+    let replans = adaptive.engine().metrics().replans;
+    assert!(replans >= 1, "drifting rates should trigger re-planning");
+    let snap = hub.snapshot();
+    assert_eq!(
+        snap.decisions.len() as u64,
+        replans,
+        "one decision-log entry per replan, no more, no less"
+    );
+    assert_eq!(snap.counter_total("zstream_replans_total"), replans);
+    for d in &snap.decisions {
+        assert_eq!(d.query, "q0");
+        assert!(!d.measured.is_empty(), "decision {} has no sampled statistics", d.seq);
+        assert!(
+            d.measured.iter().any(|(name, _)| name.starts_with("rate.")),
+            "sampled statistics include per-class rates"
+        );
+        assert_eq!(d.candidates.len(), 2, "incumbent + proposed plan per decision");
+        assert_eq!(
+            d.candidates.iter().filter(|c| c.chosen).count(),
+            1,
+            "exactly one candidate is chosen"
+        );
+        for c in &d.candidates {
+            assert!(!c.plan.is_empty());
+            assert!(
+                c.est_cost.is_finite() || (c.plan == "(none)" && c.est_cost.is_infinite()),
+                "cost estimates are recorded per candidate"
+            );
+        }
+        let actuals = d
+            .actuals
+            .as_ref()
+            .unwrap_or_else(|| panic!("decision {} never got post-hoc actuals", d.seq));
+        assert!(!actuals.is_empty());
+        // Replan trace events mirror the log.
+    }
+    let replan_traces =
+        snap.trace.iter().filter(|t| t.kind == zstream::obs::TraceKind::Replan).count();
+    assert_eq!(replan_traces as u64, replans, "each replan also lands in the trace ring");
+}
+
 #[test]
 fn stable_stream_does_not_thrash() {
     let src = "PATTERN IBM; Sun; Oracle WITHIN 40";
