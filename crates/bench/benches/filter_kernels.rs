@@ -1,0 +1,121 @@
+//! **Filter-kernel microbenchmarks** — per-row costs of the columnar intake
+//! primitives from `zstream_events::kernel`: the word-packed bitmap AND, the
+//! `StrEq` column kernel against the scalar row loop it replaced, and the
+//! dictionary probe (`u8`-code scan) against the plain `Sym` scan.
+//!
+//! Rows/second here bounds the intake stage's admission throughput: one
+//! `StrEq` evaluation per distinct routed class runs over every batch.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use zstream_bench::*;
+use zstream_events::kernel::{filter_str_eq, Bitmap};
+use zstream_events::{DictMode, EventBatch, Schema, Sym, Value};
+
+/// Median of per-rep throughputs (rows/sec) with the set-bit count of the
+/// last rep, packaged as a [`Measurement`] for `record_json`.
+fn measure_rows(n: usize, reps: usize, mut run: impl FnMut() -> usize) -> Measurement {
+    let mut samples: Vec<(f64, usize)> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let hits = run();
+            (n as f64 / t0.elapsed().as_secs_f64(), hits)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (throughput, hits) = samples[samples.len() / 2];
+    Measurement { throughput, matches: hits as u64, peak_mb: 0.0, peak_bytes: 0, latency: None }
+}
+
+/// A stock batch of `n` rows cycling three symbols, encoded per `mode`.
+fn batch(n: usize, mode: DictMode) -> EventBatch {
+    let names = ["IBM", "Sun", "Oracle"];
+    let mut b = EventBatch::builder(Schema::stocks(), n);
+    for i in 0..n {
+        b.push_row(
+            i as u64,
+            &[
+                Value::Int(i as i64),
+                Value::str(names[i % names.len()]),
+                Value::Float((i % 7) as f64),
+                Value::Int((i % 5) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    b.finish_with(mode)
+}
+
+fn main() {
+    let n = bench_len(1 << 20);
+    let reps = bench_reps(5);
+    header(
+        "Filter kernels: columnar intake primitives (rows/sec)",
+        "bitmap AND | StrEq column kernel vs scalar row loop | dictionary probe",
+    );
+
+    // Bitmap AND: two word-packed selections, one AND sweep per rep.
+    let mut a = Bitmap::new();
+    let mut b = Bitmap::new();
+    a.reset(n, false);
+    b.reset(n, false);
+    for i in (0..n).step_by(3) {
+        a.set(i);
+    }
+    for i in (0..n).step_by(2) {
+        b.set(i);
+    }
+    let mut acc = Bitmap::new();
+    let and = measure_rows(n, reps, || {
+        acc.copy_from(&a);
+        acc.and(black_box(&b));
+        black_box(acc.count())
+    });
+
+    // StrEq: the chunked column kernel vs the scalar loop it replaced, on a
+    // plain `Sym` column; then the same kernel over the dictionary encoding
+    // (one probe for the code, then a `u8`/run scan).
+    let sym = Sym::intern("Sun");
+    let plain = batch(n, DictMode::Plain);
+    let dict = batch(n, DictMode::Force);
+    assert!(plain.column(1).as_dict().is_none() && dict.column(1).as_dict().is_some());
+    let mut out = Bitmap::new();
+    let kernel = measure_rows(n, reps, || {
+        filter_str_eq(black_box(plain.column(1)), sym, &mut out);
+        black_box(out.count())
+    });
+    let scalar = measure_rows(n, reps, || {
+        let col = black_box(plain.column(1));
+        out.reset(n, false);
+        for row in 0..n {
+            if col.sym_at(row) == Some(sym) {
+                out.set(row);
+            }
+        }
+        black_box(out.count())
+    });
+    let probe = measure_rows(n, reps, || {
+        filter_str_eq(black_box(dict.column(1)), sym, &mut out);
+        black_box(out.count())
+    });
+    assert_eq!(kernel.matches, scalar.matches, "kernel and scalar loop must agree");
+    assert_eq!(kernel.matches, probe.matches, "dictionary probe must agree");
+
+    let cols: Vec<String> = ["rows/s"].iter().map(|s| s.to_string()).collect();
+    row_header(&format!("{n} rows ->"), &cols);
+    row("bitmap_and", &[and.throughput]);
+    row("str_eq_kernel", &[kernel.throughput]);
+    row("str_eq_scalar", &[scalar.throughput]);
+    row("dict_probe", &[probe.throughput]);
+    println!(
+        "\nkernel vs scalar: {:.1}x | dict vs plain kernel: {:.1}x",
+        kernel.throughput / scalar.throughput,
+        probe.throughput / kernel.throughput
+    );
+
+    record_json("filter_kernels", "bitmap_and", &and);
+    record_json("filter_kernels", "str_eq_kernel", &kernel);
+    record_json("filter_kernels", "str_eq_scalar", &scalar);
+    record_json("filter_kernels", "dict_probe", &probe);
+}

@@ -13,11 +13,13 @@
 //! 4. assemble events bottom-up, materializing intermediate results in node
 //!    buffers and emitting complete composites at the root.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use zstream_events::kernel::{filter_cmp, filter_str_eq, Bitmap, CmpOp};
 use zstream_events::{
-    EventBatch, EventRef, Record, Snapshot, SnapshotError, SnapshotReader, SnapshotResult,
-    SnapshotWriter, Sym, Ts, Value,
+    EventBatch, EventRef, HashableValue, Record, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotResult, SnapshotWriter, Sym, Ts, Value,
 };
 use zstream_lang::{AnalyzedQuery, BinOp, ClassId, EventBinding, TypedExpr};
 
@@ -108,7 +110,7 @@ impl IntakePred {
     #[inline]
     fn passes(&self, batch: &EventBatch, row: usize, class: ClassId) -> bool {
         match self {
-            IntakePred::StrEq { .. } => unreachable!("StrEq is evaluated column-wise"),
+            IntakePred::StrEq { field, sym } => batch.column(*field).sym_at(row) == Some(*sym),
             IntakePred::CmpLit { field, op, lit } => {
                 cmp_passes(*op, batch.column(*field).value(row), lit)
             }
@@ -119,6 +121,99 @@ impl IntakePred {
             }
         }
     }
+
+    /// Dedup key for column-kernel predicates: two intake predicates with
+    /// equal keys decide identically on every row of any batch (`StrEq`
+    /// compares interned ids; `CmpLit` literals canonicalize via
+    /// [`Value::hash_key`], which agrees exactly with [`Value::loose_eq`]).
+    /// `General` predicates never share (their semantics depend on the
+    /// bound class).
+    fn kernel_key(&self) -> Option<(u8, usize, HashableValue)> {
+        match self {
+            IntakePred::StrEq { field, sym } => Some((0, *field, HashableValue::Str(*sym))),
+            IntakePred::CmpLit { field, op, lit } => {
+                let tag = match op {
+                    BinOp::Eq => 1,
+                    BinOp::Ne => 2,
+                    BinOp::Lt => 3,
+                    BinOp::Le => 4,
+                    BinOp::Gt => 5,
+                    BinOp::Ge => 6,
+                    _ => return None,
+                };
+                Some((tag, *field, lit.hash_key()))
+            }
+            IntakePred::General(_) => None,
+        }
+    }
+
+    /// Evaluates a column-kernel predicate over the whole column into `out`.
+    /// Only called for `StrEq`/`CmpLit` (the variants with a
+    /// [`IntakePred::kernel_key`]).
+    fn eval_column(&self, batch: &EventBatch, out: &mut Bitmap) {
+        match self {
+            IntakePred::StrEq { field, sym } => filter_str_eq(batch.column(*field), *sym, out),
+            IntakePred::CmpLit { field, op, lit } => {
+                filter_cmp(batch.column(*field), kernel_op(*op), lit, out);
+            }
+            IntakePred::General(_) => unreachable!("general predicates evaluate row-wise"),
+        }
+    }
+}
+
+/// Maps the language's comparison operators onto the kernel layer's
+/// (`crates/events` sits below the language and defines its own enum).
+fn kernel_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        other => unreachable!("compiled ops are comparisons, got {other:?}"),
+    }
+}
+
+/// How [`Engine::push_columns`] / [`Engine::push_rows`] evaluate intake
+/// predicates. The two paths are semantically identical (the differential
+/// suite pins this); the knob exists for tests and ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntakeMode {
+    /// Whole-column kernels for full batches and dense selections;
+    /// row-at-a-time for sparse selections (partitioned intake routes one
+    /// small selection per key — scanning the full column per key would be
+    /// O(batch × keys)).
+    #[default]
+    Auto,
+    /// Always evaluate via column kernels into bitmaps.
+    Kernel,
+    /// Always evaluate row-at-a-time (the pre-kernel path).
+    Rows,
+}
+
+/// Reusable bitmap scratch for vectorized intake (satellite of the kernel
+/// layer: Phase 1 used to allocate a fresh `Vec<u32>` per predicate per
+/// class per batch).
+///
+/// **Invariant:** contents are meaningful only *within* one
+/// `route_columns` call — between calls the bitmaps hold stale bits of the
+/// previous batch, so every use inside the call must start from
+/// `Bitmap::reset` (or a full overwrite by a filter kernel), never read
+/// carried-over state. `pred_done` is what makes the per-batch predicate
+/// cache sound: it is cleared at the top of every kernel-path call.
+#[derive(Debug, Default)]
+struct IntakeScratch {
+    /// Per-class accumulator: AND of the class's predicate bitmaps over the
+    /// input rows.
+    acc: Bitmap,
+    /// Union of all class accumulators — `events_admitted` is its popcount.
+    union: Bitmap,
+    /// One cached bitmap per distinct column predicate (indexed like
+    /// `Engine::uniq_preds`), evaluated lazily per batch.
+    pred: Vec<Bitmap>,
+    /// Which `pred` entries are valid for the batch currently being routed.
+    pred_done: Vec<bool>,
 }
 
 /// Comparison semantics identical to `TypedExpr::Binary(op, Attr, Lit)`
@@ -153,6 +248,16 @@ pub struct Engine {
     intake: Vec<Vec<TypedExpr>>,
     /// The same predicates compiled for column-wise evaluation.
     intake_compiled: Vec<Vec<IntakePred>>,
+    /// Distinct column-kernel predicates across all classes: each is
+    /// evaluated **once per batch** into a bitmap, no matter how many
+    /// classes share it.
+    uniq_preds: Vec<IntakePred>,
+    /// Per class, per predicate: index into `uniq_preds` for column-kernel
+    /// predicates, `None` for row-wise (`General`) ones.
+    col_pred_of: Vec<Vec<Option<usize>>>,
+    /// Reusable bitmap scratch (see [`IntakeScratch`] for the invariant).
+    scratch: IntakeScratch,
+    intake_mode: IntakeMode,
     /// Per-class interned schema name (intake schema matching is an integer
     /// compare).
     class_schema: Vec<Sym>,
@@ -179,14 +284,43 @@ impl Engine {
     ) -> Engine {
         assert!(batch_size >= 1);
         let n = aq.num_classes();
-        let intake_compiled =
+        let intake_compiled: Vec<Vec<IntakePred>> =
             intake.iter().map(|preds| preds.iter().map(IntakePred::compile).collect()).collect();
+        // Dedup column-kernel predicates across classes: classes routed by
+        // the same field share one bitmap evaluation per batch.
+        let mut uniq_preds: Vec<IntakePred> = Vec::new();
+        let mut seen: HashMap<(u8, usize, HashableValue), usize> = HashMap::new();
+        let col_pred_of: Vec<Vec<Option<usize>>> = intake_compiled
+            .iter()
+            .map(|preds| {
+                preds
+                    .iter()
+                    .map(|p| {
+                        p.kernel_key().map(|key| {
+                            *seen.entry(key).or_insert_with(|| {
+                                uniq_preds.push(p.clone());
+                                uniq_preds.len() - 1
+                            })
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let scratch = IntakeScratch {
+            pred: vec![Bitmap::new(); uniq_preds.len()],
+            pred_done: vec![false; uniq_preds.len()],
+            ..IntakeScratch::default()
+        };
         let class_schema = aq.classes.iter().map(|c| c.schema.name_sym()).collect();
         Engine {
             aq,
             plan,
             intake,
             intake_compiled,
+            uniq_preds,
+            col_pred_of,
+            scratch,
+            intake_mode: IntakeMode::default(),
             class_schema,
             pending: Vec::with_capacity(batch_size),
             batch_size,
@@ -231,6 +365,18 @@ impl Engine {
     /// Mutable access to metrics (the adaptive controller records replans).
     pub fn metrics_mut(&mut self) -> &mut EngineMetrics {
         &mut self.metrics
+    }
+
+    /// Overrides the intake-path choice (default [`IntakeMode::Auto`]).
+    /// `Kernel` / `Rows` pin columnar intake to one path — used by the
+    /// differential tests (row path as oracle) and ablation benchmarks.
+    pub fn set_intake_mode(&mut self, mode: IntakeMode) {
+        self.intake_mode = mode;
+    }
+
+    /// The configured intake-path choice.
+    pub fn intake_mode(&self) -> IntakeMode {
+        self.intake_mode
     }
 
     /// Latest event timestamp seen.
@@ -313,6 +459,13 @@ impl Engine {
     /// Column-wise intake of one batch (§4.1 push-down over columns).
     /// `input` restricts intake to those (ascending) rows of the batch;
     /// `None` means every row.
+    ///
+    /// Dense inputs take the **kernel path**: each distinct compiled
+    /// predicate evaluates once over its whole column into a bitmap, class
+    /// bitmaps AND together, and only then do survivors materialize. Sparse
+    /// selections fall back to row-at-a-time narrowing — partitioned intake
+    /// routes one small per-key selection at a time through this function,
+    /// and scanning full columns per key would cost O(batch × keys).
     fn route_columns(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
         let n = batch.len();
         let n_input = input.map_or(n, <[u32]>::len);
@@ -340,65 +493,119 @@ impl Engine {
         );
         self.metrics.events_in += n_input as u64;
         self.watermark = self.watermark.max(ts_col[last]);
+        let dense = match self.intake_mode {
+            // Kernels pay O(batch) per evaluated column; worth it when the
+            // selection covers at least a quarter of the batch.
+            IntakeMode::Auto => input.is_none_or(|rows| rows.len() * 4 >= n),
+            IntakeMode::Kernel => true,
+            IntakeMode::Rows => false,
+        };
+        if dense {
+            self.route_columns_kernel(batch, input);
+        } else {
+            self.route_columns_rows(batch, input);
+        }
+    }
+
+    /// Kernel intake: bitmap evaluation per distinct predicate, AND per
+    /// class, union popcount for `events_admitted`, set-bit materialization.
+    /// Produces exactly the per-event path's admissions in the same
+    /// class-then-row order.
+    fn route_columns_kernel(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
+        let n = batch.len();
+        let n_input = input.map_or(n, <[u32]>::len);
+        let batch_schema = batch.schema().name_sym();
+        let (mut rows_evaluated, mut fallback_rows) = (0u64, 0u64);
+        // Disjoint field borrows: predicates + scratch stay borrowed across
+        // the loop while `plan`/counters are touched independently.
+        let scratch = &mut self.scratch;
+        let intake_compiled = &self.intake_compiled;
+        let uniq_preds = &self.uniq_preds;
+        let col_pred_of = &self.col_pred_of;
+        scratch.pred_done.iter_mut().for_each(|d| *d = false);
+        scratch.union.reset(n, false);
+        for c in 0..self.aq.num_classes() {
+            if self.class_schema[c] != batch_schema {
+                continue;
+            }
+            self.offered[c] += n_input as u64;
+            match input {
+                None => scratch.acc.reset(n, true),
+                Some(rows) => {
+                    scratch.acc.reset(n, false);
+                    scratch.acc.set_rows(rows);
+                }
+            }
+            for (pi, pred) in intake_compiled[c].iter().enumerate() {
+                if !scratch.acc.any() {
+                    break;
+                }
+                match col_pred_of[c][pi] {
+                    Some(u) => {
+                        if !scratch.pred_done[u] {
+                            uniq_preds[u].eval_column(batch, &mut scratch.pred[u]);
+                            scratch.pred_done[u] = true;
+                            rows_evaluated += n as u64;
+                        }
+                        scratch.acc.and(&scratch.pred[u]);
+                    }
+                    None => {
+                        // General predicates stay row-wise, over surviving
+                        // rows only.
+                        fallback_rows += scratch.acc.count() as u64;
+                        scratch.acc.retain(|row| pred.passes(batch, row, c));
+                    }
+                }
+            }
+            let admitted = scratch.acc.count() as u64;
+            self.admitted[c] += admitted;
+            scratch.union.or(&scratch.acc);
+            let leaf = self.plan.leaf_of_class[c];
+            for row in scratch.acc.ones() {
+                self.plan.nodes[leaf].buf.push(Record::primitive(batch.event(row)));
+            }
+        }
+        let admitted_delta = scratch.union.count() as u64;
+        self.metrics.events_admitted += admitted_delta;
+        if let Some(obs) = &self.obs {
+            obs.admitted.add(admitted_delta);
+            obs.kernel_rows_evaluated.add(rows_evaluated);
+            obs.kernel_fallback_rows.add(fallback_rows);
+        }
+    }
+
+    /// Row-at-a-time intake for sparse selections: narrows a `Vec<u32>`
+    /// selection per class (no O(batch) scratch), then unions admissions
+    /// via bitmap OR + popcount.
+    fn route_columns_rows(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
+        let n = batch.len();
+        let n_input = input.map_or(n, <[u32]>::len);
         let batch_schema = batch.schema().name_sym();
         // Phase 1: per matched class, narrow the input to its final
         // selection (`None` = the whole input survived every predicate).
-        // Selections are kept so `events_admitted` can be computed from
-        // them directly — no O(batch-length) scratch per call, which
-        // matters when partitioned intake routes one small selection per
-        // key through this path.
         let mut class_sels: Vec<(usize, Option<Vec<u32>>)> = Vec::new();
         for c in 0..self.aq.num_classes() {
             if self.class_schema[c] != batch_schema {
                 continue;
             }
             self.offered[c] += n_input as u64;
-            // Selection vector: `None` = the whole input; predicates narrow
-            // it in order, cheapest representation first (the
-            // symbol-equality scan of the route predicate runs over the raw
-            // column).
             let mut sel: Option<Vec<u32>> = None;
             for pred in &self.intake_compiled[c] {
-                match pred {
-                    IntakePred::StrEq { field, sym } => {
-                        // The analyzed predicate is type-checked: the field
-                        // is a string column.
-                        let syms = batch.column(*field).as_syms().expect("type-checked str column");
-                        match (&mut sel, input) {
-                            (Some(rows), _) => rows.retain(|r| syms[*r as usize] == *sym),
-                            (None, None) => {
-                                sel = Some(
-                                    (0..n as u32).filter(|r| syms[*r as usize] == *sym).collect(),
-                                );
-                            }
-                            (None, Some(rows)) => {
-                                sel = Some(
-                                    rows.iter()
-                                        .copied()
-                                        .filter(|r| syms[*r as usize] == *sym)
-                                        .collect(),
-                                );
-                            }
-                        }
+                match (&mut sel, input) {
+                    (Some(rows), _) => rows.retain(|r| pred.passes(batch, *r as usize, c)),
+                    (None, None) => {
+                        sel = Some(
+                            (0..n as u32).filter(|r| pred.passes(batch, *r as usize, c)).collect(),
+                        );
                     }
-                    other => match (&mut sel, input) {
-                        (Some(rows), _) => rows.retain(|r| other.passes(batch, *r as usize, c)),
-                        (None, None) => {
-                            sel = Some(
-                                (0..n as u32)
-                                    .filter(|r| other.passes(batch, *r as usize, c))
-                                    .collect(),
-                            );
-                        }
-                        (None, Some(rows)) => {
-                            sel = Some(
-                                rows.iter()
-                                    .copied()
-                                    .filter(|r| other.passes(batch, *r as usize, c))
-                                    .collect(),
-                            );
-                        }
-                    },
+                    (None, Some(rows)) => {
+                        sel = Some(
+                            rows.iter()
+                                .copied()
+                                .filter(|r| pred.passes(batch, *r as usize, c))
+                                .collect(),
+                        );
+                    }
                 }
                 if matches!(&sel, Some(rows) if rows.is_empty()) {
                     break;
@@ -408,7 +615,7 @@ impl Engine {
         }
         // `events_admitted` counts input rows admitted into at least one
         // class: the whole input if any class kept everything, otherwise
-        // the size of the union of the (ascending, distinct) selections.
+        // the popcount of the OR of the per-class selections.
         let admitted_delta = if class_sels.iter().any(|(_, sel)| sel.is_none()) {
             n_input as u64
         } else {
@@ -416,20 +623,19 @@ impl Engine {
                 [] => 0,
                 [(_, Some(rows))] => rows.len() as u64,
                 many => {
-                    let mut union: Vec<u32> = many
-                        .iter()
-                        .flat_map(|(_, sel)| sel.as_deref().unwrap_or(&[]))
-                        .copied()
-                        .collect();
-                    union.sort_unstable();
-                    union.dedup();
-                    union.len() as u64
+                    let union = &mut self.scratch.union;
+                    union.reset(n, false);
+                    for (_, sel) in many {
+                        union.set_rows(sel.as_deref().unwrap_or(&[]));
+                    }
+                    union.count() as u64
                 }
             }
         };
         self.metrics.events_admitted += admitted_delta;
         if let Some(obs) = &self.obs {
             obs.admitted.add(admitted_delta);
+            obs.kernel_fallback_rows.add(n_input as u64);
         }
         // Phase 2: materialize leaf records for the surviving rows, in the
         // same class-then-row order as the per-event path fills buffers.
@@ -488,9 +694,12 @@ impl Engine {
         }
         if admitted_any {
             self.metrics.events_admitted += 1;
-            if let Some(obs) = &self.obs {
+        }
+        if let Some(obs) = &self.obs {
+            if admitted_any {
                 obs.admitted.inc();
             }
+            obs.kernel_fallback_rows.inc();
         }
     }
 

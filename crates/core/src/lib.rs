@@ -34,7 +34,7 @@ pub use cost::dp::{plan_cost, search_optimal, spec_with_shape, NegStrategy, Plan
 pub use cost::model::{CostModel, OperatorCost};
 pub use cost::shape::PlanShape;
 pub use cost::stats::Statistics;
-pub use engine::Engine;
+pub use engine::{Engine, IntakeMode};
 pub use error::CoreError;
 pub use metrics::EngineMetrics;
 pub use obs::EngineObs;

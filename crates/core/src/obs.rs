@@ -25,6 +25,14 @@ pub struct EngineObs {
     /// `zstream_engine_round_ns{query}` — wall time of non-idle assembly
     /// rounds (§4.3), nanoseconds.
     pub round_ns: Histogram,
+    /// `zstream_kernel_rows_evaluated_total{query}` — rows covered by
+    /// columnar filter-kernel evaluations (batch length × distinct
+    /// predicates evaluated per batch).
+    pub kernel_rows_evaluated: Counter,
+    /// `zstream_kernel_fallback_rows_total{query}` — rows that went through
+    /// a row-at-a-time intake path instead of a kernel: per-event routing,
+    /// sparse selections, and `General` predicates with no columnar kernel.
+    pub kernel_fallback_rows: Counter,
     /// Trace ring for batch-level `assembly_round` events; `None`
     /// disables tracing while keeping the counters.
     pub trace: Option<Arc<TraceRing>>,
@@ -47,7 +55,11 @@ impl EngineObs {
         EngineObs {
             admitted: hub.metrics.counter("zstream_query_admitted_total", l.clone()),
             matched: hub.metrics.counter("zstream_query_matched_total", l.clone()),
-            round_ns: hub.metrics.histogram("zstream_engine_round_ns", l),
+            round_ns: hub.metrics.histogram("zstream_engine_round_ns", l.clone()),
+            kernel_rows_evaluated: hub
+                .metrics
+                .counter("zstream_kernel_rows_evaluated_total", l.clone()),
+            kernel_fallback_rows: hub.metrics.counter("zstream_kernel_fallback_rows_total", l),
             trace,
             query: query.to_string(),
             shard,

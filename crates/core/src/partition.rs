@@ -95,6 +95,9 @@ pub struct PartitionedEngine {
     /// first class's schema (events that match no schema are dropped).
     field: String,
     partitions: HashMap<HashableValue, Engine>,
+    /// Intake-path choice stamped onto every partition engine (existing and
+    /// future); see [`Engine::set_intake_mode`].
+    intake_mode: crate::engine::IntakeMode,
     events_in: u64,
     dropped: u64,
     /// Instrument template cloned into each partition engine (cells are
@@ -126,6 +129,7 @@ impl PartitionedEngine {
             batch_size,
             field,
             partitions: HashMap::new(),
+            intake_mode: crate::engine::IntakeMode::default(),
             events_in: 0,
             dropped: 0,
             obs: None,
@@ -140,6 +144,15 @@ impl PartitionedEngine {
     /// Number of partitions materialized so far.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Overrides the intake-path choice for every partition engine, existing
+    /// and future (default [`crate::engine::IntakeMode::Auto`]).
+    pub fn set_intake_mode(&mut self, mode: crate::engine::IntakeMode) {
+        self.intake_mode = mode;
+        for engine in self.partitions.values_mut() {
+            engine.set_intake_mode(mode);
+        }
     }
 
     /// Pushes one event into its partition; returns completed matches.
@@ -268,6 +281,7 @@ impl PartitionedEngine {
                 .expect("template plan was validated at construction");
             let mut engine =
                 Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
+            engine.set_intake_mode(self.intake_mode);
             if let Some(obs) = &self.obs {
                 engine.set_obs(obs.clone());
             }

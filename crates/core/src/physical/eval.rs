@@ -20,13 +20,13 @@
 //!   negation instance interleaved between `prev` and `next`.
 
 use zstream_events::{EventRef, Record, Slot, Ts};
-use zstream_lang::{ClassId, EventBinding, KleeneKind, TypedExpr};
+use zstream_lang::{eval_binop, ClassId, EventBinding, KleeneKind, TypedExpr};
 
 use crate::physical::binding::{
     pred_passes, ClassMap, PairBinding, RecordBinding, WithEventBinding,
 };
 use crate::physical::hash::HashIndex;
-use crate::physical::plan::{Node, NodeKind, PhysicalPlan};
+use crate::physical::plan::{Node, NodeKind, PhysicalPlan, ProbeSide};
 
 /// Per-round evaluation context.
 #[derive(Debug, Clone, Copy)]
@@ -143,8 +143,13 @@ fn finish_consume(nodes: &mut [Node], child: usize) {
 /// Checks the NSEQ guards of a SEQ node: every bound negation slot in the
 /// right record caps the left record from below (`left.end >= b.ts`,
 /// Figure 5's `A.end-ts >= B.timestamp`).
-fn guards_pass(node: &Node, rmap: &ClassMap, lr: &Record, rr: &Record) -> bool {
-    node.guards.iter().all(|g| {
+fn guards_pass(
+    guards: &[crate::physical::plan::NegGuard],
+    rmap: &ClassMap,
+    lr: &Record,
+    rr: &Record,
+) -> bool {
+    guards.iter().all(|g| {
         g.neg_classes.iter().all(|nc| match rmap.slot_of(*nc).map(|p| rr.slot(p)) {
             Some(Slot::One(b)) => lr.end_ts() >= b.ts(),
             _ => true,
@@ -162,49 +167,126 @@ fn eval_seq(nodes: &mut [Node], k: usize, left: usize, right: usize, ctx: &EvalC
     let node = &mut rest[0];
     let lnode = &before[left];
     let rnode = &before[right];
+    let Node { buf: out, preds, split_preds, split_flag, hash, hash_left, guards, .. } = node;
     let mut candidates: Vec<u32> = Vec::new();
+    // Split-predicate fast path: sound only when no referenced class can be
+    // legitimately unbound (vacuous truth needs the tree-walk semantics).
+    let use_split = ctx.optional_mask == 0 && !split_preds.is_empty();
+    let has_slow = !use_split || split_flag.iter().any(|f| !f);
+    let has_guards = !guards.is_empty();
+    // Per-right-record values of the fixed sides; `None` = evaluation error
+    // (the predicate fails every pair unless hash coverage skips it).
+    let mut fixed_vals: Vec<Option<zstream_events::Value>> = Vec::with_capacity(split_preds.len());
 
     for ri in rnode.buf.consumed()..rnode.buf.len() {
         let rr = rnode.buf.get(ri);
+        if use_split {
+            let rb = RecordBinding { rec: rr, map: &rnode.map };
+            fixed_vals.clear();
+            fixed_vals.extend(split_preds.iter().map(|sp| sp.fixed.eval(&rb).ok()));
+        }
         // Candidate left records: hash probe or the end-before prefix.
         candidates.clear();
         let mut hash_used = false;
-        if let Some(spec) = &node.hash {
+        if let Some(spec) = &*hash {
             if let Some(key) = HashIndex::key_of(rr, &rnode.map, &spec.right) {
-                candidates.extend_from_slice(node.hash_left.probe(&key));
-                candidates.extend_from_slice(node.hash_left.unkeyed());
+                candidates.extend_from_slice(hash_left.probe(&key));
+                candidates.extend_from_slice(hash_left.unkeyed());
                 hash_used = true;
             }
         }
-        if !hash_used {
-            candidates.extend(0..lnode.buf.prefix_end_before(rr.start_ts()) as u32);
+        let covered: &[usize] =
+            if hash_used { hash.as_ref().map_or(&[], |s| &s.covered_preds) } else { &[] };
+        // `$time_check`: hash candidates are unordered in time; the scan
+        // path's prefix/window bounds make both time checks vacuous there.
+        // A macro (not a closure) so each call site gets a specialized body.
+        macro_rules! consider {
+            ($li:expr, $time_check:literal) => {{
+                let lr = lnode.buf.get($li);
+                let rejected = ($time_check
+                    && (lr.end_ts() >= rr.start_ts() || rr.end_ts() - lr.start_ts() > ctx.window))
+                    || (has_guards && !guards_pass(guards, &rnode.map, lr, rr))
+                    || (use_split
+                        && !split_preds_pass(
+                            split_preds,
+                            &fixed_vals,
+                            covered,
+                            hash_used,
+                            lr,
+                            &lnode.map,
+                        ));
+                if !rejected {
+                    let slow_pass = !has_slow || {
+                        let binding = PairBinding {
+                            left: RecordBinding { rec: lr, map: &lnode.map },
+                            right: RecordBinding { rec: rr, map: &rnode.map },
+                        };
+                        preds.iter().enumerate().all(|(i, p)| {
+                            (use_split && split_flag[i])
+                                || (hash_used && covered.contains(&i))
+                                || pred_passes(p, &binding, ctx.optional_mask)
+                        })
+                    };
+                    if slow_pass {
+                        out.push(Record::combine(lr, rr));
+                    }
+                }
+            }};
         }
-        for &li in &candidates {
-            let lr = lnode.buf.get(li as usize);
-            if lr.end_ts() >= rr.start_ts() {
-                // Hash candidates are unordered in time; the scan path's
-                // prefix bound makes this check vacuous there.
-                continue;
+        if hash_used {
+            for &li in &candidates {
+                consider!(li as usize, true);
             }
-            if rr.end_ts() - lr.start_ts() > ctx.window {
-                continue;
+        } else {
+            // Scan candidates sorted by end: `[lo, hi)` holds exactly the
+            // records with `end < rr.start` that can still satisfy the window
+            // (`end >= rr.end - window` is necessary since `start <= end`;
+            // the per-pair check below covers starts that stretch further).
+            let hi = lnode.buf.prefix_end_before(rr.start_ts());
+            let lo = lnode.buf.first_end_at_or_after(rr.end_ts().saturating_sub(ctx.window));
+            for li in lo..hi {
+                let lr = lnode.buf.get(li);
+                if rr.end_ts() - lr.start_ts() > ctx.window {
+                    continue;
+                }
+                consider!(li, false);
             }
-            if !guards_pass(node, &rnode.map, lr, rr) {
-                continue;
-            }
-            let binding = PairBinding {
-                left: RecordBinding { rec: lr, map: &lnode.map },
-                right: RecordBinding { rec: rr, map: &rnode.map },
-            };
-            let covered: &[usize] =
-                if hash_used { node.hash.as_ref().map_or(&[], |s| &s.covered_preds) } else { &[] };
-            if !preds_pass(&node.preds, covered, &binding, ctx.optional_mask) {
-                continue;
-            }
-            node.buf.push(Record::combine(lr, rr));
         }
     }
     finish_consume(nodes, right);
+}
+
+/// Evaluates a SEQ node's split predicates against one left candidate, with
+/// the fixed sides pre-evaluated in `fixed_vals`. Matches the tree-walk
+/// semantics exactly: an unevaluable side fails the predicate (closed), and
+/// hash-covered predicates are skipped when the probe came from the index.
+#[inline]
+fn split_preds_pass(
+    split_preds: &[crate::physical::plan::SplitPred],
+    fixed_vals: &[Option<zstream_events::Value>],
+    covered: &[usize],
+    hash_used: bool,
+    lr: &Record,
+    lmap: &ClassMap,
+) -> bool {
+    split_preds.iter().zip(fixed_vals).all(|(sp, fv)| {
+        if hash_used && covered.contains(&sp.pred) {
+            return true;
+        }
+        let Some(fv) = fv else { return false };
+        let pv = match &sp.probe {
+            ProbeSide::Slot { slot, field } => match lr.slot(*slot).as_one() {
+                Some(ev) => ev.value(*field),
+                None => return false,
+            },
+            ProbeSide::Expr(e) => match e.eval(&RecordBinding { rec: lr, map: lmap }) {
+                Ok(v) => v,
+                Err(_) => return false,
+            },
+        };
+        let (a, b) = if sp.probe_is_lhs { (&pv, fv) } else { (fv, &pv) };
+        matches!(eval_binop(sp.op, a, b), Ok(zstream_events::Value::Bool(true)))
+    })
 }
 
 fn preds_pass(

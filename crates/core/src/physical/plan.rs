@@ -52,6 +52,48 @@ pub struct NegGuard {
     pub neg_classes: Vec<ClassId>,
 }
 
+/// The per-candidate side of a [`SplitPred`], pre-resolved against the left
+/// child's record layout.
+#[derive(Debug)]
+pub enum ProbeSide {
+    /// A bare attribute: slot position within a left-child record plus the
+    /// field index — one slot load and one value fetch per candidate.
+    Slot {
+        /// Slot of the attribute's class in the left child's records.
+        slot: usize,
+        /// Field index within the event's schema.
+        field: usize,
+    },
+    /// A general sub-expression over left-child classes, evaluated with a
+    /// left-only binding.
+    Expr(TypedExpr),
+}
+
+/// A comparison predicate at a SEQ node whose two operands come from
+/// disjoint children: `left_side op right_side` with the left side's classes
+/// all in the left child and the right side's all in the right child.
+///
+/// Algorithm 1's outer loop fixes one right record while scanning many left
+/// candidates, so the right side is evaluated **once per right record** and
+/// each candidate costs one probe plus one value comparison — instead of a
+/// full expression-tree walk per pair. Only sound when every referenced
+/// class is mandatory (`optional_mask == 0`); the evaluator falls back to
+/// [`Node::preds`] otherwise.
+#[derive(Debug)]
+pub struct SplitPred {
+    /// Index of the original predicate in [`Node::preds`] (to honor
+    /// hash-coverage skips).
+    pub pred: usize,
+    /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+    pub op: BinOp,
+    /// The per-candidate (left-child) operand.
+    pub probe: ProbeSide,
+    /// The per-right-record operand, evaluated once per outer record.
+    pub fixed: TypedExpr,
+    /// True when the probe is the *left* operand of `op` as written.
+    pub probe_is_lhs: bool,
+}
+
 /// Operator kind and child links of one node.
 #[derive(Debug)]
 pub enum NodeKind {
@@ -127,6 +169,13 @@ pub struct Node {
     pub map: ClassMap,
     /// Multi-class predicates applied at this node (pair/record-level).
     pub preds: Vec<TypedExpr>,
+    /// Split comparison predicates (SEQ only): the subset of `preds` whose
+    /// operands separate cleanly across the two children, precompiled for
+    /// per-right-record evaluation.
+    pub split_preds: Vec<SplitPred>,
+    /// `split_flag[i]` — whether `preds[i]` has a [`SplitPred`] twin (and is
+    /// therefore skipped on the tree-walk path when the fast path runs).
+    pub split_flag: Vec<bool>,
     /// Per-closure-event predicates (KSEQ only): evaluated for each
     /// candidate middle event during qualification.
     pub event_preds: Vec<TypedExpr>,
@@ -153,6 +202,8 @@ impl Node {
             classes,
             map,
             preds: Vec::new(),
+            split_preds: Vec::new(),
+            split_flag: Vec::new(),
             event_preds: Vec::new(),
             hash: None,
             hash_left: HashIndex::new(),
@@ -492,6 +543,33 @@ impl<'a> Builder<'a> {
             }
         }
 
+        // Split-predicate compilation: at SEQ nodes, a comparison whose two
+        // operands draw from disjoint children evaluates its right-child side
+        // once per outer record (see `SplitPred`).
+        for i in 0..self.nodes.len() {
+            let NodeKind::Seq { left, .. } = self.nodes[i].kind else {
+                self.nodes[i].split_flag = vec![false; self.nodes[i].preds.len()];
+                continue;
+            };
+            let lmask = self.nodes[left].mask();
+            let (mut splits, mut flags) = (Vec::new(), Vec::new());
+            for (pi, pred) in self.nodes[i].preds.iter().enumerate() {
+                let split = split_comparison(pred, lmask, &self.nodes[left].map).map(
+                    |(op, probe, fixed, probe_is_lhs)| SplitPred {
+                        pred: pi,
+                        op,
+                        probe,
+                        fixed,
+                        probe_is_lhs,
+                    },
+                );
+                flags.push(split.is_some());
+                splits.extend(split);
+            }
+            self.nodes[i].split_preds = splits;
+            self.nodes[i].split_flag = flags;
+        }
+
         let trigger_classes = trigger_classes(&aq.pattern);
         let optional_mask = optional_mask(&aq.pattern, false);
         Ok(PhysicalPlan {
@@ -537,6 +615,37 @@ fn expr_has_agg(e: &TypedExpr) -> bool {
         TypedExpr::Unary(_, x) => expr_has_agg(x),
         TypedExpr::Binary(_, l, r) => expr_has_agg(l) || expr_has_agg(r),
     }
+}
+
+/// Tries to split a comparison predicate across a SEQ node's children:
+/// returns `(op, probe over left-child classes, fixed over right-child
+/// classes, probe_is_lhs)` when one operand's classes all come from the left
+/// child (`lmask`) and the other operand references none of them.
+fn split_comparison(
+    e: &TypedExpr,
+    lmask: u64,
+    lmap: &ClassMap,
+) -> Option<(BinOp, ProbeSide, TypedExpr, bool)> {
+    let TypedExpr::Binary(op, l, r) = e else { return None };
+    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+        return None;
+    }
+    let (lm, rm) = (l.class_mask(), r.class_mask());
+    let (probe, fixed, probe_is_lhs) = if lm != 0 && lm & !lmask == 0 && rm & lmask == 0 {
+        (l, r, true)
+    } else if rm != 0 && rm & !lmask == 0 && lm & lmask == 0 {
+        (r, l, false)
+    } else {
+        return None;
+    };
+    let probe = match probe.as_ref() {
+        TypedExpr::Attr { class, field, .. } => match lmap.slot_of(*class) {
+            Some(slot) => ProbeSide::Slot { slot, field: *field },
+            None => ProbeSide::Expr((**probe).clone()),
+        },
+        other => ProbeSide::Expr(other.clone()),
+    };
+    Some((*op, probe, (**fixed).clone(), probe_is_lhs))
 }
 
 /// Destructures `A.f = B.g` with distinct classes.

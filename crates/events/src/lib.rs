@@ -12,7 +12,11 @@
 //!   values,
 //! * [`Schema`] — named, typed attribute layouts for primitive events,
 //! * [`EventBatch`] / [`Column`] / [`BatchData`] — struct-of-arrays columnar
-//!   batches: the storage behind every event,
+//!   batches: the storage behind every event; low-cardinality string columns
+//!   dictionary-encode automatically ([`DictStr`]),
+//! * [`kernel`] — word-packed validity/selection [`Bitmap`]s and chunked
+//!   filter kernels ([`filter_cmp`], [`filter_str_eq`]) that evaluate one
+//!   predicate over an entire column with exact [`Value`] semantics,
 //! * [`Event`] — a primitive event: a cheap `(batch, row)` handle,
 //! * [`Record`] / [`Slot`] — the buffer record of §4.2: a vector of event
 //!   pointers plus a start time and an end time. Composite events produced by
@@ -34,6 +38,7 @@
 mod batch;
 mod error;
 mod event;
+pub mod kernel;
 mod record;
 mod reorder;
 mod route;
@@ -47,6 +52,7 @@ mod value;
 pub use batch::Batcher;
 pub use error::EventError;
 pub use event::{stock, Event, EventBuilder};
+pub use kernel::{cmp_value, filter_cmp, filter_str_eq, Bitmap, CmpOp};
 pub use record::{Record, Slot};
 pub use reorder::{
     repack_events, BatchRelease, ColumnarReorder, ReorderBuffer, ReorderOutcome, ReorderStats,
@@ -56,7 +62,9 @@ pub use route::{
 };
 pub use schema::{Field, Schema, SchemaBuilder};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter};
-pub use soa::{BatchBuilder, BatchData, Column, EventBatch};
+pub use soa::{
+    BatchBuilder, BatchData, Column, DictMode, DictStr, EventBatch, DICT_MAX_CARD, DICT_MIN_ROWS,
+};
 pub use sym::{symbol_stats, Sym, SymbolStats};
 pub use time::{span_within, Ts};
 pub use value::{HashableValue, Value, ValueType};

@@ -30,6 +30,7 @@ pub enum Slot {
 
 impl Slot {
     /// The single event in this slot, if it is `One`.
+    #[inline]
     pub fn as_one(&self) -> Option<&EventRef> {
         match self {
             Slot::One(e) => Some(e),

@@ -101,7 +101,19 @@ pub fn split_batch_rows(batch: &EventBatch, field: &str, num_shards: usize) -> R
         return RowSplit { shards, dropped: batch.len() as u64 };
     };
     let col = batch.column(idx);
-    if let Some(syms) = col.as_syms() {
+    if let Some(dict) = col.as_dict() {
+        // Hottest path: the dictionary already names every distinct symbol,
+        // so resolve each code's shard once and route rows on `u8` codes —
+        // no hashing, no per-row map lookups.
+        let shard_of_code: Vec<usize> = dict
+            .dict()
+            .iter()
+            .map(|&s| (HashableValue::Str(s).digest() % num_shards as u64) as usize)
+            .collect();
+        for (row, &code) in dict.codes().iter().enumerate() {
+            shards[shard_of_code[code as usize]].push(row as u32);
+        }
+    } else if let Some(syms) = col.as_syms() {
         // Hot path: route on the interned symbol column with memoized
         // content digests — one table lookup per distinct symbol.
         let mut digests: HashMap<Sym, u64> = HashMap::new();
@@ -223,6 +235,27 @@ mod tests {
                     rows.iter().map(|r| batch.event(*r as usize).to_string()).collect();
                 let direct: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
                 assert_eq!(gathered, direct, "row and event routing must agree at {n} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn dict_encoded_batches_route_identically() {
+        // 128 rows of 5 names: finish() dictionary-encodes the key column,
+        // and the code-table fast path must agree with per-event routing.
+        let names = ["IBM", "Sun", "Oracle", "HP", "Dell"];
+        let events: Vec<EventRef> =
+            (0..128u64).map(|i| stock(i, i as i64, names[i as usize % 5], 1.0, 1)).collect();
+        let batch = EventBatch::from_events(&events).unwrap();
+        assert!(batch.column(1).as_dict().is_some(), "name column should dictionary-encode");
+        for n in [1usize, 2, 3, 7] {
+            let by_event = split_by_field(&events, "name", n);
+            let by_row = split_batch_rows(&batch, "name", n);
+            for (evs, rows) in by_event.shards.iter().zip(&by_row.shards) {
+                let gathered: Vec<String> =
+                    rows.iter().map(|r| batch.event(*r as usize).to_string()).collect();
+                let direct: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
+                assert_eq!(gathered, direct, "dict and event routing must agree at {n} shards");
             }
         }
     }

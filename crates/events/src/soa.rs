@@ -21,6 +21,114 @@ use crate::time::Ts;
 use crate::value::{Value, ValueType};
 use crate::Event;
 
+/// Dictionary-encoded string column: the distinct symbols (at most
+/// [`DICT_MAX_CARD`], in first-appearance order) plus one `u8` code per row,
+/// and a run-length view of the code sequence for run-compressible data.
+///
+/// Low-cardinality string attributes (tickers, categories, URLs) are the
+/// norm in CEP streams, so [`BatchBuilder::finish`] encodes string columns
+/// of large batches automatically: an equality predicate then costs one
+/// dictionary probe plus a `u8` scan (or a run scan) instead of N symbol
+/// compares — see [`crate::kernel::filter_str_eq`].
+#[derive(Debug, Clone)]
+pub struct DictStr {
+    dict: Vec<Sym>,
+    codes: Vec<u8>,
+    /// `(start_row, code)` per maximal run of equal codes; a run ends where
+    /// the next one starts (or at the last row).
+    runs: Vec<(u32, u8)>,
+}
+
+/// Smallest batch worth dictionary-encoding: below this the encode pass
+/// costs more than it saves, and tiny batches (per-key partitions, unit
+/// tests) keep the plain `Sym` layout.
+pub const DICT_MIN_ROWS: usize = 64;
+/// Dictionary capacity: columns with more distinct symbols stay plain
+/// (codes are `u8`).
+pub const DICT_MAX_CARD: usize = 256;
+
+impl DictStr {
+    /// Encodes a symbol slice, returning `None` when the slice is empty or
+    /// has more than [`DICT_MAX_CARD`] distinct symbols.
+    pub fn encode(syms: &[Sym]) -> Option<DictStr> {
+        if syms.is_empty() {
+            return None;
+        }
+        let mut dict: Vec<Sym> = Vec::new();
+        let mut codes: Vec<u8> = Vec::with_capacity(syms.len());
+        let mut runs: Vec<(u32, u8)> = Vec::new();
+        // The dictionary is tiny (≤ 256); a linear probe with a one-entry
+        // memo for the previous symbol beats hashing at these sizes.
+        let mut last: Option<(Sym, u8)> = None;
+        for (row, &s) in syms.iter().enumerate() {
+            let code = match last {
+                Some((ls, lc)) if ls == s => lc,
+                _ => match dict.iter().position(|&d| d == s) {
+                    Some(c) => c as u8,
+                    None => {
+                        if dict.len() >= DICT_MAX_CARD {
+                            return None;
+                        }
+                        dict.push(s);
+                        (dict.len() - 1) as u8
+                    }
+                },
+            };
+            if codes.last() != Some(&code) {
+                runs.push((row as u32, code));
+            }
+            last = Some((s, code));
+            codes.push(code);
+        }
+        Some(DictStr { dict, codes, runs })
+    }
+
+    /// The distinct symbols, indexed by code.
+    #[inline]
+    pub fn dict(&self) -> &[Sym] {
+        &self.dict
+    }
+
+    /// One code per row.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Run-length view: `(start_row, code)` per maximal run.
+    #[inline]
+    pub fn runs(&self) -> &[(u32, u8)] {
+        &self.runs
+    }
+
+    /// The code of `sym`, if present in the dictionary.
+    #[inline]
+    pub fn code_of(&self, sym: Sym) -> Option<u8> {
+        self.dict.iter().position(|&d| d == sym).map(|c| c as u8)
+    }
+
+    /// The symbol at `row`.
+    #[inline]
+    pub fn sym(&self, row: usize) -> Sym {
+        self.dict[self.codes[row] as usize]
+    }
+}
+
+/// How [`BatchBuilder::finish_with`] treats string columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DictMode {
+    /// Dictionary-encode string columns of batches with at least
+    /// [`DICT_MIN_ROWS`] rows and at most [`DICT_MAX_CARD`] distinct
+    /// symbols; keep smaller or higher-cardinality columns plain.
+    #[default]
+    Auto,
+    /// Never encode (plain `Sym` columns, the pre-dictionary layout).
+    Plain,
+    /// Encode every string column that fits the dictionary, regardless of
+    /// batch size (differential tests exercise both layouts on one input).
+    Force,
+}
+
 /// One typed attribute column of a batch.
 #[derive(Debug, Clone)]
 pub enum Column {
@@ -30,6 +138,8 @@ pub enum Column {
     Float(Vec<f64>),
     /// Interned strings.
     Str(Vec<Sym>),
+    /// Dictionary-encoded interned strings (see [`DictStr`]).
+    Dict(DictStr),
     /// Booleans.
     Bool(Vec<bool>),
 }
@@ -50,6 +160,8 @@ impl Column {
             (Column::Float(c), Value::Float(x)) => c.push(x),
             (Column::Str(c), Value::Str(x)) => c.push(x),
             (Column::Bool(c), Value::Bool(x)) => c.push(x),
+            // Dictionary columns are frozen at finish; builders only ever
+            // append to the plain representations above.
             (_, v) => return Err(v.value_type()),
         }
         Ok(())
@@ -62,6 +174,7 @@ impl Column {
             Column::Int(c) => Value::Int(c[row]),
             Column::Float(c) => Value::Float(c[row]),
             Column::Str(c) => Value::Str(c[row]),
+            Column::Dict(d) => Value::Str(d.sym(row)),
             Column::Bool(c) => Value::Bool(c[row]),
         }
     }
@@ -72,6 +185,7 @@ impl Column {
             Column::Int(c) => c.len(),
             Column::Float(c) => c.len(),
             Column::Str(c) => c.len(),
+            Column::Dict(d) => d.codes().len(),
             Column::Bool(c) => c.len(),
         }
     }
@@ -81,10 +195,31 @@ impl Column {
         self.len() == 0
     }
 
-    /// The symbol column, if this is a string column.
+    /// The plain symbol column, if this is a **plain** string column.
+    /// Dictionary-encoded columns return `None`; use [`Column::sym_at`] or
+    /// the dictionary accessors for those.
     pub fn as_syms(&self) -> Option<&[Sym]> {
         match self {
             Column::Str(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The dictionary encoding, if this column carries one.
+    pub fn as_dict(&self) -> Option<&DictStr> {
+        match self {
+            Column::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The symbol at `row` of a string column (plain or dictionary-encoded);
+    /// `None` for non-string columns.
+    #[inline]
+    pub fn sym_at(&self, row: usize) -> Option<Sym> {
+        match self {
+            Column::Str(c) => Some(c[row]),
+            Column::Dict(d) => Some(d.sym(row)),
             _ => None,
         }
     }
@@ -95,8 +230,42 @@ impl Column {
             Column::Int(_) => std::mem::size_of::<i64>(),
             Column::Float(_) => std::mem::size_of::<f64>(),
             Column::Str(_) => std::mem::size_of::<Sym>(),
+            // One code byte per row; the ≤256-entry dictionary and the run
+            // index amortize across the batch.
+            Column::Dict(_) => std::mem::size_of::<u8>(),
             Column::Bool(_) => std::mem::size_of::<bool>(),
         }
+    }
+
+    /// Applies the dictionary policy to a finished column.
+    fn apply_dict(self, mode: DictMode, rows: usize) -> Column {
+        let encode = match mode {
+            DictMode::Auto => rows >= DICT_MIN_ROWS,
+            DictMode::Plain => false,
+            DictMode::Force => true,
+        };
+        match self {
+            Column::Str(syms) if encode => match DictStr::encode(&syms) {
+                Some(d) => Column::Dict(d),
+                None => Column::Str(syms),
+            },
+            other => other,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_ints(xs: Vec<i64>) -> Column {
+        Column::Int(xs)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_floats(xs: Vec<f64>) -> Column {
+        Column::Float(xs)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_syms(xs: Vec<Sym>) -> Column {
+        Column::Str(xs)
     }
 }
 
@@ -389,19 +558,28 @@ impl BatchBuilder {
         Ok(())
     }
 
-    /// Finishes the batch, freezing the columns behind an `Arc`.
+    /// Finishes the batch, freezing the columns behind an `Arc`. String
+    /// columns of large batches dictionary-encode automatically
+    /// ([`DictMode::Auto`]); use [`BatchBuilder::finish_with`] to override.
     pub fn finish(self) -> EventBatch {
+        self.finish_with(DictMode::Auto)
+    }
+
+    /// Finishes the batch with an explicit dictionary policy for string
+    /// columns.
+    pub fn finish_with(self, mode: DictMode) -> EventBatch {
         let id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
         // `Event::identity` packs the id into 32 bits next to the row
         // index; exhausting that space must fail loudly, not alias two
         // distinct events' identities.
         assert!(id < u64::from(u32::MAX), "batch id space exhausted (2^32 batches created)");
+        let rows = self.ts.len();
         EventBatch {
             data: Arc::new(BatchData {
                 id,
                 schema: self.schema,
                 ts: self.ts,
-                cols: self.cols,
+                cols: self.cols.into_iter().map(|c| c.apply_dict(mode, rows)).collect(),
                 sorted: self.sorted,
                 max_ts: self.max_ts,
             }),
@@ -489,6 +667,54 @@ mod tests {
         let empty = EventBatch::builder(Schema::stocks(), 0).finish();
         assert!(empty.is_sorted());
         assert_eq!(empty.max_ts(), 0);
+    }
+
+    #[test]
+    fn large_batches_dictionary_encode_string_columns() {
+        let names = ["IBM", "Sun", "Oracle"];
+        let mut b = EventBatch::builder(Schema::stocks(), DICT_MIN_ROWS);
+        for i in 0..DICT_MIN_ROWS {
+            b.push_row(
+                i as u64,
+                &[Value::Int(i as i64), Value::str(names[i % 3]), Value::Float(1.0), Value::Int(1)],
+            )
+            .unwrap();
+        }
+        let batch = b.finish();
+        let dict = batch.column(1).as_dict().expect("64-row low-cardinality column encodes");
+        assert_eq!(dict.dict().len(), 3, "first-appearance order, one code per name");
+        assert_eq!(batch.column(1).as_syms(), None);
+        for i in 0..DICT_MIN_ROWS {
+            assert_eq!(batch.column(1).value(i), Value::str(names[i % 3]));
+            assert_eq!(batch.column(1).sym_at(i), Some(Sym::intern(names[i % 3])));
+        }
+        // Runs reconstruct the code sequence exactly.
+        let runs = dict.runs();
+        for (ri, &(start, code)) in runs.iter().enumerate() {
+            let end = runs.get(ri + 1).map_or(dict.codes().len(), |&(s, _)| s as usize);
+            assert!(dict.codes()[start as usize..end].iter().all(|&c| c == code));
+        }
+        // Small batches and explicit Plain mode keep the flat layout; Force
+        // encodes even tiny batches.
+        assert!(stock_batch().column(1).as_syms().is_some());
+        let mut b = EventBatch::builder(Schema::stocks(), 2);
+        b.push_row(1, &[Value::Int(1), Value::str("IBM"), Value::Float(1.0), Value::Int(1)])
+            .unwrap();
+        assert!(b.finish_with(DictMode::Force).column(1).as_dict().is_some());
+    }
+
+    #[test]
+    fn high_cardinality_columns_stay_plain() {
+        let mut b = EventBatch::builder(Schema::stocks(), DICT_MAX_CARD + 8);
+        for i in 0..DICT_MAX_CARD + 8 {
+            b.push_row(
+                i as u64,
+                &[Value::Int(0), Value::str(format!("s{i}")), Value::Float(1.0), Value::Int(1)],
+            )
+            .unwrap();
+        }
+        let batch = b.finish();
+        assert!(batch.column(1).as_syms().is_some(), "257+ distinct symbols exceed u8 codes");
     }
 
     #[test]

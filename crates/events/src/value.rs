@@ -68,7 +68,7 @@ pub enum Value {
 
 /// Exact comparison of an `i64` against an `f64` without a lossy cast.
 /// NaN sorts above every number (one NaN equivalence class).
-fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+pub(crate) fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
     if b.is_nan() {
         return Ordering::Less; // every number < NaN
     }
@@ -99,7 +99,7 @@ fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
 
 /// Numeric comparison of two `f64`s: `0.0 == -0.0`, NaNs are one
 /// equivalence class above all numbers.
-fn cmp_f64(a: f64, b: f64) -> Ordering {
+pub(crate) fn cmp_f64(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
@@ -183,6 +183,7 @@ impl Value {
     /// Ordered comparison with **exact** numeric coercion (int vs float
     /// compares mathematically; NaNs form one class above all numbers).
     /// Returns an error for incomparable types (e.g. string vs int).
+    #[inline]
     pub fn compare(&self, other: &Value) -> Result<Ordering, EventError> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),

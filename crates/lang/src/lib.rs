@@ -34,4 +34,6 @@ pub use analyze::{
 };
 pub use ast::{AggFunc, BinOp, Expr, KleeneKind, PatternExpr, Query, ReturnItem, UnaryOp};
 pub use error::LangError;
-pub use typed::{ClassId, EvalError, EventBinding, SliceBinding, TypedExpr, TypedPattern};
+pub use typed::{
+    eval_binop, ClassId, EvalError, EventBinding, SliceBinding, TypedExpr, TypedPattern,
+};

@@ -162,7 +162,17 @@ impl TypedExpr {
     }
 }
 
-fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+/// Applies a non-boolean-connective binary operator to two already-evaluated
+/// values, with exactly the semantics of [`TypedExpr::eval`]. Public so
+/// engines can pre-evaluate the two sides of a split comparison predicate
+/// independently (once per outer record / once per candidate) and combine
+/// them without re-walking the expression tree.
+///
+/// # Panics
+///
+/// On `And`/`Or` — their short-circuit evaluation needs the expression tree.
+#[inline]
+pub fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     use BinOp::*;
     match op {
         Add => l.add(r).map_err(|_| EvalError::Type),

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use zstream_events::{
     EventRef, Snapshot, SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter, Ts, Value,
 };
-use zstream_lang::{AnalyzedQuery, ClassId, EventBinding, TypedExpr, TypedPattern};
+use zstream_lang::{
+    eval_binop, AnalyzedQuery, BinOp, ClassId, EventBinding, SliceBinding, TypedExpr, TypedPattern,
+};
 
 use crate::error::NfaError;
 
@@ -69,6 +71,31 @@ struct NegGroup {
     buffers: Vec<VecDeque<EventRef>>,
 }
 
+/// The per-candidate side of a split search predicate.
+#[derive(Debug)]
+enum NfaProbe {
+    /// A bare attribute of the state's own class: one value fetch from the
+    /// candidate event, no binding construction.
+    Field(usize),
+    /// A general sub-expression over the state's class alone.
+    Expr(TypedExpr),
+}
+
+/// A search predicate at state `i` split into a side over state `i`'s class
+/// (the candidate being tested) and a side over classes bound at later
+/// states (constant while the backward search scans state `i`'s stack). The
+/// fixed side evaluates once per search level; each stack entry then costs
+/// one probe plus one comparison — and failing candidates are rejected
+/// without cloning the event into the binding vector.
+#[derive(Debug)]
+struct NfaSplit {
+    op: BinOp,
+    probe: NfaProbe,
+    fixed: TypedExpr,
+    /// True when the probe is the *left* operand of `op` as written.
+    probe_is_lhs: bool,
+}
+
 /// A complete match: one event per positive state, in pattern order.
 #[derive(Debug, Clone)]
 pub struct NfaMatch {
@@ -92,6 +119,12 @@ pub struct NfaEngine {
     /// Multi-class predicates to check when the backward search binds state
     /// `i` (all other referenced classes are already bound).
     preds_at_state: Vec<Vec<TypedExpr>>,
+    /// Split twins of `preds_at_state` entries whose comparison separates
+    /// into (state-`i` side) op (later-states side); see [`NfaSplit`].
+    split_at_state: Vec<Vec<NfaSplit>>,
+    /// `preds_at_state` entries with no split twin, evaluated with the full
+    /// binding during search.
+    slow_at_state: Vec<Vec<TypedExpr>>,
     /// Predicates involving negation classes, applied in the post-filter.
     neg_preds: Vec<TypedExpr>,
     window: Ts,
@@ -172,6 +205,19 @@ impl NfaEngine {
                 states.iter().position(|c| p.mask & (1u64 << c) != 0).unwrap_or(states.len() - 1);
             preds_at_state[first].push(p.expr.clone());
         }
+        // Split each state's search predicates into a per-candidate side and
+        // a later-states side where the comparison separates cleanly.
+        let mut split_at_state: Vec<Vec<NfaSplit>> =
+            (0..states.len()).map(|_| Vec::new()).collect();
+        let mut slow_at_state: Vec<Vec<TypedExpr>> = vec![Vec::new(); states.len()];
+        for (i, preds) in preds_at_state.iter().enumerate() {
+            for p in preds {
+                match split_search_pred(p, states[i]) {
+                    Some(sp) => split_at_state[i].push(sp),
+                    None => slow_at_state[i].push(p.clone()),
+                }
+            }
+        }
         let state_intake: Vec<Vec<TypedExpr>> = states.iter().map(|c| intake[*c].clone()).collect();
         let neg_intake: Vec<(ClassId, Vec<TypedExpr>)> =
             negs.iter().flat_map(|g| g.classes.iter().map(|c| (*c, intake[*c].clone()))).collect();
@@ -184,6 +230,8 @@ impl NfaEngine {
             negs,
             neg_intake,
             preds_at_state,
+            split_at_state,
+            slow_at_state,
             neg_preds,
             window: 0,
             watermark: 0,
@@ -324,8 +372,21 @@ impl NfaEngine {
         let i = bound_state - 1;
         let next_ts = binding[self.states[bound_state]].as_ref().expect("next state bound").ts();
         let stack = &self.stacks[i];
+        // Pre-evaluate the later-states sides of this level's split
+        // predicates: they are constant while this stack is scanned. An
+        // unevaluable side fails every candidate (no optional classes in
+        // flat sequences), so the whole level is a dead end.
+        let splits = &self.split_at_state[i];
+        let slow = &self.slow_at_state[i];
+        let mut fixed_vals: Vec<Value> = Vec::with_capacity(splits.len());
+        for sp in splits {
+            match sp.fixed.eval(&SliceBinding(binding)) {
+                Ok(v) => fixed_vals.push(v),
+                Err(_) => return,
+            }
+        }
         let mut raw = rip;
-        while raw > 0 {
+        'entries: while raw > 0 {
             raw -= 1;
             let Some(entry) = stack.get_raw(raw) else { break };
             let ts = entry.event.ts();
@@ -335,8 +396,30 @@ impl NfaEngine {
             if final_event.ts() - entry.event.ts() > self.window {
                 break; // stack is time-ordered: everything below is older
             }
+            // Split predicates reject candidates before the event is cloned
+            // into the binding.
+            for (sp, fv) in splits.iter().zip(&fixed_vals) {
+                let pv = match &sp.probe {
+                    NfaProbe::Field(f) => entry.event.value(*f),
+                    NfaProbe::Expr(e) => {
+                        let b = OneClass { class: self.states[i], event: &entry.event };
+                        match e.eval(&b) {
+                            Ok(v) => v,
+                            Err(_) => continue 'entries,
+                        }
+                    }
+                };
+                let (a, b) = if sp.probe_is_lhs { (&pv, fv) } else { (fv, &pv) };
+                if !matches!(eval_binop(sp.op, a, b), Ok(Value::Bool(true))) {
+                    continue 'entries;
+                }
+            }
             binding[self.states[i]] = Some(entry.event.clone());
-            if self.preds_ok(i, binding) {
+            let slow_ok = slow.is_empty()
+                || slow
+                    .iter()
+                    .all(|p| matches!(p.eval(&SliceBinding(binding)), Ok(Value::Bool(true))));
+            if slow_ok {
                 self.search(i, entry.rip, final_event, binding, out);
             }
             binding[self.states[i]] = None;
@@ -506,6 +589,31 @@ impl EventBinding for OneClass<'_> {
             &[]
         }
     }
+}
+
+/// Tries to split a search predicate assigned to the state binding `class`:
+/// one comparison operand must reference exactly `class` and the other must
+/// not reference it (its classes bind at later states, already fixed when
+/// the backward search reaches this level).
+fn split_search_pred(p: &TypedExpr, class: ClassId) -> Option<NfaSplit> {
+    let TypedExpr::Binary(op, l, r) = p else { return None };
+    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+        return None;
+    }
+    let cm = 1u64 << class;
+    let (lm, rm) = (l.class_mask(), r.class_mask());
+    let (probe, fixed, probe_is_lhs) = if lm != 0 && lm & !cm == 0 && rm & cm == 0 {
+        (l, r, true)
+    } else if rm != 0 && rm & !cm == 0 && lm & cm == 0 {
+        (r, l, false)
+    } else {
+        return None;
+    };
+    let probe = match probe.as_ref() {
+        TypedExpr::Attr { field, .. } => NfaProbe::Field(*field),
+        other => NfaProbe::Expr(other.clone()),
+    };
+    Some(NfaSplit { op: *op, probe, fixed: (**fixed).clone(), probe_is_lhs })
 }
 
 fn collect_neg_classes(p: &TypedPattern, out: &mut Vec<ClassId>) -> Result<(), NfaError> {

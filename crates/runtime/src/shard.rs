@@ -96,9 +96,11 @@ pub(crate) enum ShardReply {
 /// One query's evaluation state on one shard.
 pub(crate) enum ShardEngine {
     /// Hash-routed query: per-key engines over this shard's key subset.
-    Partitioned(PartitionedEngine),
-    /// Home-shard query: the whole (query-relevant) stream, one engine.
-    Flat(Engine),
+    Partitioned(Box<PartitionedEngine>),
+    /// Home-shard query: the whole (query-relevant) stream, one engine
+    /// (boxed: the engine carries intake scratch bitmaps and is much larger
+    /// than the partitioned wrapper).
+    Flat(Box<Engine>),
 }
 
 impl ShardEngine {
@@ -165,11 +167,12 @@ pub(crate) fn build_engines(
     let mut engines: Vec<Option<ShardEngine>> = defs
         .iter()
         .map(|def| match &def.route {
-            Route::Hash(field) => {
-                def.parts.partitioned_engine(field).map(|e| Some(ShardEngine::Partitioned(e)))
-            }
+            Route::Hash(field) => def
+                .parts
+                .partitioned_engine(field)
+                .map(|e| Some(ShardEngine::Partitioned(Box::new(e)))),
             Route::Single(home) if *home == shard => {
-                def.parts.engine().map(|e| Some(ShardEngine::Flat(e)))
+                def.parts.engine().map(|e| Some(ShardEngine::Flat(Box::new(e))))
             }
             Route::Single(_) => Ok(None),
         })
@@ -224,11 +227,11 @@ pub(crate) fn restore_engines(
     for (q, def) in defs.iter().enumerate() {
         let tag = r.u8()?;
         let engine = match (&def.route, tag) {
-            (Route::Hash(field), 2) => {
-                Some(ShardEngine::Partitioned(def.parts.restore_partitioned_engine(field, &mut r)?))
-            }
+            (Route::Hash(field), 2) => Some(ShardEngine::Partitioned(Box::new(
+                def.parts.restore_partitioned_engine(field, &mut r)?,
+            ))),
             (Route::Single(home), 1) if *home == shard => {
-                Some(ShardEngine::Flat(def.parts.restore_engine(&mut r)?))
+                Some(ShardEngine::Flat(Box::new(def.parts.restore_engine(&mut r)?)))
             }
             (Route::Single(home), 0) if *home != shard => None,
             (route, tag) => {

@@ -104,12 +104,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schemas = SchemaMap::uniform(Schema::stocks());
     let compiled = CompiledQuery::optimize(&query, &schemas, None)?;
     let intake = build_intake(&compiled.aq, Some("name"))?;
-    let engine = Engine::new(
+    let mut engine = Engine::new(
         compiled.aq.clone(),
         compiled.physical_plan(PlanConfig::default())?,
         intake,
         1024,
     );
+    // Engine-level instruments (admissions, rounds, kernel-vs-row intake
+    // split) for the adaptive query, next to the runtime's per-shard ones.
+    engine.set_obs(zstream::core::EngineObs::register(&hub, "adaptive", None, None));
     let mut adaptive = AdaptiveEngine::new(
         engine,
         compiled.spec.clone(),
@@ -125,7 +128,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ts_base = 0;
     for (i, phase) in phases.iter().enumerate() {
         for chunk in phase_stream(*phase, 20_000, 100 + i as u64, ts_base).chunks(1024) {
-            adaptive.push_batch(chunk);
+            // Columnar intake: dense batches take the kernel path, so the
+            // zstream_kernel_* counters light up alongside the runtime's
+            // row-path (sparse per-key) fallback counts.
+            let batch = zstream::events::EventBatch::from_events(chunk)?;
+            adaptive.push_columns(&batch);
         }
         ts_base += 20_000;
     }
@@ -149,6 +156,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             MetricValue::Histogram(_) => {}
         }
     }
+
+    // Kernel-intake split: rows evaluated by the columnar filter kernels
+    // vs rows that went through a row-at-a-time path (per-event pushes,
+    // sparse shard selections, General-predicate fallback).
+    let total = |name: &str| {
+        snap.metrics
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match s.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => v,
+                MetricValue::Histogram(_) => 0,
+            })
+            .sum::<u64>()
+    };
+    println!("\n== kernel intake ==");
+    println!(
+        "  kernel predicate-rows evaluated   {}",
+        total("zstream_kernel_rows_evaluated_total")
+    );
+    println!("  row-path fallback rows            {}", total("zstream_kernel_fallback_rows_total"));
 
     println!("\n== latency histograms (derived percentiles) ==");
     for s in &snap.metrics {
