@@ -241,28 +241,37 @@ fn cmp_passes(op: BinOp, v: Value, lit: &Value) -> bool {
 /// A running query: a physical plan plus routing and round bookkeeping.
 #[derive(Debug)]
 pub struct Engine {
+    // zlint::allow(snapshot, "restore_snapshot receives the analyzed query from the caller; the checkpoint carries only round state")
     aq: Arc<AnalyzedQuery>,
     plan: PhysicalPlan,
     /// Per-class intake predicates: analyzed single-class predicates plus
     /// any route-by-field equality added by the builder.
+    // zlint::allow(snapshot, "restore_snapshot receives the intake predicates from the caller; not checkpoint state")
     intake: Vec<Vec<TypedExpr>>,
     /// The same predicates compiled for column-wise evaluation.
+    // zlint::allow(snapshot, "derived: recompiled from `intake` on construction and restore")
     intake_compiled: Vec<Vec<IntakePred>>,
     /// Distinct column-kernel predicates across all classes: each is
     /// evaluated **once per batch** into a bitmap, no matter how many
     /// classes share it.
+    // zlint::allow(snapshot, "derived: recompiled from `intake` on construction and restore")
     uniq_preds: Vec<IntakePred>,
     /// Per class, per predicate: index into `uniq_preds` for column-kernel
     /// predicates, `None` for row-wise (`General`) ones.
+    // zlint::allow(snapshot, "derived: recompiled from `intake` on construction and restore")
     col_pred_of: Vec<Vec<Option<usize>>>,
     /// Reusable bitmap scratch (see [`IntakeScratch`] for the invariant).
+    // zlint::allow(snapshot, "scratch space: rebuilt empty, repopulated per batch")
     scratch: IntakeScratch,
+    // zlint::allow(snapshot, "configuration re-stamped by the caller after restore, not checkpoint state")
     intake_mode: IntakeMode,
     /// Per-class interned schema name (intake schema matching is an integer
     /// compare).
+    // zlint::allow(snapshot, "derived: re-interned from the analyzed query's class schemas")
     class_schema: Vec<Sym>,
     /// Events buffered until a full batch is formed (push-one API).
     pending: Vec<EventRef>,
+    // zlint::allow(snapshot, "restore_snapshot receives the batch size from the caller; not checkpoint state")
     batch_size: usize,
     watermark: Ts,
     metrics: EngineMetrics,
@@ -270,6 +279,7 @@ pub struct Engine {
     offered: Vec<u64>,
     admitted: Vec<u64>,
     /// Observability instruments; `None` (the default) records nothing.
+    // zlint::allow(snapshot, "instruments are process-local handles, re-attached via set_obs after restore")
     obs: Option<EngineObs>,
 }
 

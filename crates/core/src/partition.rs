@@ -86,22 +86,29 @@ pub fn can_partition_by(aq: &AnalyzedQuery, field: &str) -> bool {
 /// A pattern engine evaluated independently per partition key.
 #[derive(Debug)]
 pub struct PartitionedEngine {
+    // zlint::allow(snapshot, "restore_snapshot receives the compiled query from the caller; not checkpoint state")
     compiled: CompiledQuery,
+    // zlint::allow(snapshot, "restore_snapshot receives the plan config from the caller; not checkpoint state")
     plan_config: PlanConfig,
+    // zlint::allow(snapshot, "restore_snapshot receives the intake predicates from the caller; not checkpoint state")
     intake: Vec<Vec<TypedExpr>>,
+    // zlint::allow(snapshot, "restore_snapshot receives the batch size from the caller; not checkpoint state")
     batch_size: usize,
     /// Field index of the partition attribute per class schema — all class
     /// schemas must agree on the field name; events are keyed through the
     /// first class's schema (events that match no schema are dropped).
+    // zlint::allow(snapshot, "restore_snapshot receives the partition field from the caller; not checkpoint state")
     field: String,
     partitions: HashMap<HashableValue, Engine>,
     /// Intake-path choice stamped onto every partition engine (existing and
     /// future); see [`Engine::set_intake_mode`].
+    // zlint::allow(snapshot, "configuration re-stamped via set_intake_mode after restore, not checkpoint state")
     intake_mode: crate::engine::IntakeMode,
     events_in: u64,
     dropped: u64,
     /// Instrument template cloned into each partition engine (cells are
     /// shared across partitions; see [`PartitionedEngine::set_obs`]).
+    // zlint::allow(snapshot, "instruments are process-local handles, re-attached via set_obs after restore")
     obs: Option<crate::obs::EngineObs>,
 }
 

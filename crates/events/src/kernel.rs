@@ -52,6 +52,7 @@ impl Bitmap {
         self.words.resize(words, if fill { !0u64 } else { 0 });
         self.len = len;
         self.mask_tail();
+        debug_assert!(self.check_invariants());
     }
 
     /// Zeroes any bits at positions >= `len` in the last word.
@@ -62,6 +63,23 @@ impl Bitmap {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
+        }
+    }
+
+    /// Verifies the structural invariants: the word count is exactly
+    /// `len.div_ceil(64)` and every bit at position >= `len` in the last
+    /// word is zero. Every mutating method `debug_assert!`s this on exit;
+    /// [`Bitmap::count`], [`Bitmap::any`] and word-wise combination are only
+    /// correct when it holds.
+    pub fn check_invariants(&self) -> bool {
+        if self.words.len() != self.len.div_ceil(64) {
+            return false;
+        }
+        let tail = self.len % 64;
+        match (tail, self.words.last()) {
+            (0, _) => true,
+            (_, None) => false,
+            (tail, Some(&last)) => last & !((1u64 << tail) - 1) == 0,
         }
     }
 
@@ -81,20 +99,25 @@ impl Bitmap {
     #[inline]
     pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
+        // zlint::allow(panic, "i/64 < words.len() for every i < len; an out-of-range row index is a caller bug, not input")
         self.words[i / 64] |= 1u64 << (i % 64);
+        debug_assert!(self.check_invariants());
     }
 
     /// Clears bit `i`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
         debug_assert!(i < self.len);
+        // zlint::allow(panic, "i/64 < words.len() for every i < len; an out-of-range row index is a caller bug, not input")
         self.words[i / 64] &= !(1u64 << (i % 64));
+        debug_assert!(self.check_invariants());
     }
 
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // zlint::allow(panic, "i/64 < words.len() for every i < len; an out-of-range row index is a caller bug, not input")
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
@@ -108,14 +131,19 @@ impl Bitmap {
         let head = !0u64 << (start % 64);
         let tail = !0u64 >> (63 - (end - 1) % 64);
         if first == last {
+            // zlint::allow(panic, "first = (end-1)/64 < words.len() for every end <= len, debug-asserted above")
             self.words[first] |= head & tail;
         } else {
+            // zlint::allow(panic, "first < last = (end-1)/64 < words.len() for every end <= len, debug-asserted above")
             self.words[first] |= head;
+            // zlint::allow(panic, "first+1..last is within words: last < words.len() as above")
             for w in &mut self.words[first + 1..last] {
                 *w = !0;
             }
+            // zlint::allow(panic, "last = (end-1)/64 < words.len() for every end <= len, debug-asserted above")
             self.words[last] |= tail;
         }
+        debug_assert!(self.check_invariants());
     }
 
     /// Sets the bit for every row index in `rows` (indices must be < len).
@@ -123,6 +151,7 @@ impl Bitmap {
         for &r in rows {
             self.set(r as usize);
         }
+        debug_assert!(self.check_invariants());
     }
 
     /// `self &= other`. Lengths must match.
@@ -131,6 +160,7 @@ impl Bitmap {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
+        debug_assert!(self.check_invariants());
     }
 
     /// `self |= other`. Lengths must match.
@@ -139,6 +169,7 @@ impl Bitmap {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+        debug_assert!(self.check_invariants());
     }
 
     /// `self = !self` (within `len`; the tail stays zero).
@@ -147,6 +178,7 @@ impl Bitmap {
             *w = !*w;
         }
         self.mask_tail();
+        debug_assert!(self.check_invariants());
     }
 
     /// Copies `other` into `self`, reusing the allocation.
@@ -154,6 +186,7 @@ impl Bitmap {
         self.words.clear();
         self.words.extend_from_slice(&other.words);
         self.len = other.len;
+        debug_assert!(self.check_invariants());
     }
 
     /// Number of set bits — a straight popcount sum, thanks to the zero-tail
@@ -197,6 +230,7 @@ impl Bitmap {
                 }
             }
         }
+        debug_assert!(self.check_invariants());
     }
 
     /// Direct word access for chunked kernels (one word = 64 rows).
@@ -323,12 +357,14 @@ fn filter_dict(d: &DictStr, out: &mut Bitmap, keep_sym: impl Fn(Sym) -> bool) {
     if runs.len() * 4 <= codes.len() {
         out.reset(codes.len(), false);
         for (i, &(start, code)) in runs.iter().enumerate() {
+            // zlint::allow(panic, "every DictStr code indexes its own dict; keep has one verdict per dict entry")
             if keep[code as usize] {
                 let end = runs.get(i + 1).map_or(codes.len(), |&(s, _)| s as usize);
                 out.set_range(start as usize, end);
             }
         }
     } else {
+        // zlint::allow(panic, "every DictStr code indexes its own dict; keep has one verdict per dict entry")
         pack(codes, out, |&c| keep[c as usize]);
     }
 }

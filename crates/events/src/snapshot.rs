@@ -22,6 +22,11 @@
 //! decodes and fails with [`SnapshotError`] on truncated or corrupt input
 //! instead of panicking.
 
+// Decode paths must fail with errors, never panic: zlint rule `panic`
+// enforces the invariant at lint time, and this clippy layer makes the
+// worst offender unrepresentable at compile time too.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -157,6 +162,7 @@ impl SnapshotWriter {
             self.u32(idx);
             return;
         }
+        // zlint::allow(panic, "writer path, not decode: 2^32 dictionary entries cannot exist in memory before this overflows")
         let idx = u32::try_from(self.syms.len()).expect("snapshot symbol dictionary overflow");
         self.syms.insert(s, idx);
         self.u32(idx);
@@ -174,6 +180,7 @@ impl SnapshotWriter {
             self.u32(idx as u32);
             return;
         }
+        // zlint::allow(panic, "writer path, not decode: 2^32 dictionary entries cannot exist in memory before this overflows")
         let idx = u32::try_from(self.schemas.len()).expect("snapshot schema dictionary overflow");
         self.schemas.push(Arc::clone(schema));
         self.u32(idx);
@@ -194,6 +201,7 @@ impl SnapshotWriter {
             self.u32(idx);
             return;
         }
+        // zlint::allow(panic, "writer path, not decode: 2^32 dictionary entries cannot exist in memory before this overflows")
         let idx = u32::try_from(self.events.len()).expect("snapshot event dictionary overflow");
         self.events.insert(e.identity(), idx);
         self.u32(idx);
@@ -318,9 +326,17 @@ impl<'a> SnapshotReader<'a> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
         }
+        // zlint::allow(panic, "range is in bounds: the remaining() guard above rejects n > buf.len() - pos")
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array. Decode errors surface
+    /// as [`SnapshotError::Truncated`]; nothing on this path panics.
+    fn take_array<const N: usize>(&mut self) -> SnapshotResult<[u8; N]> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s).map_err(|_| SnapshotError::Truncated)
     }
 
     /// Reads one raw byte.
@@ -339,17 +355,17 @@ impl<'a> SnapshotReader<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> SnapshotResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized take")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> SnapshotResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized take")))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> SnapshotResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized take")))
+        Ok(i64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads an `f64` by bit pattern.
@@ -394,8 +410,8 @@ impl<'a> SnapshotReader<'a> {
     /// Reads a symbol reference, re-interning new entries.
     pub fn sym(&mut self) -> SnapshotResult<Sym> {
         let idx = self.u32()? as usize;
-        if idx < self.syms.len() {
-            return Ok(self.syms[idx]);
+        if let Some(&known) = self.syms.get(idx) {
+            return Ok(known);
         }
         if idx != self.syms.len() {
             return Err(SnapshotError::Corrupt(format!("symbol index {idx} out of order")));
@@ -408,8 +424,8 @@ impl<'a> SnapshotReader<'a> {
     /// Reads a schema reference, rebuilding new entries.
     pub fn schema(&mut self) -> SnapshotResult<Arc<Schema>> {
         let idx = self.u32()? as usize;
-        if idx < self.schemas.len() {
-            return Ok(Arc::clone(&self.schemas[idx]));
+        if let Some(known) = self.schemas.get(idx) {
+            return Ok(Arc::clone(known));
         }
         if idx != self.schemas.len() {
             return Err(SnapshotError::Corrupt(format!("schema index {idx} out of order")));
@@ -433,8 +449,8 @@ impl<'a> SnapshotReader<'a> {
     /// References to the same dictionary entry restore to one shared handle.
     pub fn event(&mut self) -> SnapshotResult<EventRef> {
         let idx = self.u32()? as usize;
-        if idx < self.events.len() {
-            return Ok(self.events[idx].clone());
+        if let Some(known) = self.events.get(idx) {
+            return Ok(known.clone());
         }
         if idx != self.events.len() {
             return Err(SnapshotError::Corrupt(format!("event index {idx} out of order")));

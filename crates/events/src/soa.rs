@@ -568,6 +568,7 @@ impl BatchBuilder {
     /// Finishes the batch with an explicit dictionary policy for string
     /// columns.
     pub fn finish_with(self, mode: DictMode) -> EventBatch {
+        // zlint::allow(atomics, "unique-id allocation: fetch_add is atomic on its own cell, no cross-variable ordering needed")
         let id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
         // `Event::identity` packs the id into 32 bits next to the row
         // index; exhausting that space must fail loudly, not alias two

@@ -106,27 +106,36 @@ pub struct NfaMatch {
 /// The NFA engine for one sequential query.
 #[derive(Debug)]
 pub struct NfaEngine {
+    // zlint::allow(snapshot, "restore_snapshot receives the analyzed query from the caller; the checkpoint carries only runtime state")
     aq: Arc<AnalyzedQuery>,
     /// Positive classes in sequence order.
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     states: Vec<ClassId>,
     /// Per-state intake predicates.
+    // zlint::allow(snapshot, "restore_snapshot receives the intake predicates from the caller; not checkpoint state")
     intake: Vec<Vec<TypedExpr>>,
     stacks: Vec<Stack>,
     negs: Vec<NegGroup>,
     /// Per-neg-class intake predicates, aligned with the flattened list of
     /// all negation classes.
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     neg_intake: Vec<(ClassId, Vec<TypedExpr>)>,
     /// Multi-class predicates to check when the backward search binds state
     /// `i` (all other referenced classes are already bound).
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     preds_at_state: Vec<Vec<TypedExpr>>,
     /// Split twins of `preds_at_state` entries whose comparison separates
     /// into (state-`i` side) op (later-states side); see [`NfaSplit`].
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     split_at_state: Vec<Vec<NfaSplit>>,
     /// `preds_at_state` entries with no split twin, evaluated with the full
     /// binding during search.
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     slow_at_state: Vec<Vec<TypedExpr>>,
     /// Predicates involving negation classes, applied in the post-filter.
+    // zlint::allow(snapshot, "derived: recomputed from the analyzed query on construction and restore")
     neg_preds: Vec<TypedExpr>,
+    // zlint::allow(snapshot, "derived: read off the analyzed query's window on construction and restore")
     window: Ts,
     watermark: Ts,
     events_in: u64,

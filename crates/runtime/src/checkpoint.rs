@@ -52,6 +52,11 @@
 //! in attached instruments are interchangeable for restore. Asserted by
 //! `tests/observability.rs::restore_restarts_observability_from_zero`.
 
+// Decode paths must fail with errors, never panic: zlint rule `panic`
+// enforces the invariant at lint time, and this clippy layer makes the
+// worst offender unrepresentable at compile time too.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::fmt;
 
 use zstream_events::{SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter, Ts};

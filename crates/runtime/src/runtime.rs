@@ -326,8 +326,11 @@ impl RuntimeBuilder {
         if data.len() < MAGIC.len() + 4 || data[..MAGIC.len()] != MAGIC {
             return Err(RuntimeError::Checkpoint("not a ZStream checkpoint (bad magic)".into()));
         }
-        let version =
-            u32::from_le_bytes(data[MAGIC.len()..MAGIC.len() + 4].try_into().expect("4 bytes"));
+        let version = data
+            .get(MAGIC.len()..MAGIC.len() + 4)
+            .and_then(|b| <[u8; 4]>::try_from(b).ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| RuntimeError::Checkpoint("truncated checkpoint header".into()))?;
         if version != VERSION {
             return Err(RuntimeError::Checkpoint(format!(
                 "unsupported checkpoint version {version} (this build reads version {VERSION})"

@@ -316,7 +316,9 @@ pub(crate) fn run_shard(
                     eval_and_reply(shard, &mut seq, &mut engines, &tx, svc, watermark, |engines| {
                         let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
                         for (q, sel) in per_query.iter().enumerate() {
-                            let Some(engine) = engines[q].as_mut() else { continue };
+                            let Some(engine) = engines.get_mut(q).and_then(Option::as_mut) else {
+                                continue;
+                            };
                             let records = match sel {
                                 RowSel::Skip => continue,
                                 RowSel::All => engine.push_columns(&batch),
@@ -339,7 +341,9 @@ pub(crate) fn run_shard(
                             if events.is_empty() {
                                 continue;
                             }
-                            let Some(engine) = engines[q].as_mut() else { continue };
+                            let Some(engine) = engines.get_mut(q).and_then(Option::as_mut) else {
+                                continue;
+                            };
                             per_q.push((q, engine.push_batch(events)));
                         }
                         per_q

@@ -1,0 +1,21 @@
+//! Fixture: disciplined atomics — zero findings when this file is in the
+//! `relaxed_modules` allowlist.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn hot_path_count() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish() {
+    // zlint::allow(atomics, "releases the buffer writes to the consumer that pairs this with an Acquire load")
+    READY.store(true, Ordering::Release);
+}
+
+pub fn consume() -> bool {
+    // zlint::allow(atomics, "pairs with the Release store in publish; sees all writes before it")
+    READY.load(Ordering::Acquire)
+}

@@ -1,0 +1,19 @@
+//! Fixture: every ordering rule `atomics` must flag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn seqcst_everywhere() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst);
+    COUNTER.load(Ordering::SeqCst)
+}
+
+pub fn relaxed_outside_allowlist() -> u64 {
+    COUNTER.load(Ordering::Relaxed)
+}
+
+pub fn fence_without_justification() {
+    COUNTER.store(1, Ordering::Release);
+    let _ = COUNTER.load(Ordering::Acquire);
+}

@@ -1,0 +1,30 @@
+//! Fixture: a hot-path module that stays lock-free, plus `.read()` /
+//! `.write()` calls that are io traits, not RwLock. Zero findings.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct HotState {
+    hits: AtomicU64,
+}
+
+impl HotState {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// io::Read/io::Write share method names with RwLock guards; without any
+/// `RwLock` in the file they must not be flagged.
+pub fn copy(mut from: impl Read, mut to: impl Write) -> std::io::Result<u64> {
+    let mut buf = [0u8; 4096];
+    let mut total = 0;
+    loop {
+        let n = from.read(&mut buf)?;
+        if n == 0 {
+            return Ok(total);
+        }
+        to.write(&buf[..n])?;
+        total += n as u64;
+    }
+}

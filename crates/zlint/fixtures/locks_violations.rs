@@ -1,0 +1,28 @@
+//! Fixture: every lock shape rule `locks` must flag in a hot-path module.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+pub struct HotState {
+    table: Mutex<HashMap<u64, u64>>,
+    index: RwLock<Vec<u64>>,
+}
+
+impl HotState {
+    pub fn new() -> HotState {
+        HotState { table: Mutex::new(HashMap::new()), index: RwLock::new(Vec::new()) }
+    }
+
+    pub fn bump(&self, key: u64) {
+        let mut t = self.table.lock().unwrap();
+        *t.entry(key).or_insert(0) += 1;
+    }
+
+    pub fn peek(&self) -> usize {
+        self.index.read().unwrap().len()
+    }
+
+    pub fn grow(&self, v: u64) {
+        self.index.write().unwrap().push(v);
+    }
+}

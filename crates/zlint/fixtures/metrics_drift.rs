@@ -1,0 +1,10 @@
+//! Fixture for rule `metrics`: one registered name matching the test
+//! schema, one unknown name (must be flagged), and the schema's third
+//! entry is registered nowhere (flagged against the schema file).
+
+pub fn register(reg: &mut Vec<(String, u64)>) {
+    reg.push(("zstream_good_total".to_string(), 0));
+    reg.push(("zstream_ghost_total".to_string(), 0));
+    // Not a metric name: no zstream_ prefix.
+    reg.push(("other_counter".to_string(), 0));
+}

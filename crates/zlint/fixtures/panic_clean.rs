@@ -1,0 +1,38 @@
+//! Fixture: panic-free decode idioms plus every shape that *looks* like a
+//! violation to a naive scanner but is not one. Must produce zero findings.
+
+#[derive(Debug)]
+pub struct Frame {
+    kind: u8,
+    body: Vec<u8>,
+}
+
+/// A local helper named like the banned method: calling it is fine — only
+/// `.expect(` method calls are panics.
+fn expect(kind: u8, got: u8) -> Result<(), String> {
+    if kind == got {
+        Ok(())
+    } else {
+        Err(format!("expected {kind}, got {got}"))
+    }
+}
+
+pub fn decode(buf: &[u8]) -> Result<Frame, String> {
+    let kind = buf.first().copied().ok_or("empty frame")?;
+    expect(0x7a, kind)?;
+    let body = buf.get(1..).ok_or("missing body")?.to_vec();
+    // Slice patterns are `[` after `let`, not indexing.
+    let [a, b] = [kind, body.len() as u8];
+    // Macro brackets and attribute brackets are not indexing either.
+    let pair = vec![a, b];
+    if let Some(&first) = pair.first() {
+        let _ = first;
+    }
+    Ok(Frame { kind, body })
+}
+
+impl Frame {
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+}

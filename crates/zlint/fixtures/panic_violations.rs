@@ -1,0 +1,34 @@
+//! Fixture: every shape rule `panic` must flag, one per line group.
+//! Scanned only by zlint's golden tests — never compiled.
+
+pub fn decode(input: Option<u32>, buf: &[u8], at: usize) -> u32 {
+    let a = input.unwrap();
+    let b = input.expect("present");
+    if at > buf.len() {
+        panic!("out of range");
+    }
+    match a {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => {}
+    }
+    let c = buf[at];
+    u32::from(c) + a + b
+}
+
+pub fn slices(rows: &[u32], tail: usize) -> &[u32] {
+    &rows[tail..]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be reported.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let xs = [1, 2, 3];
+        assert_eq!(xs[0], 1);
+    }
+}

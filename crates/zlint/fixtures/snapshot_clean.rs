@@ -1,0 +1,30 @@
+//! Fixture: full snapshot coverage plus the shapes rule `snapshot` must
+//! leave alone — a pragma-excused derived field, a struct with no
+//! snapshot pair at all, and a tuple-ish builder type. Zero findings.
+
+pub struct Clock {
+    ticks: u64,
+    drift: i64,
+    // zlint::allow(snapshot, "derived: recomputed from ticks on first read after restore")
+    cached_display: String,
+}
+
+impl Clock {
+    pub fn write_snapshot(&self, out: &mut Vec<i64>) {
+        out.push(self.ticks as i64);
+        out.push(self.drift);
+    }
+
+    pub fn restore_snapshot(data: &[i64]) -> Clock {
+        Clock {
+            ticks: data.first().copied().unwrap_or(0) as u64,
+            drift: data.get(1).copied().unwrap_or(0),
+            cached_display: String::new(),
+        }
+    }
+}
+
+/// No snapshot pair: the rule must not demand one.
+pub struct Scratch {
+    pub buf: Vec<u8>,
+}

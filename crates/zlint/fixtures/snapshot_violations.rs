@@ -1,0 +1,26 @@
+//! Fixture: a snapshot/restore pair that forgets fields. Rule `snapshot`
+//! must flag `dropped` (missing from both methods) and `half` (missing
+//! from restore only); `seen` is covered in both and must not be flagged.
+
+pub struct Tracker {
+    seen: u64,
+    half: u64,
+    dropped: u64,
+}
+
+impl Tracker {
+    fn fresh() -> Tracker {
+        Tracker { seen: 0, half: 0, dropped: 0 }
+    }
+
+    pub fn write_snapshot(&self, out: &mut Vec<u64>) {
+        out.push(self.seen);
+        out.push(self.half);
+    }
+
+    pub fn restore_snapshot(data: &[u64]) -> Tracker {
+        let mut t = Tracker::fresh();
+        t.seen = data.first().copied().unwrap_or(0);
+        t
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a pragma with nothing to excuse, a reasonless pragma, and an
+//! unknown-rule pragma. All three are `pragma` findings; the well-formed
+//! `atomics` one on clean code is the "unused" case.
+
+// zlint::allow(atomics, "stale excuse left behind after a refactor")
+pub fn no_atomics_here() -> u32 {
+    41 + 1
+}
+
+// zlint::allow(panic)
+pub fn reasonless() -> u32 {
+    7
+}
+
+// zlint::allow(sorting, "not a rule zlint has")
+pub fn unknown_rule() -> u32 {
+    9
+}

@@ -1,0 +1,77 @@
+//! Rule configuration: module sets and fixture paths.
+//!
+//! zlint is dependency-free, so configuration is code, not TOML: the
+//! workspace's real module sets live in [`Config::workspace`], and tests
+//! build bespoke configs pointing the module-scoped rules at fixture
+//! files. Paths are matched as `/`-separated suffixes of the
+//! workspace-relative path, so the sets stay stable under checkout moves.
+
+use std::path::PathBuf;
+
+/// Which files each module-scoped rule applies to, and where the metric
+/// schema fixture lives.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rule `panic` applies to files whose relative path ends with one of
+    /// these suffixes: checkpoint decode paths and per-event hot paths.
+    pub panic_modules: Vec<String>,
+    /// Rule `locks` applies to these files (hot-path modules; the obs
+    /// registry is included so its registration-path mutex stays a
+    /// pragma-documented exception rather than an invisible one).
+    pub hot_modules: Vec<String>,
+    /// Files where `Ordering::Relaxed` is allowed without a pragma: the
+    /// lock-free obs hot path.
+    pub relaxed_modules: Vec<String>,
+    /// The golden metric-schema fixture (`name|kind|label-keys` lines),
+    /// relative to the workspace root. `None` disables rule `metrics`.
+    pub metrics_schema: Option<PathBuf>,
+    /// Prefix of metric-name string literals (see rule `metrics`).
+    pub metric_prefix: String,
+}
+
+impl Config {
+    /// The workspace's real invariant surface.
+    pub fn workspace() -> Config {
+        Config {
+            panic_modules: vec![
+                // Checkpoint decode: a corrupt/truncated file must fail
+                // with RuntimeError::Checkpoint / SnapshotError, never a
+                // panic.
+                "crates/runtime/src/checkpoint.rs".into(),
+                "crates/events/src/snapshot.rs".into(),
+                // Per-event hot paths: a panic kills a shard (it leaves
+                // the pool — silent capacity loss under traffic).
+                "crates/runtime/src/shard.rs".into(),
+                "crates/events/src/kernel.rs".into(),
+            ],
+            hot_modules: vec![
+                "crates/runtime/src/shard.rs".into(),
+                "crates/events/src/kernel.rs".into(),
+                // In the set on purpose: the registration-path mutex is
+                // the designed cold-path exception and carries pragmas.
+                "crates/obs/src/registry.rs".into(),
+                "crates/obs/src/hist.rs".into(),
+            ],
+            relaxed_modules: vec![
+                "crates/obs/src/registry.rs".into(),
+                "crates/obs/src/hist.rs".into(),
+                "crates/runtime/src/instruments.rs".into(),
+            ],
+            metrics_schema: Some(PathBuf::from("tests/fixtures/metrics_schema.txt")),
+            metric_prefix: "zstream_".into(),
+        }
+    }
+
+    /// A config with every module-scoped rule pointed at nothing and the
+    /// metrics rule disabled — fixture tests switch on exactly the surface
+    /// they exercise.
+    pub fn empty() -> Config {
+        Config {
+            panic_modules: Vec::new(),
+            hot_modules: Vec::new(),
+            relaxed_modules: Vec::new(),
+            metrics_schema: None,
+            metric_prefix: "zstream_".into(),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// The five invariant rules plus the pragma meta-rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// or unchecked `[]` indexing in configured decode/hot-path modules.
+    Panic,
+    /// `SeqCst` banned; `Relaxed` only in the hot-path allowlist;
+    /// `Acquire`/`Release`/`AcqRel` require a justification pragma.
+    Atomics,
+    /// No `Mutex`/`RwLock` acquisition in hot-path modules.
+    Locks,
+    /// Every registered metric name must be in the golden schema fixture
+    /// and vice versa.
+    Metrics,
+    /// Every named field of a snapshot/restore pair's struct must be
+    /// referenced in both methods.
+    Snapshot,
+    /// Pragma hygiene: malformed or unused `zlint::allow` pragmas.
+    Pragma,
+}
+
+impl Rule {
+    /// The name used in `zlint::allow(<name>, "...")` pragmas and output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Atomics => "atomics",
+            Rule::Locks => "locks",
+            Rule::Metrics => "metrics",
+            Rule::Snapshot => "snapshot",
+            Rule::Pragma => "pragma",
+        }
+    }
+
+    /// Parses a pragma rule name. The pragma meta-rule itself cannot be
+    /// allowed — pragma hygiene must stay enforced.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Some(match name {
+            "panic" => Rule::Panic,
+            "atomics" => Rule::Atomics,
+            "locks" => Rule::Locks,
+            "metrics" => Rule::Metrics,
+            "snapshot" => Rule::Snapshot,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, attributed to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// Workspace-relative path (display form).
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}

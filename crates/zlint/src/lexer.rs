@@ -1,0 +1,492 @@
+//! A hand-rolled Rust lexer: the token stream every rule walks.
+//!
+//! This is not a full Rust grammar — it is exactly the subset a line-level
+//! invariant checker needs to be *correct* about:
+//!
+//! * **Comments never produce code tokens.** Line comments, doc comments and
+//!   arbitrarily **nested** block comments (`/* a /* b */ c */`) are lexed as
+//!   trivia, collected separately so the pragma layer can read them.
+//! * **String contents never produce code tokens.** Plain strings (with
+//!   escapes), raw strings `r"…"` / `r#"…"#` (any `#` count), byte and
+//!   raw-byte strings are all single tokens — a fixture embedding violating
+//!   code inside a string must not trip a rule.
+//! * **Lifetimes are not char literals.** `'a` (and `'_`, `'static`) lex as
+//!   lifetimes; `'a'`, `'\n'`, `'\u{1F600}'` lex as char literals.
+//!
+//! Everything else (numbers, identifiers incl. `r#raw`, punctuation) is kept
+//! simple: rules match on identifier spelling and local token adjacency, so
+//! multi-character operators stay as individual punctuation tokens.
+
+use std::fmt;
+
+/// One code token (comments and whitespace are not code tokens).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers carry their unprefixed name).
+    Ident(String),
+    /// A lifetime such as `'a` (name without the quote).
+    Lifetime(String),
+    /// A character literal (content not interpreted).
+    Char,
+    /// Any string literal (plain/raw/byte); carries the uninterpreted
+    /// contents between the quotes (escapes left as written).
+    Str(String),
+    /// A numeric literal (uninterpreted).
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier's name, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment, kept out of the code-token stream for the pragma layer.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Lifetime(s) => write!(f, "'{s}"),
+            Tok::Char => write!(f, "<char>"),
+            Tok::Str(_) => write!(f, "<str>"),
+            Tok::Num => write!(f, "<num>"),
+            Tok::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into code tokens and comment trivia. The lexer never fails:
+/// malformed input (unterminated strings/comments) is consumed to
+/// end-of-file, which is the right behavior for a linter that must not
+/// crash on the code it is judging.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.comments.push(Comment { text: src[start..c.pos].to_string(), line });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                // Block comments nest.
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment { text: src[start..c.pos].to_string(), line });
+            }
+            b'r' | b'b' if starts_raw_string(&c) => {
+                // r"…", r#"…"#, br"…", br#"…"# — skip prefix letters.
+                while c.peek().is_some_and(|b| b == b'r' || b == b'b') {
+                    c.bump();
+                }
+                let mut hashes = 0usize;
+                while c.peek() == Some(b'#') {
+                    hashes += 1;
+                    c.bump();
+                }
+                c.bump(); // opening quote
+                let content_start = c.pos;
+                let mut content_end = c.pos;
+                'raw: while let Some(b) = c.peek() {
+                    if b == b'"' {
+                        // Candidate terminator: `"` followed by `hashes` #s.
+                        let mut ok = true;
+                        for i in 0..hashes {
+                            if c.peek_at(1 + i) != Some(b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            content_end = c.pos;
+                            c.bump();
+                            for _ in 0..hashes {
+                                c.bump();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    content_end = c.pos + 1;
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Str(src[content_start..content_end].to_string()),
+                    line,
+                    col,
+                });
+            }
+            b'b' if c.peek_at(1) == Some(b'"') => {
+                c.bump(); // b
+                lex_string(&mut c, src, &mut out, line, col);
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                c.bump(); // b
+                lex_char(&mut c, &mut out, line, col);
+            }
+            b'"' => lex_string(&mut c, src, &mut out, line, col),
+            b'\'' => {
+                // Lifetime vs char literal: `'` + ident-start is a lifetime
+                // unless the character after the identifier's first char is a
+                // closing quote (`'a'`). Escapes (`'\n'`) are always chars.
+                let one = c.peek_at(1);
+                let two = c.peek_at(2);
+                let is_lifetime =
+                    one.is_some_and(is_ident_start) && one != Some(b'\\') && two != Some(b'\'');
+                if is_lifetime {
+                    c.bump(); // quote
+                    let start = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime(src[start..c.pos].to_string()),
+                        line,
+                        col,
+                    });
+                } else {
+                    lex_char(&mut c, &mut out, line, col);
+                }
+            }
+            b if b.is_ascii_digit() => {
+                c.bump();
+                // Consume the rest of the numeric literal loosely (suffixes,
+                // underscores, hex digits, exponents). A `.` joins only when
+                // followed by a digit, so `1..n` keeps its range dots.
+                loop {
+                    match c.peek() {
+                        Some(d) if is_ident_continue(d) => {
+                            c.bump();
+                        }
+                        Some(b'.') if c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            c.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                out.tokens.push(Token { tok: Tok::Num, line, col });
+            }
+            b if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let mut name = &src[start..c.pos];
+                // Raw identifier? (`r#match` — lexed as ident `r`, then `#`,
+                // would split; catch the prefix here instead.)
+                if name == "r" && c.peek() == Some(b'#') && c.peek_at(1).is_some_and(is_ident_start)
+                {
+                    c.bump(); // #
+                    let rstart = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    name = &src[rstart..c.pos];
+                }
+                out.tokens.push(Token { tok: Tok::Ident(name.to_string()), line, col });
+            }
+            _ => {
+                c.bump();
+                out.tokens.push(Token { tok: Tok::Punct(b as char), line, col });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits at a raw-string prefix: `r"`, `r#`, `br"`, `br#`.
+fn starts_raw_string(c: &Cursor<'_>) -> bool {
+    let (a, b2, b3) = (c.peek(), c.peek_at(1), c.peek_at(2));
+    match (a, b2) {
+        (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#')) => {
+            // `r#ident` is a raw identifier, not a raw string: require that
+            // after the hashes comes a quote.
+            if b2 == Some(b'"') {
+                return true;
+            }
+            let mut i = 1;
+            while c.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            c.peek_at(i) == Some(b'"')
+        }
+        (Some(b'b'), Some(b'r')) if b3 == Some(b'"') || b3 == Some(b'#') => {
+            if b3 == Some(b'"') {
+                return true;
+            }
+            let mut i = 2;
+            while c.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            c.peek_at(i) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>, src: &str, out: &mut Lexed, line: u32, col: u32) {
+    c.bump(); // opening quote
+    let start = c.pos;
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => break,
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    let end = c.pos.min(src.len());
+    c.bump(); // closing quote
+    out.tokens.push(Token { tok: Tok::Str(src[start..end].to_string()), line, col });
+}
+
+fn lex_char(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    out.tokens.push(Token { tok: Tok::Char, line, col });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_trivia() {
+        let l = lex("a /* x /* y */ z */ b");
+        let idents: Vec<_> =
+            l.tokens.iter().filter_map(|t| t.tok.ident().map(str::to_string)).collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn unterminated_nested_comment_consumes_to_eof() {
+        let l = lex("a /* x /* y */ still-inside");
+        let idents: Vec<_> = l.tokens.iter().filter_map(|t| t.tok.ident()).collect();
+        assert_eq!(idents, ["a"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r####"let s = r#"he said "hi" /* not a comment */"#;"####);
+        assert!(l.comments.is_empty());
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [r#"he said "hi" /* not a comment */"#]);
+    }
+
+    #[test]
+    fn raw_string_inner_quote_without_hashes_does_not_terminate() {
+        let l = lex(r####"r##"a "# b"## x"####);
+        assert_eq!(
+            toks(r####"r##"a "# b"## x"####),
+            vec![Tok::Str("a \"# b".into()), Tok::Ident("x".into())]
+        );
+        assert_eq!(l.tokens.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            toks(
+                "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let s: &'static str = \"\"; }"
+            )
+            .into_iter()
+            .filter(|t| matches!(t, Tok::Lifetime(_) | Tok::Char))
+            .collect::<Vec<_>>(),
+            vec![
+                Tok::Lifetime("a".into()),
+                Tok::Lifetime("a".into()),
+                Tok::Char,
+                Tok::Char,
+                Tok::Lifetime("static".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        assert_eq!(toks(r"'\u{1F600}'"), vec![Tok::Char]);
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        // Violating code inside a string must not surface as idents.
+        let l = lex(r#"let s = "x.unwrap() /* Ordering::SeqCst */";"#);
+        assert!(!l.tokens.iter().any(|t| t.tok.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.tok.is_ident("SeqCst")));
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        assert_eq!(toks(r#""a\"b" c"#), vec![Tok::Str(r#"a\"b"#.into()), Tok::Ident("c".into())]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(toks(r##"b"ab" br"cd" br#"e"f"#"##), {
+            vec![Tok::Str("ab".into()), Tok::Str("cd".into()), Tok::Str("e\"f".into())]
+        });
+    }
+
+    #[test]
+    fn raw_identifier_is_one_ident() {
+        assert_eq!(toks("r#match x"), vec![Tok::Ident("match".into()), Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn numbers_keep_range_dots() {
+        assert_eq!(
+            toks("0..n 1.5 0xFF_u32 1e9"),
+            vec![
+                Tok::Num,
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Ident("n".into()),
+                Tok::Num,
+                Tok::Num,
+                Tok::Num,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let l = lex("a\n  b");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+}

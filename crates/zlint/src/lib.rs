@@ -1,0 +1,154 @@
+//! zlint — the ZStream workspace invariant checker.
+//!
+//! PRs 6–8 accumulated invariants that were stated in comments and
+//! enforced only by tests: checkpoint decode never panics, the obs hot
+//! path is lock-free with `Relaxed` atomics, the exported metric set is
+//! golden-pinned, and every snapshottable struct round-trips all of its
+//! fields. zlint makes those invariants hold **by construction**: a
+//! dependency-free static pass (hand-rolled lexer, lightweight item
+//! scanner, five rules, an auditable pragma system) that runs as a hard
+//! CI gate before any test does.
+//!
+//! ```text
+//! cargo run -p zlint -- --workspace        # lint the whole workspace
+//! cargo run -p zlint -- path/to/file.rs …  # lint specific files
+//! ```
+//!
+//! Rules: `panic` (panic-freedom in decode/hot-path modules), `atomics`
+//! (ordering discipline), `locks` (lock-free hot paths), `metrics`
+//! (schema drift), `snapshot` (snapshot/restore field coverage). See
+//! `docs/ARCHITECTURE.md` § "Static analysis & invariants" for the rule
+//! catalog and the pragma format.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use diag::{Diag, Rule};
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving diagnostics, sorted by (file, line).
+    pub diags: Vec<Diag>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Lints `files` (workspace-relative display path, source text) under
+/// `config`. This is the pure core both the CLI and the fixture tests
+/// drive; `schema` carries the metric fixture's (display path, contents)
+/// when rule `metrics` is enabled.
+pub fn run_sources(
+    config: &Config,
+    files: &[(String, String)],
+    schema: Option<(&str, &str)>,
+) -> Report {
+    let mut report = Report { files: files.len(), ..Report::default() };
+    let mut metric_refs = Vec::new();
+    // (file, diags-before-suppression, pragmas) per file: cross-file rules
+    // run after all files, and suppression after those.
+    let mut per_file = Vec::new();
+    for (rel, text) in files {
+        let lexed = lexer::lex(text);
+        let items = scan::scan(&lexed.tokens);
+        let ctx = rules::FileCtx { rel, lexed: &lexed, items: &items, config };
+        let mut diags = Vec::new();
+        let mut pragmas = pragma::collect(rel, &lexed.comments, &lexed.tokens, &mut diags);
+        rules::check_file(&ctx, &mut diags);
+        rules::metrics::collect_names(&ctx, &mut metric_refs);
+        // Suppress per-file findings now; keep pragmas alive for the
+        // cross-file metrics pass.
+        let diags = pragma::suppress(diags, &mut pragmas);
+        per_file.push((rel.clone(), diags, pragmas));
+    }
+    let mut cross = Vec::new();
+    if let Some((schema_rel, schema_text)) = schema {
+        rules::metrics::check_drift(config, schema_rel, schema_text, &metric_refs, &mut cross);
+    }
+    for (rel, diags, mut pragmas) in per_file {
+        let (mine, rest): (Vec<Diag>, Vec<Diag>) = cross.drain(..).partition(|d| d.file == rel);
+        cross = rest;
+        let mut survived = pragma::suppress(mine, &mut pragmas);
+        report.diags.extend(diags);
+        report.diags.append(&mut survived);
+        pragma::report_unused(&rel, &pragmas, &mut report.diags);
+    }
+    // Cross-file diags for files outside the scanned set (the schema
+    // fixture itself) have no pragma layer.
+    report.diags.append(&mut cross);
+    report.diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}
+
+/// Lints on-disk files rooted at `root`.
+pub fn run_paths(config: &Config, root: &Path, paths: &[PathBuf]) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() { p.clone() } else { root.join(p) };
+        let text = fs::read_to_string(&abs)?;
+        files.push((display_rel(root, &abs), text));
+    }
+    let schema_text = match &config.metrics_schema {
+        Some(rel) => Some(fs::read_to_string(root.join(rel))?),
+        None => None,
+    };
+    let schema = config
+        .metrics_schema
+        .as_ref()
+        .zip(schema_text.as_ref())
+        .map(|(rel, text)| (rel.to_str().unwrap_or("metrics_schema.txt"), text.as_str()));
+    Ok(run_sources(config, &files, schema))
+}
+
+/// Workspace scan: every `.rs` file under the source roots, skipping
+/// `vendor/` (offline shims, not ours to lint), `target/`, and `fixtures/`
+/// directories (zlint's own test fixtures deliberately violate rules).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn display_rel(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,72 @@
+//! zlint CLI: `cargo run -p zlint -- --workspace` (the CI gate) or
+//! `cargo run -p zlint -- <files…>`. Exit code 0 = clean, 1 = findings,
+//! 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if workspace == files.is_empty() && !workspace {
+        return usage("pass --workspace or explicit files");
+    }
+
+    let mut config = zlint::Config::workspace();
+    if workspace {
+        match zlint::workspace_files(&root) {
+            Ok(found) => files = found,
+            Err(e) => {
+                eprintln!("zlint: scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        // Explicit file runs skip the cross-file schema comparison: half a
+        // workspace cannot prove the schema's literals all exist.
+        config.metrics_schema = None;
+    }
+
+    match zlint::run_paths(&config, &root, &files) {
+        Ok(report) => {
+            for d in &report.diags {
+                println!("{d}");
+            }
+            if report.is_clean() {
+                println!("zlint: {} files, 0 findings", report.files);
+                ExitCode::SUCCESS
+            } else {
+                println!("zlint: {} files, {} findings", report.files, report.diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("zlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: zlint [--root <dir>] --workspace | zlint <file.rs>…";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("zlint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,146 @@
+//! The `zlint::allow` pragma layer: auditable, reason-mandatory exceptions.
+//!
+//! Syntax, inside any line or block comment:
+//!
+//! ```text
+//! // zlint::allow(rule, "reason")
+//! ```
+//!
+//! A pragma suppresses diagnostics of `rule` on its own line and on the
+//! **next code line** below it (the first line at or after the comment that
+//! carries a code token) — so it can trail the offending statement or sit on
+//! its own line directly above it. The reason is mandatory: a reasonless
+//! pragma is itself a diagnostic. A pragma that suppresses nothing is
+//! reported as unused, so stale exceptions cannot outlive the code they
+//! excused.
+
+use crate::diag::{Diag, Rule};
+use crate::lexer::{Comment, Token};
+
+/// One parsed pragma.
+#[derive(Debug)]
+pub struct Pragma {
+    pub rule: Rule,
+    /// The line of the pragma comment itself.
+    pub line: u32,
+    /// The code line this pragma covers (first line at/after the comment
+    /// with a code token; the comment's own line when it trails code).
+    pub covers: u32,
+    pub used: bool,
+}
+
+/// Extracts the pragma body from a comment, or `None` when the comment is
+/// not a pragma. Only **plain** comments whose content *starts with*
+/// `zlint::allow` count — doc comments (`///`, `//!`, `/**`, `/*!`) and
+/// prose that merely mentions the syntax are never parsed, so zlint can
+/// document itself without tripping its own pragma hygiene.
+fn pragma_body(text: &str) -> Option<&str> {
+    let body = if let Some(rest) = text.strip_prefix("//") {
+        if rest.starts_with('/') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        if rest.starts_with('*') || rest.starts_with('!') {
+            return None;
+        }
+        rest.strip_suffix("*/").unwrap_or(rest)
+    } else {
+        return None;
+    };
+    body.trim_start().strip_prefix("zlint::allow")
+}
+
+/// Parses pragmas out of a file's comments. Malformed pragmas (unknown
+/// rule, missing reason) are reported into `diags` immediately.
+pub fn collect(
+    file: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+    diags: &mut Vec<Diag>,
+) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = pragma_body(&c.text) else { continue };
+        let arg = rest.trim_start();
+        let Some(arg) = arg.strip_prefix('(') else {
+            diags.push(malformed(file, c.line, "expected `(` after zlint::allow"));
+            continue;
+        };
+        // `rule, "reason")` — the reason is a quoted string that may itself
+        // contain parentheses, so parse to the closing quote, not the first
+        // `)` in the comment.
+        let Some(rule_end) = arg.find([',', ')']) else {
+            diags.push(malformed(file, c.line, "unclosed zlint::allow(...)"));
+            continue;
+        };
+        let rule_part = arg[..rule_end].trim();
+        let Some(rule) = Rule::from_name(rule_part) else {
+            diags.push(malformed(
+                file,
+                c.line,
+                &format!("unknown rule `{rule_part}` (expected panic, atomics, locks, metrics or snapshot)"),
+            ));
+            continue;
+        };
+        let reason_ok = arg[rule_end..]
+            .strip_prefix(',')
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.find('"').map(|end| (end, &r[end + 1..])))
+            .is_some_and(|(end, after)| end > 0 && after.trim_start().starts_with(')'));
+        if !reason_ok {
+            diags.push(malformed(
+                file,
+                c.line,
+                &format!("zlint::allow({rule}) requires a non-empty \"reason\" followed by `)`"),
+            ));
+            continue;
+        }
+        out.push(Pragma { rule, line: c.line, covers: covered_line(c.line, tokens), used: false });
+    }
+    out
+}
+
+/// The code line a pragma on `line` covers: `line` itself when code shares
+/// it, otherwise the first later line carrying a code token.
+fn covered_line(line: u32, tokens: &[Token]) -> u32 {
+    tokens.iter().map(|t| t.line).find(|&l| l >= line).unwrap_or(line)
+}
+
+fn malformed(file: &str, line: u32, msg: &str) -> Diag {
+    Diag { file: file.to_string(), line, rule: Rule::Pragma, message: msg.to_string() }
+}
+
+/// Applies pragmas to `diags`: suppressed diagnostics are removed and their
+/// pragmas marked used. Returns the surviving diagnostics.
+pub fn suppress(diags: Vec<Diag>, pragmas: &mut [Pragma]) -> Vec<Diag> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            let mut hit = false;
+            for p in pragmas.iter_mut() {
+                if p.rule == d.rule && (d.line == p.line || d.line == p.covers) {
+                    p.used = true;
+                    hit = true;
+                }
+            }
+            !hit
+        })
+        .collect()
+}
+
+/// Reports every pragma that suppressed nothing.
+pub fn report_unused(file: &str, pragmas: &[Pragma], diags: &mut Vec<Diag>) {
+    for p in pragmas.iter().filter(|p| !p.used) {
+        diags.push(Diag {
+            file: file.to_string(),
+            line: p.line,
+            rule: Rule::Pragma,
+            message: format!(
+                "unused zlint::allow({}) — nothing on line {} to suppress; delete it",
+                p.rule, p.covers
+            ),
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Rule `atomics`: memory-ordering discipline, workspace-wide.
+//!
+//! The obs hot path is lock-free by design: per-worker `Relaxed` atomic
+//! cells folded at scrape time (PR 7). That design only stays sound if
+//! ordering choices remain deliberate:
+//!
+//! * `SeqCst` is banned everywhere — it is never the right call in this
+//!   codebase (no seq-cst fences anywhere to pair with) and usually marks a
+//!   "when in doubt" default that hides a reasoning gap.
+//! * `Relaxed` is permitted only in the configured hot-path allowlist
+//!   ([`crate::config::Config::relaxed_modules`]) — the obs registry cells
+//!   and counters with no cross-thread ordering dependency. Anywhere else
+//!   it needs a `zlint::allow(atomics, "…")` pragma explaining why no
+//!   ordering is required.
+//! * `Acquire`/`Release`/`AcqRel` always need a justification pragma: a
+//!   happens-before edge is a protocol, and the pragma reason is where the
+//!   protocol gets written down.
+//!
+//! Detection is token-based: the ordering identifiers are flagged only in
+//! files that also mention `atomic` somewhere in their code tokens, so an
+//! unrelated enum variant named `Release` in a lock-free-free file cannot
+//! trip the rule.
+
+use crate::diag::{Diag, Rule};
+use crate::rules::FileCtx;
+
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    let toks = &ctx.lexed.tokens;
+    let mentions_atomic = toks
+        .iter()
+        .any(|t| t.tok.ident().is_some_and(|s| s.starts_with("Atomic") || s == "atomic"));
+    let relaxed_ok = ctx.config.relaxed_modules.iter().any(|m| ctx.rel.ends_with(m.as_str()));
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Some(name) = t.tok.ident() else { continue };
+        match name {
+            "SeqCst" if mentions_atomic => diags.push(diag(
+                ctx,
+                t.line,
+                "Ordering::SeqCst is banned workspace-wide — pick the weakest ordering the \
+                 protocol needs and justify Acquire/Release with a pragma",
+            )),
+            "Relaxed" if mentions_atomic && !relaxed_ok => diags.push(diag(
+                ctx,
+                t.line,
+                "Ordering::Relaxed outside the hot-path allowlist — if no cross-thread \
+                 ordering is required, say why with zlint::allow(atomics, \"…\")",
+            )),
+            "Acquire" | "Release" | "AcqRel" if mentions_atomic => diags.push(diag(
+                ctx,
+                t.line,
+                "Acquire/Release ordering needs its happens-before protocol written down: \
+                 add zlint::allow(atomics, \"pairs with …\")",
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, message: &str) -> Diag {
+    Diag { file: ctx.rel.to_string(), line, rule: Rule::Atomics, message: message.to_string() }
+}

@@ -1,0 +1,88 @@
+//! Rule `locks`: no lock acquisition inside hot-path modules.
+//!
+//! The shard eval loop and the filter kernels are the per-event path; a
+//! mutex there turns "millions of events per second" into "millions of
+//! syscall-adjacent stalls per second". The obs registry is *in* the set on
+//! purpose: its registration-path mutex is the designed cold-path exception
+//! (PR 7) and carries a pragma, so anyone adding a second lock to that file
+//! has to argue with the linter instead of silently riding the exemption.
+//!
+//! Flags, inside [`crate::config::Config::hot_modules`]:
+//!
+//! * `.lock()` method calls always,
+//! * `.read()` / `.write()` method calls only in files that name `RwLock`
+//!   in their code tokens (`io::Read::read` and `io::Write::write` share
+//!   the spelling; a file with no `RwLock` cannot be acquiring one).
+//! * `Mutex::new` / `RwLock::new` — constructing a lock in a hot-path
+//!   module is the design smell the rule exists to catch early.
+
+use crate::diag::{Diag, Rule};
+use crate::rules::FileCtx;
+
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !ctx.config.hot_modules.iter().any(|m| ctx.rel.ends_with(m.as_str())) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let has_rwlock = toks.iter().any(|t| t.tok.is_ident("RwLock"));
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Some(name) = t.tok.ident() else { continue };
+        let method_call = i > 0
+            && toks[i - 1].tok.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.tok.is_punct('('));
+        match name {
+            "lock" if method_call => diags.push(diag(
+                ctx,
+                t.line,
+                ".lock() in a hot-path module — hot paths are lock-free by design",
+            )),
+            "read" | "write" if method_call && has_rwlock => diags.push(diag(
+                ctx,
+                t.line,
+                &format!(".{name}() in a hot-path module that uses RwLock — hot paths are lock-free by design"),
+            )),
+            "Mutex" | "RwLock"
+                if toks.get(i + 1).is_some_and(|a| a.tok.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|b| b.tok.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|c| c.tok.is_ident("new")) =>
+            {
+                diags.push(diag(
+                    ctx,
+                    t.line,
+                    &format!("{name}::new in a hot-path module — state here must be lock-free"),
+                ))
+            }
+            _ => {}
+        }
+    }
+    // Also flag lock *types* appearing in struct fields of hot modules —
+    // the lock will be acquired somewhere.
+    for s in &ctx.items.structs {
+        // Positions are line-based here; struct fields of hot-path modules
+        // are few, so re-scan tokens on the field lines.
+        let field_lines: Vec<u32> = s.fields.iter().map(|(_, l)| *l).collect();
+        for (i, t) in toks.iter().enumerate() {
+            if ctx.in_test(i) || !field_lines.contains(&t.line) {
+                continue;
+            }
+            if let Some(n @ ("Mutex" | "RwLock")) = t.tok.ident() {
+                // Skip the `Mutex::new` form handled above.
+                if toks.get(i + 1).is_some_and(|a| a.tok.is_punct(':')) {
+                    continue;
+                }
+                diags.push(diag(
+                    ctx,
+                    t.line,
+                    &format!("struct field of type {n} in hot-path module `{}`", s.name),
+                ));
+            }
+        }
+    }
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, message: &str) -> Diag {
+    Diag { file: ctx.rel.to_string(), line, rule: Rule::Locks, message: message.to_string() }
+}

@@ -1,0 +1,45 @@
+//! The rule engine: each rule walks one file's token stream.
+//!
+//! Rules are line-precision and token-based — they see code tokens only
+//! (comments and string contents are trivia), they skip `#[cfg(test)]`
+//! regions, and they attribute every finding to a file:line the pragma
+//! layer can suppress. Adding a rule means: add a variant to
+//! [`crate::diag::Rule`], a module here, a call in [`check_file`], a config
+//! knob if it is module-scoped, and a violating + clean fixture pair under
+//! `fixtures/`.
+
+pub mod atomics;
+pub mod locks;
+pub mod metrics;
+pub mod panic;
+pub mod snapshot;
+
+use crate::config::Config;
+use crate::diag::Diag;
+use crate::lexer::Lexed;
+use crate::scan::Items;
+
+/// Everything a rule may look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators (what configs match on).
+    pub rel: &'a str,
+    pub lexed: &'a Lexed,
+    pub items: &'a Items,
+    pub config: &'a Config,
+}
+
+impl FileCtx<'_> {
+    /// True when token index `i` is inside `#[cfg(test)]` code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.items.in_test(i)
+    }
+}
+
+/// Runs every per-file rule. (The metrics rule needs cross-file state and
+/// runs from the driver; its per-file half is [`metrics::collect_names`].)
+pub fn check_file(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    panic::check(ctx, diags);
+    atomics::check(ctx, diags);
+    locks::check(ctx, diags);
+    snapshot::check(ctx, diags);
+}

@@ -1,0 +1,98 @@
+//! Rule `panic`: panic-freedom in decode and hot-path modules.
+//!
+//! Checkpoint decode must fail with `RuntimeError::Checkpoint` /
+//! `SnapshotError`, never a panic (a corrupt file must not kill the
+//! process), and the shard eval loop / filter kernels must not carry
+//! implicit panic sites (a panicking shard leaves the pool — see
+//! `runtime::shard` — so every panic site there is silent capacity loss).
+//!
+//! Flags, inside [`crate::config::Config::panic_modules`] only:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls,
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` macro calls,
+//! * unchecked `[]` indexing (a `[` directly following an identifier, `)`,
+//!   or `]` outside attributes and macro brackets — index expressions panic
+//!   on out-of-range).
+//!
+//! `assert!`/`debug_assert!` are deliberately **not** flagged: asserts are
+//! stated invariants, the exact opposite of an accidental panic path.
+
+use crate::diag::{Diag, Rule};
+use crate::lexer::Tok;
+use crate::rules::FileCtx;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    if !ctx.config.panic_modules.iter().any(|m| ctx.rel.ends_with(m.as_str())) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(name) if (name == "unwrap" || name == "expect") => {
+                let method_call = i > 0
+                    && toks[i - 1].tok.is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.tok.is_punct('('));
+                if method_call {
+                    diags.push(diag(
+                        ctx,
+                        t.line,
+                        format!(".{name}() panics on the error path — return the error instead"),
+                    ));
+                }
+            }
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.tok.is_punct('!')) =>
+            {
+                diags.push(diag(ctx, t.line, format!("{name}! in a panic-free module")));
+            }
+            Tok::Punct('[') => {
+                // Index expression: `expr[…]` — `[` after an ident, `)`, or
+                // `]`. Excludes attributes (`#[…]`), macro brackets
+                // (`vec![…]`), array types/literals and slice patterns.
+                let prev = i.checked_sub(1).map(|p| &toks[p].tok);
+                let is_index = match prev {
+                    // `let [a, b] = …` and friends are patterns, not indexing.
+                    Some(Tok::Ident(kw)) => !matches!(
+                        kw.as_str(),
+                        "let"
+                            | "for"
+                            | "in"
+                            | "if"
+                            | "while"
+                            | "match"
+                            | "return"
+                            | "else"
+                            | "mut"
+                            | "ref"
+                            | "move"
+                            | "box"
+                            | "const"
+                            | "static"
+                    ),
+                    Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+                    _ => false,
+                };
+                if is_index {
+                    diags.push(diag(
+                        ctx,
+                        t.line,
+                        "unchecked `[]` indexing panics on out-of-range — use .get()/.get_mut() \
+                         or justify the invariant with a pragma"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, message: String) -> Diag {
+    Diag { file: ctx.rel.to_string(), line, rule: Rule::Panic, message }
+}

@@ -1,0 +1,76 @@
+//! Rule `snapshot`: snapshot/restore field coverage.
+//!
+//! The "added a field, forgot to checkpoint it" bug class is the one the
+//! crash-recovery proptest harness (`tests/checkpoint_recovery.rs`) can
+//! only catch probabilistically: the differential oracle must generate a
+//! workload where the forgotten field's state actually distinguishes the
+//! restored run. This rule catches it at the source line instead.
+//!
+//! For every struct with named fields whose file also contains a
+//! `write_snapshot` **and** a `restore_snapshot` method on that type (in
+//! any impl block — inherent or `impl Snapshot for`), every field name
+//! must appear as an identifier in **both** bodies. Fields that are
+//! deliberately not checkpointed (derived state, scratch buffers, attached
+//! observability) carry a `zlint::allow(snapshot, "…")` pragma on the
+//! field's declaration line — which is also exactly where the next reader
+//! needs that fact.
+//!
+//! Reference detection is identifier-spelling-based: a restore body that
+//! receives the field's value as a same-named constructor argument counts,
+//! which matches how every restore in this workspace is written.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diag, Rule};
+use crate::rules::FileCtx;
+use crate::scan::FnDef;
+
+/// Method-name pairs the rule recognizes.
+const WRITE_FNS: [&str; 1] = ["write_snapshot"];
+const RESTORE_FNS: [&str; 1] = ["restore_snapshot"];
+
+pub fn check(ctx: &FileCtx<'_>, diags: &mut Vec<Diag>) {
+    for s in &ctx.items.structs {
+        let mut write_fn: Option<&FnDef> = None;
+        let mut restore_fn: Option<&FnDef> = None;
+        for imp in ctx.items.impls.iter().filter(|i| i.type_name == s.name) {
+            for f in &imp.fns {
+                if WRITE_FNS.contains(&f.name.as_str()) {
+                    write_fn = Some(f);
+                } else if RESTORE_FNS.contains(&f.name.as_str()) {
+                    restore_fn = Some(f);
+                }
+            }
+        }
+        let (Some(wf), Some(rf)) = (write_fn, restore_fn) else { continue };
+        let write_ids = body_idents(ctx, wf);
+        let restore_ids = body_idents(ctx, rf);
+        for (field, line) in &s.fields {
+            let in_w = write_ids.contains(field.as_str());
+            let in_r = restore_ids.contains(field.as_str());
+            if in_w && in_r {
+                continue;
+            }
+            let missing = match (in_w, in_r) {
+                (false, false) => format!("{} or {}", wf.name, rf.name),
+                (false, true) => wf.name.clone(),
+                (true, false) => rf.name.clone(),
+                _ => unreachable!("covered by the continue above"),
+            };
+            diags.push(Diag {
+                file: ctx.rel.to_string(),
+                line: *line,
+                rule: Rule::Snapshot,
+                message: format!(
+                    "field `{}.{}` is not referenced in {} — checkpoint it, or mark it \
+                     zlint::allow(snapshot, \"why it is derived/rebuilt state\")",
+                    s.name, field, missing
+                ),
+            });
+        }
+    }
+}
+
+fn body_idents<'a>(ctx: &'a FileCtx<'_>, f: &FnDef) -> BTreeSet<&'a str> {
+    ctx.lexed.tokens[f.body.0..f.body.1].iter().filter_map(|t| t.tok.ident()).collect()
+}

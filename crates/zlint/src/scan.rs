@@ -1,0 +1,392 @@
+//! Lightweight item scanner over the token stream.
+//!
+//! Rules need just enough structure to be precise: which token ranges are
+//! `#[cfg(test)]` code (skipped — tests may unwrap freely), where structs
+//! with named fields are declared, and which `fn` bodies belong to which
+//! `impl` target type. This scanner recovers exactly that by brace/bracket
+//! matching — no expression grammar, no type grammar.
+
+use crate::lexer::{Tok, Token};
+
+/// A struct declaration with named fields.
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub line: u32,
+    /// `(field name, line)` for each named field.
+    pub fields: Vec<(String, u32)>,
+}
+
+/// A function with its body's token range.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    /// Token indices `[start, end)` of the body, *excluding* the braces.
+    pub body: (usize, usize),
+}
+
+/// An `impl` block: the target type's final path segment and its methods.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Final identifier of the implemented type's path (`Engine` for
+    /// `impl Snapshot for crate::Engine<'_>`).
+    pub type_name: String,
+    pub fns: Vec<FnDef>,
+}
+
+/// Scanner output for one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    pub structs: Vec<StructDef>,
+    pub impls: Vec<ImplDef>,
+    /// Token ranges `[start, end)` covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl Items {
+    /// True when token index `i` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= i && i < e)
+    }
+}
+
+/// Scans the token stream for structs, impls and test regions.
+pub fn scan(tokens: &[Token]) -> Items {
+    let mut items = Items::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('#') if is_cfg_test_attr(tokens, i) => {
+                let after_attrs = skip_attrs(tokens, i);
+                let end = item_end(tokens, after_attrs);
+                items.test_regions.push((i, end));
+                i = end;
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                if let Some((def, next)) = scan_struct(tokens, i) {
+                    items.structs.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                if let Some((def, next)) = scan_impl(tokens, i) {
+                    items.impls.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// True when tokens at `i` start `#[cfg(test)]` (or `#[cfg(any(test, …))]`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].tok.is_punct('#') {
+        return false;
+    }
+    let Some(open) = tokens.get(i + 1) else { return false };
+    if !open.tok.is_punct('[') {
+        return false;
+    }
+    if !tokens.get(i + 2).is_some_and(|t| t.tok.is_ident("cfg")) {
+        return false;
+    }
+    // Within the attribute's brackets, look for a bare `test` ident.
+    let close = match_bracket(tokens, i + 1, '[', ']');
+    tokens[i + 2..close].iter().any(|t| t.tok.is_ident("test"))
+}
+
+/// Index just past a run of `#[…]` attributes starting at `i`.
+fn skip_attrs(tokens: &[Token], mut i: usize) -> usize {
+    while tokens.get(i).is_some_and(|t| t.tok.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.tok.is_punct('['))
+    {
+        i = match_bracket(tokens, i + 1, '[', ']') + 1;
+    }
+    i
+}
+
+/// Index of the matching close bracket for the open bracket at `open_idx`
+/// (or the end of the stream if unbalanced).
+fn match_bracket(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct(c) if *c == open => depth += 1,
+            Tok::Punct(c) if *c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index just past the item starting at `i`: either past the matching `}` of
+/// its first top-level `{`, or past the first top-level `;`.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('{') => return match_bracket(tokens, j, '{', '}') + 1,
+            Tok::Punct(';') => return j + 1,
+            // Brackets/parens in the signature (generics use <> which we
+            // need not balance to find the body brace; `(` for tuple
+            // structs and fn params can contain braces in const generic
+            // expressions, so skip them wholesale).
+            Tok::Punct('(') => j = match_bracket(tokens, j, '(', ')') + 1,
+            Tok::Punct('[') => j = match_bracket(tokens, j, '[', ']') + 1,
+            _ => j += 1,
+        }
+    }
+    tokens.len()
+}
+
+/// Skips a balanced generics list `<…>` starting at `i` if present.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.tok.is_punct('<')) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // `->` inside generic bounds (Fn traits): the `-` absorbs the
+            // `>` so it must not close our angle bracket.
+            Tok::Punct('-') if tokens.get(j + 1).is_some_and(|t| t.tok.is_punct('>')) => {
+                j += 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Parses `struct Name { field: Ty, … }`, returning the def and the index
+/// past the item. Tuple and unit structs yield no named fields.
+fn scan_struct(tokens: &[Token], kw: usize) -> Option<(StructDef, usize)> {
+    let name_tok = tokens.get(kw + 1)?;
+    let name = name_tok.tok.ident()?.to_string();
+    let line = name_tok.line;
+    let mut i = skip_generics(tokens, kw + 2);
+    // Skip a where clause: scan forward to `{`, `;` or `(`.
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('{') | Tok::Punct(';') | Tok::Punct('(') => break,
+            _ => i += 1,
+        }
+    }
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct('{')) => {}
+        Some(Tok::Punct(';')) => return Some((StructDef { name, line, fields: vec![] }, i + 1)),
+        Some(Tok::Punct('(')) => {
+            let end = item_end(tokens, i);
+            return Some((StructDef { name, line, fields: vec![] }, end));
+        }
+        _ => return None,
+    }
+    let close = match_bracket(tokens, i, '{', '}');
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        // Field grammar at depth 1: attrs, optional visibility, `name : Ty ,`.
+        j = skip_attrs(tokens, j);
+        if tokens.get(j).is_some_and(|t| t.tok.is_ident("pub")) {
+            j += 1;
+            if tokens.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+                j = match_bracket(tokens, j, '(', ')') + 1;
+            }
+        }
+        let Some(tok) = tokens.get(j) else { break };
+        if let (Some(name), true) =
+            (tok.tok.ident(), tokens.get(j + 1).is_some_and(|t| t.tok.is_punct(':')))
+        {
+            fields.push((name.to_string(), tok.line));
+        }
+        // Advance to the comma ending this field (skipping nested brackets
+        // in the type, e.g. `Vec<(String, u32)>` or `[u8; LEN]`).
+        while j < close {
+            match &tokens[j].tok {
+                Tok::Punct(',') => {
+                    j += 1;
+                    break;
+                }
+                Tok::Punct('(') => j = match_bracket(tokens, j, '(', ')') + 1,
+                Tok::Punct('[') => j = match_bracket(tokens, j, '[', ']') + 1,
+                Tok::Punct('{') => j = match_bracket(tokens, j, '{', '}') + 1,
+                _ => j += 1,
+            }
+        }
+    }
+    Some((StructDef { name, line, fields }, close + 1))
+}
+
+/// Parses an `impl` block header and its method bodies.
+fn scan_impl(tokens: &[Token], kw: usize) -> Option<(ImplDef, usize)> {
+    let mut i = skip_generics(tokens, kw + 1);
+    // The header runs to the body `{`; the implemented type is the path
+    // after `for` when present, the only path otherwise.
+    let mut last_ident_before_generics: Option<String> = None;
+    let mut saw_for = false;
+    let mut type_name: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('{') => break,
+            Tok::Ident(kw2) if kw2 == "for" => {
+                saw_for = true;
+                last_ident_before_generics = None;
+                i += 1;
+            }
+            Tok::Ident(kw2) if kw2 == "where" => {
+                // Freeze the chosen name; the where clause may mention
+                // other types.
+                type_name = type_name.or_else(|| last_ident_before_generics.take());
+                i += 1;
+            }
+            Tok::Ident(name) => {
+                last_ident_before_generics = Some(name.clone());
+                i += 1;
+            }
+            Tok::Punct('<') => i = skip_generics(tokens, i),
+            _ => i += 1,
+        }
+        let _ = saw_for;
+    }
+    let body_open = i;
+    if !tokens.get(body_open).is_some_and(|t| t.tok.is_punct('{')) {
+        return None;
+    }
+    let type_name = type_name.or(last_ident_before_generics)?;
+    let body_close = match_bracket(tokens, body_open, '{', '}');
+    let fns = scan_fns(tokens, body_open + 1, body_close);
+    Some((ImplDef { type_name, fns }, body_close + 1))
+}
+
+/// Finds `fn name … { body }` items between `start` and `end` (impl-body
+/// depth; nested fns inside bodies are not separated out — their tokens
+/// stay part of the outer body, which is what reference-checking wants).
+fn scan_fns(tokens: &[Token], start: usize, end: usize) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut i = start;
+    while i < end {
+        match &tokens[i].tok {
+            Tok::Ident(kw) if kw == "fn" => {
+                let Some(name_tok) = tokens.get(i + 1) else { break };
+                let Some(name) = name_tok.tok.ident() else {
+                    i += 1;
+                    continue;
+                };
+                // Find the body's opening brace (skipping params/where).
+                let mut j = i + 2;
+                while j < end {
+                    match &tokens[j].tok {
+                        Tok::Punct('{') => break,
+                        Tok::Punct(';') => break, // trait method without body
+                        Tok::Punct('(') => j = match_bracket(tokens, j, '(', ')') + 1,
+                        Tok::Punct('<') => j = skip_generics(tokens, j),
+                        _ => j += 1,
+                    }
+                }
+                if tokens.get(j).is_some_and(|t| t.tok.is_punct('{')) {
+                    let close = match_bracket(tokens, j, '{', '}');
+                    fns.push(FnDef {
+                        name: name.to_string(),
+                        line: name_tok.line,
+                        body: (j + 1, close),
+                    });
+                    i = close + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            // Skip nested braces (consts with blocks, etc.) at this depth.
+            Tok::Punct('{') => i = match_bracket(tokens, i, '{', '}') + 1,
+            _ => i += 1,
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_struct_fields() {
+        let l =
+            lex("pub struct Foo<T> { pub a: u32, b: Vec<(String, u32)>, pub(crate) c: [u8; 4] }");
+        let items = scan(&l.tokens);
+        assert_eq!(items.structs.len(), 1);
+        let s = &items.structs[0];
+        assert_eq!(s.name, "Foo");
+        let names: Vec<_> = s.fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_named_fields() {
+        let l = lex("struct A(u32); struct B;");
+        let items = scan(&l.tokens);
+        assert_eq!(items.structs.len(), 2);
+        assert!(items.structs.iter().all(|s| s.fields.is_empty()));
+    }
+
+    #[test]
+    fn impl_target_is_last_path_segment() {
+        let l = lex("impl<'a> Snapshot for crate::engine::Engine<'a> { fn write_snapshot(&self) { self.x; } }");
+        let items = scan(&l.tokens);
+        assert_eq!(items.impls.len(), 1);
+        assert_eq!(items.impls[0].type_name, "Engine");
+        assert_eq!(items.impls[0].fns.len(), 1);
+        assert_eq!(items.impls[0].fns[0].name, "write_snapshot");
+    }
+
+    #[test]
+    fn inherent_impl_target() {
+        let l = lex("impl Engine { fn restore_snapshot(r: &mut R) -> T { r.go() } }");
+        let items = scan(&l.tokens);
+        assert_eq!(items.impls[0].type_name, "Engine");
+        assert_eq!(items.impls[0].fns[0].name, "restore_snapshot");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let l = lex("fn a() {} #[cfg(test)] mod tests { fn b() { x.unwrap(); } } fn c() {}");
+        let items = scan(&l.tokens);
+        assert_eq!(items.test_regions.len(), 1);
+        let unwrap_idx =
+            l.tokens.iter().position(|t| t.tok.is_ident("unwrap")).expect("unwrap token");
+        assert!(items.in_test(unwrap_idx));
+        let c_idx = l.tokens.iter().rposition(|t| t.tok.is_ident("c")).expect("c token");
+        assert!(!items.in_test(c_idx));
+    }
+
+    #[test]
+    fn cfg_test_with_following_attrs() {
+        let l = lex("#[cfg(test)] #[allow(dead_code)] fn t() { y.unwrap() }");
+        let items = scan(&l.tokens);
+        let unwrap_idx =
+            l.tokens.iter().position(|t| t.tok.is_ident("unwrap")).expect("unwrap token");
+        assert!(items.in_test(unwrap_idx));
+    }
+}

@@ -1,0 +1,220 @@
+//! Golden fixture tests: every rule proven to fire (diagnostics pinned
+//! verbatim) and proven quiet on disciplined code, plus seeded-mutation
+//! tests showing the pass catches a dropped snapshot field and a dropped
+//! schema entry — the two drifts the issue pins as acceptance criteria.
+
+use std::path::Path;
+
+use zlint::{Config, Report};
+
+fn fixture(name: &str) -> (String, String) {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    (name.to_string(), std::fs::read_to_string(path).expect("fixture readable"))
+}
+
+fn rendered(report: &Report) -> Vec<String> {
+    report.diags.iter().map(|d| d.to_string()).collect()
+}
+
+fn run_one(config: &Config, name: &str) -> Vec<String> {
+    rendered(&zlint::run_sources(config, &[fixture(name)], None))
+}
+
+#[test]
+fn panic_rule_fires_on_every_shape() {
+    let mut config = Config::empty();
+    config.panic_modules = vec!["panic_violations.rs".into()];
+    assert_eq!(
+        run_one(&config, "panic_violations.rs"),
+        [
+            "panic_violations.rs:5: [panic] .unwrap() panics on the error path — return the error instead",
+            "panic_violations.rs:6: [panic] .expect() panics on the error path — return the error instead",
+            "panic_violations.rs:8: [panic] panic! in a panic-free module",
+            "panic_violations.rs:11: [panic] unreachable! in a panic-free module",
+            "panic_violations.rs:12: [panic] todo! in a panic-free module",
+            "panic_violations.rs:13: [panic] unimplemented! in a panic-free module",
+            "panic_violations.rs:16: [panic] unchecked `[]` indexing panics on out-of-range — use .get()/.get_mut() or justify the invariant with a pragma",
+            "panic_violations.rs:21: [panic] unchecked `[]` indexing panics on out-of-range — use .get()/.get_mut() or justify the invariant with a pragma",
+        ]
+    );
+}
+
+#[test]
+fn panic_rule_is_quiet_on_decode_idioms() {
+    let mut config = Config::empty();
+    config.panic_modules = vec!["panic_clean.rs".into()];
+    assert_eq!(run_one(&config, "panic_clean.rs"), [] as [&str; 0]);
+}
+
+#[test]
+fn panic_rule_only_applies_to_configured_modules() {
+    // Same violating file, but not in the module set: no findings.
+    assert_eq!(run_one(&Config::empty(), "panic_violations.rs"), [] as [&str; 0]);
+}
+
+#[test]
+fn atomics_rule_fires_on_every_ordering() {
+    assert_eq!(
+        run_one(&Config::empty(), "atomics_violations.rs"),
+        [
+            "atomics_violations.rs:8: [atomics] Ordering::SeqCst is banned workspace-wide — pick the weakest ordering the protocol needs and justify Acquire/Release with a pragma",
+            "atomics_violations.rs:9: [atomics] Ordering::SeqCst is banned workspace-wide — pick the weakest ordering the protocol needs and justify Acquire/Release with a pragma",
+            "atomics_violations.rs:13: [atomics] Ordering::Relaxed outside the hot-path allowlist — if no cross-thread ordering is required, say why with zlint::allow(atomics, \"…\")",
+            "atomics_violations.rs:17: [atomics] Acquire/Release ordering needs its happens-before protocol written down: add zlint::allow(atomics, \"pairs with …\")",
+            "atomics_violations.rs:18: [atomics] Acquire/Release ordering needs its happens-before protocol written down: add zlint::allow(atomics, \"pairs with …\")",
+        ]
+    );
+}
+
+#[test]
+fn atomics_rule_accepts_allowlisted_relaxed_and_justified_fences() {
+    let mut config = Config::empty();
+    config.relaxed_modules = vec!["atomics_clean.rs".into()];
+    assert_eq!(run_one(&config, "atomics_clean.rs"), [] as [&str; 0]);
+}
+
+#[test]
+fn locks_rule_fires_on_every_shape() {
+    let mut config = Config::empty();
+    config.hot_modules = vec!["locks_violations.rs".into()];
+    assert_eq!(
+        run_one(&config, "locks_violations.rs"),
+        [
+            "locks_violations.rs:7: [locks] struct field of type Mutex in hot-path module `HotState`",
+            "locks_violations.rs:8: [locks] struct field of type RwLock in hot-path module `HotState`",
+            "locks_violations.rs:13: [locks] Mutex::new in a hot-path module — state here must be lock-free",
+            "locks_violations.rs:13: [locks] RwLock::new in a hot-path module — state here must be lock-free",
+            "locks_violations.rs:17: [locks] .lock() in a hot-path module — hot paths are lock-free by design",
+            "locks_violations.rs:22: [locks] .read() in a hot-path module that uses RwLock — hot paths are lock-free by design",
+            "locks_violations.rs:26: [locks] .write() in a hot-path module that uses RwLock — hot paths are lock-free by design",
+        ]
+    );
+}
+
+#[test]
+fn locks_rule_leaves_io_read_write_alone() {
+    let mut config = Config::empty();
+    config.hot_modules = vec!["locks_clean.rs".into()];
+    config.relaxed_modules = vec!["locks_clean.rs".into()];
+    assert_eq!(run_one(&config, "locks_clean.rs"), [] as [&str; 0]);
+}
+
+#[test]
+fn snapshot_rule_reports_each_missing_direction() {
+    assert_eq!(
+        run_one(&Config::empty(), "snapshot_violations.rs"),
+        [
+            "snapshot_violations.rs:7: [snapshot] field `Tracker.half` is not referenced in restore_snapshot — checkpoint it, or mark it zlint::allow(snapshot, \"why it is derived/rebuilt state\")",
+            "snapshot_violations.rs:8: [snapshot] field `Tracker.dropped` is not referenced in write_snapshot or restore_snapshot — checkpoint it, or mark it zlint::allow(snapshot, \"why it is derived/rebuilt state\")",
+        ]
+    );
+}
+
+#[test]
+fn snapshot_rule_accepts_full_coverage_and_pragma_excused_fields() {
+    assert_eq!(run_one(&Config::empty(), "snapshot_clean.rs"), [] as [&str; 0]);
+}
+
+/// Seeded mutation: deleting one field's write from an otherwise clean
+/// snapshot pair must produce exactly that field's finding.
+#[test]
+fn snapshot_rule_catches_a_dropped_field_reference() {
+    let (name, text) = fixture("snapshot_clean.rs");
+    let mutated = text.replace("out.push(self.drift);\n", "");
+    assert_ne!(mutated, text, "mutation must remove the drift write");
+    let report = zlint::run_sources(&Config::empty(), &[(name, mutated)], None);
+    assert_eq!(
+        rendered(&report),
+        ["snapshot_clean.rs:7: [snapshot] field `Clock.drift` is not referenced in write_snapshot — checkpoint it, or mark it zlint::allow(snapshot, \"why it is derived/rebuilt state\")"]
+    );
+}
+
+const TEST_SCHEMA: &str =
+    "# test schema\nzstream_good_total|counter|source\nzstream_lonely_total|counter|\n";
+
+#[test]
+fn metrics_rule_reports_drift_in_both_directions() {
+    let report = zlint::run_sources(
+        &Config::empty(),
+        &[fixture("metrics_drift.rs")],
+        Some(("schema.txt", TEST_SCHEMA)),
+    );
+    assert_eq!(
+        rendered(&report),
+        [
+            "metrics_drift.rs:7: [metrics] metric name \"zstream_ghost_total\" is not in schema.txt — register it there (regenerate with UPDATE_METRICS_SCHEMA=1) or fix the name",
+            "schema.txt:3: [metrics] schema entry \"zstream_lonely_total\" has no referencing literal anywhere in the scanned sources — dead metric or renamed without regenerating the schema",
+        ]
+    );
+}
+
+#[test]
+fn pragma_hygiene_reports_unused_reasonless_and_unknown() {
+    assert_eq!(
+        run_one(&Config::empty(), "unused_pragma.rs"),
+        [
+            "unused_pragma.rs:5: [pragma] unused zlint::allow(atomics) — nothing on line 6 to suppress; delete it",
+            "unused_pragma.rs:10: [pragma] zlint::allow(panic) requires a non-empty \"reason\" followed by `)`",
+            "unused_pragma.rs:15: [pragma] unknown rule `sorting` (expected panic, atomics, locks, metrics or snapshot)",
+        ]
+    );
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// The CI gate, as a test: the real workspace lints clean. Keeping this in
+/// the suite means a plain `cargo test` catches a violation even when the
+/// dedicated CI job is skipped.
+#[test]
+fn real_workspace_is_clean() {
+    let root = workspace_root();
+    let files = zlint::workspace_files(root).expect("workspace scan");
+    assert!(files.len() > 50, "workspace scan found only {} files", files.len());
+    let report = zlint::run_paths(&Config::workspace(), root, &files).expect("lint run");
+    assert!(report.is_clean(), "workspace has zlint findings:\n{}", rendered(&report).join("\n"));
+}
+
+/// Seeded mutation against the *real* workspace: deleting the first entry
+/// from the metric schema fixture must fail the pass with a metrics
+/// finding naming that entry.
+#[test]
+fn metrics_rule_catches_a_dropped_schema_entry() {
+    let root = workspace_root();
+    let config = Config::workspace();
+    let schema_rel = config.metrics_schema.clone().expect("workspace schema configured");
+    let schema_text = std::fs::read_to_string(root.join(&schema_rel)).expect("schema readable");
+    let (first_entry, mutated): (String, String) = {
+        let mut dropped = None;
+        let kept: Vec<&str> = schema_text
+            .lines()
+            .filter(|l| {
+                let is_entry = !l.trim().is_empty() && !l.trim_start().starts_with('#');
+                if is_entry && dropped.is_none() {
+                    dropped = Some(l.split('|').next().unwrap_or(l).trim().to_string());
+                    return false;
+                }
+                true
+            })
+            .collect();
+        (dropped.expect("schema has at least one entry"), kept.join("\n"))
+    };
+    let files: Vec<(String, String)> = zlint::workspace_files(root)
+        .expect("workspace scan")
+        .iter()
+        .map(|p| {
+            let rel = p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+            (rel, std::fs::read_to_string(p).expect("source readable"))
+        })
+        .collect();
+    let report = zlint::run_sources(&config, &files, Some(("metrics_schema.txt", &mutated)));
+    let hit = report.diags.iter().any(|d| {
+        d.rule == zlint::Rule::Metrics && d.message.contains(&format!("\"{first_entry}\""))
+    });
+    assert!(
+        hit,
+        "dropping schema entry {first_entry} was not detected; findings:\n{}",
+        rendered(&report).join("\n")
+    );
+}

@@ -76,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (hub, stop) = (Arc::clone(&hub), Arc::clone(&stop));
         std::thread::spawn(move || {
             let mut scrapes = 0u64;
+            // zlint::allow(atomics, "stop flag carries no data; the thread join is the synchronization point")
             while !stop.load(Ordering::Relaxed) {
                 let _ = hub.snapshot().to_json();
                 scrapes += 1;
@@ -139,6 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     adaptive.finalize_observations();
     adaptive.flush();
 
+    // zlint::allow(atomics, "stop flag carries no data; the thread join is the synchronization point")
     stop.store(true, Ordering::Relaxed);
     let scrapes = scraper.join().expect("scraper thread");
     matches += runtime.shutdown()?.matches.len();
