@@ -16,227 +16,19 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use zstream_events::kernel::{filter_cmp, filter_str_eq, Bitmap, CmpOp};
+use zstream_events::kernel::Bitmap;
 use zstream_events::{
     EventBatch, EventRef, HashableValue, Record, Snapshot, SnapshotError, SnapshotReader,
-    SnapshotResult, SnapshotWriter, Sym, Ts, Value,
+    SnapshotResult, SnapshotWriter, Sym, Ts,
 };
-use zstream_lang::{AnalyzedQuery, BinOp, ClassId, EventBinding, TypedExpr};
+use zstream_lang::{AnalyzedQuery, TypedExpr};
 
+use crate::intake::{IntakePred, IntakeScratch, OneClassBinding, SharedPredIndex};
 use crate::metrics::EngineMetrics;
 use crate::obs::EngineObs;
 use crate::physical::plan::PhysicalPlan;
 
-/// Binding of a single event to a single class (intake predicates).
-struct OneClassBinding<'a> {
-    class: ClassId,
-    event: &'a EventRef,
-}
-
-impl EventBinding for OneClassBinding<'_> {
-    fn event(&self, class: ClassId) -> Option<&EventRef> {
-        (class == self.class).then_some(self.event)
-    }
-
-    fn closure(&self, class: ClassId) -> &[EventRef] {
-        if class == self.class {
-            std::slice::from_ref(self.event)
-        } else {
-            &[]
-        }
-    }
-}
-
-/// One intake predicate compiled for column-wise evaluation. The compiled
-/// forms are *exactly* equivalent to evaluating the original [`TypedExpr`]
-/// per event — they only skip the expression-tree walk.
-#[derive(Debug, Clone)]
-enum IntakePred {
-    /// `Attr = 'lit'` over a string column: a symbol-id compare per row.
-    StrEq {
-        /// Field (column) index within the class schema.
-        field: usize,
-        /// Interned literal.
-        sym: Sym,
-    },
-    /// `Attr op lit` (either operand order, op flipped accordingly): one
-    /// column read plus a [`Value::compare`] per row.
-    CmpLit {
-        /// Field (column) index within the class schema.
-        field: usize,
-        /// Comparison operator (Eq/Ne/Lt/Le/Gt/Ge).
-        op: BinOp,
-        /// Literal operand.
-        lit: Value,
-    },
-    /// Anything else: evaluate the expression per row against a one-class
-    /// binding (the same code path the per-event intake uses).
-    General(TypedExpr),
-}
-
-impl IntakePred {
-    /// Compiles one single-class intake expression.
-    fn compile(expr: &TypedExpr) -> IntakePred {
-        if let TypedExpr::Binary(op, l, r) = expr {
-            let flipped = |op: BinOp| match op {
-                BinOp::Lt => BinOp::Gt,
-                BinOp::Le => BinOp::Ge,
-                BinOp::Gt => BinOp::Lt,
-                BinOp::Ge => BinOp::Le,
-                other => other,
-            };
-            let lit_cmp = |field: usize, op: BinOp, lit: &Value| match (op, lit) {
-                (BinOp::Eq, Value::Str(sym)) => IntakePred::StrEq { field, sym: *sym },
-                (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _) => {
-                    IntakePred::CmpLit { field, op, lit: *lit }
-                }
-                _ => IntakePred::General(expr.clone()),
-            };
-            match (l.as_ref(), r.as_ref()) {
-                (TypedExpr::Attr { field, .. }, TypedExpr::Lit(v)) => {
-                    return lit_cmp(*field, *op, v);
-                }
-                (TypedExpr::Lit(v), TypedExpr::Attr { field, .. }) => {
-                    return lit_cmp(*field, flipped(*op), v);
-                }
-                _ => {}
-            }
-        }
-        IntakePred::General(expr.clone())
-    }
-
-    /// True when the original expression would evaluate to `Bool(true)` for
-    /// `row` of `batch` bound to `class`.
-    #[inline]
-    fn passes(&self, batch: &EventBatch, row: usize, class: ClassId) -> bool {
-        match self {
-            IntakePred::StrEq { field, sym } => batch.column(*field).sym_at(row) == Some(*sym),
-            IntakePred::CmpLit { field, op, lit } => {
-                cmp_passes(*op, batch.column(*field).value(row), lit)
-            }
-            IntakePred::General(expr) => {
-                let event = batch.event(row);
-                let binding = OneClassBinding { class, event: &event };
-                matches!(expr.eval(&binding), Ok(Value::Bool(true)))
-            }
-        }
-    }
-
-    /// Dedup key for column-kernel predicates: two intake predicates with
-    /// equal keys decide identically on every row of any batch (`StrEq`
-    /// compares interned ids; `CmpLit` literals canonicalize via
-    /// [`Value::hash_key`], which agrees exactly with [`Value::loose_eq`]).
-    /// `General` predicates never share (their semantics depend on the
-    /// bound class).
-    fn kernel_key(&self) -> Option<(u8, usize, HashableValue)> {
-        match self {
-            IntakePred::StrEq { field, sym } => Some((0, *field, HashableValue::Str(*sym))),
-            IntakePred::CmpLit { field, op, lit } => {
-                let tag = match op {
-                    BinOp::Eq => 1,
-                    BinOp::Ne => 2,
-                    BinOp::Lt => 3,
-                    BinOp::Le => 4,
-                    BinOp::Gt => 5,
-                    BinOp::Ge => 6,
-                    _ => return None,
-                };
-                Some((tag, *field, lit.hash_key()))
-            }
-            IntakePred::General(_) => None,
-        }
-    }
-
-    /// Evaluates a column-kernel predicate over the whole column into `out`.
-    /// Only called for `StrEq`/`CmpLit` (the variants with a
-    /// [`IntakePred::kernel_key`]).
-    fn eval_column(&self, batch: &EventBatch, out: &mut Bitmap) {
-        match self {
-            IntakePred::StrEq { field, sym } => filter_str_eq(batch.column(*field), *sym, out),
-            IntakePred::CmpLit { field, op, lit } => {
-                filter_cmp(batch.column(*field), kernel_op(*op), lit, out);
-            }
-            IntakePred::General(_) => unreachable!("general predicates evaluate row-wise"),
-        }
-    }
-}
-
-/// Maps the language's comparison operators onto the kernel layer's
-/// (`crates/events` sits below the language and defines its own enum).
-fn kernel_op(op: BinOp) -> CmpOp {
-    match op {
-        BinOp::Eq => CmpOp::Eq,
-        BinOp::Ne => CmpOp::Ne,
-        BinOp::Lt => CmpOp::Lt,
-        BinOp::Le => CmpOp::Le,
-        BinOp::Gt => CmpOp::Gt,
-        BinOp::Ge => CmpOp::Ge,
-        other => unreachable!("compiled ops are comparisons, got {other:?}"),
-    }
-}
-
-/// How [`Engine::push_columns`] / [`Engine::push_rows`] evaluate intake
-/// predicates. The two paths are semantically identical (the differential
-/// suite pins this); the knob exists for tests and ablation benches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum IntakeMode {
-    /// Whole-column kernels for full batches and dense selections;
-    /// row-at-a-time for sparse selections (partitioned intake routes one
-    /// small selection per key — scanning the full column per key would be
-    /// O(batch × keys)).
-    #[default]
-    Auto,
-    /// Always evaluate via column kernels into bitmaps.
-    Kernel,
-    /// Always evaluate row-at-a-time (the pre-kernel path).
-    Rows,
-}
-
-/// Reusable bitmap scratch for vectorized intake (satellite of the kernel
-/// layer: Phase 1 used to allocate a fresh `Vec<u32>` per predicate per
-/// class per batch).
-///
-/// **Invariant:** contents are meaningful only *within* one
-/// `route_columns` call — between calls the bitmaps hold stale bits of the
-/// previous batch, so every use inside the call must start from
-/// `Bitmap::reset` (or a full overwrite by a filter kernel), never read
-/// carried-over state. `pred_done` is what makes the per-batch predicate
-/// cache sound: it is cleared at the top of every kernel-path call.
-#[derive(Debug, Default)]
-struct IntakeScratch {
-    /// Per-class accumulator: AND of the class's predicate bitmaps over the
-    /// input rows.
-    acc: Bitmap,
-    /// Union of all class accumulators — `events_admitted` is its popcount.
-    union: Bitmap,
-    /// One cached bitmap per distinct column predicate (indexed like
-    /// `Engine::uniq_preds`), evaluated lazily per batch.
-    pred: Vec<Bitmap>,
-    /// Which `pred` entries are valid for the batch currently being routed.
-    pred_done: Vec<bool>,
-}
-
-/// Comparison semantics identical to `TypedExpr::Binary(op, Attr, Lit)`
-/// evaluation: `Eq`/`Ne` via loose equality, orderings via exact
-/// [`Value::compare`]; incomparable types fail closed.
-#[inline]
-fn cmp_passes(op: BinOp, v: Value, lit: &Value) -> bool {
-    use std::cmp::Ordering;
-    match op {
-        BinOp::Eq => v.loose_eq(lit),
-        BinOp::Ne => !v.loose_eq(lit),
-        _ => match v.compare(lit) {
-            Ok(ord) => match op {
-                BinOp::Lt => ord == Ordering::Less,
-                BinOp::Le => ord != Ordering::Greater,
-                BinOp::Gt => ord == Ordering::Greater,
-                BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!("compiled ops are comparisons"),
-            },
-            Err(_) => false,
-        },
-    }
-}
+pub use crate::intake::IntakeMode;
 
 /// A running query: a physical plan plus routing and round bookkeeping.
 #[derive(Debug)]
@@ -263,6 +55,13 @@ pub struct Engine {
     /// Reusable bitmap scratch (see [`IntakeScratch`] for the invariant).
     // zlint::allow(snapshot, "scratch space: rebuilt empty, repopulated per batch")
     scratch: IntakeScratch,
+    /// Subscription into a [`SharedPredIndex`]: for each entry of
+    /// `uniq_preds`, the shared bitmap slot to read when the caller passes
+    /// an index to [`Engine::push_columns_shared`] /
+    /// [`Engine::push_rows_shared`]. `None` (the default) keeps predicate
+    /// evaluation engine-local.
+    // zlint::allow(snapshot, "wiring re-stamped by the caller after restore, not checkpoint state")
+    shared_slots: Option<Arc<Vec<u32>>>,
     // zlint::allow(snapshot, "configuration re-stamped by the caller after restore, not checkpoint state")
     intake_mode: IntakeMode,
     /// Per-class interned schema name (intake schema matching is an integer
@@ -330,6 +129,7 @@ impl Engine {
             uniq_preds,
             col_pred_of,
             scratch,
+            shared_slots: None,
             intake_mode: IntakeMode::default(),
             class_schema,
             pending: Vec::with_capacity(batch_size),
@@ -389,6 +189,22 @@ impl Engine {
         self.intake_mode
     }
 
+    /// Subscribes this engine to a [`SharedPredIndex`]: `slots` must be the
+    /// subscription returned by [`SharedPredIndex::register`] for this
+    /// engine's intake predicates (one shared slot per distinct
+    /// column-kernel predicate, in the engine's dedup order). From then on,
+    /// the shared-aware push variants evaluate distinct predicates at most
+    /// once per batch *across every subscribed engine* instead of once per
+    /// engine.
+    pub fn set_shared_slots(&mut self, slots: Arc<Vec<u32>>) {
+        debug_assert_eq!(
+            slots.len(),
+            self.uniq_preds.len(),
+            "subscription arity must match the engine's distinct kernel predicates"
+        );
+        self.shared_slots = Some(slots);
+    }
+
     /// Latest event timestamp seen.
     pub fn watermark(&self) -> Ts {
         self.watermark
@@ -429,11 +245,25 @@ impl Engine {
     /// round semantics are identical to [`Engine::push_batch`] over the same
     /// rows.
     pub fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        self.push_columns_shared(batch, None)
+    }
+
+    /// [`Engine::push_columns`] with an optional [`SharedPredIndex`]:
+    /// column predicates whose shared bitmap is already valid for this
+    /// batch are reused instead of re-evaluated, and ones this engine
+    /// evaluates become valid for later subscribers. Match output is
+    /// byte-identical to the unshared path — only the evaluation count
+    /// changes.
+    pub fn push_columns_shared(
+        &mut self,
+        batch: &EventBatch,
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         let pending = std::mem::take(&mut self.pending);
         for e in &pending {
             self.route(e);
         }
-        self.route_columns(batch, None);
+        self.route_columns(batch, None, shared);
         self.round()
     }
 
@@ -445,11 +275,23 @@ impl Engine {
     /// identical to `push_columns` over a batch of exactly the selected
     /// rows.
     pub fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+        self.push_rows_shared(batch, rows, None)
+    }
+
+    /// [`Engine::push_rows`] with an optional [`SharedPredIndex`] (see
+    /// [`Engine::push_columns_shared`]). Sparse selections fall back to
+    /// row-at-a-time narrowing and never touch the index.
+    pub fn push_rows_shared(
+        &mut self,
+        batch: &EventBatch,
+        rows: &[u32],
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         let pending = std::mem::take(&mut self.pending);
         for e in &pending {
             self.route(e);
         }
-        self.route_columns(batch, Some(rows));
+        self.route_columns(batch, Some(rows), shared);
         self.round()
     }
 
@@ -476,7 +318,12 @@ impl Engine {
     /// selections fall back to row-at-a-time narrowing — partitioned intake
     /// routes one small per-key selection at a time through this function,
     /// and scanning full columns per key would cost O(batch × keys).
-    fn route_columns(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
+    fn route_columns(
+        &mut self,
+        batch: &EventBatch,
+        input: Option<&[u32]>,
+        shared: Option<&mut SharedPredIndex>,
+    ) {
         let n = batch.len();
         let n_input = input.map_or(n, <[u32]>::len);
         if n_input == 0 {
@@ -511,7 +358,7 @@ impl Engine {
             IntakeMode::Rows => false,
         };
         if dense {
-            self.route_columns_kernel(batch, input);
+            self.route_columns_kernel(batch, input, shared);
         } else {
             self.route_columns_rows(batch, input);
         }
@@ -521,7 +368,12 @@ impl Engine {
     /// class, union popcount for `events_admitted`, set-bit materialization.
     /// Produces exactly the per-event path's admissions in the same
     /// class-then-row order.
-    fn route_columns_kernel(&mut self, batch: &EventBatch, input: Option<&[u32]>) {
+    fn route_columns_kernel(
+        &mut self,
+        batch: &EventBatch,
+        input: Option<&[u32]>,
+        mut shared: Option<&mut SharedPredIndex>,
+    ) {
         let n = batch.len();
         let n_input = input.map_or(n, <[u32]>::len);
         let batch_schema = batch.schema().name_sym();
@@ -532,6 +384,7 @@ impl Engine {
         let intake_compiled = &self.intake_compiled;
         let uniq_preds = &self.uniq_preds;
         let col_pred_of = &self.col_pred_of;
+        let shared_slots = self.shared_slots.as_deref();
         scratch.pred_done.iter_mut().for_each(|d| *d = false);
         scratch.union.reset(n, false);
         for c in 0..self.aq.num_classes() {
@@ -551,14 +404,28 @@ impl Engine {
                     break;
                 }
                 match col_pred_of[c][pi] {
-                    Some(u) => {
-                        if !scratch.pred_done[u] {
-                            uniq_preds[u].eval_column(batch, &mut scratch.pred[u]);
-                            scratch.pred_done[u] = true;
-                            rows_evaluated += n as u64;
+                    // With a shared index, the bitmap may already be valid
+                    // from *another* engine's evaluation of an identical
+                    // predicate this batch; whoever evaluates pays the
+                    // rows-evaluated accounting once.
+                    Some(u) => match (shared.as_deref_mut(), shared_slots) {
+                        (Some(index), Some(slots)) => {
+                            let (bitmap, evaluated) =
+                                index.bitmap_for(slots[u], &uniq_preds[u], batch);
+                            if evaluated {
+                                rows_evaluated += n as u64;
+                            }
+                            scratch.acc.and(bitmap);
                         }
-                        scratch.acc.and(&scratch.pred[u]);
-                    }
+                        _ => {
+                            if !scratch.pred_done[u] {
+                                uniq_preds[u].eval_column(batch, &mut scratch.pred[u]);
+                                scratch.pred_done[u] = true;
+                                rows_evaluated += n as u64;
+                            }
+                            scratch.acc.and(&scratch.pred[u]);
+                        }
+                    },
                     None => {
                         // General predicates stay row-wise, over surviving
                         // rows only.

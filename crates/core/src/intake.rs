@@ -1,0 +1,388 @@
+//! Compiled intake predicates and the cross-query shared predicate index.
+//!
+//! The §4.1 push-down compiles each single-class intake predicate into a
+//! column-kernel form ([`IntakePred`]) that evaluates over a whole batch
+//! column into a bitmap. Within one engine, distinct predicates are
+//! deduplicated so each evaluates once per batch no matter how many classes
+//! share it.
+//!
+//! [`SharedPredIndex`] lifts that dedup across *queries*: a service hosting
+//! thousands of standing queries registers every engine's compiled intake
+//! here, keyed by the same conjunct identity ([`IntakePred::kernel_key`]),
+//! and each distinct column predicate evaluates **once per batch per
+//! shard** into a shared bitmap that fans out to every subscriber engine's
+//! selection. Sharing is sound because a kernel predicate reads only its
+//! batch column — its bitmap does not depend on which query (or class)
+//! requested it, the same argument that already justifies the per-engine
+//! cross-class dedup.
+//!
+//! This module is on the per-event hot path (zlint `locks` applies): the
+//! per-batch work is bitmap AND/popcount plus one `HashMap`-free slot
+//! lookup per engine predicate — registration (the only map access) happens
+//! on the cold create/build path.
+
+use std::collections::HashMap;
+
+use zstream_events::kernel::{filter_cmp, filter_str_eq, Bitmap, CmpOp};
+use zstream_events::{EventBatch, EventRef, HashableValue, Sym, Value};
+use zstream_lang::{BinOp, ClassId, EventBinding, TypedExpr};
+
+/// Binding of a single event to a single class (intake predicates).
+pub(crate) struct OneClassBinding<'a> {
+    pub(crate) class: ClassId,
+    pub(crate) event: &'a EventRef,
+}
+
+impl EventBinding for OneClassBinding<'_> {
+    fn event(&self, class: ClassId) -> Option<&EventRef> {
+        (class == self.class).then_some(self.event)
+    }
+
+    fn closure(&self, class: ClassId) -> &[EventRef] {
+        if class == self.class {
+            std::slice::from_ref(self.event)
+        } else {
+            &[]
+        }
+    }
+}
+
+/// One intake predicate compiled for column-wise evaluation. The compiled
+/// forms are *exactly* equivalent to evaluating the original [`TypedExpr`]
+/// per event — they only skip the expression-tree walk.
+#[derive(Debug, Clone)]
+pub(crate) enum IntakePred {
+    /// `Attr = 'lit'` over a string column: a symbol-id compare per row.
+    StrEq {
+        /// Field (column) index within the class schema.
+        field: usize,
+        /// Interned literal.
+        sym: Sym,
+    },
+    /// `Attr op lit` (either operand order, op flipped accordingly): one
+    /// column read plus a [`Value::compare`] per row.
+    CmpLit {
+        /// Field (column) index within the class schema.
+        field: usize,
+        /// Comparison operator (Eq/Ne/Lt/Le/Gt/Ge).
+        op: BinOp,
+        /// Literal operand.
+        lit: Value,
+    },
+    /// Anything else: evaluate the expression per row against a one-class
+    /// binding (the same code path the per-event intake uses).
+    General(TypedExpr),
+}
+
+impl IntakePred {
+    /// Compiles one single-class intake expression.
+    pub(crate) fn compile(expr: &TypedExpr) -> IntakePred {
+        if let TypedExpr::Binary(op, l, r) = expr {
+            let flipped = |op: BinOp| match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            };
+            let lit_cmp = |field: usize, op: BinOp, lit: &Value| match (op, lit) {
+                (BinOp::Eq, Value::Str(sym)) => IntakePred::StrEq { field, sym: *sym },
+                (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _) => {
+                    IntakePred::CmpLit { field, op, lit: *lit }
+                }
+                _ => IntakePred::General(expr.clone()),
+            };
+            match (l.as_ref(), r.as_ref()) {
+                (TypedExpr::Attr { field, .. }, TypedExpr::Lit(v)) => {
+                    return lit_cmp(*field, *op, v);
+                }
+                (TypedExpr::Lit(v), TypedExpr::Attr { field, .. }) => {
+                    return lit_cmp(*field, flipped(*op), v);
+                }
+                _ => {}
+            }
+        }
+        IntakePred::General(expr.clone())
+    }
+
+    /// True when the original expression would evaluate to `Bool(true)` for
+    /// `row` of `batch` bound to `class`.
+    #[inline]
+    pub(crate) fn passes(&self, batch: &EventBatch, row: usize, class: ClassId) -> bool {
+        match self {
+            IntakePred::StrEq { field, sym } => batch.column(*field).sym_at(row) == Some(*sym),
+            IntakePred::CmpLit { field, op, lit } => {
+                cmp_passes(*op, batch.column(*field).value(row), lit)
+            }
+            IntakePred::General(expr) => {
+                let event = batch.event(row);
+                let binding = OneClassBinding { class, event: &event };
+                matches!(expr.eval(&binding), Ok(Value::Bool(true)))
+            }
+        }
+    }
+
+    /// Dedup key for column-kernel predicates: two intake predicates with
+    /// equal keys decide identically on every row of any batch (`StrEq`
+    /// compares interned ids; `CmpLit` literals canonicalize via
+    /// [`Value::hash_key`], which agrees exactly with [`Value::loose_eq`]).
+    /// `General` predicates never share (their semantics depend on the
+    /// bound class). The key reads only batch *columns*, never the bound
+    /// class or schema, which is what makes cross-query sharing in
+    /// [`SharedPredIndex`] sound.
+    pub(crate) fn kernel_key(&self) -> Option<(u8, usize, HashableValue)> {
+        match self {
+            IntakePred::StrEq { field, sym } => Some((0, *field, HashableValue::Str(*sym))),
+            IntakePred::CmpLit { field, op, lit } => {
+                let tag = match op {
+                    BinOp::Eq => 1,
+                    BinOp::Ne => 2,
+                    BinOp::Lt => 3,
+                    BinOp::Le => 4,
+                    BinOp::Gt => 5,
+                    BinOp::Ge => 6,
+                    _ => return None,
+                };
+                Some((tag, *field, lit.hash_key()))
+            }
+            IntakePred::General(_) => None,
+        }
+    }
+
+    /// Evaluates a column-kernel predicate over the whole column into `out`.
+    /// Only called for `StrEq`/`CmpLit` (the variants with a
+    /// [`IntakePred::kernel_key`]).
+    pub(crate) fn eval_column(&self, batch: &EventBatch, out: &mut Bitmap) {
+        match self {
+            IntakePred::StrEq { field, sym } => filter_str_eq(batch.column(*field), *sym, out),
+            IntakePred::CmpLit { field, op, lit } => {
+                filter_cmp(batch.column(*field), kernel_op(*op), lit, out);
+            }
+            IntakePred::General(_) => unreachable!("general predicates evaluate row-wise"),
+        }
+    }
+}
+
+/// Maps the language's comparison operators onto the kernel layer's
+/// (`crates/events` sits below the language and defines its own enum).
+pub(crate) fn kernel_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        other => unreachable!("compiled ops are comparisons, got {other:?}"),
+    }
+}
+
+/// Comparison semantics identical to `TypedExpr::Binary(op, Attr, Lit)`
+/// evaluation: `Eq`/`Ne` via loose equality, orderings via exact
+/// [`Value::compare`]; incomparable types fail closed.
+#[inline]
+pub(crate) fn cmp_passes(op: BinOp, v: Value, lit: &Value) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Eq => v.loose_eq(lit),
+        BinOp::Ne => !v.loose_eq(lit),
+        _ => match v.compare(lit) {
+            Ok(ord) => match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!("compiled ops are comparisons"),
+            },
+            Err(_) => false,
+        },
+    }
+}
+
+/// How [`crate::Engine::push_columns`] / [`crate::Engine::push_rows`]
+/// evaluate intake predicates. The two paths are semantically identical
+/// (the differential suite pins this); the knob exists for tests and
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntakeMode {
+    /// Whole-column kernels for full batches and dense selections;
+    /// row-at-a-time for sparse selections (partitioned intake routes one
+    /// small selection per key — scanning the full column per key would be
+    /// O(batch × keys)).
+    #[default]
+    Auto,
+    /// Always evaluate via column kernels into bitmaps.
+    Kernel,
+    /// Always evaluate row-at-a-time (the pre-kernel path).
+    Rows,
+}
+
+/// Reusable bitmap scratch for vectorized intake (satellite of the kernel
+/// layer: Phase 1 used to allocate a fresh `Vec<u32>` per predicate per
+/// class per batch).
+///
+/// **Invariant:** contents are meaningful only *within* one
+/// `route_columns` call — between calls the bitmaps hold stale bits of the
+/// previous batch, so every use inside the call must start from
+/// `Bitmap::reset` (or a full overwrite by a filter kernel), never read
+/// carried-over state. `pred_done` is what makes the per-batch predicate
+/// cache sound: it is cleared at the top of every kernel-path call.
+#[derive(Debug, Default)]
+pub(crate) struct IntakeScratch {
+    /// Per-class accumulator: AND of the class's predicate bitmaps over the
+    /// input rows.
+    pub(crate) acc: Bitmap,
+    /// Union of all class accumulators — `events_admitted` is its popcount.
+    pub(crate) union: Bitmap,
+    /// One cached bitmap per distinct column predicate (indexed like
+    /// `Engine::uniq_preds`), evaluated lazily per batch.
+    pub(crate) pred: Vec<Bitmap>,
+    /// Which `pred` entries are valid for the batch currently being routed.
+    pub(crate) pred_done: Vec<bool>,
+}
+
+/// Cross-query shared predicate index: each *distinct* column-kernel
+/// predicate across every registered query evaluates once per batch into a
+/// bitmap that all subscriber engines AND into their selections.
+///
+/// The index stores no predicates — only the identity map from
+/// [`IntakePred::kernel_key`] to a bitmap slot. The first engine that needs
+/// a slot in a batch evaluates its own compiled predicate into the shared
+/// bitmap (predicates with equal keys decide identically on every row, so
+/// *which* engine's copy runs is unobservable); later engines reuse the
+/// bitmap for free. Callers mark batch boundaries with
+/// [`SharedPredIndex::begin_batch`].
+///
+/// One index serves one evaluation thread (in the sharded runtime: one per
+/// shard, owned by the shard loop) — no locking, per the hot-path rule.
+#[derive(Debug, Default)]
+pub struct SharedPredIndex {
+    /// Conjunct identity → bitmap slot. Touched only at registration.
+    slots: HashMap<(u8, usize, HashableValue), u32>,
+    /// One shared bitmap per distinct predicate.
+    pred: Vec<Bitmap>,
+    /// Which bitmaps are valid for the batch currently being evaluated.
+    done: Vec<bool>,
+}
+
+impl SharedPredIndex {
+    /// An empty index.
+    pub fn new() -> SharedPredIndex {
+        SharedPredIndex::default()
+    }
+
+    /// Registers one query's per-class intake predicates and returns the
+    /// query's **subscription**: for each of the engine's distinct
+    /// column-kernel predicates (in the engine's own dedup order — classes
+    /// in order, predicates in order, first appearance of each key), the
+    /// shared bitmap slot to read. Feed the result to
+    /// [`crate::Engine::set_shared_slots`].
+    ///
+    /// Registration is idempotent per key: queries sharing conjuncts map to
+    /// the same slot, which is the whole point. Dropped queries' slots stay
+    /// allocated (a slot is one `Bitmap` — negligible; reclaiming would
+    /// re-index every live subscription).
+    pub fn register(&mut self, intake: &[Vec<TypedExpr>]) -> Vec<u32> {
+        let mut local: HashMap<(u8, usize, HashableValue), ()> = HashMap::new();
+        let mut subscription = Vec::new();
+        for preds in intake {
+            for expr in preds {
+                let Some(key) = IntakePred::compile(expr).kernel_key() else { continue };
+                if local.insert(key, ()).is_some() {
+                    continue;
+                }
+                let next = self.pred.len() as u32;
+                let slot = *self.slots.entry(key).or_insert(next);
+                if slot == next {
+                    self.pred.push(Bitmap::new());
+                    self.done.push(false);
+                }
+                subscription.push(slot);
+            }
+        }
+        subscription
+    }
+
+    /// Marks a batch boundary: every shared bitmap becomes stale and the
+    /// next engine to need it re-evaluates. Call once per incoming batch,
+    /// before any subscriber engine runs.
+    pub fn begin_batch(&mut self) {
+        self.done.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Number of distinct predicates registered.
+    pub fn num_slots(&self) -> usize {
+        self.pred.len()
+    }
+
+    /// The shared bitmap for `slot`, evaluating `pred` into it first if no
+    /// engine has needed it yet this batch. Returns the bitmap and whether
+    /// this call paid the evaluation (for the caller's rows-evaluated
+    /// accounting).
+    #[inline]
+    pub(crate) fn bitmap_for(
+        &mut self,
+        slot: u32,
+        pred: &IntakePred,
+        batch: &EventBatch,
+    ) -> (&Bitmap, bool) {
+        let s = slot as usize;
+        let evaluated = if self.done[s] {
+            false
+        } else {
+            pred.eval_column(batch, &mut self.pred[s]);
+            self.done[s] = true;
+            true
+        };
+        (&self.pred[s], evaluated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineBuilder;
+
+    fn intake_of(src: &str) -> Vec<Vec<TypedExpr>> {
+        let parts = EngineBuilder::parse(src).unwrap().stock_routing().compile().unwrap();
+        parts.intake.clone()
+    }
+
+    #[test]
+    fn overlapping_queries_share_slots() {
+        let mut idx = SharedPredIndex::new();
+        let a = idx.register(&intake_of("PATTERN IBM; Sun WITHIN 10"));
+        let b = idx.register(&intake_of("PATTERN IBM; Oracle WITHIN 10"));
+        // Both queries carry the name='IBM' conjunct: the slot is shared.
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a[0], b[0]);
+        assert_ne!(a[1], b[1]);
+        assert_eq!(idx.num_slots(), 3);
+    }
+
+    #[test]
+    fn identical_queries_collapse_to_one_slot_set() {
+        let mut idx = SharedPredIndex::new();
+        let a = idx.register(&intake_of("PATTERN IBM; Sun WITHIN 10"));
+        let b = idx.register(&intake_of("PATTERN IBM; Sun WITHIN 10"));
+        assert_eq!(a, b);
+        assert_eq!(idx.num_slots(), 2);
+    }
+
+    #[test]
+    fn subscription_matches_engine_dedup_order() {
+        // A query whose classes repeat a conjunct (`price > 10` appears in
+        // both classes' intake): the subscription has one entry per
+        // *distinct* key, in first-appearance order — the same order
+        // `Engine::new` assigns its local uniq indexes.
+        let mut idx = SharedPredIndex::new();
+        let sub = idx.register(&intake_of(
+            "PATTERN IBM; Sun WHERE IBM.price > 10 AND Sun.price > 10 WITHIN 10",
+        ));
+        // Distinct keys: name='IBM', price>10, name='Sun' — the repeated
+        // price conjunct collapses to one subscription entry.
+        assert_eq!(sub.len(), 3);
+        assert_eq!(idx.num_slots(), 3);
+    }
+}

@@ -9,6 +9,9 @@
 //!   negation-on-top filter,
 //! * [`engine`] — the batch-iterator evaluation model of §4.3 (idle and
 //!   assembly rounds, EAT push-down),
+//! * [`intake`] — compiled intake predicates (§4.1 push-down over columns)
+//!   and the cross-query [`SharedPredIndex`] that evaluates each distinct
+//!   column predicate once per batch for a whole registry of queries,
 //! * [`adaptive`] — runtime statistics sampling and on-the-fly plan
 //!   switching (§5.3),
 //! * [`metrics`] — throughput and the logical peak-memory accounting used to
@@ -21,6 +24,7 @@ pub mod builder;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod intake;
 pub mod logical;
 pub mod metrics;
 pub mod obs;
@@ -34,8 +38,9 @@ pub use cost::dp::{plan_cost, search_optimal, spec_with_shape, NegStrategy, Plan
 pub use cost::model::{CostModel, OperatorCost};
 pub use cost::shape::PlanShape;
 pub use cost::stats::Statistics;
-pub use engine::{Engine, IntakeMode};
+pub use engine::Engine;
 pub use error::CoreError;
+pub use intake::{IntakeMode, SharedPredIndex};
 pub use metrics::EngineMetrics;
 pub use obs::EngineObs;
 pub use partition::{can_partition_by, PartitionedEngine};

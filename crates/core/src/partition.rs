@@ -25,6 +25,7 @@ use zstream_lang::{AnalyzedQuery, TypedExpr};
 use crate::builder::CompiledQuery;
 use crate::engine::Engine;
 use crate::error::CoreError;
+use crate::intake::SharedPredIndex;
 use crate::metrics::EngineMetrics;
 use crate::physical::plan::PlanConfig;
 
@@ -104,6 +105,10 @@ pub struct PartitionedEngine {
     /// future); see [`Engine::set_intake_mode`].
     // zlint::allow(snapshot, "configuration re-stamped via set_intake_mode after restore, not checkpoint state")
     intake_mode: crate::engine::IntakeMode,
+    /// Shared-index subscription stamped onto every partition engine
+    /// (existing and future); see [`Engine::set_shared_slots`].
+    // zlint::allow(snapshot, "wiring re-stamped via set_shared_slots after restore, not checkpoint state")
+    shared_slots: Option<Arc<Vec<u32>>>,
     events_in: u64,
     dropped: u64,
     /// Instrument template cloned into each partition engine (cells are
@@ -137,6 +142,7 @@ impl PartitionedEngine {
             field,
             partitions: HashMap::new(),
             intake_mode: crate::engine::IntakeMode::default(),
+            shared_slots: None,
             events_in: 0,
             dropped: 0,
             obs: None,
@@ -160,6 +166,18 @@ impl PartitionedEngine {
         for engine in self.partitions.values_mut() {
             engine.set_intake_mode(mode);
         }
+    }
+
+    /// Subscribes every partition engine (existing and future) to a
+    /// [`SharedPredIndex`]; `slots` must come from registering this query's
+    /// intake predicates (see [`Engine::set_shared_slots`]). Shared bitmaps
+    /// then also memoize *across partition keys* within one batch, not just
+    /// across queries.
+    pub fn set_shared_slots(&mut self, slots: Arc<Vec<u32>>) {
+        for engine in self.partitions.values_mut() {
+            engine.set_shared_slots(slots.clone());
+        }
+        self.shared_slots = Some(slots);
     }
 
     /// Pushes one event into its partition; returns completed matches.
@@ -220,13 +238,23 @@ impl PartitionedEngine {
     /// cheap handles. Output ordering and round-forcing semantics are
     /// identical to `push_batch` over the same rows.
     pub fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+        self.push_columns_shared(batch, None)
+    }
+
+    /// [`PartitionedEngine::push_columns`] with an optional
+    /// [`SharedPredIndex`] (see [`Engine::push_columns_shared`]).
+    pub fn push_columns_shared(
+        &mut self,
+        batch: &EventBatch,
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         let n = batch.len();
         self.events_in += n as u64;
         let Ok(field_idx) = batch.schema().field_index(&self.field) else {
             self.dropped += n as u64;
             return Vec::new();
         };
-        self.push_selected(batch, field_idx, 0..n as u32)
+        self.push_selected(batch, field_idx, 0..n as u32, shared)
     }
 
     /// Selection-vector variant of [`PartitionedEngine::push_columns`]: the
@@ -236,12 +264,23 @@ impl PartitionedEngine {
     /// storage and is never copied. Semantics are identical to
     /// `push_columns` over a batch containing exactly the selected rows.
     pub fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+        self.push_rows_shared(batch, rows, None)
+    }
+
+    /// [`PartitionedEngine::push_rows`] with an optional
+    /// [`SharedPredIndex`] (see [`Engine::push_rows_shared`]).
+    pub fn push_rows_shared(
+        &mut self,
+        batch: &EventBatch,
+        rows: &[u32],
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         self.events_in += rows.len() as u64;
         let Ok(field_idx) = batch.schema().field_index(&self.field) else {
             self.dropped += rows.len() as u64;
             return Vec::new();
         };
-        self.push_selected(batch, field_idx, rows.iter().copied())
+        self.push_selected(batch, field_idx, rows.iter().copied(), shared)
     }
 
     /// Shared tail of the columnar intake paths: group the given rows by
@@ -255,6 +294,7 @@ impl PartitionedEngine {
         batch: &EventBatch,
         field_idx: usize,
         rows: impl Iterator<Item = u32>,
+        mut shared: Option<&mut SharedPredIndex>,
     ) -> Vec<Record> {
         let col = batch.column(field_idx);
         let mut order: Vec<HashableValue> = Vec::new();
@@ -272,7 +312,11 @@ impl PartitionedEngine {
         let mut out = Vec::new();
         for key in order {
             let group = groups.remove(&key).expect("grouped above");
-            out.extend(self.partition_mut(key).push_rows(batch, &group));
+            out.extend(self.partition_mut(key).push_rows_shared(
+                batch,
+                &group,
+                shared.as_deref_mut(),
+            ));
         }
         out.sort_by_key(Record::end_ts);
         out
@@ -289,6 +333,9 @@ impl PartitionedEngine {
             let mut engine =
                 Engine::new(self.compiled.aq.clone(), plan, self.intake.clone(), self.batch_size);
             engine.set_intake_mode(self.intake_mode);
+            if let Some(slots) = &self.shared_slots {
+                engine.set_shared_slots(slots.clone());
+            }
             if let Some(obs) = &self.obs {
                 engine.set_obs(obs.clone());
             }

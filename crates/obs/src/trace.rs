@@ -31,6 +31,9 @@ pub enum TraceKind {
     CheckpointQuiesce,
     /// A plan replan decision was taken (details in the decision log).
     Replan,
+    /// A query lifecycle transition (create / pause / resume / drop, and
+    /// per-shard retirement acknowledgements).
+    Lifecycle,
 }
 
 impl TraceKind {
@@ -43,6 +46,7 @@ impl TraceKind {
             TraceKind::MergeEmit => "merge_emit",
             TraceKind::CheckpointQuiesce => "checkpoint_quiesce",
             TraceKind::Replan => "replan",
+            TraceKind::Lifecycle => "lifecycle",
         }
     }
 }

@@ -8,21 +8,51 @@
 //!
 //! ```text
 //! "ZSTCKPT\0"  magic            (8 bytes)
-//! version      u32 little-endian (currently 1)
+//! version      u32 little-endian (currently 2)
 //! payload      one zstream_events::Snapshot stream:
 //!   checkpoint sequence  u64
 //!   CONFIG   fingerprint of the producing configuration (validated on
 //!            restore: workers, batch size, heartbeat interval, slack,
-//!            sources, lateness policy, per-query route/shape)
-//!   RUNTIME  watermark, per-shard sent-watermarks, dropped counts,
-//!            heartbeat phase, aggregated metrics, dead letters, per-source
-//!            last-chunk digests (the idempotent-replay guard)
+//!            sources, lateness policy), the home-shard rotation counter,
+//!            and the **live registry**: one entry per registry slot —
+//!            tombstones included — carrying the live slots' pause flag,
+//!            resolved route, and query shape
+//!   RUNTIME  watermark, per-shard sent-watermarks, per-slot dropped
+//!            counts, heartbeat phase, per-slot aggregated metrics, dead
+//!            letters, per-source last-chunk digests (the
+//!            idempotent-replay guard)
 //!   MERGE    per-shard frontier watermarks + buffered matches
 //!   REORDER  presence flag + pending tree / high-water marks
 //!   SHARDS   per shard: alive flag; if alive, emission seq + a
 //!            length-prefixed self-contained engine blob
 //!   END      closing tag
 //! ```
+//!
+//! ## Corruption vs. drift
+//!
+//! Restore distinguishes two failure classes. A file that cannot be
+//! decoded — truncation, bad tags, out-of-range values — is **corrupt**
+//! ([`crate::RuntimeError::Checkpoint`]): re-fetch the file. A file that
+//! decodes fine but was written by a *different logical deployment* — a
+//! changed scalar knob, or a query set that no longer lines up with what
+//! the restoring builder registered — is **drift**
+//! ([`crate::RuntimeError::CheckpointDrift`]): fix the configuration, the
+//! file is healthy.
+//!
+//! ## Restore semantics for a changed query set
+//!
+//! The CONFIG section snapshots the **live registry at checkpoint time**,
+//! not the build-time query set: queries added by
+//! [`crate::Runtime::create`] are included, queries removed by
+//! [`crate::Runtime::drop_query`] appear as tombstones. The restoring
+//! builder must register exactly the checkpoint's *live* queries, in slot
+//! order (compiled parts in, routes come **from the checkpoint** — a
+//! dynamically created query's home shard is rotation state that cannot be
+//! re-derived from registration order). Each registered `(parts,
+//! partitioning)` pair is validated against its slot's stored route and
+//! shape; any disagreement is drift, and the restored runtime re-creates
+//! the tombstones so every pre-checkpoint [`crate::QueryId`] keeps its
+//! meaning.
 //!
 //! Checkpoints are **self-contained** (a file restores on its own — no
 //! chain of deltas to replay) and incremental in *stream position*: the
@@ -59,9 +89,11 @@
 
 use std::fmt;
 
+use zstream_core::{can_partition_by, CompiledParts};
 use zstream_events::{SnapshotError, SnapshotReader, SnapshotResult, SnapshotWriter, Ts};
 
-use crate::registry::{QueryDef, Route};
+use crate::error::RuntimeError;
+use crate::registry::{Partitioning, QueryDef, QueryState, Route};
 use crate::runtime::LatenessPolicy;
 
 /// File magic: identifies a ZStream checkpoint.
@@ -71,7 +103,11 @@ pub(crate) const MAGIC: [u8; 8] = *b"ZSTCKPT\0";
 /// change; [`crate::RuntimeBuilder::restore`] rejects versions it cannot
 /// read. A checked-in golden fixture (`tests/checkpoint_golden.rs`) makes
 /// silent format breakage a CI failure.
-pub(crate) const VERSION: u32 = 1;
+///
+/// v2: the CONFIG section snapshots the live registry (per-slot live
+/// flag, pause flag, route) plus the home-shard rotation counter, instead
+/// of v1's build-time query list.
+pub(crate) const VERSION: u32 = 2;
 
 /// Section tags: cheap structural redundancy so a desynchronized reader
 /// fails with "expected section X" instead of decoding garbage.
@@ -120,20 +156,34 @@ fn lateness_tag(p: LatenessPolicy) -> u8 {
     }
 }
 
-/// Serializes the configuration fingerprint. Everything that shapes what a
-/// shard's state *means* is covered — worker count (key → shard mapping),
-/// batch size (chunking determinism), routing, per-query class count and
-/// window — while knobs that only affect scheduling (channel capacity) are
-/// deliberately free to differ across restore.
-pub(crate) fn write_fingerprint(w: &mut SnapshotWriter, fp: &Fingerprint, defs: &[QueryDef]) {
+/// Serializes the configuration fingerprint and the live registry.
+/// Everything that shapes what a shard's state *means* is covered — worker
+/// count (key → shard mapping), batch size (chunking determinism), the
+/// home-shard rotation counter, and per slot the live/pause flags, routing,
+/// class count and window — while knobs that only affect scheduling
+/// (channel capacity) or performance (shared intake) are deliberately free
+/// to differ across restore.
+pub(crate) fn write_fingerprint(
+    w: &mut SnapshotWriter,
+    fp: &Fingerprint,
+    homes: usize,
+    queries: &[QueryState],
+) {
     w.u64(fp.workers as u64);
     w.u64(fp.batch_size as u64);
     w.u64(fp.heartbeat_interval as u64);
     w.opt_u64(fp.slack);
     w.u64(fp.sources as u64);
     w.u8(lateness_tag(fp.lateness));
-    w.len(defs.len());
-    for def in defs {
+    w.u64(homes as u64);
+    w.len(queries.len());
+    for state in queries {
+        let Some(def) = state.def.as_deref() else {
+            w.u8(0);
+            continue;
+        };
+        w.u8(1);
+        w.u8(u8::from(state.paused));
         match &def.route {
             Route::Hash(field) => {
                 w.u8(0);
@@ -150,20 +200,44 @@ pub(crate) fn write_fingerprint(w: &mut SnapshotWriter, fp: &Fingerprint, defs: 
     }
 }
 
+/// A checkpoint configuration disagreement: the file is healthy but was
+/// written by a different logical deployment.
+fn drift(msg: String) -> RuntimeError {
+    RuntimeError::CheckpointDrift(msg)
+}
+
+/// An undecodable flag/tag value: the file itself is damaged.
+fn corrupt(msg: String) -> RuntimeError {
+    RuntimeError::Checkpoint(msg)
+}
+
 /// Validates the restoring configuration against a checkpoint's
-/// fingerprint, field by field, with a message naming the first mismatch.
+/// fingerprint and reconstructs the registry it describes: the builder's
+/// registered queries are consumed positionally by the checkpoint's *live*
+/// slots (ascending slot order), each validated against its slot's stored
+/// route and shape; tombstoned slots restore as tombstones. Returns the
+/// home-shard rotation counter and, per slot, the resolved definition plus
+/// pause flag (`None` for tombstones).
+///
+/// Value disagreements are [`RuntimeError::CheckpointDrift`] (fix the
+/// configuration); undecodable bytes are [`RuntimeError::Checkpoint`]
+/// (re-fetch the file).
+#[allow(clippy::type_complexity)]
 pub(crate) fn check_fingerprint(
     r: &mut SnapshotReader<'_>,
     fp: &Fingerprint,
-    defs: &[QueryDef],
-) -> SnapshotResult<()> {
-    fn expect<T: PartialEq + fmt::Debug>(what: &str, stored: T, ours: T) -> SnapshotResult<()> {
+    registered: Vec<(CompiledParts, Partitioning)>,
+) -> Result<(usize, Vec<Option<(QueryDef, bool)>>), RuntimeError> {
+    fn expect<T: PartialEq + fmt::Debug>(
+        what: &str,
+        stored: T,
+        ours: T,
+    ) -> Result<(), RuntimeError> {
         if stored == ours {
             Ok(())
         } else {
-            Err(SnapshotError::Corrupt(format!(
-                "configuration mismatch: checkpoint has {what} {stored:?}, \
-                 restoring runtime has {ours:?}"
+            Err(RuntimeError::CheckpointDrift(format!(
+                "checkpoint has {what} {stored:?}, restoring runtime has {ours:?}"
             )))
         }
     }
@@ -173,28 +247,73 @@ pub(crate) fn check_fingerprint(
     expect("slack", r.opt_u64()?, fp.slack)?;
     expect("sources", r.u64()?, fp.sources as u64)?;
     expect("lateness policy", r.u8()?, lateness_tag(fp.lateness))?;
-    expect("registered queries", r.len()? as u64, defs.len() as u64)?;
-    for (q, def) in defs.iter().enumerate() {
-        let tag = r.u8()?;
-        match (&def.route, tag) {
-            (Route::Hash(field), 0) => {
-                expect(&format!("query {q} hash field"), r.str()?, field.clone())?;
+    let homes = usize::try_from(r.u64()?)
+        .map_err(|_| corrupt("home-shard rotation counter exceeds usize".into()))?;
+    let slots = r.len()?;
+    let mut registered = registered.into_iter();
+    let mut out = Vec::with_capacity(slots);
+    for slot in 0..slots {
+        match r.u8()? {
+            0 => {
+                out.push(None);
+                continue;
             }
-            (Route::Single(home), 1) => {
-                expect(&format!("query {q} home shard"), r.u64()?, *home as u64)?;
-            }
-            (route, tag) => {
-                return Err(SnapshotError::Corrupt(format!(
-                    "configuration mismatch: query {q} route kind {tag} in checkpoint \
-                     vs {route:?} in restoring runtime"
-                )));
-            }
+            1 => {}
+            flag => return Err(corrupt(format!("slot {slot}: bad live flag {flag}"))),
         }
-        let aq = def.parts.analyzed();
-        expect(&format!("query {q} classes"), r.u64()?, aq.num_classes() as u64)?;
-        expect(&format!("query {q} window"), r.u64()?, aq.window)?;
+        let paused = match r.u8()? {
+            0 => false,
+            1 => true,
+            flag => return Err(corrupt(format!("slot {slot}: bad pause flag {flag}"))),
+        };
+        let route = match r.u8()? {
+            0 => Route::Hash(r.str()?),
+            1 => {
+                let home = usize::try_from(r.u64()?)
+                    .ok()
+                    .filter(|h| *h < fp.workers)
+                    .ok_or_else(|| corrupt(format!("slot {slot}: home shard out of range")))?;
+                Route::Single(home)
+            }
+            tag => return Err(corrupt(format!("slot {slot}: bad route kind {tag}"))),
+        };
+        let classes = r.u64()?;
+        let window = r.u64()?;
+        let Some((parts, partitioning)) = registered.next() else {
+            return Err(drift(format!(
+                "checkpoint has more live queries than the restoring runtime registered \
+                 (live slot {slot} has no registered counterpart)"
+            )));
+        };
+        // The route comes from the checkpoint (a created query's home
+        // shard is rotation state); the registered partitioning must be
+        // able to produce it.
+        let compatible = match (&route, &partitioning) {
+            (Route::Hash(field), Partitioning::Auto(f) | Partitioning::Field(f)) => {
+                f == field && can_partition_by(parts.analyzed(), field)
+            }
+            (Route::Single(_), Partitioning::Broadcast) => true,
+            (Route::Single(_), Partitioning::Auto(f)) => !can_partition_by(parts.analyzed(), f),
+            _ => false,
+        };
+        if !compatible {
+            return Err(drift(format!(
+                "slot {slot}: checkpoint route {route:?} is incompatible with the registered \
+                 partitioning {partitioning:?}"
+            )));
+        }
+        let aq = parts.analyzed();
+        expect(&format!("slot {slot} classes"), classes, aq.num_classes() as u64)?;
+        expect(&format!("slot {slot} window"), window, aq.window)?;
+        out.push(Some((QueryDef { parts, route }, paused)));
     }
-    Ok(())
+    if registered.next().is_some() {
+        return Err(drift(format!(
+            "restoring runtime registered more queries than the checkpoint's {slots} slots \
+             hold live (drop_query before the checkpoint? register only the live set)"
+        )));
+    }
+    Ok((homes, out))
 }
 
 /// Reads and checks one section tag.

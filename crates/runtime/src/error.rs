@@ -34,10 +34,16 @@ pub enum RuntimeError {
         acceptable: Ts,
     },
     /// A checkpoint could not be written, or a snapshot could not be
-    /// restored: I/O failure, bad magic/version, a corrupt or truncated
-    /// stream, or a restore configuration that does not match the
-    /// checkpoint's fingerprint.
+    /// restored: I/O failure, bad magic/version, or a corrupt or truncated
+    /// stream. The file itself is damaged or unreadable — retrying with a
+    /// different configuration will not help.
     Checkpoint(String),
+    /// The checkpoint file is intact but was produced by a *different
+    /// deployment*: worker count, batch size, query set (shape, routing,
+    /// classes, window), or lateness policy diverge from the restoring
+    /// runtime. Distinguished from [`RuntimeError::Checkpoint`] so an
+    /// operator can tell "re-fetch the file" from "fix the config".
+    CheckpointDrift(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -53,6 +59,9 @@ impl fmt::Display for RuntimeError {
                  (earliest acceptable: {acceptable}) under the strict lateness policy"
             ),
             RuntimeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            RuntimeError::CheckpointDrift(msg) => {
+                write!(f, "checkpoint configuration drift: {msg}")
+            }
         }
     }
 }

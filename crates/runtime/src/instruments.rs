@@ -51,6 +51,10 @@ pub(crate) struct RtInstruments {
     /// `zstream_checkpoint_duration_ns` — wall time of the checkpoint
     /// call (quiesce round-trip + serialization + write).
     pub checkpoint_ns: Histogram,
+    /// `zstream_queries_live` — registered queries currently live (slots
+    /// minus tombstones); follows [`crate::Runtime::create`] /
+    /// [`crate::Runtime::drop_query`].
+    pub queries_live: Gauge,
 }
 
 impl RtInstruments {
@@ -104,6 +108,7 @@ impl RtInstruments {
             checkpoints: hub.metrics.counter("zstream_checkpoints_total", labels(&[])),
             checkpoint_bytes: hub.metrics.counter("zstream_checkpoint_bytes_total", labels(&[])),
             checkpoint_ns: hub.metrics.histogram("zstream_checkpoint_duration_ns", labels(&[])),
+            queries_live: hub.metrics.gauge("zstream_queries_live", labels(&[]), GaugeFold::Sum),
         }
     }
 }

@@ -20,9 +20,24 @@
 //!                     (end_ts, shard, seq) ──► finalized matches
 //! ```
 //!
-//! * **Registry** — several compiled queries ([`zstream_core::CompiledParts`])
-//!   share the one ingest path; each has its own [`Partitioning`] policy
-//!   and [`QueryId`].
+//! * **Registry & lifecycle** — several compiled queries
+//!   ([`zstream_core::CompiledParts`]) share the one ingest path; each has
+//!   its own [`Partitioning`] policy and [`QueryId`]. The query set is
+//!   *live*: [`Runtime::create`] adds a query mid-stream (it sees exactly
+//!   the events ingested after the call), [`Runtime::pause`] /
+//!   [`Runtime::resume`] freeze and continue a query's windows router-side,
+//!   and [`Runtime::drop_query`] retires its engines and purges its
+//!   buffered matches. `QueryId`s are stable tombstoned slots — never
+//!   recycled, so a dropped query's metrics keep their index in
+//!   [`RuntimeReport`] — and lifecycle state (tombstones, pause flags,
+//!   routes) survives checkpoint/restore.
+//! * **Shared predicate index** — overlapping intake conjuncts across
+//!   registered queries are interned per shard
+//!   ([`zstream_core::SharedPredIndex`]): each distinct column predicate
+//!   evaluates once per batch into a bitmap that fans out to every
+//!   subscriber's selection vector, so intake cost stays flat as the query
+//!   count grows ([`RuntimeBuilder::shared_intake`] toggles it; match
+//!   output is byte-identical either way).
 //! * **Columnar ingest** — [`Runtime::ingest_columns`] routes a whole
 //!   [`zstream_events::EventBatch`] with one scan of each hash query's key
 //!   column ([`zstream_events::split_batch_rows`], memoized symbol

@@ -130,6 +130,18 @@ impl OrderedMerge {
         self.heap.len()
     }
 
+    /// Discards every buffered match of `query` (the
+    /// [`crate::Runtime::drop_query`] path: a dropped query's matches must
+    /// not surface after the drop, even ones already evaluated and waiting
+    /// on the frontier). Cold path — rebuilds the heap only when the query
+    /// actually has buffered matches.
+    pub fn purge_query(&mut self, query: QueryId) {
+        if self.heap.iter().any(|Reverse(e)| e.m.query == query) {
+            let entries = std::mem::take(&mut self.heap);
+            self.heap = entries.into_iter().filter(|Reverse(e)| e.m.query != query).collect();
+        }
+    }
+
     /// Serializes the frontier state and every buffered match. Entries are
     /// written in merge-key order (the heap's internal order is arbitrary),
     /// so serializing the same state twice is byte-identical.
@@ -151,10 +163,13 @@ impl OrderedMerge {
 
     /// Rebuilds a merger from a [`zstream_events::Snapshot`] stream:
     /// buffered matches re-enter the heap and release under the restored
-    /// per-shard watermarks exactly once, after restore.
+    /// per-shard watermarks exactly once, after restore. `is_live_query`
+    /// decides which query ids a buffered match may legally carry — dropped
+    /// queries purge their matches before checkpointing, so a tombstoned id
+    /// here means the file is corrupt.
     pub fn restore_snapshot(
         r: &mut SnapshotReader<'_>,
-        num_queries: usize,
+        is_live_query: impl Fn(usize) -> bool,
     ) -> SnapshotResult<OrderedMerge> {
         let shards = r.len()?;
         let mut watermarks = Vec::with_capacity(shards);
@@ -165,7 +180,7 @@ impl OrderedMerge {
         let mut heap = BinaryHeap::with_capacity(n);
         for _ in 0..n {
             let query =
-                usize::try_from(r.u64()?).ok().filter(|q| *q < num_queries).ok_or_else(|| {
+                usize::try_from(r.u64()?).ok().filter(|q| is_live_query(*q)).ok_or_else(|| {
                     SnapshotError::Corrupt("buffered match query out of range".into())
                 })?;
             let shard =
@@ -260,6 +275,23 @@ mod tests {
         merge.finish(0);
         assert_eq!(merge.frontier(), None);
         assert_eq!(merge.drain_ready().len(), 1);
+        assert_eq!(merge.pending(), 0);
+    }
+
+    #[test]
+    fn purge_discards_only_the_dropped_querys_matches() {
+        let mut merge = OrderedMerge::new(1);
+        merge.offer(m(0, 0, 0, 5));
+        merge.offer(m(1, 0, 1, 6));
+        merge.offer(m(0, 0, 2, 7));
+        merge.purge_query(QueryId(0));
+        assert_eq!(merge.pending(), 1);
+        merge.finish(0);
+        let out = merge.drain_ready();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, QueryId(1));
+        // Purging a query with nothing buffered is a no-op.
+        merge.purge_query(QueryId(1));
         assert_eq!(merge.pending(), 0);
     }
 

@@ -15,17 +15,26 @@
 //! to their home shard.
 
 use std::fmt;
+use std::sync::Arc;
 
-use zstream_core::{can_partition_by, CompiledParts};
+use zstream_core::{can_partition_by, CompiledParts, Engine, EngineMetrics};
 
 use crate::error::RuntimeError;
 
 /// Identifier of a registered query, assigned in registration order.
+///
+/// Ids are **stable for the life of the runtime**: dropping a query leaves
+/// a tombstone in its slot rather than shifting or recycling ids, so a
+/// `QueryId` held by a caller keeps meaning the same query after any
+/// sequence of [`create`](crate::Runtime::create) /
+/// [`drop_query`](crate::Runtime::drop_query) calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub(crate) usize);
 
 impl QueryId {
-    /// Registration index of this query.
+    /// Registration index of this query. Because ids are never recycled,
+    /// this doubles as the query's slot in report vectors
+    /// ([`crate::RuntimeReport::query_metrics`] and friends).
     pub fn index(self) -> usize {
         self.0
     }
@@ -69,48 +78,139 @@ pub(crate) struct QueryDef {
     pub route: Route,
 }
 
-/// Resolves each query's [`Partitioning`] request against its analyzed
-/// query, assigning home shards round-robin so multiple broadcast queries
-/// spread across workers.
+/// One registry slot. The slot index *is* the [`QueryId`]: slots are
+/// appended by [`crate::RuntimeBuilder::register`] / [`crate::Runtime::create`]
+/// and never removed or recycled — [`crate::Runtime::drop_query`] leaves a
+/// tombstone (`def == None`) so every id handed out, every in-flight
+/// slot-indexed shard message, and every report vector stays valid across
+/// any create/drop sequence.
+#[derive(Debug)]
+pub(crate) struct QueryState {
+    /// The resolved definition; `None` marks a tombstone (dropped query).
+    /// `Arc`'d so [`crate::Runtime::create`] ships one definition to every
+    /// shard without cloning the compiled artifacts per worker.
+    pub def: Option<Arc<QueryDef>>,
+    /// Control-thread template engine: interprets records (signatures,
+    /// RETURN formatting) without reaching into worker state. `None` on
+    /// tombstones.
+    pub template: Option<Engine>,
+    /// Router-side pause flag ([`crate::Runtime::pause`]): paused slots
+    /// receive no traffic — their events are neither delivered nor counted
+    /// as dropped. Shard-side engines keep their window state untouched.
+    pub paused: bool,
+    /// Events the router could not deliver for this query (routing field
+    /// missing, or the owning shard had left the pool).
+    pub dropped: u64,
+    /// Metrics accumulated from shard `Done` / `Retired` replies.
+    pub metrics: EngineMetrics,
+}
+
+impl QueryState {
+    /// A live slot for a freshly resolved query.
+    pub fn live(def: QueryDef, template: Engine) -> QueryState {
+        QueryState {
+            def: Some(Arc::new(def)),
+            template: Some(template),
+            paused: false,
+            dropped: 0,
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// A tombstone slot: restores a dropped query's place so later slots
+    /// keep their ids.
+    pub fn tombstone() -> QueryState {
+        QueryState {
+            def: None,
+            template: None,
+            paused: false,
+            dropped: 0,
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// Whether this slot still holds a query (not a tombstone).
+    pub fn is_live(&self) -> bool {
+        self.def.is_some()
+    }
+}
+
+/// Picks the next live home shard round-robin. `homes` is the persistent
+/// assignment counter (it counts only single-shard assignments, so home
+/// shards spread evenly no matter how hash-routed queries interleave with
+/// broadcast ones); `retired` marks shards that have left the pool and
+/// must not receive new homes — a query homed on a dead shard would have
+/// every one of its events silently dropped.
+pub(crate) fn next_live_home(
+    homes: &mut usize,
+    workers: usize,
+    retired: impl Fn(usize) -> bool,
+) -> Result<usize, RuntimeError> {
+    for _ in 0..workers {
+        let candidate = *homes % workers;
+        *homes += 1;
+        if !retired(candidate) {
+            return Ok(candidate);
+        }
+    }
+    Err(RuntimeError::InvalidConfig(
+        "cannot home a single-shard query: every worker shard has retired".into(),
+    ))
+}
+
+/// Resolves one query's [`Partitioning`] request against its analyzed
+/// query. `next_home` supplies the home shard if the route falls back to
+/// (or asks for) a single shard; at build time that is a plain round-robin,
+/// while [`crate::Runtime::create`] passes a dead-shard-aware version.
+pub(crate) fn resolve_route(
+    parts: CompiledParts,
+    partitioning: Partitioning,
+    label: QueryId,
+    next_home: &mut dyn FnMut() -> Result<usize, RuntimeError>,
+) -> Result<QueryDef, RuntimeError> {
+    let route = match partitioning {
+        Partitioning::Auto(field) => {
+            if can_partition_by(parts.analyzed(), &field) {
+                Route::Hash(field)
+            } else {
+                Route::Single(next_home()?)
+            }
+        }
+        Partitioning::Field(field) => {
+            if can_partition_by(parts.analyzed(), &field) {
+                Route::Hash(field)
+            } else {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "query {label}: cannot partition on '{field}': equality predicates \
+                     do not connect all classes on that field \
+                     (use Partitioning::Auto for a broadcast fallback)"
+                )));
+            }
+        }
+        Partitioning::Broadcast => Route::Single(next_home()?),
+    };
+    Ok(QueryDef { parts, route })
+}
+
+/// Resolves each query's [`Partitioning`] request, assigning home shards
+/// round-robin so multiple broadcast queries spread across workers. Returns
+/// the resolved defs plus the home-assignment counter, which the runtime
+/// keeps so later [`crate::Runtime::create`] calls continue the rotation.
 pub(crate) fn resolve_routes(
     defs: Vec<(CompiledParts, Partitioning)>,
     workers: usize,
-) -> Result<Vec<QueryDef>, RuntimeError> {
-    // Counts only single-shard assignments, so home shards spread evenly
-    // no matter how hash-routed queries interleave with broadcast ones.
+) -> Result<(Vec<QueryDef>, usize), RuntimeError> {
     let mut homes = 0usize;
-    let mut next_home = || {
-        let home = homes % workers;
-        homes += 1;
-        home
-    };
-    defs.into_iter()
+    let resolved = defs
+        .into_iter()
         .enumerate()
         .map(|(i, (parts, partitioning))| {
-            let route = match partitioning {
-                Partitioning::Auto(field) => {
-                    if can_partition_by(parts.analyzed(), &field) {
-                        Route::Hash(field)
-                    } else {
-                        Route::Single(next_home())
-                    }
-                }
-                Partitioning::Field(field) => {
-                    if can_partition_by(parts.analyzed(), &field) {
-                        Route::Hash(field)
-                    } else {
-                        return Err(RuntimeError::InvalidConfig(format!(
-                            "query {i}: cannot partition on '{field}': equality predicates \
-                             do not connect all classes on that field \
-                             (use Partitioning::Auto for a broadcast fallback)"
-                        )));
-                    }
-                }
-                Partitioning::Broadcast => Route::Single(next_home()),
-            };
-            Ok(QueryDef { parts, route })
+            // At build time every shard is live.
+            let mut next = || next_live_home(&mut homes, workers, |_| false);
+            resolve_route(parts, partitioning, QueryId(i), &mut next)
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((resolved, homes))
 }
 
 #[cfg(test)]
@@ -125,15 +225,19 @@ mod tests {
     #[test]
     fn auto_partitions_when_sound() {
         let p = parts("PATTERN A; B WHERE A.name = B.name WITHIN 10");
-        let defs = resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
+        let (defs, homes) =
+            resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
         assert_eq!(defs[0].route, Route::Hash("name".into()));
+        assert_eq!(homes, 0);
     }
 
     #[test]
     fn auto_falls_back_to_home_shard() {
         let p = parts("PATTERN A; B WITHIN 10");
-        let defs = resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
+        let (defs, homes) =
+            resolve_routes(vec![(p, Partitioning::Auto("name".into()))], 4).unwrap();
         assert_eq!(defs[0].route, Route::Single(0));
+        assert_eq!(homes, 1);
     }
 
     #[test]
@@ -146,7 +250,7 @@ mod tests {
     #[test]
     fn home_shards_spread_round_robin() {
         let p = parts("PATTERN A; B WITHIN 10");
-        let defs = resolve_routes(
+        let (defs, _) = resolve_routes(
             vec![
                 (p.clone(), Partitioning::Broadcast),
                 (p.clone(), Partitioning::Broadcast),
@@ -166,7 +270,7 @@ mod tests {
         // round-robin: the broadcast queries still land on distinct shards.
         let hashed = parts("PATTERN A; B WHERE A.name = B.name WITHIN 10");
         let plain = parts("PATTERN A; B WITHIN 10");
-        let defs = resolve_routes(
+        let (defs, homes) = resolve_routes(
             vec![
                 (plain.clone(), Partitioning::Broadcast),
                 (hashed, Partitioning::Auto("name".into())),
@@ -178,5 +282,23 @@ mod tests {
         assert_eq!(defs[0].route, Route::Single(0));
         assert_eq!(defs[1].route, Route::Hash("name".into()));
         assert_eq!(defs[2].route, Route::Single(1));
+        assert_eq!(homes, 2);
+    }
+
+    #[test]
+    fn next_live_home_skips_retired_shards() {
+        let mut homes = 0usize;
+        // Shard 1 of 3 has retired: the rotation lands on 0, 2, 0, 2, …
+        let retired = |s: usize| s == 1;
+        assert_eq!(next_live_home(&mut homes, 3, retired).unwrap(), 0);
+        assert_eq!(next_live_home(&mut homes, 3, retired).unwrap(), 2);
+        assert_eq!(next_live_home(&mut homes, 3, retired).unwrap(), 0);
+    }
+
+    #[test]
+    fn next_live_home_errors_when_all_retired() {
+        let mut homes = 0usize;
+        let err = next_live_home(&mut homes, 2, |_| true).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig(_)));
     }
 }

@@ -5,7 +5,7 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TryRecvError}
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use zstream_core::{CompiledParts, Engine, EngineMetrics};
+use zstream_core::{CompiledParts, EngineMetrics};
 use zstream_events::{
     repack_events, split_batch_rows, split_by_field, BatchRelease, ColumnarReorder, EventBatch,
     EventRef, Record, ReorderOutcome, Snapshot, SnapshotReader, SnapshotWriter, Ts,
@@ -19,7 +19,9 @@ use crate::checkpoint::{
 use crate::error::RuntimeError;
 use crate::instruments::RtInstruments;
 use crate::merge::{OrderedMerge, RuntimeMatch};
-use crate::registry::{resolve_routes, Partitioning, QueryDef, QueryId, Route};
+use crate::registry::{
+    next_live_home, resolve_route, resolve_routes, Partitioning, QueryId, QueryState, Route,
+};
 use crate::shard::{build_engines, restore_engines, run_shard, RowSel, ShardMsg, ShardReply};
 
 /// What to do with an event that arrives beyond the reorder slack window
@@ -73,6 +75,7 @@ pub struct RuntimeBuilder {
     slack: Option<Ts>,
     lateness: LatenessPolicy,
     sources: usize,
+    shared_intake: bool,
     defs: Vec<(CompiledParts, Partitioning)>,
     obs: Option<Arc<Obs>>,
 }
@@ -87,6 +90,7 @@ impl Default for RuntimeBuilder {
             slack: None,
             lateness: LatenessPolicy::Drop,
             sources: 1,
+            shared_intake: true,
             defs: Vec::new(),
             obs: None,
         }
@@ -189,6 +193,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Whether worker shards share one intake-predicate index across the
+    /// whole registry (default: on). With sharing, each *distinct* column
+    /// predicate — keyed by event class and conjunct identity, independent
+    /// of which query compiled it — is evaluated once per columnar batch
+    /// into a bitmap that every subscribing query's intake reuses, so a
+    /// registry of N overlapping queries costs ~distinct-predicates scans
+    /// instead of N. Matching is byte-identical either way; `off` exists
+    /// as the per-query-scan baseline for benchmarks and bisection.
+    pub fn shared_intake(mut self, on: bool) -> Self {
+        self.shared_intake = on;
+        self
+    }
+
     /// Registers a compiled query; returns its id (assigned in
     /// registration order). Routing soundness is checked at [`build`].
     ///
@@ -241,50 +258,51 @@ impl RuntimeBuilder {
         self.validate()?;
         let obs = self.obs.clone().unwrap_or_default();
         let inst = RtInstruments::register(&obs, self.sources, self.workers);
-        let defs = resolve_routes(self.defs, self.workers)?;
+        let (defs, homes) = resolve_routes(self.defs, self.workers)?;
         // One template engine per query stays on the control thread; it
         // never sees events and exists to interpret records (signatures,
         // RETURN formatting) without reaching into worker state.
-        let templates: Vec<Engine> =
-            defs.iter().map(|d| d.parts.engine()).collect::<Result<_, _>>()?;
+        let mut queries = Vec::with_capacity(defs.len());
+        for def in defs {
+            let template = def.parts.engine()?;
+            queries.push(QueryState::live(def, template));
+        }
 
         let (reply_tx, replies) = channel::<ShardReply>();
         let mut senders = Vec::with_capacity(self.workers);
         let mut handles = Vec::with_capacity(self.workers);
         for shard in 0..self.workers {
-            let engines = build_engines(&defs, shard, &obs)?;
+            let (engines, shared) = build_engines(&queries, shard, &obs, self.shared_intake)?;
             let service_ns = obs
                 .metrics
                 .histogram("zstream_shard_service_ns", labels(&[("shard", &shard.to_string())]));
             let (tx, rx) = sync_channel::<ShardMsg>(self.channel_capacity);
             let reply_tx = reply_tx.clone();
+            let hub = Arc::clone(&obs);
             let handle = std::thread::Builder::new()
                 .name(format!("zstream-shard-{shard}"))
-                .spawn(move || run_shard(shard, engines, rx, reply_tx, 0, service_ns))
+                .spawn(move || run_shard(shard, engines, shared, rx, reply_tx, 0, service_ns, hub))
                 .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?;
             senders.push(tx);
             handles.push(handle);
         }
-        let dropped = vec![0u64; defs.len()];
-        let query_metrics = vec![EngineMetrics::default(); defs.len()];
         let merge = OrderedMerge::new(self.workers);
         let reorder = self.slack.map(|s| ColumnarReorder::with_sources(s, self.sources));
-        Ok(Runtime {
+        let runtime = Runtime {
             senders,
             replies,
             handles,
             obs,
             inst,
-            defs,
-            templates,
+            queries,
+            homes,
+            shared_intake: self.shared_intake,
             merge,
             batch_size: self.batch_size,
             heartbeat_interval: self.heartbeat_interval,
             chunks_since_heartbeat: 0,
             shard_sent: vec![0; self.workers],
             watermark: 0,
-            dropped,
-            query_metrics,
             reorder,
             slack: self.slack,
             sources: self.sources,
@@ -294,7 +312,9 @@ impl RuntimeBuilder {
             last_chunk_digest: vec![None; self.sources],
             replay_guard: vec![None; self.sources],
             snapshot_stash: Vec::new(),
-        })
+        };
+        runtime.publish_queries_live();
+        Ok(runtime)
     }
 
     /// Rebuilds a runtime from a checkpoint written by
@@ -302,14 +322,20 @@ impl RuntimeBuilder {
     ///
     /// The builder must describe **the same logical deployment** that wrote
     /// the checkpoint: same worker count, batch size, heartbeat interval,
-    /// slack/sources/lateness, and the same queries registered in the same
-    /// order with the same partitioning — the checkpoint's configuration
-    /// fingerprint is validated field by field and any mismatch is a
-    /// [`RuntimeError::Checkpoint`] naming the first difference (a
-    /// different `channel_capacity` is allowed: it only shapes
-    /// backpressure, not state). Shards that had left the pool (worker
-    /// failure) before the checkpoint are restored as already-departed:
-    /// their matches are final, events routed to them count as dropped.
+    /// slack/sources/lateness, and the checkpoint's **live** queries
+    /// registered in slot order with compatible partitioning — queries
+    /// added by [`Runtime::create`] included, queries removed by
+    /// [`Runtime::drop_query`] omitted (their tombstones are re-created
+    /// automatically, so restored [`QueryId`]s keep their meaning). The
+    /// fingerprint is validated field by field: any value disagreement is
+    /// a [`RuntimeError::CheckpointDrift`] naming the first difference
+    /// (fix the configuration), while an undecodable file is a
+    /// [`RuntimeError::Checkpoint`] (the file is damaged). A different
+    /// `channel_capacity` or [`RuntimeBuilder::shared_intake`] setting is
+    /// allowed: they shape backpressure and evaluation cost, not state.
+    /// Shards that had left the pool (worker failure) before the
+    /// checkpoint are restored as already-departed: their matches are
+    /// final, events routed to them count as dropped.
     ///
     /// After restore the runtime is **replay-armed**: if the first ingest
     /// call a source makes is byte-identical in content to the last chunk
@@ -351,14 +377,27 @@ impl RuntimeBuilder {
             sources: self.sources,
             lateness: self.lateness,
         };
-        let defs = resolve_routes(self.defs, workers)?;
-        let templates: Vec<Engine> =
-            defs.iter().map(|d| d.parts.engine()).collect::<Result<_, _>>()?;
 
         let mut r = SnapshotReader::new(&data[MAGIC.len() + 4..]);
         let checkpoint_seq = r.u64()?;
         expect_tag(&mut r, TAG_CONFIG, "CONFIG")?;
-        check_fingerprint(&mut r, &fp, &defs)?;
+        // The builder's registered queries map positionally onto the
+        // checkpoint's live slots; routes come from the checkpoint and
+        // tombstones are re-created, so every pre-checkpoint QueryId keeps
+        // its meaning (see the checkpoint module docs).
+        let (homes, slots) = check_fingerprint(&mut r, &fp, self.defs)?;
+        let mut queries = Vec::with_capacity(slots.len());
+        for slot in slots {
+            queries.push(match slot {
+                Some((def, paused)) => {
+                    let template = def.parts.engine()?;
+                    let mut state = QueryState::live(def, template);
+                    state.paused = paused;
+                    state
+                }
+                None => QueryState::tombstone(),
+            });
+        }
 
         expect_tag(&mut r, TAG_RUNTIME, "RUNTIME")?;
         let watermark = r.u64()?;
@@ -373,28 +412,26 @@ impl RuntimeBuilder {
             shard_sent.push(r.u64()?);
         }
         let n = r.len()?;
-        if n != defs.len() {
+        if n != queries.len() {
             return Err(RuntimeError::Checkpoint(format!(
                 "checkpoint has {n} dropped counters, expected {}",
-                defs.len()
+                queries.len()
             )));
         }
-        let mut dropped = Vec::with_capacity(defs.len());
-        for _ in 0..defs.len() {
-            dropped.push(r.u64()?);
+        for state in queries.iter_mut() {
+            state.dropped = r.u64()?;
         }
         let chunks_since_heartbeat = usize::try_from(r.u64()?)
             .map_err(|_| RuntimeError::Checkpoint("heartbeat phase exceeds usize".into()))?;
         let n = r.len()?;
-        if n != defs.len() {
+        if n != queries.len() {
             return Err(RuntimeError::Checkpoint(format!(
                 "checkpoint has {n} metric sets, expected {}",
-                defs.len()
+                queries.len()
             )));
         }
-        let mut query_metrics = Vec::with_capacity(defs.len());
-        for _ in 0..defs.len() {
-            query_metrics.push(EngineMetrics::restore_snapshot(&mut r)?);
+        for state in queries.iter_mut() {
+            state.metrics = EngineMetrics::restore_snapshot(&mut r)?;
         }
         let n = r.len()?;
         let mut dead_letters = Vec::with_capacity(n);
@@ -414,7 +451,9 @@ impl RuntimeBuilder {
         }
 
         expect_tag(&mut r, TAG_MERGE, "MERGE")?;
-        let merge = OrderedMerge::restore_snapshot(&mut r, defs.len())?;
+        let merge = OrderedMerge::restore_snapshot(&mut r, |q| {
+            queries.get(q).is_some_and(QueryState::is_live)
+        })?;
         if merge.num_shards() != workers {
             return Err(RuntimeError::Checkpoint(format!(
                 "checkpoint merger tracks {} shards, expected {workers}",
@@ -470,11 +509,15 @@ impl RuntimeBuilder {
             let handle = if alive {
                 let seq = r.u64()?;
                 let blob = r.blob()?;
-                let engines = restore_engines(&defs, shard, blob, &obs)?;
+                let (engines, shared) =
+                    restore_engines(&queries, shard, blob, &obs, self.shared_intake)?;
                 let reply_tx = reply_tx.clone();
+                let hub = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("zstream-shard-{shard}"))
-                    .spawn(move || run_shard(shard, engines, rx, reply_tx, seq, service_ns))
+                    .spawn(move || {
+                        run_shard(shard, engines, shared, rx, reply_tx, seq, service_ns, hub)
+                    })
                     .map_err(|e| RuntimeError::InvalidConfig(format!("spawn failed: {e}")))?
             } else {
                 // The shard had left the pool before the checkpoint. Restore
@@ -496,22 +539,21 @@ impl RuntimeBuilder {
                 r.remaining()
             )));
         }
-        Ok(Runtime {
+        let runtime = Runtime {
             senders,
             replies,
             handles,
             obs,
             inst,
-            defs,
-            templates,
+            queries,
+            homes,
+            shared_intake: self.shared_intake,
             merge,
             batch_size: self.batch_size,
             heartbeat_interval: self.heartbeat_interval,
             chunks_since_heartbeat,
             shard_sent,
             watermark,
-            dropped,
-            query_metrics,
             reorder,
             slack: self.slack,
             sources: self.sources,
@@ -521,7 +563,9 @@ impl RuntimeBuilder {
             replay_guard: last_chunk_digest.clone(),
             last_chunk_digest,
             snapshot_stash: Vec::new(),
-        })
+        };
+        runtime.publish_queries_live();
+        Ok(runtime)
     }
 }
 
@@ -533,13 +577,17 @@ pub struct RuntimeReport {
     /// are not repeated).
     pub matches: Vec<RuntimeMatch>,
     /// Per-query metrics, aggregated across shards with
-    /// [`EngineMetrics::merge`], in registration order.
+    /// [`EngineMetrics::merge`], indexed by registry slot
+    /// ([`QueryId::index`]). Dropped queries keep their slot: the metrics
+    /// they accumulated before the drop stay reported there.
     pub query_metrics: Vec<EngineMetrics>,
     /// Grand total across queries.
     pub metrics: EngineMetrics,
-    /// Per-query count of ingested events the **router** could not deliver:
+    /// Per-query count of ingested events the **router** could not deliver
+    /// (indexed by registry slot, like [`RuntimeReport::query_metrics`]):
     /// their schema lacked the routing field, or their shard had already
-    /// been observed leaving the pool after a worker failure. Best-effort
+    /// been observed leaving the pool after a worker failure. Paused
+    /// queries' skipped events are not counted. Best-effort
     /// around failures: events accepted into a shard's bounded channel just
     /// before it died are lost with the shard and are *not* counted here
     /// (the router cannot distinguish evaluated from queued once the
@@ -590,8 +638,19 @@ pub struct Runtime {
     /// accounting), pre-registered so the hot path never touches the
     /// registry.
     inst: RtInstruments,
-    defs: Vec<QueryDef>,
-    templates: Vec<Engine>,
+    /// The registry: one slot per query ever registered or created, in id
+    /// order. Slots are never removed or recycled — [`Runtime::drop_query`]
+    /// tombstones them — so a slot index *is* a [`QueryId`] and every
+    /// slot-indexed message or report stays valid across lifecycle calls.
+    queries: Vec<QueryState>,
+    /// Home-shard rotation counter, continued by [`Runtime::create`] so
+    /// dynamically created single-shard queries keep spreading round-robin
+    /// (checkpointed: restore resumes the rotation).
+    homes: usize,
+    /// Whether shards share one intake-predicate index across the registry
+    /// ([`RuntimeBuilder::shared_intake`]); consulted when wiring engines
+    /// for restored and created queries.
+    shared_intake: bool,
     merge: OrderedMerge,
     batch_size: usize,
     heartbeat_interval: usize,
@@ -601,11 +660,6 @@ pub struct Runtime {
     /// traffic or heartbeated); heartbeats are skipped when current.
     shard_sent: Vec<Ts>,
     watermark: Ts,
-    dropped: Vec<u64>,
-    /// Per-query metrics accumulated from every `Done` reply — shards that
-    /// leave the pool early (worker failure) are accounted exactly like
-    /// shards that finish at shutdown.
-    query_metrics: Vec<EngineMetrics>,
     /// The §4.1 reordering stage in front of routing, when
     /// [`RuntimeBuilder::slack`] was set: disordered arrivals buffer here
     /// and the watermark is driven by its release frontier.
@@ -672,14 +726,42 @@ impl Runtime {
         self.senders.len() - self.merge.finished_count()
     }
 
-    /// Number of registered queries.
+    /// Number of **live** queries (registered or created, not dropped).
     pub fn num_queries(&self) -> usize {
-        self.defs.len()
+        self.queries.iter().filter(|s| s.is_live()).count()
     }
 
-    /// The resolved routing of a registered query.
+    /// Number of registry slots ever allocated (live queries plus
+    /// tombstones): the length of the slot-ordered report vectors, and the
+    /// id the next [`Runtime::create`] will hand out.
+    pub fn num_slots(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the worker shards evaluate intake predicates through the
+    /// shared predicate index ([`RuntimeBuilder::shared_intake`]).
+    pub fn shared_intake(&self) -> bool {
+        self.shared_intake
+    }
+
+    /// The resolved routing of a live query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query was dropped (its route no longer exists).
     pub fn route(&self, query: QueryId) -> &Route {
-        &self.defs[query.0].route
+        &self.queries[query.0].def.as_ref().expect("query was dropped").route
+    }
+
+    /// Whether a query id refers to a live (not dropped) query. Unknown
+    /// ids are not live.
+    pub fn is_live(&self, query: QueryId) -> bool {
+        self.queries.get(query.0).is_some_and(QueryState::is_live)
+    }
+
+    /// Whether a live query is currently paused.
+    pub fn is_paused(&self, query: QueryId) -> bool {
+        self.queries.get(query.0).is_some_and(|s| s.paused)
     }
 
     /// The stream watermark: without a reorder stage, the latest event
@@ -715,14 +797,127 @@ impl Runtime {
 
     /// Canonical signature of a match record (per pattern class, the
     /// identities of its bound events) — delegates to the query's template
-    /// plan; see [`Engine::record_signature`].
+    /// plan; see [`zstream_core::Engine::record_signature`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query was dropped (its template no longer exists).
     pub fn record_signature(&self, query: QueryId, record: &Record) -> Vec<Vec<usize>> {
-        self.templates[query.0].record_signature(record)
+        self.queries[query.0].template.as_ref().expect("query was dropped").record_signature(record)
     }
 
     /// Formats a match record according to the query's RETURN clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query was dropped (its template no longer exists).
     pub fn format_match(&self, query: QueryId, record: &Record) -> String {
-        self.templates[query.0].format_match(record)
+        self.queries[query.0].template.as_ref().expect("query was dropped").format_match(record)
+    }
+
+    /// Registers and starts a new query on the **live** runtime, returning
+    /// its stable [`QueryId`] (ids are never recycled).
+    ///
+    /// Routing is resolved exactly as at build time, except the home-shard
+    /// rotation skips shards that have left the pool after a worker
+    /// failure — a query homed on a dead shard would silently drop every
+    /// event. The new engines are instantiated on each live shard via the
+    /// same channel-FIFO quiesce the checkpoint uses: the query sees
+    /// exactly the events ingested after this call, and its intake
+    /// predicates join the shard's shared predicate index
+    /// ([`RuntimeBuilder::shared_intake`]) so overlapping predicates are
+    /// still evaluated once per batch.
+    pub fn create(
+        &mut self,
+        parts: CompiledParts,
+        partitioning: Partitioning,
+    ) -> Result<QueryId, RuntimeError> {
+        let id = QueryId(self.queries.len());
+        let template = parts.engine()?;
+        let workers = self.senders.len();
+        let merge = &self.merge;
+        let homes = &mut self.homes;
+        let mut next = || next_live_home(homes, workers, |s| merge.is_finished(s));
+        let def = Arc::new(resolve_route(parts, partitioning, id, &mut next)?);
+        self.queries.push(QueryState {
+            def: Some(Arc::clone(&def)),
+            template: Some(template),
+            paused: false,
+            dropped: 0,
+            metrics: EngineMetrics::default(),
+        });
+        for shard in 0..workers {
+            // A shard that has left the pool never hosts the query; events
+            // routed to it count as dropped, like any other traffic to a
+            // retired shard.
+            let msg = ShardMsg::Create { slot: id.0, def: Arc::clone(&def) };
+            let _ = self.send_to_shard(shard, msg)?;
+        }
+        self.trace_lifecycle(id, "create");
+        self.publish_queries_live();
+        Ok(id)
+    }
+
+    /// Pauses a live query: the router stops delivering its events (they
+    /// are skipped, **not** counted as dropped) until [`Runtime::resume`].
+    /// Shard-side engine state is untouched, so a resumed query continues
+    /// from exactly the window state it had when paused — it simply never
+    /// sees the events that streamed past in between. Pausing a paused
+    /// query is a no-op.
+    pub fn pause(&mut self, query: QueryId) -> Result<(), RuntimeError> {
+        self.live_state_mut(query)?.paused = true;
+        self.trace_lifecycle(query, "pause");
+        Ok(())
+    }
+
+    /// Resumes a paused query. Resuming an unpaused query is a no-op.
+    pub fn resume(&mut self, query: QueryId) -> Result<(), RuntimeError> {
+        self.live_state_mut(query)?.paused = false;
+        self.trace_lifecycle(query, "resume");
+        Ok(())
+    }
+
+    /// Drops a live query mid-stream: its slot becomes a tombstone (the id
+    /// is never recycled), its buffered matches are purged from the merger
+    /// — a dropped query's matches never surface after this call returns —
+    /// and every live shard tears down its engines, replying with the
+    /// final metrics so the query's work still appears in
+    /// [`RuntimeReport::query_metrics`]. Other queries' ids, routes,
+    /// metrics, and match streams are entirely unaffected.
+    pub fn drop_query(&mut self, query: QueryId) -> Result<(), RuntimeError> {
+        let state = self.live_state_mut(query)?;
+        state.def = None;
+        state.template = None;
+        state.paused = false;
+        self.merge.purge_query(query);
+        let workers = self.senders.len();
+        for shard in 0..workers {
+            let _ = self.send_to_shard(shard, ShardMsg::DropQuery { slot: query.0 })?;
+        }
+        self.trace_lifecycle(query, "drop");
+        self.publish_queries_live();
+        Ok(())
+    }
+
+    /// The slot of a live query, or the lifecycle error naming what is
+    /// wrong with the id.
+    fn live_state_mut(&mut self, query: QueryId) -> Result<&mut QueryState, RuntimeError> {
+        match self.queries.get_mut(query.0) {
+            Some(state) if state.is_live() => Ok(state),
+            Some(_) => Err(RuntimeError::InvalidConfig(format!("query {query} was dropped"))),
+            None => Err(RuntimeError::InvalidConfig(format!("no such query {query}"))),
+        }
+    }
+
+    /// Publishes the live-query gauge (`zstream_queries_live`).
+    fn publish_queries_live(&self) {
+        self.inst.queries_live.set(self.num_queries() as u64);
+    }
+
+    /// Emits one lifecycle trace event for `query`.
+    fn trace_lifecycle(&self, query: QueryId, op: &str) {
+        let q = query.to_string();
+        self.obs.trace.emit(self.watermark, None, Some(&q), TraceKind::Lifecycle, op.to_string());
     }
 
     /// Routes one time-ordered **columnar** batch to the worker shards and
@@ -1072,21 +1267,21 @@ impl Runtime {
             sources: self.sources,
             lateness: self.lateness,
         };
-        write_fingerprint(&mut w, &fp, &self.defs);
+        write_fingerprint(&mut w, &fp, self.homes, &self.queries);
         w.u8(TAG_RUNTIME);
         w.u64(self.watermark);
         w.len(self.shard_sent.len());
         for ts in &self.shard_sent {
             w.u64(*ts);
         }
-        w.len(self.dropped.len());
-        for d in &self.dropped {
-            w.u64(*d);
+        w.len(self.queries.len());
+        for state in &self.queries {
+            w.u64(state.dropped);
         }
         w.u64(self.chunks_since_heartbeat as u64);
-        w.len(self.query_metrics.len());
-        for m in &self.query_metrics {
-            m.write_snapshot(&mut w);
+        w.len(self.queries.len());
+        for state in &self.queries {
+            state.metrics.write_snapshot(&mut w);
         }
         w.len(self.dead_letters.len());
         for e in &self.dead_letters {
@@ -1188,7 +1383,9 @@ impl Runtime {
         }
         let matches = self.merge.drain_ready();
         debug_assert_eq!(self.merge.pending(), 0, "all matches final after shutdown");
-        let query_metrics = std::mem::take(&mut self.query_metrics);
+        let query_metrics: Vec<EngineMetrics> =
+            self.queries.iter_mut().map(|s| std::mem::take(&mut s.metrics)).collect();
+        let dropped: Vec<u64> = self.queries.iter().map(|s| s.dropped).collect();
         let mut metrics = EngineMetrics::default();
         for m in &query_metrics {
             metrics.merge(m);
@@ -1211,7 +1408,7 @@ impl Runtime {
             matches,
             query_metrics,
             metrics,
-            dropped: std::mem::take(&mut self.dropped),
+            dropped,
             workers,
             late_events,
             reorder_buffered_peak,
@@ -1333,9 +1530,10 @@ impl Runtime {
         );
         self.watermark = self.watermark.max(last_ts);
         let workers = self.senders.len();
-        let nq = self.defs.len();
+        let nq = self.queries.len();
         // Lazily-allocated per-shard message payloads: only shards that own
-        // rows pay for a message this chunk.
+        // rows pay for a message this chunk. Slots are registry slots, so
+        // tombstoned and paused queries keep their `Skip` entry.
         let mut per_shard: Vec<Option<Vec<RowSel>>> = Vec::new();
         per_shard.resize_with(workers, || None);
         let select =
@@ -1351,7 +1549,14 @@ impl Runtime {
         /// Per-shard shared selections plus the field's dropped-row count.
         type FieldSplit = (Vec<Arc<Vec<u32>>>, u64);
         let mut field_splits: HashMap<&str, FieldSplit> = HashMap::new();
-        for (q, def) in self.defs.iter().enumerate() {
+        // Dropped rows collected per slot while `field_splits` borrows the
+        // defs; folded into the registry after the scan loop.
+        let mut drops = vec![0u64; nq];
+        for (q, state) in self.queries.iter().enumerate() {
+            let Some(def) = state.def.as_deref() else { continue };
+            if state.paused {
+                continue;
+            }
             match &def.route {
                 Route::Hash(field) => {
                     let (shards, split_dropped) =
@@ -1359,13 +1564,13 @@ impl Runtime {
                             let split = split_batch_rows(batch, field, workers);
                             (split.shards.into_iter().map(Arc::new).collect(), split.dropped)
                         });
-                    self.dropped[q] += *split_dropped;
+                    drops[q] += *split_dropped;
                     for (shard, rows) in shards.iter().enumerate() {
                         if rows.is_empty() {
                             continue;
                         }
                         if self.merge.is_finished(shard) {
-                            self.dropped[q] += rows.len() as u64;
+                            drops[q] += rows.len() as u64;
                             continue;
                         }
                         select(shard, q, RowSel::Rows(Arc::clone(rows)), &mut per_shard);
@@ -1373,7 +1578,7 @@ impl Runtime {
                 }
                 Route::Single(home) => {
                     if self.merge.is_finished(*home) {
-                        self.dropped[q] += batch.len() as u64;
+                        drops[q] += batch.len() as u64;
                     } else {
                         select(*home, q, RowSel::All, &mut per_shard);
                     }
@@ -1381,6 +1586,9 @@ impl Runtime {
             }
         }
         drop(field_splits);
+        for (state, d) in self.queries.iter_mut().zip(&drops) {
+            state.dropped += d;
+        }
         let mut sent = vec![false; workers];
         for (shard, payload) in per_shard.into_iter().enumerate() {
             let Some(per_query) = payload else { continue };
@@ -1410,7 +1618,7 @@ impl Runtime {
                 // dropped, from the returned (undelivered) message.
                 Some(ShardMsg::Columns { per_query, .. }) => {
                     for (q, sel) in per_query.iter().enumerate() {
-                        self.dropped[q] += match sel {
+                        self.queries[q].dropped += match sel {
                             RowSel::Skip => 0,
                             RowSel::All => batch.len() as u64,
                             RowSel::Rows(rows) => rows.len() as u64,
@@ -1431,32 +1639,37 @@ impl Runtime {
             return Ok(());
         }
         let workers = self.senders.len();
-        let nq = self.defs.len();
+        let nq = self.queries.len();
         for event in chunk {
             debug_assert!(event.ts() >= self.watermark, "ingest must be time-ordered");
             self.watermark = self.watermark.max(event.ts());
         }
         let mut per_shard: Vec<Option<Vec<Vec<EventRef>>>> = Vec::new();
         per_shard.resize_with(workers, || None);
-        for (q, def) in self.defs.iter().enumerate() {
+        let merge = &self.merge;
+        for (q, state) in self.queries.iter_mut().enumerate() {
+            let Some(def) = state.def.as_deref() else { continue };
+            if state.paused {
+                continue;
+            }
             match &def.route {
                 Route::Hash(field) => {
                     let split = split_by_field(chunk, field, workers);
-                    self.dropped[q] += split.dropped;
+                    state.dropped += split.dropped;
                     for (shard, events) in split.shards.into_iter().enumerate() {
                         if events.is_empty() {
                             continue;
                         }
-                        if self.merge.is_finished(shard) {
-                            self.dropped[q] += events.len() as u64;
+                        if merge.is_finished(shard) {
+                            state.dropped += events.len() as u64;
                             continue;
                         }
                         per_shard[shard].get_or_insert_with(|| vec![Vec::new(); nq])[q] = events;
                     }
                 }
                 Route::Single(home) => {
-                    if self.merge.is_finished(*home) {
-                        self.dropped[q] += chunk.len() as u64;
+                    if merge.is_finished(*home) {
+                        state.dropped += chunk.len() as u64;
                     } else {
                         per_shard[*home].get_or_insert_with(|| vec![Vec::new(); nq])[q] =
                             chunk.to_vec();
@@ -1483,7 +1696,7 @@ impl Runtime {
                 }
                 Some(ShardMsg::Batch { per_query, .. }) => {
                     for (q, events) in per_query.iter().enumerate() {
-                        self.dropped[q] += events.len() as u64;
+                        self.queries[q].dropped += events.len() as u64;
                     }
                 }
                 Some(_) => unreachable!("send_to_shard returns the message it was given"),
@@ -1588,20 +1801,43 @@ impl Runtime {
             ShardReply::Output { shard, watermark, matches } => {
                 self.inst.queue_depth[shard].sub(1);
                 for m in matches {
-                    self.merge.offer(m);
+                    // Matches of a query dropped after this batch was
+                    // dispatched (channel-FIFO race) must not surface —
+                    // the drop purged its buffered matches already.
+                    if self.queries.get(m.query.0).is_some_and(QueryState::is_live) {
+                        self.merge.offer(m);
+                    }
                 }
                 self.merge.advance(shard, watermark);
             }
             ShardReply::Done { shard, metrics } => {
                 // The shard left the pool; whatever was still queued to it
                 // will never be evaluated, so its depth gauge reads zero.
+                // The metrics vector is slot-aligned to the shard's view of
+                // the registry, which trails ours only when the shard died
+                // before processing a Create — `zip` truncates safely.
                 self.inst.queue_depth[shard].set(0);
                 if !self.merge.is_finished(shard) {
-                    for (agg, m) in self.query_metrics.iter_mut().zip(&metrics) {
-                        agg.merge(m);
+                    for (state, m) in self.queries.iter_mut().zip(&metrics) {
+                        state.metrics.merge(m);
                     }
                     self.merge.finish(shard);
                 }
+            }
+            ShardReply::Retired { shard, slot, metrics } => {
+                // A dropped query's final per-shard metrics: folded into
+                // the tombstone so the query's work stays reported.
+                if let Some(state) = self.queries.get_mut(slot) {
+                    state.metrics.merge(&metrics);
+                }
+                let q = format!("q{slot}");
+                self.obs.trace.emit(
+                    self.watermark,
+                    Some(shard as u32),
+                    Some(&q),
+                    TraceKind::Lifecycle,
+                    "retired".to_string(),
+                );
             }
             ShardReply::Snapshot { shard, seq, bytes } => {
                 self.snapshot_stash.push((shard, seq, bytes));

@@ -29,8 +29,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
-use zstream_core::{CoreError, Engine, EngineMetrics, EngineObs, PartitionedEngine};
+use zstream_core::{
+    CoreError, Engine, EngineMetrics, EngineObs, PartitionedEngine, SharedPredIndex,
+};
 use zstream_events::{
     EventBatch, EventRef, Record, Snapshot, SnapshotError, SnapshotReader, SnapshotResult,
     SnapshotWriter, Ts,
@@ -38,7 +41,7 @@ use zstream_events::{
 use zstream_obs::{Histogram, Obs};
 
 use crate::merge::RuntimeMatch;
-use crate::registry::{QueryDef, QueryId, Route};
+use crate::registry::{QueryDef, QueryId, QueryState, Route};
 
 /// One query's share of a routed columnar batch.
 pub(crate) enum RowSel {
@@ -74,6 +77,20 @@ pub(crate) enum ShardMsg {
     /// (and its `Output` sent) by the time the snapshot reply is produced,
     /// so the blob captures a consistent point in the shard's sub-stream.
     Snapshot,
+    /// Instantiate an engine for a freshly created query
+    /// ([`crate::Runtime::create`]) in registry slot `slot`, growing the
+    /// engine table as needed. Channel FIFO is the quiesce protocol here
+    /// too: the new engine exists strictly after every batch dispatched
+    /// before the create, and the router only selects rows for the slot in
+    /// batches dispatched after it — so the query sees exactly the
+    /// post-create suffix of the stream.
+    Create { slot: usize, def: Arc<QueryDef> },
+    /// Tear down the engine in registry slot `slot`
+    /// ([`crate::Runtime::drop_query`]); answered with
+    /// [`ShardReply::Retired`] carrying the engine's final metrics. Batches
+    /// queued ahead of this message still evaluate the query (FIFO); the
+    /// control thread discards their matches for tombstoned slots.
+    DropQuery { slot: usize },
     /// Flush every engine, report metrics, and exit.
     Shutdown,
 }
@@ -91,6 +108,10 @@ pub(crate) enum ShardReply {
     /// counter plus a self-contained engine-state blob (serialized on the
     /// shard thread, so the control thread never touches engine state).
     Snapshot { shard: usize, seq: u64, bytes: Vec<u8> },
+    /// Answer to [`ShardMsg::DropQuery`]: the dropped engine's final
+    /// metrics for slot `slot`, folded into the registry's accounting so a
+    /// dropped query's work is reported exactly like a live one's.
+    Retired { shard: usize, slot: usize, metrics: EngineMetrics },
 }
 
 /// One query's evaluation state on one shard.
@@ -111,17 +132,37 @@ impl ShardEngine {
         }
     }
 
-    fn push_columns(&mut self, batch: &EventBatch) -> Vec<Record> {
+    fn push_columns(
+        &mut self,
+        batch: &EventBatch,
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         match self {
-            ShardEngine::Partitioned(e) => e.push_columns(batch),
-            ShardEngine::Flat(e) => e.push_columns(batch),
+            ShardEngine::Partitioned(e) => e.push_columns_shared(batch, shared),
+            ShardEngine::Flat(e) => e.push_columns_shared(batch, shared),
         }
     }
 
-    fn push_rows(&mut self, batch: &EventBatch, rows: &[u32]) -> Vec<Record> {
+    fn push_rows(
+        &mut self,
+        batch: &EventBatch,
+        rows: &[u32],
+        shared: Option<&mut SharedPredIndex>,
+    ) -> Vec<Record> {
         match self {
-            ShardEngine::Partitioned(e) => e.push_rows(batch, rows),
-            ShardEngine::Flat(e) => e.push_rows(batch, rows),
+            ShardEngine::Partitioned(e) => e.push_rows_shared(batch, rows, shared),
+            ShardEngine::Flat(e) => e.push_rows_shared(batch, rows, shared),
+        }
+    }
+
+    /// Subscribes this engine's intake predicates to the shard's shared
+    /// index: registers them (allocating or reusing bitmap slots) and
+    /// stamps the resulting subscription onto the engine.
+    fn subscribe(&mut self, def: &QueryDef, shared: &mut SharedPredIndex) {
+        let slots = Arc::new(shared.register(&def.parts.intake));
+        match self {
+            ShardEngine::Partitioned(e) => e.set_shared_slots(slots),
+            ShardEngine::Flat(e) => e.set_shared_slots(slots),
         }
     }
 
@@ -140,45 +181,67 @@ impl ShardEngine {
     }
 }
 
-/// Registers this shard's per-query engine instruments in `hub` (cells
+/// Registers one slot's per-query engine instruments in `hub` (cells
 /// private to the shard thread) and attaches them. The query label is the
-/// registration-order id (`q0`, `q1`, …) — the same label every scrape
-/// and the decision log use.
-fn attach_obs(engines: &mut [Option<ShardEngine>], shard: usize, hub: &Obs) {
-    for (q, engine) in engines.iter_mut().enumerate() {
-        let Some(engine) = engine else { continue };
-        let obs =
-            EngineObs::register(hub, &format!("q{q}"), Some(shard as u32), Some(hub.trace.clone()));
-        match engine {
-            ShardEngine::Partitioned(e) => e.set_obs(obs),
-            ShardEngine::Flat(e) => e.set_obs(obs),
-        }
+/// stable slot id (`q0`, `q1`, …) — the same label every scrape and the
+/// decision log use; ids are never recycled, so a label always means one
+/// query over the hub's whole lifetime.
+fn attach_slot_obs(engine: &mut ShardEngine, slot: usize, shard: usize, hub: &Obs) {
+    let obs =
+        EngineObs::register(hub, &format!("q{slot}"), Some(shard as u32), Some(hub.trace.clone()));
+    match engine {
+        ShardEngine::Partitioned(e) => e.set_obs(obs),
+        ShardEngine::Flat(e) => e.set_obs(obs),
     }
 }
 
-/// Instantiates this shard's engines: one per query that can route events
-/// here (`None` for single-shard queries homed elsewhere), each wired to
-/// the hub's per-query instruments.
+/// Instantiates one query's engine on this shard — `None` for single-shard
+/// queries homed elsewhere — subscribed to the shared predicate index (when
+/// enabled) and wired to the hub's per-query instruments.
+fn instantiate(
+    def: &QueryDef,
+    slot: usize,
+    shard: usize,
+    shared: Option<&mut SharedPredIndex>,
+    hub: &Obs,
+) -> Result<Option<ShardEngine>, CoreError> {
+    let mut engine = match &def.route {
+        Route::Hash(field) => {
+            Some(ShardEngine::Partitioned(Box::new(def.parts.partitioned_engine(field)?)))
+        }
+        Route::Single(home) if *home == shard => {
+            Some(ShardEngine::Flat(Box::new(def.parts.engine()?)))
+        }
+        Route::Single(_) => None,
+    };
+    if let Some(engine) = &mut engine {
+        if let Some(shared) = shared {
+            engine.subscribe(def, shared);
+        }
+        attach_slot_obs(engine, slot, shard, hub);
+    }
+    Ok(engine)
+}
+
+/// Instantiates this shard's engines: one per live registry slot that can
+/// route events here (`None` for tombstones and for single-shard queries
+/// homed elsewhere), plus the shard's shared predicate index when
+/// `shared_intake` is on, with every engine's subscription registered.
 pub(crate) fn build_engines(
-    defs: &[QueryDef],
+    queries: &[QueryState],
     shard: usize,
     hub: &Obs,
-) -> Result<Vec<Option<ShardEngine>>, CoreError> {
-    let mut engines: Vec<Option<ShardEngine>> = defs
-        .iter()
-        .map(|def| match &def.route {
-            Route::Hash(field) => def
-                .parts
-                .partitioned_engine(field)
-                .map(|e| Some(ShardEngine::Partitioned(Box::new(e)))),
-            Route::Single(home) if *home == shard => {
-                def.parts.engine().map(|e| Some(ShardEngine::Flat(Box::new(e))))
-            }
-            Route::Single(_) => Ok(None),
-        })
-        .collect::<Result<_, _>>()?;
-    attach_obs(&mut engines, shard, hub);
-    Ok(engines)
+    shared_intake: bool,
+) -> Result<(Vec<Option<ShardEngine>>, Option<SharedPredIndex>), CoreError> {
+    let mut shared = shared_intake.then(SharedPredIndex::new);
+    let mut engines = Vec::with_capacity(queries.len());
+    for (slot, state) in queries.iter().enumerate() {
+        engines.push(match &state.def {
+            Some(def) => instantiate(def, slot, shard, shared.as_mut(), hub)?,
+            None => None,
+        });
+    }
+    Ok((engines, shared))
 }
 
 /// Serializes a shard's engine states into one self-contained blob: per
@@ -210,36 +273,56 @@ fn snapshot_engines(engines: &[Option<ShardEngine>]) -> Vec<u8> {
 /// whose engine kinds disagree with the routes (different queries, a
 /// different worker count reassigning home shards) is rejected as corrupt.
 pub(crate) fn restore_engines(
-    defs: &[QueryDef],
+    queries: &[QueryState],
     shard: usize,
     bytes: &[u8],
     hub: &Obs,
-) -> SnapshotResult<Vec<Option<ShardEngine>>> {
+    shared_intake: bool,
+) -> SnapshotResult<(Vec<Option<ShardEngine>>, Option<SharedPredIndex>)> {
     let mut r = SnapshotReader::new(bytes);
     let n = r.len()?;
-    if n != defs.len() {
+    if n != queries.len() {
         return Err(SnapshotError::Corrupt(format!(
             "shard {shard} blob has {n} engines, registry has {}",
-            defs.len()
+            queries.len()
         )));
     }
+    let mut shared = shared_intake.then(SharedPredIndex::new);
     let mut engines = Vec::with_capacity(n);
-    for (q, def) in defs.iter().enumerate() {
+    for (q, state) in queries.iter().enumerate() {
         let tag = r.u8()?;
-        let engine = match (&def.route, tag) {
-            (Route::Hash(field), 2) => Some(ShardEngine::Partitioned(Box::new(
-                def.parts.restore_partitioned_engine(field, &mut r)?,
-            ))),
-            (Route::Single(home), 1) if *home == shard => {
-                Some(ShardEngine::Flat(Box::new(def.parts.restore_engine(&mut r)?)))
-            }
-            (Route::Single(home), 0) if *home != shard => None,
-            (route, tag) => {
+        let mut engine = match (state.def.as_deref(), tag) {
+            // A tombstoned slot serializes as "not hosted" on every shard.
+            (None, 0) => None,
+            (None, tag) => {
                 return Err(SnapshotError::Corrupt(format!(
-                    "shard {shard} query {q}: engine kind {tag} does not match route {route:?}"
+                    "shard {shard} query {q}: engine kind {tag} on a dropped query"
                 )));
             }
+            (Some(def), tag) => match (&def.route, tag) {
+                (Route::Hash(field), 2) => Some(ShardEngine::Partitioned(Box::new(
+                    def.parts.restore_partitioned_engine(field, &mut r)?,
+                ))),
+                (Route::Single(home), 1) if *home == shard => {
+                    Some(ShardEngine::Flat(Box::new(def.parts.restore_engine(&mut r)?)))
+                }
+                (Route::Single(home), 0) if *home != shard => None,
+                (route, tag) => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "shard {shard} query {q}: engine kind {tag} does not match route {route:?}"
+                    )));
+                }
+            },
         };
+        if let (Some(engine), Some(def)) = (&mut engine, state.def.as_deref()) {
+            if let Some(shared) = shared.as_mut() {
+                engine.subscribe(def, shared);
+            }
+            // Fresh instruments, not restored state: observability
+            // deliberately starts from zero after a restore (see the
+            // checkpoint module docs).
+            attach_slot_obs(engine, q, shard, hub);
+        }
         engines.push(engine);
     }
     if !r.is_exhausted() {
@@ -248,10 +331,7 @@ pub(crate) fn restore_engines(
             r.remaining()
         )));
     }
-    // Fresh instruments, not restored state: observability deliberately
-    // starts from zero after a restore (see the checkpoint module docs).
-    attach_obs(&mut engines, shard, hub);
-    Ok(engines)
+    Ok((engines, shared))
 }
 
 /// Reports the shard's terminal [`ShardReply::Done`] with per-query
@@ -299,21 +379,33 @@ fn eval_and_reply(
 /// disconnects (the runtime was dropped), or after a worker-side failure
 /// (engine panic or injected [`ShardMsg::Fail`]) — the latter after
 /// reporting a premature [`ShardReply::Done`].
+// One parameter per independently-owned resource the thread takes with it;
+// bundling them into a struct would just move the same list one level down.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_shard(
     shard: usize,
     mut engines: Vec<Option<ShardEngine>>,
+    mut shared: Option<SharedPredIndex>,
     rx: Receiver<ShardMsg>,
     tx: Sender<ShardReply>,
     initial_seq: u64,
     service_ns: Histogram,
+    hub: Arc<Obs>,
 ) {
     let mut seq = initial_seq;
     let svc = &service_ns;
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Columns { watermark, batch, per_query } => {
+                let shared = &mut shared;
                 let ok =
                     eval_and_reply(shard, &mut seq, &mut engines, &tx, svc, watermark, |engines| {
+                        // One shared-bitmap generation per batch: the first
+                        // subscriber of each distinct predicate evaluates
+                        // it, every later subscriber reuses the bitmap.
+                        if let Some(shared) = shared.as_mut() {
+                            shared.begin_batch();
+                        }
                         let mut per_q: Vec<(usize, Vec<Record>)> = Vec::new();
                         for (q, sel) in per_query.iter().enumerate() {
                             let Some(engine) = engines.get_mut(q).and_then(Option::as_mut) else {
@@ -321,9 +413,11 @@ pub(crate) fn run_shard(
                             };
                             let records = match sel {
                                 RowSel::Skip => continue,
-                                RowSel::All => engine.push_columns(&batch),
+                                RowSel::All => engine.push_columns(&batch, shared.as_mut()),
                                 RowSel::Rows(rows) if rows.is_empty() => continue,
-                                RowSel::Rows(rows) => engine.push_rows(&batch, rows),
+                                RowSel::Rows(rows) => {
+                                    engine.push_rows(&batch, rows, shared.as_mut())
+                                }
                             };
                             per_q.push((q, records));
                         }
@@ -360,6 +454,37 @@ pub(crate) fn run_shard(
             ShardMsg::Fail => {
                 send_done(shard, &engines, &tx);
                 return;
+            }
+            ShardMsg::Create { slot, def } => {
+                if engines.len() <= slot {
+                    engines.resize_with(slot + 1, || None);
+                }
+                // Instantiation failure degrades exactly like an engine
+                // panic: this shard leaves the pool rather than silently
+                // running without the query (the control thread validated
+                // the compiled parts, so this is a can't-happen guard).
+                match instantiate(&def, slot, shard, shared.as_mut(), &hub) {
+                    Ok(engine) => {
+                        if let Some(e) = engines.get_mut(slot) {
+                            *e = engine;
+                        }
+                    }
+                    Err(_) => {
+                        send_done(shard, &engines, &tx);
+                        return;
+                    }
+                }
+            }
+            ShardMsg::DropQuery { slot } => {
+                // The shared index deliberately keeps the dropped query's
+                // bitmap slots: other subscribers may share them, and
+                // unshared ones are lazy — never evaluated again.
+                if let Some(engine) = engines.get_mut(slot).and_then(Option::take) {
+                    let metrics = engine.metrics();
+                    if tx.send(ShardReply::Retired { shard, slot, metrics }).is_err() {
+                        return;
+                    }
+                }
             }
             ShardMsg::Snapshot => {
                 // Serialization runs under catch_unwind like evaluation: a

@@ -47,6 +47,9 @@ impl Config {
             hot_modules: vec![
                 "crates/runtime/src/shard.rs".into(),
                 "crates/events/src/kernel.rs".into(),
+                // Shared predicate index: sits on the per-batch intake
+                // path of every registered query, so no locks either.
+                "crates/core/src/intake.rs".into(),
                 // In the set on purpose: the registration-path mutex is
                 // the designed cold-path exception and carries pragmas.
                 "crates/obs/src/registry.rs".into(),

@@ -443,11 +443,15 @@ fn restore_rejects_configuration_drift() {
     runtime.checkpoint(&mut file).unwrap();
     runtime.shutdown().unwrap();
 
+    // Configuration disagreements are CheckpointDrift — the file is fine,
+    // the restoring configuration is wrong — and name both sides; corrupt
+    // bytes are RuntimeError::Checkpoint (see
+    // restore_distinguishes_drift_from_corruption in multi_query.rs).
     let expect_mismatch = |b: RuntimeBuilder, what: &str| match b.restore(&mut file.as_slice()) {
-        Err(RuntimeError::Checkpoint(msg)) => {
-            assert!(msg.contains("mismatch"), "{what}: unexpected message {msg:?}")
+        Err(RuntimeError::CheckpointDrift(msg)) => {
+            assert!(msg.contains("checkpoint has"), "{what}: unexpected message {msg:?}")
         }
-        other => panic!("{what}: expected Checkpoint error, got {other:?}"),
+        other => panic!("{what}: expected CheckpointDrift error, got {other:?}"),
     };
     // Different worker count (key → shard mapping changes).
     expect_mismatch(builder(&parts, &partitioning, 3, None, LatenessPolicy::Drop), "workers");
